@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the hot building blocks: the FFT, the elasticity
+//! metric, the cross-traffic estimator and the raw simulator event loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nimbus_core::{CrossTrafficEstimator, ElasticityConfig, ElasticityDetector};
+use nimbus_dsp::{fft_real, Fft, PulseGenerator, Spectrum};
+use nimbus_netsim::{FlowConfig, Network, SimConfig, Time};
+use nimbus_transport::{BackloggedSource, CcKind, Sender, SenderConfig};
+
+fn bench_fft(c: &mut Criterion) {
+    let signal: Vec<f64> = (0..500)
+        .map(|i| (i as f64 * 0.31).sin() + 0.2 * (i as f64 * 1.7).cos())
+        .collect();
+    c.bench_function("fft_500_point_bluestein", |b| {
+        b.iter(|| fft_real(black_box(&signal)))
+    });
+    let plan = Fft::new(500);
+    c.bench_function("fft_500_point_planned", |b| {
+        b.iter(|| plan.forward_real(black_box(&signal)))
+    });
+    c.bench_function("spectrum_with_dc_removal", |b| {
+        b.iter(|| Spectrum::of_signal(black_box(&signal), 100.0, true))
+    });
+}
+
+fn bench_detector(c: &mut Criterion) {
+    let cfg = ElasticityConfig::default();
+    let det = ElasticityDetector::new(cfg.clone());
+    let gen = PulseGenerator::asymmetric(5.0, 24e6);
+    let z: Vec<f64> = (0..cfg.window_samples())
+        .map(|i| 48e6 - 0.3 * gen.offset_at(i as f64 * 0.01 - 0.05))
+        .collect();
+    c.bench_function("elasticity_metric_eta", |b| b.iter(|| det.eta(black_box(&z))));
+    let est = CrossTrafficEstimator::with_known_mu(96e6, 5.0);
+    c.bench_function("cross_traffic_estimate", |b| {
+        b.iter(|| est.estimate(black_box(40e6), black_box(60e6)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("simulate_cubic_10s_48mbps", |b| {
+        b.iter(|| {
+            let mut net = Network::new(SimConfig::new(48e6, 0.1, 10.0));
+            net.add_flow(
+                FlowConfig::primary("cubic", Time::from_millis(50)),
+                Box::new(Sender::new(
+                    SenderConfig::labelled("cubic"),
+                    CcKind::Cubic.build(1500),
+                    Box::new(BackloggedSource),
+                )),
+            );
+            net.run();
+            black_box(net.events_processed())
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fft, bench_detector, bench_simulator
+}
+criterion_main!(micro);

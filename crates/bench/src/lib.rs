@@ -1,0 +1,36 @@
+//! # nimbus-bench
+//!
+//! Criterion benchmark harness for the Nimbus reproduction.
+//!
+//! Two families of benchmarks live under `benches/`:
+//!
+//! * `micro.rs` — micro-benchmarks of the hot building blocks: the FFT plan,
+//!   the elasticity metric, the cross-traffic estimator and the raw simulator
+//!   event loop.
+//! * `figures.rs` — one benchmark group per paper table/figure, each running
+//!   the corresponding experiment from `nimbus-experiments` in its quick
+//!   (scaled-down) configuration, so `cargo bench` regenerates the shape of
+//!   every result in the evaluation.
+//!
+//! This library crate only hosts shared helpers for those benches.
+
+#![warn(missing_docs)]
+
+use nimbus_experiments::ExperimentResult;
+
+/// Run a named experiment in quick mode and panic if it is unknown — the
+/// benches use this so a typo fails loudly rather than silently measuring
+/// nothing.
+pub fn run_quick(name: &str) -> ExperimentResult {
+    nimbus_experiments::run_experiment(name, true)
+        .unwrap_or_else(|| panic!("unknown experiment {name}"))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic]
+    fn unknown_experiment_panics() {
+        let _ = super::run_quick("not-an-experiment");
+    }
+}

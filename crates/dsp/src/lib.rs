@@ -1,0 +1,46 @@
+//! # nimbus-dsp
+//!
+//! Signal-processing substrate for the Nimbus reproduction.
+//!
+//! The elasticity detector of the paper ("Elasticity Detection: A Building
+//! Block for Internet Congestion Control") works by modulating a sender's
+//! pacing rate with an asymmetric sinusoidal pulse and then looking for a
+//! peak, at the pulsing frequency, in the frequency-domain representation of
+//! the estimated cross-traffic rate.  Everything the detector needs from the
+//! signal-processing world lives in this crate:
+//!
+//! * [`complex`] — a minimal complex-number type (no external deps).
+//! * [`fft`] — radix-2 Cooley–Tukey FFT, Bluestein FFT for arbitrary lengths,
+//!   and a direct DFT used as a test oracle.
+//! * [`spectrum`] — magnitude spectra, frequency/bin conversion and the band
+//!   peak searches needed by the elasticity metric η (Eq. 3 of the paper).
+//! * [`pulse`] — the asymmetric sinusoidal pulse shape of Fig. 7 plus a
+//!   symmetric variant used for ablations.
+//! * [`filter`] — EWMA filters (used by Nimbus *watcher* flows to strip the
+//!   pulser's frequencies from their own transmissions) and simple moving
+//!   statistics (windowed min/max) used by the congestion controllers.
+//! * [`window`] — window functions applied before the FFT.
+//! * [`stats`] — percentiles, CDFs and accuracy summaries used throughout the
+//!   experiment harness.
+//!
+//! The crate is deliberately dependency-free (apart from `serde` for result
+//! serialization) and completely deterministic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod complex;
+pub mod fft;
+pub mod filter;
+pub mod pulse;
+pub mod spectrum;
+pub mod stats;
+pub mod window;
+
+pub use complex::Complex;
+pub use fft::{dft_naive, fft, fft_real, ifft, Fft};
+pub use filter::{Ewma, WindowedMax, WindowedMin};
+pub use pulse::{AsymmetricPulse, PulseGenerator, PulseKind, PulseShape, SymmetricPulse};
+pub use spectrum::{band_peak, bin_for_frequency, magnitude_spectrum, Spectrum};
+pub use stats::{mean, percentile, stddev, Cdf, RunningStats};
+pub use window::WindowFunction;

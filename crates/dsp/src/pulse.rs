@@ -1,0 +1,292 @@
+//! Pulse shapes used to modulate the sending rate.
+//!
+//! §3.4 / Fig. 7 of the paper: rather than a pure sinusoid, Nimbus uses an
+//! *asymmetric* sinusoidal pulse.  Over one period `T = 1/f_p`:
+//!
+//! * for the first quarter of the period the sender **adds** a half-sine of
+//!   amplitude `A` (e.g. `µ/4`) to its base rate;
+//! * for the remaining three quarters it **subtracts** a half-sine of
+//!   amplitude `A/3` (e.g. `µ/12`).
+//!
+//! The two half-sines integrate to the same area, so the mean added rate over
+//! a full period is zero, and a sender whose base rate is as low as `A/3` can
+//! still pulse without going negative.
+//!
+//! The symmetric pulse (a plain sinusoid of amplitude `A`) is also provided
+//! for the ablation experiments.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// A rate-modulation pulse: given the phase of the current pulse period it
+/// returns the rate *offset* (in the same units as the amplitude, e.g. bits
+/// per second) to add to the base sending rate.
+pub trait PulseShape {
+    /// Rate offset at time `t` seconds for a pulse of frequency `freq_hz` and
+    /// peak amplitude `amplitude` (positive peak).
+    fn offset_at(&self, t: f64, freq_hz: f64, amplitude: f64) -> f64;
+
+    /// The minimum base rate (as a fraction of `amplitude`) a sender needs so
+    /// that `base + offset` never goes negative.
+    fn min_base_rate_fraction(&self) -> f64;
+
+    /// Mean of the offset over one full period (should be ~0 for well-formed
+    /// pulses). Computed numerically; mostly useful for tests/diagnostics.
+    fn mean_offset(&self, freq_hz: f64, amplitude: f64) -> f64 {
+        let period = 1.0 / freq_hz;
+        let steps = 10_000;
+        let dt = period / steps as f64;
+        let sum: f64 = (0..steps)
+            .map(|i| self.offset_at((i as f64 + 0.5) * dt, freq_hz, amplitude))
+            .sum();
+        sum / steps as f64
+    }
+}
+
+/// The asymmetric sinusoidal pulse of Fig. 7.
+///
+/// Positive half-sine of amplitude `A` over `T/4`, negative half-sine of
+/// amplitude `A/3` over `3T/4`. The positive and negative areas cancel:
+/// `A·(T/4)·(2/π) = (A/3)·(3T/4)·(2/π)`.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct AsymmetricPulse;
+
+impl PulseShape for AsymmetricPulse {
+    fn offset_at(&self, t: f64, freq_hz: f64, amplitude: f64) -> f64 {
+        assert!(freq_hz > 0.0, "pulse frequency must be positive");
+        let period = 1.0 / freq_hz;
+        let phase = (t / period).rem_euclid(1.0); // in [0, 1)
+        if phase < 0.25 {
+            // Half sine over the first quarter: sin goes 0 -> 1 -> 0.
+            amplitude * (PI * phase / 0.25).sin()
+        } else {
+            // Negative half sine over the remaining three quarters.
+            -(amplitude / 3.0) * (PI * (phase - 0.25) / 0.75).sin()
+        }
+    }
+
+    fn min_base_rate_fraction(&self) -> f64 {
+        // The most negative excursion is -A/3.
+        1.0 / 3.0
+    }
+}
+
+/// A plain symmetric sinusoid `A·sin(2π f t)`, used for ablation comparisons.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SymmetricPulse;
+
+impl PulseShape for SymmetricPulse {
+    fn offset_at(&self, t: f64, freq_hz: f64, amplitude: f64) -> f64 {
+        assert!(freq_hz > 0.0, "pulse frequency must be positive");
+        amplitude * (2.0 * PI * freq_hz * t).sin()
+    }
+
+    fn min_base_rate_fraction(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A pulse generator bound to a particular frequency and amplitude, so the
+/// sender machinery can just ask "what's my rate multiplier right now?".
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PulseGenerator {
+    /// Pulse frequency in Hz (`f_p` in the paper, default 5 Hz).
+    pub freq_hz: f64,
+    /// Peak pulse amplitude in the rate unit used by the caller
+    /// (the paper uses a fraction of the bottleneck rate, e.g. `µ/4`).
+    pub amplitude: f64,
+    /// Which pulse shape to use.
+    pub shape: PulseKind,
+    /// Whether pulsing is currently enabled (watchers do not pulse).
+    pub enabled: bool,
+}
+
+/// Enumerates the available pulse shapes (object-safe alternative to carrying
+/// a `dyn PulseShape`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PulseKind {
+    /// Asymmetric pulse of Fig. 7 (default).
+    Asymmetric,
+    /// Plain sinusoid (ablation).
+    Symmetric,
+    /// No pulsing at all (ablation / watcher behaviour).
+    None,
+}
+
+impl PulseGenerator {
+    /// Create an asymmetric pulse generator at `freq_hz` with peak `amplitude`.
+    pub fn asymmetric(freq_hz: f64, amplitude: f64) -> Self {
+        PulseGenerator {
+            freq_hz,
+            amplitude,
+            shape: PulseKind::Asymmetric,
+            enabled: true,
+        }
+    }
+
+    /// Create a symmetric (pure sinusoid) pulse generator.
+    pub fn symmetric(freq_hz: f64, amplitude: f64) -> Self {
+        PulseGenerator {
+            freq_hz,
+            amplitude,
+            shape: PulseKind::Symmetric,
+            enabled: true,
+        }
+    }
+
+    /// A generator that never modulates the rate.
+    pub fn disabled() -> Self {
+        PulseGenerator {
+            freq_hz: 1.0,
+            amplitude: 0.0,
+            shape: PulseKind::None,
+            enabled: false,
+        }
+    }
+
+    /// Rate offset (e.g. in bits/s) at absolute time `t` seconds.
+    pub fn offset_at(&self, t: f64) -> f64 {
+        if !self.enabled {
+            return 0.0;
+        }
+        match self.shape {
+            PulseKind::Asymmetric => AsymmetricPulse.offset_at(t, self.freq_hz, self.amplitude),
+            PulseKind::Symmetric => SymmetricPulse.offset_at(t, self.freq_hz, self.amplitude),
+            PulseKind::None => 0.0,
+        }
+    }
+
+    /// Apply the pulse to a base rate, clamping at a small positive floor so
+    /// the sender never stops entirely.
+    pub fn modulate(&self, base_rate: f64, t: f64) -> f64 {
+        (base_rate + self.offset_at(t)).max(base_rate * 0.05).max(0.0)
+    }
+
+    /// Total bytes sent *above* the mean rate during the positive part of a
+    /// pulse ("the size of the burst sent in a pulse", §3.4): `A·T/(2π)` for
+    /// the asymmetric pulse with peak `A`, which for `A = µ/4` is
+    /// `µT/(8π) ≈ 0.04·µT`.
+    pub fn burst_bits(&self) -> f64 {
+        match self.shape {
+            PulseKind::Asymmetric => {
+                let period = 1.0 / self.freq_hz;
+                self.amplitude * (period / 4.0) * 2.0 / PI
+            }
+            PulseKind::Symmetric => {
+                let period = 1.0 / self.freq_hz;
+                self.amplitude * (period / 2.0) * 2.0 / PI
+            }
+            PulseKind::None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn asymmetric_pulse_peaks_match_paper() {
+        let p = AsymmetricPulse;
+        let fp = 5.0;
+        let mu = 96e6;
+        let amp = mu / 4.0;
+        // Peak of the positive half-sine is at T/8.
+        let peak = p.offset_at(1.0 / fp / 8.0, fp, amp);
+        assert!((peak - amp).abs() < amp * 1e-9);
+        // Trough of the negative half sine is at T/4 + (3T/4)/2 = 5T/8.
+        let trough = p.offset_at(5.0 / (8.0 * fp), fp, amp);
+        assert!((trough + amp / 3.0).abs() < amp * 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_pulse_integrates_to_zero() {
+        let p = AsymmetricPulse;
+        let mean = p.mean_offset(5.0, 24e6);
+        assert!(mean.abs() < 24e6 * 1e-4, "mean offset {mean} too large");
+    }
+
+    #[test]
+    fn symmetric_pulse_integrates_to_zero() {
+        let p = SymmetricPulse;
+        let mean = p.mean_offset(5.0, 24e6);
+        assert!(mean.abs() < 24e6 * 1e-4);
+    }
+
+    #[test]
+    fn asymmetric_allows_lower_base_rates_than_symmetric() {
+        assert!(AsymmetricPulse.min_base_rate_fraction() < SymmetricPulse.min_base_rate_fraction());
+    }
+
+    #[test]
+    fn pulse_is_periodic() {
+        let p = AsymmetricPulse;
+        let fp = 5.0;
+        for k in 0..20 {
+            let t = k as f64 * 0.017;
+            let a = p.offset_at(t, fp, 1.0);
+            let b = p.offset_at(t + 3.0 / fp, fp, 1.0);
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn burst_size_is_about_four_percent_of_mu_times_period() {
+        // §3.4: burst ≈ 0.04 µT for amplitude µ/4.
+        let mu = 96e6;
+        let gen = PulseGenerator::asymmetric(5.0, mu / 4.0);
+        let t = 1.0 / 5.0;
+        let expected = mu * t / (8.0 * PI);
+        assert!((gen.burst_bits() - expected).abs() < expected * 1e-9);
+        assert!((gen.burst_bits() / (mu * t) - 0.0398).abs() < 0.002);
+    }
+
+    #[test]
+    fn disabled_generator_never_modulates() {
+        let gen = PulseGenerator::disabled();
+        for i in 0..100 {
+            assert_eq!(gen.offset_at(i as f64 * 0.01), 0.0);
+            assert_eq!(gen.modulate(10e6, i as f64 * 0.01), 10e6);
+        }
+    }
+
+    #[test]
+    fn modulate_never_goes_negative() {
+        let gen = PulseGenerator::asymmetric(5.0, 24e6);
+        // Base rate far below amplitude/3: clamp must kick in.
+        for i in 0..1000 {
+            let r = gen.modulate(1e6, i as f64 * 0.001);
+            assert!(r >= 0.0);
+        }
+    }
+
+    #[test]
+    fn fft_of_pulsed_rate_peaks_at_pulse_frequency() {
+        // End-to-end within the crate: a rate signal modulated by the pulse
+        // generator must show a dominant spectral component at f_p.
+        use crate::spectrum::Spectrum;
+        let fp = 5.0;
+        let gen = PulseGenerator::asymmetric(fp, 24e6);
+        let fs = 100.0;
+        let sig: Vec<f64> = (0..500).map(|i| gen.modulate(48e6, i as f64 / fs)).collect();
+        let spec = Spectrum::of_signal(&sig, fs, true);
+        let (_, freq) = spec.dominant_frequency();
+        assert!((freq - fp).abs() <= spec.bin_width_hz() + 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_asymmetric_bounded(t in 0.0f64..100.0, amp in 1.0f64..1e9, freq in 0.5f64..20.0) {
+            let v = AsymmetricPulse.offset_at(t, freq, amp);
+            prop_assert!(v <= amp + 1e-9);
+            prop_assert!(v >= -amp / 3.0 - 1e-9);
+        }
+
+        #[test]
+        fn prop_modulated_rate_non_negative(base in 0.0f64..1e9, t in 0.0f64..10.0) {
+            let gen = PulseGenerator::asymmetric(5.0, 24e6);
+            prop_assert!(gen.modulate(base, t) >= 0.0);
+        }
+    }
+}

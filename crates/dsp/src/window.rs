@@ -1,0 +1,137 @@
+//! Window functions applied before taking an FFT.
+//!
+//! The detector's 5-second measurement window does not contain an integer
+//! number of pulse periods for every pulse frequency, so spectral leakage can
+//! smear the peak at `f_p` into the comparison band `(f_p, 2 f_p)` and lower
+//! the elasticity metric.  Applying a mild window (Hann) before the FFT keeps
+//! the peak tight.  The rectangular window (no-op) reproduces the behaviour of
+//! the reference implementation and is the default.
+
+use serde::{Deserialize, Serialize};
+use std::f64::consts::PI;
+
+/// Available window functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum WindowFunction {
+    /// No windowing (all-ones). Default; matches the reference Nimbus.
+    #[default]
+    Rectangular,
+    /// Hann window: `0.5 − 0.5·cos(2πn/(N−1))`.
+    Hann,
+    /// Hamming window: `0.54 − 0.46·cos(2πn/(N−1))`.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+}
+
+impl WindowFunction {
+    /// The window coefficient for sample `n` of an `N`-point window.
+    pub fn coefficient(self, n: usize, len: usize) -> f64 {
+        if len <= 1 {
+            return 1.0;
+        }
+        let x = 2.0 * PI * n as f64 / (len - 1) as f64;
+        match self {
+            WindowFunction::Rectangular => 1.0,
+            WindowFunction::Hann => 0.5 - 0.5 * x.cos(),
+            WindowFunction::Hamming => 0.54 - 0.46 * x.cos(),
+            WindowFunction::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+        }
+    }
+
+    /// Materialize the full window of length `len`.
+    pub fn coefficients(self, len: usize) -> Vec<f64> {
+        (0..len).map(|n| self.coefficient(n, len)).collect()
+    }
+
+    /// Apply the window to a signal in place.
+    pub fn apply(self, signal: &mut [f64]) {
+        if self == WindowFunction::Rectangular {
+            return;
+        }
+        let len = signal.len();
+        for (n, s) in signal.iter_mut().enumerate() {
+            *s *= self.coefficient(n, len);
+        }
+    }
+
+    /// Coherent gain (mean coefficient); used to renormalize amplitudes after
+    /// windowing so that pulse-amplitude comparisons stay meaningful.
+    pub fn coherent_gain(self, len: usize) -> f64 {
+        if len == 0 {
+            return 1.0;
+        }
+        self.coefficients(len).iter().sum::<f64>() / len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_identity() {
+        let mut sig = vec![1.0, 2.0, 3.0, 4.0];
+        WindowFunction::Rectangular.apply(&mut sig);
+        assert_eq!(sig, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(WindowFunction::Rectangular.coherent_gain(128), 1.0);
+    }
+
+    #[test]
+    fn hann_is_zero_at_edges_and_one_in_middle() {
+        let w = WindowFunction::Hann.coefficients(101);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[100].abs() < 1e-12);
+        assert!((w[50] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_windows_bounded_zero_one_ish() {
+        for win in [
+            WindowFunction::Rectangular,
+            WindowFunction::Hann,
+            WindowFunction::Hamming,
+            WindowFunction::Blackman,
+        ] {
+            for &c in &win.coefficients(64) {
+                assert!(c >= -1e-12 && c <= 1.0 + 1e-12, "{win:?} coefficient {c} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn coherent_gain_of_hann_is_about_half() {
+        let g = WindowFunction::Hann.coherent_gain(1000);
+        assert!((g - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn degenerate_lengths_do_not_panic() {
+        assert_eq!(WindowFunction::Hann.coefficient(0, 0), 1.0);
+        assert_eq!(WindowFunction::Hann.coefficient(0, 1), 1.0);
+        assert_eq!(WindowFunction::Blackman.coefficients(1), vec![1.0]);
+    }
+
+    #[test]
+    fn hann_reduces_leakage_into_comparison_band() {
+        // A tone that is deliberately off-bin: without a window it leaks into
+        // the (f_p, 2 f_p) band more than with a Hann window.
+        use crate::spectrum::Spectrum;
+        let fs = 100.0;
+        let n = 500;
+        let f = 5.07; // off-bin
+        let raw: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * f * i as f64 / fs).sin())
+            .collect();
+        let mut windowed = raw.clone();
+        WindowFunction::Hann.apply(&mut windowed);
+
+        let ratio = |sig: &[f64]| {
+            let spec = Spectrum::of_signal(sig, fs, true);
+            let peak = spec.peak_near(5.0, 0.3);
+            let band = spec.peak_in_open_band(5.4, 10.0);
+            peak / band.max(1e-12)
+        };
+        assert!(ratio(&windowed) > ratio(&raw));
+    }
+}

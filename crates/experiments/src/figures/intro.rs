@@ -1,0 +1,345 @@
+//! Figures 1, 3–7: the motivating example and the detector's building blocks.
+
+use super::{fig1_cross_traffic, poisson_cross_flow};
+use crate::output::ExperimentResult;
+use crate::runner::{run_scheme_vs_cross, ScenarioSpec};
+use crate::scheme::Scheme;
+use nimbus_core::{CrossTrafficEstimator, ElasticityConfig, ElasticityDetector};
+use nimbus_dsp::{AsymmetricPulse, PulseGenerator, PulseShape, Spectrum};
+use nimbus_transport::CcKind;
+
+/// Fig. 1: Cubic vs a delay-controlling scheme vs Nimbus on a 48 Mbit/s link
+/// with 60 s of elastic then 60 s of inelastic cross traffic.
+pub fn fig01(quick: bool) -> ExperimentResult {
+    let scale = if quick { 0.25 } else { 1.0 };
+    let mut result = ExperimentResult::new(
+        "fig01",
+        "Cubic vs delay-control vs Nimbus under elastic then inelastic cross traffic (48 Mbit/s)",
+        quick,
+    );
+    let duration = 180.0 * scale;
+    for (key, scheme) in [
+        ("cubic", Scheme::Cubic),
+        ("delay_control", Scheme::NimbusDelayOnly),
+        ("nimbus", Scheme::NimbusCubicBasicDelay),
+    ] {
+        let spec = ScenarioSpec {
+            duration_s: duration,
+            seed: 7,
+            ..ScenarioSpec::fig1_48mbps(duration)
+        };
+        let cross = fig1_cross_traffic(scale, 24e6, 11);
+        let out = run_scheme_vs_cross(&spec, scheme, None, cross, 2.0);
+        let m = &out.flows[0];
+        // The elastic phase is 30–90 (scaled), the inelastic phase 90–150.
+        let elastic_window = (35.0 * scale, 88.0 * scale);
+        let inelastic_window = (95.0 * scale, 148.0 * scale);
+        let tput = |w: (f64, f64)| {
+            m.throughput_series
+                .iter()
+                .filter(|(t, _)| *t >= w.0 && *t <= w.1)
+                .map(|(_, v)| v)
+                .sum::<f64>()
+                / m.throughput_series
+                    .iter()
+                    .filter(|(t, _)| *t >= w.0 && *t <= w.1)
+                    .count()
+                    .max(1) as f64
+        };
+        let qd = |w: (f64, f64)| {
+            let vals: Vec<f64> = m
+                .queue_delay_series
+                .iter()
+                .filter(|(t, _)| *t >= w.0 && *t <= w.1)
+                .map(|(_, v)| *v)
+                .collect();
+            nimbus_dsp::mean(&vals)
+        };
+        result.row(&format!("{key}_elastic_throughput_mbps"), tput(elastic_window));
+        result.row(&format!("{key}_inelastic_throughput_mbps"), tput(inelastic_window));
+        result.row(&format!("{key}_elastic_queue_delay_ms"), qd(elastic_window));
+        result.row(&format!("{key}_inelastic_queue_delay_ms"), qd(inelastic_window));
+        result.add_series(&format!("{key}_throughput_mbps"), m.throughput_series.clone());
+        result.add_series(&format!("{key}_queue_delay_ms"), m.queue_delay_series.clone());
+        if scheme == Scheme::NimbusCubicBasicDelay {
+            result.row("nimbus_delay_mode_fraction", m.delay_mode_fraction);
+        }
+    }
+    result
+}
+
+/// Fig. 3: the self-inflicted queueing delay of a Cubic flow looks the same
+/// whether the cross traffic is elastic or inelastic, so instantaneous delay
+/// measurements cannot reveal elasticity.
+pub fn fig03(quick: bool) -> ExperimentResult {
+    let scale = if quick { 0.25 } else { 1.0 };
+    let mut result = ExperimentResult::new(
+        "fig03",
+        "Self-inflicted delay does not reveal elasticity (Cubic flow, Fig. 1a setup)",
+        quick,
+    );
+    let duration = 180.0 * scale;
+    let spec = ScenarioSpec {
+        duration_s: duration,
+        seed: 3,
+        ..ScenarioSpec::fig1_48mbps(duration)
+    };
+    let cross = fig1_cross_traffic(scale, 24e6, 13);
+    let out = run_scheme_vs_cross(&spec, Scheme::Cubic, None, cross, 2.0);
+    let m = &out.flows[0];
+    // Self-inflicted delay ≈ total queueing delay × our share of throughput.
+    let total_qd: Vec<(f64, f64)> = out
+        .recorder
+        .queue_bytes
+        .t
+        .iter()
+        .zip(out.recorder.queue_bytes.v.iter())
+        .map(|(t, bytes)| (*t, bytes * 8.0 / 48e6 * 1000.0))
+        .collect();
+    let elastic_window = (35.0 * scale, 88.0 * scale);
+    let inelastic_window = (95.0 * scale, 148.0 * scale);
+    let share = |w: (f64, f64)| {
+        let own: Vec<f64> = m
+            .throughput_series
+            .iter()
+            .filter(|(t, _)| *t >= w.0 && *t <= w.1)
+            .map(|(_, v)| *v)
+            .collect();
+        nimbus_dsp::mean(&own) / 48.0
+    };
+    let qd_in = |w: (f64, f64)| {
+        let vals: Vec<f64> = total_qd
+            .iter()
+            .filter(|(t, _)| *t >= w.0 && *t <= w.1)
+            .map(|(_, v)| *v)
+            .collect();
+        nimbus_dsp::mean(&vals)
+    };
+    let self_elastic = share(elastic_window) * qd_in(elastic_window);
+    let self_inelastic = share(inelastic_window) * qd_in(inelastic_window);
+    result.row("total_delay_elastic_ms", qd_in(elastic_window));
+    result.row("total_delay_inelastic_ms", qd_in(inelastic_window));
+    result.row("self_inflicted_elastic_ms", self_elastic);
+    result.row("self_inflicted_inelastic_ms", self_inelastic);
+    // The paper's point: the two self-inflicted values are nearly identical.
+    result.row(
+        "self_inflicted_ratio",
+        if self_inelastic > 0.0 {
+            self_elastic / self_inelastic
+        } else {
+            0.0
+        },
+    );
+    result.add_series("total_queue_delay_ms", total_qd);
+    result.add_series("own_throughput_mbps", m.throughput_series.clone());
+    result
+}
+
+/// Run a Nimbus pulser against a single kind of cross traffic and return the
+/// ẑ(t) series plus the detector's η — shared by Figs. 4, 5 and 26.
+fn z_series_against(
+    elastic: bool,
+    duration_s: f64,
+    pulse_freq_hz: f64,
+    seed: u64,
+) -> (Vec<(f64, f64)>, f64) {
+    let spec = ScenarioSpec {
+        duration_s,
+        seed,
+        ..ScenarioSpec::default_96mbps(duration_s)
+    };
+    let mut scheme_cfg = Scheme::NimbusCubicBasicDelay
+        .nimbus_config(spec.link_rate_bps, seed)
+        .unwrap();
+    scheme_cfg.elasticity.pulse_freq_hz = pulse_freq_hz;
+    let endpoint = Box::new(nimbus_core::controller::nimbus_flow(scheme_cfg, "nimbus"));
+    let mut net = spec.build_network();
+    let h = net.add_flow(
+        nimbus_netsim::FlowConfig::primary("nimbus", nimbus_netsim::Time::from_secs_f64(0.05)),
+        endpoint,
+    );
+    let cross = if elastic {
+        super::elastic_cross_flow("cubic", CcKind::Cubic, 0.05, 0.0, None)
+    } else {
+        poisson_cross_flow("poisson", 48e6, 0.05, seed + 1, 0.0, None)
+    };
+    net.add_flow(cross.0, cross.1);
+    let out = crate::runner::run_and_collect(net, &[(h, Scheme::NimbusCubicBasicDelay)], 2.0);
+    let endpoint = &out.flows[0];
+    let eta = endpoint
+        .eta_series
+        .last()
+        .map(|(_, e)| *e)
+        .unwrap_or(f64::NAN);
+    // Reconstruct ẑ(t) from the recorder's ground-truth cross rate for the
+    // series plot (the controller's internal estimate mirrors it).
+    let z: Vec<(f64, f64)> = out
+        .recorder
+        .cross_rate_mbps
+        .t
+        .iter()
+        .zip(out.recorder.cross_rate_mbps.v.iter())
+        .map(|(t, v)| (*t, *v))
+        .collect();
+    (z, eta)
+}
+
+/// Fig. 4: the cross traffic's reaction to pulses — elastic traffic reacts,
+/// inelastic traffic does not.
+pub fn fig04(quick: bool) -> ExperimentResult {
+    let duration = if quick { 20.0 } else { 40.0 };
+    let mut result = ExperimentResult::new(
+        "fig04",
+        "Cross-traffic reaction to rate pulses (elastic reacts, inelastic does not)",
+        quick,
+    );
+    let (z_elastic, eta_e) = z_series_against(true, duration, 5.0, 21);
+    let (z_inelastic, eta_i) = z_series_against(false, duration, 5.0, 22);
+    // Quantify the reaction as the standard deviation of z over the last
+    // stretch of the run (the pulse-induced oscillation).
+    let tail_std = |z: &[(f64, f64)]| {
+        let vals: Vec<f64> = z
+            .iter()
+            .filter(|(t, _)| *t > duration * 0.5)
+            .map(|(_, v)| *v)
+            .collect();
+        nimbus_dsp::stddev(&vals)
+    };
+    result.row("elastic_z_stddev_mbps", tail_std(&z_elastic));
+    result.row("inelastic_z_stddev_mbps", tail_std(&z_inelastic));
+    result.row("elastic_eta", eta_e);
+    result.row("inelastic_eta", eta_i);
+    result.add_series("z_elastic_mbps", z_elastic);
+    result.add_series("z_inelastic_mbps", z_inelastic);
+    result
+}
+
+/// Fig. 5: FFT of the cross-traffic rate — only elastic traffic shows a peak
+/// at the pulse frequency.
+pub fn fig05(quick: bool) -> ExperimentResult {
+    let duration = if quick { 20.0 } else { 40.0 };
+    let mut result = ExperimentResult::new(
+        "fig05",
+        "Cross-traffic FFT: elastic traffic peaks at f_p, inelastic does not",
+        quick,
+    );
+    for (key, elastic, seed) in [("elastic", true, 31), ("inelastic", false, 32)] {
+        let (z, eta) = z_series_against(elastic, duration, 5.0, seed);
+        let tail: Vec<f64> = z
+            .iter()
+            .filter(|(t, _)| *t > duration - 5.0)
+            .map(|(_, v)| *v)
+            .collect();
+        if tail.len() > 16 {
+            // Recorder samples every 100 ms → 10 Hz sample rate.
+            let spectrum = Spectrum::of_signal(&tail, 10.0, true);
+            let series: Vec<(f64, f64)> = (0..spectrum.magnitudes.len())
+                .map(|b| (spectrum.frequency_of_bin(b), spectrum.magnitudes[b]))
+                .collect();
+            result.add_series(&format!("fft_{key}"), series);
+            result.row(&format!("{key}_peak_at_5hz"), spectrum.peak_near(5.0, 0.3));
+        }
+        result.row(&format!("{key}_eta"), eta);
+    }
+    result
+}
+
+/// Fig. 6: CDF of the elasticity metric η as the elastic fraction of the
+/// cross traffic varies from 0% to 100%.
+pub fn fig06(quick: bool) -> ExperimentResult {
+    let duration = if quick { 25.0 } else { 60.0 };
+    let mut result = ExperimentResult::new(
+        "fig06",
+        "CDF of elasticity metric vs elastic fraction of cross traffic",
+        quick,
+    );
+    let total_cross = 48e6;
+    let fractions = [0.0, 0.25, 0.5, 0.75, 1.0];
+    for &frac in &fractions {
+        let spec = ScenarioSpec {
+            duration_s: duration,
+            seed: 41 + (frac * 4.0) as u64,
+            ..ScenarioSpec::default_96mbps(duration)
+        };
+        let mut cross = Vec::new();
+        if frac > 0.0 {
+            // The elastic share: a backlogged Cubic flow (it will take what it
+            // can; with the inelastic share fixed this approximates the mix).
+            cross.push(super::elastic_cross_flow("cubic", CcKind::Cubic, 0.05, 0.0, None));
+        }
+        if frac < 1.0 {
+            cross.push(poisson_cross_flow(
+                "poisson",
+                total_cross * (1.0 - frac),
+                0.05,
+                spec.seed + 1,
+                0.0,
+                None,
+            ));
+        }
+        let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 2.0);
+        let etas: Vec<f64> = out.flows[0]
+            .eta_series
+            .iter()
+            .filter(|(t, _)| *t > 6.0)
+            .map(|(_, e)| *e)
+            .collect();
+        let label = format!("{:.0}%", frac * 100.0);
+        let cdf = nimbus_dsp::Cdf::from_samples(&etas);
+        result.add_series(&format!("eta_cdf_{label}"), cdf.curve(50));
+        result.row(&format!("median_eta_{label}"), cdf.median());
+    }
+    result
+}
+
+/// Fig. 7: the asymmetric sinusoidal pulse waveform (analytic).
+pub fn fig07() -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "fig07",
+        "Asymmetric sinusoidal pulse: +µ/4 half-sine for T/4, −µ/12 half-sine for 3T/4",
+        false,
+    );
+    let mu = 96e6;
+    let gen = PulseGenerator::asymmetric(5.0, mu / 4.0);
+    let series: Vec<(f64, f64)> = (0..400)
+        .map(|i| {
+            let t = i as f64 * 0.001;
+            (t, gen.offset_at(t) / 1e6)
+        })
+        .collect();
+    result.add_series("pulse_offset_mbps", series);
+    result.row("peak_mbps", mu / 4.0 / 1e6);
+    result.row("trough_mbps", -(mu / 12.0) / 1e6);
+    result.row("mean_offset_mbps", AsymmetricPulse.mean_offset(5.0, mu / 4.0) / 1e6);
+    result.row(
+        "burst_fraction_of_mu_T",
+        gen.burst_bits() / (mu * 0.2),
+    );
+    result
+}
+
+/// Sanity helper used by integration tests: η computed offline on a synthetic
+/// reacting/non-reacting ẑ series (keeps the detector usable without a full
+/// simulation).
+pub fn offline_eta(reacting: bool) -> f64 {
+    let cfg = ElasticityConfig::default();
+    let det = ElasticityDetector::new(cfg.clone());
+    let est = CrossTrafficEstimator::with_known_mu(96e6, 10.0);
+    let gen = PulseGenerator::asymmetric(cfg.pulse_freq_hz, 24e6);
+    let n = (6.0 / cfg.sample_interval_s) as usize;
+    let series: Vec<f64> = (0..n)
+        .map(|i| {
+            let t = i as f64 * cfg.sample_interval_s;
+            let reaction = if reacting {
+                -0.3 * gen.offset_at(t - 0.05)
+            } else {
+                0.0
+            };
+            let s = 40e6 + gen.offset_at(t);
+            let z = (48e6 + reaction) as f64;
+            let r = 96e6 * s / (s + z);
+            est.estimate(s, r).unwrap_or(0.0)
+        })
+        .collect();
+    det.eta(&series).map(|(eta, _, _)| eta).unwrap_or(0.0)
+}

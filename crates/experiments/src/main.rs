@@ -1,0 +1,63 @@
+//! Command-line entry point for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! nimbus-experiments <experiment|all> [--quick] [--out DIR]
+//! ```
+
+use nimbus_experiments::{run_experiment, ExperimentResult, ALL_EXPERIMENTS};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: nimbus-experiments <experiment|all|list> [--quick] [--out DIR]");
+        eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    let name = args[0].clone();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(ExperimentResult::default_output_dir);
+
+    if name == "list" {
+        for e in ALL_EXPERIMENTS {
+            println!("{e}");
+        }
+        return;
+    }
+
+    let to_run: Vec<&str> = if name == "all" {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        vec![name.as_str()]
+    };
+
+    let mut failed = false;
+    for exp in to_run {
+        let started = std::time::Instant::now();
+        match run_experiment(exp, quick) {
+            Some(result) => {
+                println!("{}", result.to_table());
+                match result.write_json(&out_dir) {
+                    Ok(path) => println!("wrote {}", path.display()),
+                    Err(e) => eprintln!("warning: could not write JSON for {exp}: {e}"),
+                }
+                if let Err(e) = result.write_csv(&out_dir) {
+                    eprintln!("warning: could not write CSV for {exp}: {e}");
+                }
+                println!("({exp} finished in {:.1} s)\n", started.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment: {exp}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,289 @@
+//! Scenario construction and post-run metric extraction shared by every figure.
+
+use crate::scheme::Scheme;
+use nimbus_core::{Mode, MultiflowConfig, NimbusController};
+use nimbus_netsim::{
+    FlowConfig, FlowEndpoint, FlowHandle, LossModel, Network, QueueKind, Recorder, SimConfig, Time,
+};
+use nimbus_transport::Sender;
+use serde::{Deserialize, Serialize};
+
+/// A bottleneck + experiment-duration specification.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Link rate µ, bits/s.
+    pub link_rate_bps: f64,
+    /// Buffer size in seconds of line rate (drop-tail unless `pie_target_s` set).
+    pub buffer_s: f64,
+    /// Propagation RTT of the monitored flow(s), seconds.
+    pub prop_rtt_s: f64,
+    /// Experiment duration, seconds.
+    pub duration_s: f64,
+    /// Random seed.
+    pub seed: u64,
+    /// Optional PIE AQM target delay (seconds); drop-tail when `None`.
+    pub pie_target_s: Option<f64>,
+    /// Random loss probability on the bottleneck (0 = none).
+    pub loss_probability: f64,
+}
+
+impl ScenarioSpec {
+    /// The paper's default evaluation link: 96 Mbit/s, 50 ms RTT, 100 ms buffer.
+    pub fn default_96mbps(duration_s: f64) -> Self {
+        ScenarioSpec {
+            link_rate_bps: 96e6,
+            buffer_s: 0.1,
+            prop_rtt_s: 0.05,
+            duration_s,
+            seed: 1,
+            pie_target_s: None,
+            loss_probability: 0.0,
+        }
+    }
+
+    /// The Fig. 1 link: 48 Mbit/s, 50 ms RTT, 100 ms buffer.
+    pub fn fig1_48mbps(duration_s: f64) -> Self {
+        ScenarioSpec {
+            link_rate_bps: 48e6,
+            ..Self::default_96mbps(duration_s)
+        }
+    }
+
+    /// Scale the duration down for quick runs.
+    pub fn quick(mut self, quick: bool, factor: f64) -> Self {
+        if quick {
+            self.duration_s = (self.duration_s * factor).max(12.0);
+        }
+        self
+    }
+
+    /// Build the simulator network for this spec.
+    pub fn build_network(&self) -> Network {
+        let mut cfg = SimConfig::new(self.link_rate_bps, self.buffer_s, self.duration_s);
+        cfg.seed = self.seed;
+        if let Some(target) = self.pie_target_s {
+            cfg.link.queue = QueueKind::Pie {
+                target_delay_s: target,
+                buffer_s: self.buffer_s,
+            };
+        }
+        if self.loss_probability > 0.0 {
+            cfg.link.loss = LossModel::Bernoulli {
+                p: self.loss_probability,
+            };
+        }
+        Network::new(cfg)
+    }
+}
+
+/// Summary metrics for one monitored flow after a run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SingleFlowMetrics {
+    /// Scheme label.
+    pub label: String,
+    /// Mean throughput over the steady-state window, Mbit/s.
+    pub mean_throughput_mbps: f64,
+    /// Mean RTT over the steady-state window, ms.
+    pub mean_rtt_ms: f64,
+    /// Median RTT, ms.
+    pub median_rtt_ms: f64,
+    /// Mean per-packet bottleneck queueing delay, ms.
+    pub mean_queue_delay_ms: f64,
+    /// Median per-packet queueing delay, ms.
+    pub median_queue_delay_ms: f64,
+    /// Throughput time series (s, Mbit/s).
+    pub throughput_series: Vec<(f64, f64)>,
+    /// Queueing-delay time series (s, ms).
+    pub queue_delay_series: Vec<(f64, f64)>,
+    /// RTT time series (s, ms).
+    pub rtt_series: Vec<(f64, f64)>,
+    /// Raw per-packet RTT-like samples for CDFs (ms).
+    pub rtt_samples_ms: Vec<f64>,
+    /// Per-interval throughput samples for CDFs (Mbit/s).
+    pub throughput_samples_mbps: Vec<f64>,
+    /// Fraction of time a Nimbus flow spent in delay mode (1.0 for non-Nimbus).
+    pub delay_mode_fraction: f64,
+    /// Nimbus mode log (empty for non-Nimbus schemes).
+    pub mode_log: Vec<(f64, String)>,
+    /// Elasticity metric time series (empty for non-Nimbus schemes).
+    pub eta_series: Vec<(f64, f64)>,
+}
+
+/// Everything a figure needs after a run.
+pub struct RunOutput {
+    /// The recorder moved out of the network.
+    pub recorder: Recorder,
+    /// Metrics for each monitored flow, in the order they were added.
+    pub flows: Vec<SingleFlowMetrics>,
+}
+
+/// Extract a time series as `(t, v)` pairs, skipping NaN values.
+fn series_of(ts: &nimbus_netsim::TimeSeries) -> Vec<(f64, f64)> {
+    ts.t.iter()
+        .zip(ts.v.iter())
+        .filter(|(_, v)| v.is_finite())
+        .map(|(t, v)| (*t, *v))
+        .collect()
+}
+
+/// Pull the Nimbus controller out of a boxed endpoint, if that is what it is.
+pub fn nimbus_of(endpoint: &dyn FlowEndpoint) -> Option<&NimbusController> {
+    let sender = endpoint.as_any()?.downcast_ref::<Sender>()?;
+    sender
+        .congestion_control()
+        .as_any()?
+        .downcast_ref::<NimbusController>()
+}
+
+/// Run a prepared network and extract per-monitored-flow metrics.
+///
+/// `steady_start_s` excludes the start-up transient from the scalar summaries
+/// (series always cover the whole run).
+pub fn run_and_collect(mut net: Network, handles: &[(FlowHandle, Scheme)], steady_start_s: f64) -> RunOutput {
+    net.run();
+    let duration_s = net.now().as_secs_f64();
+    let (recorder, endpoints) = net.finish();
+    let mut flows = Vec::new();
+    for (handle, scheme) in handles {
+        let slot = recorder
+            .monitored_slot(handle.0)
+            .expect("monitored flow expected");
+        let tput = &recorder.throughput_mbps[slot];
+        let rtt = &recorder.rtt_ms[slot];
+        let qd = &recorder.queue_delay_ms[slot];
+        let window = (steady_start_s, duration_s);
+
+        let mut metrics = SingleFlowMetrics {
+            label: scheme.label().to_string(),
+            mean_throughput_mbps: tput.mean_in_range(window.0, window.1),
+            mean_rtt_ms: rtt.mean_in_range(window.0, window.1),
+            median_rtt_ms: nimbus_dsp::percentile(
+                &rtt.values()
+                    .iter()
+                    .copied()
+                    .filter(|v| v.is_finite())
+                    .collect::<Vec<_>>(),
+                50.0,
+            ),
+            mean_queue_delay_ms: qd.mean_in_range(window.0, window.1),
+            median_queue_delay_ms: nimbus_dsp::percentile(
+                &recorder.packet_delay_samples_ms[slot],
+                50.0,
+            ),
+            throughput_series: series_of(tput),
+            queue_delay_series: series_of(qd),
+            rtt_series: series_of(rtt),
+            rtt_samples_ms: rtt
+                .values()
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .collect(),
+            throughput_samples_mbps: tput.values().to_vec(),
+            delay_mode_fraction: 1.0,
+            mode_log: Vec::new(),
+            eta_series: Vec::new(),
+        };
+
+        if let Some(nimbus) = nimbus_of(endpoints[handle.0].as_ref()) {
+            metrics.delay_mode_fraction = nimbus.delay_mode_fraction(steady_start_s, duration_s);
+            metrics.mode_log = nimbus
+                .mode_log()
+                .iter()
+                .map(|(t, m)| {
+                    (
+                        *t,
+                        match m {
+                            Mode::Delay => "delay".to_string(),
+                            Mode::Competitive => "competitive".to_string(),
+                        },
+                    )
+                })
+                .collect();
+            metrics.eta_series = nimbus
+                .detector()
+                .verdicts()
+                .iter()
+                .map(|v| (v.t_s, v.eta.min(1e3)))
+                .collect();
+        }
+        flows.push(metrics);
+    }
+    RunOutput { recorder, flows }
+}
+
+/// Convenience: run a single monitored scheme against an arbitrary set of
+/// cross-traffic flows on the given scenario.
+pub fn run_scheme_vs_cross(
+    spec: &ScenarioSpec,
+    scheme: Scheme,
+    multiflow: Option<MultiflowConfig>,
+    cross: Vec<(FlowConfig, Box<dyn FlowEndpoint>)>,
+    steady_start_s: f64,
+) -> RunOutput {
+    let mut net = spec.build_network();
+    let endpoint = scheme.build_endpoint(spec.link_rate_bps, spec.seed, multiflow);
+    let handle = net.add_flow(
+        FlowConfig::primary(scheme.label(), Time::from_secs_f64(spec.prop_rtt_s)),
+        endpoint,
+    );
+    for (cfg, ep) in cross {
+        net.add_flow(cfg, ep);
+    }
+    run_and_collect(net, &[(handle, scheme)], steady_start_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_transport::{CcKind, FixedSizeSource, SenderConfig};
+
+    #[test]
+    fn spec_builders_and_quick_scaling() {
+        let spec = ScenarioSpec::default_96mbps(180.0);
+        assert_eq!(spec.link_rate_bps, 96e6);
+        let quick = spec.clone().quick(true, 0.2);
+        assert!((quick.duration_s - 36.0).abs() < 1e-9);
+        let not_quick = spec.quick(false, 0.2);
+        assert_eq!(not_quick.duration_s, 180.0);
+    }
+
+    #[test]
+    fn run_scheme_vs_cross_produces_metrics() {
+        let spec = ScenarioSpec {
+            duration_s: 15.0,
+            ..ScenarioSpec::fig1_48mbps(15.0)
+        };
+        let cross: Vec<(FlowConfig, Box<dyn FlowEndpoint>)> = vec![(
+            FlowConfig::cross("short", Time::from_millis(50), true).with_size(2_000_000),
+            Box::new(Sender::new(
+                SenderConfig::labelled("short"),
+                CcKind::Cubic.build(1500),
+                Box::new(FixedSizeSource::new(2_000_000)),
+            )),
+        )];
+        let out = run_scheme_vs_cross(&spec, Scheme::Cubic, None, cross, 3.0);
+        assert_eq!(out.flows.len(), 1);
+        let m = &out.flows[0];
+        assert_eq!(m.label, "cubic");
+        assert!(m.mean_throughput_mbps > 20.0, "{}", m.mean_throughput_mbps);
+        assert!(!m.throughput_series.is_empty());
+        assert!(m.mean_rtt_ms > 40.0);
+        // Non-Nimbus flows report a full delay-mode fraction and empty logs.
+        assert_eq!(m.delay_mode_fraction, 1.0);
+        assert!(m.mode_log.is_empty());
+    }
+
+    #[test]
+    fn nimbus_metrics_include_mode_log() {
+        let spec = ScenarioSpec {
+            duration_s: 12.0,
+            ..ScenarioSpec::fig1_48mbps(12.0)
+        };
+        let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, Vec::new(), 3.0);
+        let m = &out.flows[0];
+        assert_eq!(m.label, "nimbus");
+        assert!(!m.mode_log.is_empty());
+        assert!(m.delay_mode_fraction > 0.5, "alone on the link Nimbus should stay in delay mode");
+    }
+}

@@ -1,0 +1,191 @@
+//! The congestion-control schemes an experiment can place on the monitored flow.
+
+use nimbus_core::{DelayScheme, MultiflowConfig, NimbusConfig, NimbusController, TcpScheme};
+use nimbus_netsim::FlowEndpoint;
+use nimbus_transport::{BackloggedSource, CcKind, Sender, SenderConfig, Source};
+use serde::{Deserialize, Serialize};
+
+/// A congestion-control scheme under test (the flavours compared in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Nimbus with Cubic as the competitive scheme and BasicDelay for delay control.
+    NimbusCubicBasicDelay,
+    /// Nimbus with Cubic and Copa's default mode for delay control.
+    NimbusCubicCopa,
+    /// Nimbus with Cubic and Vegas for delay control.
+    NimbusCubicVegas,
+    /// Nimbus's delay-control algorithm alone (no mode switching) — "Nimbus delay".
+    NimbusDelayOnly,
+    /// TCP Cubic.
+    Cubic,
+    /// TCP NewReno.
+    NewReno,
+    /// TCP Vegas.
+    Vegas,
+    /// Copa (its own mode switching).
+    Copa,
+    /// BBR.
+    Bbr,
+    /// PCC-Vivace.
+    Vivace,
+    /// Compound TCP.
+    Compound,
+}
+
+impl Scheme {
+    /// All schemes plotted in Fig. 8/9.
+    pub fn headline_set() -> Vec<Scheme> {
+        vec![
+            Scheme::NimbusCubicBasicDelay,
+            Scheme::Cubic,
+            Scheme::Bbr,
+            Scheme::Vegas,
+            Scheme::Copa,
+            Scheme::Vivace,
+        ]
+    }
+
+    /// A short label used in result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scheme::NimbusCubicBasicDelay => "nimbus",
+            Scheme::NimbusCubicCopa => "nimbus-copa",
+            Scheme::NimbusCubicVegas => "nimbus-vegas",
+            Scheme::NimbusDelayOnly => "nimbus-delay",
+            Scheme::Cubic => "cubic",
+            Scheme::NewReno => "newreno",
+            Scheme::Vegas => "vegas",
+            Scheme::Copa => "copa",
+            Scheme::Bbr => "bbr",
+            Scheme::Vivace => "pcc-vivace",
+            Scheme::Compound => "compound",
+        }
+    }
+
+    /// Whether this scheme is a Nimbus variant (whose controller exposes a
+    /// mode log / detector).
+    pub fn is_nimbus(&self) -> bool {
+        matches!(
+            self,
+            Scheme::NimbusCubicBasicDelay
+                | Scheme::NimbusCubicCopa
+                | Scheme::NimbusCubicVegas
+                | Scheme::NimbusDelayOnly
+        )
+    }
+
+    /// Build a Nimbus configuration for this scheme on a link of `mu_bps`.
+    pub fn nimbus_config(&self, mu_bps: f64, seed: u64) -> Option<NimbusConfig> {
+        let base = NimbusConfig::default_for_link(mu_bps).with_seed(seed);
+        match self {
+            Scheme::NimbusCubicBasicDelay => Some(base),
+            Scheme::NimbusCubicCopa => Some(base.with_delay_scheme(DelayScheme::CopaDefault)),
+            Scheme::NimbusCubicVegas => Some(base.with_delay_scheme(DelayScheme::Vegas)),
+            Scheme::NimbusDelayOnly => {
+                // Delay-only: never pulse into competitive mode by setting an
+                // unreachable elasticity threshold.
+                let mut cfg = base;
+                cfg.elasticity.eta_threshold = f64::INFINITY;
+                Some(cfg)
+            }
+            _ => None,
+        }
+    }
+
+    /// Instantiate a backlogged monitored flow running this scheme.
+    ///
+    /// `mu_bps` is the bottleneck rate (needed by Nimbus variants), `seed`
+    /// drives any randomized behaviour, and `multiflow` enables the
+    /// pulser/watcher protocol on Nimbus variants.
+    pub fn build_endpoint(
+        &self,
+        mu_bps: f64,
+        seed: u64,
+        multiflow: Option<MultiflowConfig>,
+    ) -> Box<dyn FlowEndpoint> {
+        self.build_endpoint_with_source(mu_bps, seed, multiflow, Box::new(BackloggedSource))
+    }
+
+    /// Instantiate a monitored flow running this scheme over a custom source.
+    pub fn build_endpoint_with_source(
+        &self,
+        mu_bps: f64,
+        seed: u64,
+        multiflow: Option<MultiflowConfig>,
+        source: Box<dyn Source>,
+    ) -> Box<dyn FlowEndpoint> {
+        let sender_cfg = SenderConfig::labelled(self.label());
+        let cc: Box<dyn nimbus_transport::CongestionControl> = match self {
+            Scheme::NimbusCubicBasicDelay
+            | Scheme::NimbusCubicCopa
+            | Scheme::NimbusCubicVegas
+            | Scheme::NimbusDelayOnly => {
+                let mut cfg = self.nimbus_config(mu_bps, seed).unwrap();
+                if let Some(mf) = multiflow {
+                    cfg = cfg.with_multiflow(mf);
+                }
+                Box::new(NimbusController::new(cfg))
+            }
+            Scheme::Cubic => CcKind::Cubic.build(1500),
+            Scheme::NewReno => CcKind::NewReno.build(1500),
+            Scheme::Vegas => CcKind::Vegas.build(1500),
+            Scheme::Copa => CcKind::Copa.build(1500),
+            Scheme::Bbr => CcKind::Bbr.build(1500),
+            Scheme::Vivace => CcKind::Vivace.build(1500),
+            Scheme::Compound => CcKind::Compound.build(1500),
+        };
+        Box::new(Sender::new(sender_cfg, cc, source))
+    }
+
+    /// Placeholder for the unused `TcpScheme` import (kept for configuration
+    /// completeness: Nimbus variants could also use NewReno competitively).
+    pub fn competitive_scheme(&self) -> Option<TcpScheme> {
+        if self.is_nimbus() {
+            Some(TcpScheme::Cubic)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scheme_builds_an_endpoint() {
+        for s in [
+            Scheme::NimbusCubicBasicDelay,
+            Scheme::NimbusCubicCopa,
+            Scheme::NimbusCubicVegas,
+            Scheme::NimbusDelayOnly,
+            Scheme::Cubic,
+            Scheme::NewReno,
+            Scheme::Vegas,
+            Scheme::Copa,
+            Scheme::Bbr,
+            Scheme::Vivace,
+            Scheme::Compound,
+        ] {
+            let ep = s.build_endpoint(96e6, 1, None);
+            assert_eq!(ep.label(), s.label());
+        }
+    }
+
+    #[test]
+    fn nimbus_configs_only_for_nimbus_variants() {
+        assert!(Scheme::NimbusCubicBasicDelay.nimbus_config(96e6, 1).is_some());
+        assert!(Scheme::Cubic.nimbus_config(96e6, 1).is_none());
+        assert!(Scheme::NimbusCubicBasicDelay.is_nimbus());
+        assert!(!Scheme::Bbr.is_nimbus());
+    }
+
+    #[test]
+    fn headline_set_covers_the_paper_baselines() {
+        let set = Scheme::headline_set();
+        assert!(set.contains(&Scheme::Cubic));
+        assert!(set.contains(&Scheme::Bbr));
+        assert!(set.contains(&Scheme::Copa));
+        assert!(set.contains(&Scheme::Vivace));
+    }
+}

@@ -1,0 +1,901 @@
+//! The discrete-event engine: a dumbbell network with one bottleneck.
+//!
+//! The topology is exactly the network model of Fig. 2 in the paper: any
+//! number of senders share a single bottleneck link of rate `µ` fronted by a
+//! queue; receivers acknowledge every data packet; the ACK path is
+//! uncongested.  Per-flow propagation delay is split evenly between the
+//! data direction (bottleneck → receiver) and the ACK direction
+//! (receiver → sender), so a flow's base RTT equals its configured
+//! propagation RTT plus serialization.
+//!
+//! Event types:
+//!
+//! * `FlowStart` — activate a flow at its configured start time.
+//! * `PollSend`  — ask a flow's endpoint for its next action (pacing timers,
+//!   retransmission timers and post-ACK transmission opportunities all funnel
+//!   through this one event).
+//! * `LinkDone`  — the bottleneck finished serializing a packet; forward it
+//!   and start on the next one.
+//! * `ReceiverArrival` — a data packet reached its receiver; generate an ACK.
+//! * `AckArrival` — an ACK reached the sender; inform the endpoint, poll it.
+//! * `Tick` — the global 10 ms measurement tick (CCP reporting cadence).
+//! * `Sample` — the recorder's sampling interval elapsed.
+
+use crate::endpoint::{AckInfo, FlowEndpoint, SendAction};
+use crate::loss::{LossModel, LossProcess, Policer};
+use crate::packet::{AckPacket, FlowId, Packet};
+use crate::queue::{CoDelQueue, DropTailQueue, EnqueueResult, PieQueue, QueueDiscipline, RedQueue};
+use crate::recorder::{Recorder, RecorderConfig};
+use crate::time::{transmission_time, Time};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Which queue discipline the bottleneck uses.
+#[derive(Debug, Clone)]
+pub enum QueueKind {
+    /// Drop-tail with an explicit byte capacity.
+    DropTailBytes(u64),
+    /// Drop-tail sized to this many seconds of buffering at the link rate
+    /// ("100 ms of buffering" in the paper's experiment descriptions).
+    DropTailDelay(f64),
+    /// PIE AQM with the given target delay (seconds) and physical buffer (seconds).
+    Pie {
+        /// Target queueing delay in seconds.
+        target_delay_s: f64,
+        /// Physical buffer size in seconds of line rate.
+        buffer_s: f64,
+    },
+    /// RED with a physical buffer of this many seconds of line rate.
+    Red {
+        /// Physical buffer size in seconds of line rate.
+        buffer_s: f64,
+    },
+    /// CoDel with standard parameters and a physical buffer of this many seconds.
+    CoDel {
+        /// Physical buffer size in seconds of line rate.
+        buffer_s: f64,
+    },
+}
+
+/// Bottleneck link configuration.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Link rate µ in bits per second.
+    pub rate_bps: f64,
+    /// Queue discipline in front of the link.
+    pub queue: QueueKind,
+    /// Random-loss model applied to packets before they reach the queue.
+    pub loss: LossModel,
+    /// Optional token-bucket policer in front of the queue.
+    pub policer: Option<(f64, f64)>,
+}
+
+impl LinkConfig {
+    /// A plain drop-tail bottleneck: `rate_bps` with `buffer_s` seconds of buffering.
+    pub fn drop_tail(rate_bps: f64, buffer_s: f64) -> Self {
+        LinkConfig {
+            rate_bps,
+            queue: QueueKind::DropTailDelay(buffer_s),
+            loss: LossModel::None,
+            policer: None,
+        }
+    }
+}
+
+/// Whole-simulation configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Bottleneck link.
+    pub link: LinkConfig,
+    /// How long to simulate.
+    pub duration: Time,
+    /// Measurement tick interval delivered to every endpoint (CCP cadence).
+    pub tick_interval: Time,
+    /// Recorder configuration.
+    pub recorder: RecorderConfig,
+    /// Master seed for the engine's stochastic components (loss models).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A convenient default: given link rate (bps), buffer (seconds of line
+    /// rate) and run duration in seconds.
+    pub fn new(rate_bps: f64, buffer_s: f64, duration_s: f64) -> Self {
+        SimConfig {
+            link: LinkConfig::drop_tail(rate_bps, buffer_s),
+            duration: Time::from_secs_f64(duration_s),
+            tick_interval: Time::from_millis(10),
+            recorder: RecorderConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+/// Per-flow configuration.
+#[derive(Debug, Clone)]
+pub struct FlowConfig {
+    /// Human-readable label for results.
+    pub label: String,
+    /// Propagation RTT of the flow (excluding queueing and serialization).
+    pub prop_rtt: Time,
+    /// When the flow starts.
+    pub start: Time,
+    /// For the experiment ground truth: is this cross-traffic flow elastic?
+    /// `None` marks the monitored (primary) flows, which are not cross traffic.
+    pub counts_as_elastic: Option<bool>,
+    /// Whether the recorder keeps full time series for this flow.
+    pub monitored: bool,
+    /// Flow size in bytes, if finite (used for FCT bookkeeping only; the
+    /// endpoint itself decides when it is `Finished`).
+    pub size_bytes: Option<u64>,
+}
+
+impl FlowConfig {
+    /// A monitored, backlogged primary flow.
+    pub fn primary(label: &str, prop_rtt: Time) -> Self {
+        FlowConfig {
+            label: label.to_string(),
+            prop_rtt,
+            start: Time::ZERO,
+            counts_as_elastic: None,
+            monitored: true,
+            size_bytes: None,
+        }
+    }
+
+    /// An unmonitored cross-traffic flow.
+    pub fn cross(label: &str, prop_rtt: Time, elastic: bool) -> Self {
+        FlowConfig {
+            label: label.to_string(),
+            prop_rtt,
+            start: Time::ZERO,
+            counts_as_elastic: Some(elastic),
+            monitored: false,
+            size_bytes: None,
+        }
+    }
+
+    /// Set the start time.
+    pub fn starting_at(mut self, start: Time) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Set the flow size.
+    pub fn with_size(mut self, bytes: u64) -> Self {
+        self.size_bytes = Some(bytes);
+        self
+    }
+
+    /// Mark the flow as monitored (full time series recorded).
+    pub fn monitored(mut self, yes: bool) -> Self {
+        self.monitored = yes;
+        self
+    }
+}
+
+/// Handle returned when adding a flow; use it to retrieve the endpoint after
+/// the run for inspection (e.g. to read Nimbus's detector log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowHandle(pub FlowId);
+
+#[derive(Debug)]
+enum EventKind {
+    FlowStart(FlowId),
+    PollSend(FlowId),
+    LinkDone,
+    ReceiverArrival(Packet),
+    AckArrival(AckPacket),
+    Tick,
+    Sample,
+}
+
+struct EventEntry {
+    at: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for EventEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for EventEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct FlowState {
+    cfg: FlowConfig,
+    endpoint: Box<dyn FlowEndpoint>,
+    started: bool,
+    finished: bool,
+    // Receiver-side state.
+    next_expected: u64,
+    out_of_order: BTreeMap<u64, u32>,
+    delivered_bytes: u64,
+    // Sender-side bookkeeping maintained by the engine.
+    last_cum_ack: u64,
+    /// Earliest pending `PollSend` event for this flow, used to avoid
+    /// scheduling redundant polls (which would otherwise accumulate and blow
+    /// up the event queue on paced flows).
+    next_scheduled_poll: Time,
+}
+
+/// The dumbbell network simulator.
+pub struct Network {
+    cfg: SimConfig,
+    now: Time,
+    events: BinaryHeap<Reverse<EventEntry>>,
+    event_seq: u64,
+    queue: Box<dyn QueueDiscipline>,
+    link_busy: bool,
+    /// Packet currently being serialized on the bottleneck link.
+    in_flight: Option<Packet>,
+    loss: LossProcess,
+    policer: Option<Policer>,
+    flows: Vec<FlowState>,
+    recorder: Recorder,
+    total_enqueued_bytes: u64,
+    total_delivered_bytes: u64,
+    events_processed: u64,
+}
+
+impl Network {
+    /// Create an empty network from a configuration.
+    pub fn new(cfg: SimConfig) -> Self {
+        let rate = cfg.link.rate_bps;
+        assert!(rate > 0.0, "bottleneck rate must be positive");
+        let queue: Box<dyn QueueDiscipline> = match cfg.link.queue {
+            QueueKind::DropTailBytes(b) => Box::new(DropTailQueue::new(b)),
+            QueueKind::DropTailDelay(s) => Box::new(DropTailQueue::with_delay_capacity(rate, s)),
+            QueueKind::Pie {
+                target_delay_s,
+                buffer_s,
+            } => Box::new(PieQueue::new(
+                (rate * buffer_s / 8.0) as u64,
+                rate,
+                Time::from_secs_f64(target_delay_s),
+                cfg.seed,
+            )),
+            QueueKind::Red { buffer_s } => {
+                Box::new(RedQueue::new((rate * buffer_s / 8.0) as u64, cfg.seed))
+            }
+            QueueKind::CoDel { buffer_s } => {
+                Box::new(CoDelQueue::new((rate * buffer_s / 8.0) as u64))
+            }
+        };
+        let loss = LossProcess::new(cfg.link.loss.clone(), cfg.seed);
+        let policer = cfg
+            .link
+            .policer
+            .map(|(rate_bps, burst)| Policer::new(rate_bps, burst));
+        let recorder = Recorder::new(cfg.recorder.clone());
+        Network {
+            cfg,
+            now: Time::ZERO,
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            queue,
+            link_busy: false,
+            in_flight: None,
+            loss,
+            policer,
+            flows: Vec::new(),
+            recorder,
+            total_enqueued_bytes: 0,
+            total_delivered_bytes: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// The bottleneck rate in bits per second.
+    pub fn link_rate_bps(&self) -> f64 {
+        self.cfg.link.rate_bps
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Add a flow. Returns a handle whose index identifies the flow in the
+    /// recorder output.
+    pub fn add_flow(&mut self, cfg: FlowConfig, endpoint: Box<dyn FlowEndpoint>) -> FlowHandle {
+        let id = self.flows.len();
+        self.recorder.register_flow(
+            id,
+            cfg.label.clone(),
+            cfg.counts_as_elastic,
+            cfg.monitored,
+            cfg.start,
+            cfg.size_bytes,
+        );
+        self.schedule(cfg.start, EventKind::FlowStart(id));
+        self.flows.push(FlowState {
+            cfg,
+            endpoint,
+            started: false,
+            finished: false,
+            next_expected: 0,
+            out_of_order: BTreeMap::new(),
+            delivered_bytes: 0,
+            last_cum_ack: 0,
+            next_scheduled_poll: Time::MAX,
+        });
+        FlowHandle(id)
+    }
+
+    /// Run the simulation to completion (until `duration`).
+    pub fn run(&mut self) {
+        self.schedule(self.cfg.tick_interval, EventKind::Tick);
+        self.schedule(self.cfg.recorder.sample_interval, EventKind::Sample);
+        while let Some(Reverse(entry)) = self.events.pop() {
+            if entry.at > self.cfg.duration {
+                break;
+            }
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            self.events_processed += 1;
+            self.dispatch(entry.kind);
+        }
+        // Close the final recorder interval.
+        let qb = self.queue.len_bytes();
+        self.recorder.sample(self.now, qb);
+    }
+
+    /// Consume the network, returning the recorder (results) and the flow
+    /// endpoints (so callers can inspect controller-internal logs).
+    pub fn finish(self) -> (Recorder, Vec<Box<dyn FlowEndpoint>>) {
+        (
+            self.recorder,
+            self.flows.into_iter().map(|f| f.endpoint).collect(),
+        )
+    }
+
+    /// Access the recorder during/after a run.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Borrow a flow's endpoint (e.g. to inspect controller state mid-run in tests).
+    pub fn endpoint(&self, handle: FlowHandle) -> &dyn FlowEndpoint {
+        self.flows[handle.0].endpoint.as_ref()
+    }
+
+    /// Total number of events processed (diagnostics / benchmarking).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Total bytes accepted into the bottleneck queue.
+    pub fn total_enqueued_bytes(&self) -> u64 {
+        self.total_enqueued_bytes
+    }
+
+    /// Total bytes delivered in order to receivers.
+    pub fn total_delivered_bytes(&self) -> u64 {
+        self.total_delivered_bytes
+    }
+
+    fn schedule(&mut self, at: Time, kind: EventKind) {
+        let at = at.max(self.now);
+        self.event_seq += 1;
+        self.events.push(Reverse(EventEntry {
+            at,
+            seq: self.event_seq,
+            kind,
+        }));
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::FlowStart(id) => {
+                if !self.flows[id].started {
+                    self.flows[id].started = true;
+                    let now = self.now;
+                    self.flows[id].endpoint.on_start(now);
+                    self.poll_flow(id);
+                }
+            }
+            EventKind::PollSend(id) => {
+                self.flows[id].next_scheduled_poll = Time::MAX;
+                self.poll_flow(id)
+            }
+            EventKind::LinkDone => self.on_link_done(),
+            EventKind::ReceiverArrival(pkt) => self.on_receiver_arrival(pkt),
+            EventKind::AckArrival(ack) => self.on_ack_arrival(ack),
+            EventKind::Tick => {
+                let now = self.now;
+                for id in 0..self.flows.len() {
+                    if self.flows[id].started && !self.flows[id].finished {
+                        self.flows[id].endpoint.on_tick(now);
+                        self.poll_flow(id);
+                    }
+                }
+                self.schedule(now + self.cfg.tick_interval, EventKind::Tick);
+            }
+            EventKind::Sample => {
+                let qb = self.queue.len_bytes();
+                self.recorder.sample(self.now, qb);
+                let next = self.now + self.cfg.recorder.sample_interval;
+                self.schedule(next, EventKind::Sample);
+            }
+        }
+    }
+
+    fn poll_flow(&mut self, id: FlowId) {
+        if !self.flows[id].started || self.flows[id].finished {
+            return;
+        }
+        // Cap the number of back-to-back transmissions per poll so a buggy
+        // endpoint cannot wedge the simulation.
+        const MAX_BURST: usize = 100_000;
+        for iteration in 0.. {
+            assert!(
+                iteration < MAX_BURST,
+                "flow {id} ({}) transmitted {MAX_BURST} packets in one poll; runaway endpoint",
+                self.flows[id].cfg.label
+            );
+            let action = self.flows[id].endpoint.poll_send(self.now);
+            match action {
+                SendAction::Transmit {
+                    seq,
+                    bytes,
+                    retransmit,
+                } => {
+                    self.transmit(id, seq, bytes, retransmit);
+                }
+                SendAction::WaitUntil(t) => {
+                    // Guard against endpoints asking to be polled in the past,
+                    // which would busy-loop the event queue.
+                    let t = t.max(self.now + Time::from_nanos(1));
+                    // Only schedule if no earlier (or equal) poll is already
+                    // pending; otherwise ACK-triggered polls on paced flows
+                    // would pile up duplicate events.
+                    if self.flows[id].next_scheduled_poll > t {
+                        self.flows[id].next_scheduled_poll = t;
+                        self.schedule(t, EventKind::PollSend(id));
+                    }
+                    break;
+                }
+                SendAction::Idle => break,
+                SendAction::Finished => {
+                    self.flows[id].finished = true;
+                    self.recorder.on_finish(id, self.now);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn transmit(&mut self, id: FlowId, seq: u64, bytes: u32, retransmit: bool) {
+        debug_assert!(bytes > 0, "cannot transmit an empty packet");
+        let pkt = Packet::new(id, seq, bytes, self.now, retransmit);
+        // Policer, then random loss, then the queue.
+        if let Some(pol) = &mut self.policer {
+            if !pol.conforms(bytes, self.now) {
+                self.recorder.on_drop(id);
+                self.flows[id].endpoint.on_packet_dropped(seq, self.now);
+                return;
+            }
+        }
+        if self.loss.should_drop() {
+            self.recorder.on_drop(id);
+            self.flows[id].endpoint.on_packet_dropped(seq, self.now);
+            return;
+        }
+        match self.queue.enqueue(pkt, self.now) {
+            EnqueueResult::Accepted => {
+                self.total_enqueued_bytes += bytes as u64;
+                self.recorder.on_enqueue(id, bytes);
+                self.maybe_start_transmission();
+            }
+            EnqueueResult::Dropped => {
+                self.recorder.on_drop(id);
+                self.flows[id].endpoint.on_packet_dropped(seq, self.now);
+            }
+        }
+    }
+
+    fn maybe_start_transmission(&mut self) {
+        if self.link_busy {
+            return;
+        }
+        if let Some(pkt) = self.queue.dequeue(self.now) {
+            self.link_busy = true;
+            let delay = pkt.queueing_delay(self.now);
+            self.recorder.on_dequeue(pkt.flow, delay);
+            let tx = transmission_time(pkt.size_bytes, self.cfg.link.rate_bps);
+            self.in_flight = Some(pkt);
+            self.schedule(self.now + tx, EventKind::LinkDone);
+        }
+    }
+
+    fn on_link_done(&mut self) {
+        self.link_busy = false;
+        if let Some(pkt) = self.in_flight.take() {
+            // Propagate to the receiver over half the configured RTT.
+            let prop = Time::from_nanos(self.flows[pkt.flow].cfg.prop_rtt.as_nanos() / 2);
+            self.schedule(self.now + prop, EventKind::ReceiverArrival(pkt));
+        }
+        self.maybe_start_transmission();
+    }
+
+    fn on_receiver_arrival(&mut self, pkt: Packet) {
+        let id = pkt.flow;
+        let flow = &mut self.flows[id];
+        // Receiver: cumulative ACK generation with duplicate-data suppression.
+        let mut newly_delivered = 0u64;
+        if pkt.seq >= flow.next_expected && !flow.out_of_order.contains_key(&pkt.seq) {
+            flow.out_of_order.insert(pkt.seq, pkt.size_bytes);
+        }
+        while let Some(sz) = flow.out_of_order.remove(&flow.next_expected) {
+            newly_delivered += sz as u64;
+            flow.next_expected += 1;
+        }
+        flow.delivered_bytes += newly_delivered;
+        self.total_delivered_bytes += newly_delivered;
+        self.recorder.on_arrival(id, pkt.size_bytes as u64);
+        self.recorder.on_delivered(id, newly_delivered);
+
+        let ack = AckPacket {
+            flow: id,
+            cum_ack: flow.next_expected,
+            triggering_seq: pkt.seq,
+            data_sent_at: pkt.sent_at,
+            received_at: self.now,
+            newly_delivered_bytes: newly_delivered,
+            total_delivered_bytes: flow.delivered_bytes,
+        };
+        let ack_delay = Time::from_nanos(flow.cfg.prop_rtt.as_nanos() / 2);
+        self.schedule(self.now + ack_delay, EventKind::AckArrival(ack));
+    }
+
+    fn on_ack_arrival(&mut self, ack: AckPacket) {
+        let id = ack.flow;
+        if self.flows[id].finished {
+            return;
+        }
+        let is_duplicate = ack.cum_ack <= self.flows[id].last_cum_ack;
+        self.flows[id].last_cum_ack = self.flows[id].last_cum_ack.max(ack.cum_ack);
+        let rtt = self.now.saturating_sub(ack.data_sent_at);
+        self.recorder.on_rtt_sample(id, rtt);
+        let info = AckInfo {
+            now: self.now,
+            cum_ack: ack.cum_ack,
+            triggering_seq: ack.triggering_seq,
+            data_sent_at: ack.data_sent_at,
+            rtt_sample: rtt,
+            is_duplicate,
+            newly_delivered_bytes: ack.newly_delivered_bytes,
+            total_delivered_bytes: ack.total_delivered_bytes,
+        };
+        self.flows[id].endpoint.on_ack(&info);
+        self.poll_flow(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A constant-bit-rate, paced sender: one MSS every `interval`.
+    struct PacedCbr {
+        rate_bps: f64,
+        mss: u32,
+        next_seq: u64,
+        next_send: Time,
+        total_packets: Option<u64>,
+    }
+
+    impl PacedCbr {
+        fn new(rate_bps: f64) -> Self {
+            PacedCbr {
+                rate_bps,
+                mss: 1500,
+                next_seq: 0,
+                next_send: Time::ZERO,
+                total_packets: None,
+            }
+        }
+        fn with_limit(mut self, packets: u64) -> Self {
+            self.total_packets = Some(packets);
+            self
+        }
+    }
+
+    impl FlowEndpoint for PacedCbr {
+        fn on_ack(&mut self, _ack: &AckInfo) {}
+        fn poll_send(&mut self, now: Time) -> SendAction {
+            if let Some(limit) = self.total_packets {
+                if self.next_seq >= limit {
+                    return SendAction::Finished;
+                }
+            }
+            if now >= self.next_send {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                let gap = Time::from_secs_f64(self.mss as f64 * 8.0 / self.rate_bps);
+                self.next_send = if self.next_send == Time::ZERO {
+                    now + gap
+                } else {
+                    self.next_send + gap
+                };
+                SendAction::Transmit {
+                    seq,
+                    bytes: self.mss,
+                    retransmit: false,
+                }
+            } else {
+                SendAction::WaitUntil(self.next_send)
+            }
+        }
+        fn label(&self) -> &str {
+            "paced-cbr"
+        }
+    }
+
+    /// A fixed-window, ACK-clocked sender (no loss recovery; relies on the
+    /// queue being big enough in these tests).
+    struct FixedWindow {
+        window: u64,
+        next_seq: u64,
+        cum_ack: u64,
+        mss: u32,
+    }
+
+    impl FixedWindow {
+        fn new(window: u64) -> Self {
+            FixedWindow {
+                window,
+                next_seq: 0,
+                cum_ack: 0,
+                mss: 1500,
+            }
+        }
+    }
+
+    impl FlowEndpoint for FixedWindow {
+        fn on_ack(&mut self, ack: &AckInfo) {
+            self.cum_ack = self.cum_ack.max(ack.cum_ack);
+        }
+        fn poll_send(&mut self, _now: Time) -> SendAction {
+            if self.next_seq < self.cum_ack + self.window {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                SendAction::Transmit {
+                    seq,
+                    bytes: self.mss,
+                    retransmit: false,
+                }
+            } else {
+                SendAction::Idle
+            }
+        }
+        fn label(&self) -> &str {
+            "fixed-window"
+        }
+    }
+
+    fn base_config(rate_bps: f64, duration_s: f64) -> SimConfig {
+        SimConfig::new(rate_bps, 0.1, duration_s)
+    }
+
+    #[test]
+    fn paced_flow_below_capacity_sees_no_queueing() {
+        // 10 Mbit/s offered on a 96 Mbit/s link: essentially zero queueing delay.
+        let mut net = Network::new(base_config(96e6, 10.0));
+        let h = net.add_flow(
+            FlowConfig::primary("cbr", Time::from_millis(50)),
+            Box::new(PacedCbr::new(10e6)),
+        );
+        net.run();
+        let (rec, _) = net.finish();
+        let slot = rec.monitored_slot(h.0).unwrap();
+        // Throughput ~10 Mbit/s after startup.
+        let tput = rec.throughput_mbps[slot].mean_in_range(2.0, 10.0);
+        assert!((tput - 10.0).abs() < 1.0, "throughput {tput}");
+        // Mean RTT close to the propagation RTT.
+        let rtt = rec.rtt_ms[slot].mean_in_range(2.0, 10.0);
+        assert!((rtt - 50.0).abs() < 2.0, "rtt {rtt}");
+        // Per-packet queueing delay ~0.
+        let qd = rec.queue_delay_ms[slot].mean_in_range(2.0, 10.0);
+        assert!(qd < 1.0, "queue delay {qd}");
+    }
+
+    #[test]
+    fn paced_flow_above_capacity_is_limited_to_link_rate() {
+        // Offer 20 Mbit/s on a 12 Mbit/s link: delivery is capped at link rate
+        // and the (100 ms) buffer fills, so queueing delay approaches 100 ms.
+        let mut net = Network::new(base_config(12e6, 20.0));
+        let h = net.add_flow(
+            FlowConfig::primary("cbr", Time::from_millis(20)),
+            Box::new(PacedCbr::new(20e6)),
+        );
+        net.run();
+        let (rec, _) = net.finish();
+        let slot = rec.monitored_slot(h.0).unwrap();
+        let tput = rec.throughput_mbps[slot].mean_in_range(5.0, 20.0);
+        assert!((tput - 12.0).abs() < 1.0, "throughput {tput}");
+        let qd = rec.queue_delay_ms[slot].mean_in_range(5.0, 20.0);
+        assert!(qd > 60.0 && qd <= 105.0, "queue delay {qd}");
+        // Drops must have occurred once the buffer filled.
+        assert!(rec.flows[h.0].dropped_packets > 0);
+    }
+
+    #[test]
+    fn ack_clocked_window_flow_matches_bandwidth_delay_product() {
+        // Window = 2 * BDP on an otherwise empty link: the flow saturates the
+        // link and the standing queue is about one BDP.
+        let rate: f64 = 48e6;
+        let rtt = Time::from_millis(50);
+        let bdp_packets = (rate * 0.050 / 8.0 / 1500.0).round() as u64; // = 200
+        let mut net = Network::new(base_config(rate, 30.0));
+        let h = net.add_flow(
+            FlowConfig::primary("window", rtt),
+            Box::new(FixedWindow::new(bdp_packets * 2)),
+        );
+        net.run();
+        let (rec, _) = net.finish();
+        let slot = rec.monitored_slot(h.0).unwrap();
+        let tput = rec.throughput_mbps[slot].mean_in_range(5.0, 30.0);
+        assert!((tput - 48.0).abs() < 2.0, "throughput {tput}");
+        // Standing queue of ~1 BDP => queueing delay ~ RTT (50 ms).
+        let qd = rec.queue_delay_ms[slot].mean_in_range(5.0, 30.0);
+        assert!((qd - 50.0).abs() < 10.0, "queue delay {qd}");
+        // RTT observed = propagation + queueing ≈ 100 ms.
+        let rtt_obs = rec.rtt_ms[slot].mean_in_range(5.0, 30.0);
+        assert!((rtt_obs - 100.0).abs() < 12.0, "rtt {rtt_obs}");
+    }
+
+    #[test]
+    fn two_equal_window_flows_share_the_link() {
+        let rate = 96e6;
+        let mut net = Network::new(base_config(rate, 30.0));
+        let h1 = net.add_flow(
+            FlowConfig::primary("a", Time::from_millis(50)),
+            Box::new(FixedWindow::new(400)),
+        );
+        let h2 = net.add_flow(
+            FlowConfig::primary("b", Time::from_millis(50)),
+            Box::new(FixedWindow::new(400)),
+        );
+        net.run();
+        let (rec, _) = net.finish();
+        let t1 = rec.throughput_mbps[rec.monitored_slot(h1.0).unwrap()].mean_in_range(10.0, 30.0);
+        let t2 = rec.throughput_mbps[rec.monitored_slot(h2.0).unwrap()].mean_in_range(10.0, 30.0);
+        assert!((t1 + t2 - 96.0).abs() < 4.0, "sum {t1}+{t2}");
+        assert!((t1 - t2).abs() < 10.0, "unfair split {t1} vs {t2}");
+    }
+
+    #[test]
+    fn finite_flow_records_completion_time() {
+        let mut net = Network::new(base_config(96e6, 30.0));
+        let h = net.add_flow(
+            FlowConfig::cross("finite", Time::from_millis(20), false)
+                .with_size(150_000)
+                .starting_at(Time::from_secs_f64(1.0)),
+            Box::new(PacedCbr::new(12e6).with_limit(100)), // 100 * 1500 B = 150 kB
+        );
+        net.run();
+        let (rec, _) = net.finish();
+        let stats = &rec.flows[h.0];
+        assert!(stats.finish.is_some(), "flow should have finished");
+        let fct = stats.fct().unwrap().as_secs_f64();
+        // 150 kB at 12 Mbit/s is 0.1 s; allow pacing/ack slack.
+        assert!(fct > 0.05 && fct < 0.5, "fct {fct}");
+        assert_eq!(stats.delivered_bytes, 150_000);
+    }
+
+    #[test]
+    fn byte_conservation_delivered_never_exceeds_enqueued() {
+        let mut net = Network::new(base_config(24e6, 10.0));
+        net.add_flow(
+            FlowConfig::primary("a", Time::from_millis(30)),
+            Box::new(PacedCbr::new(30e6)),
+        );
+        net.add_flow(
+            FlowConfig::cross("b", Time::from_millis(60), false),
+            Box::new(PacedCbr::new(10e6)),
+        );
+        net.run();
+        assert!(net.total_delivered_bytes() <= net.total_enqueued_bytes());
+        assert!(net.total_delivered_bytes() > 0);
+        // Link can have delivered at most rate * duration.
+        let cap = 24e6 * 10.0 / 8.0;
+        assert!((net.total_delivered_bytes() as f64) <= cap * 1.01);
+    }
+
+    #[test]
+    fn ground_truth_elastic_fraction_tracks_flow_tags() {
+        let mut net = Network::new(base_config(96e6, 10.0));
+        // 10 Mbit/s tagged elastic + 30 Mbit/s tagged inelastic => fraction 0.25.
+        net.add_flow(
+            FlowConfig::cross("elastic", Time::from_millis(50), true),
+            Box::new(PacedCbr::new(10e6)),
+        );
+        net.add_flow(
+            FlowConfig::cross("inelastic", Time::from_millis(50), false),
+            Box::new(PacedCbr::new(30e6)),
+        );
+        net.run();
+        let (rec, _) = net.finish();
+        let frac: Vec<f64> = rec
+            .elastic_fraction
+            .t
+            .iter()
+            .zip(rec.elastic_fraction.v.iter())
+            .filter(|(t, _)| **t > 2.0)
+            .map(|(_, v)| *v)
+            .collect();
+        let mean = frac.iter().sum::<f64>() / frac.len() as f64;
+        assert!((mean - 0.25).abs() < 0.05, "elastic fraction {mean}");
+        // Cross rate ground truth ~40 Mbit/s.
+        let z = rec.cross_rate_mbps.mean_in_range(2.0, 10.0);
+        assert!((z - 40.0).abs() < 3.0, "cross rate {z}");
+    }
+
+    #[test]
+    fn random_loss_model_drops_packets() {
+        let mut cfg = base_config(96e6, 5.0);
+        cfg.link.loss = LossModel::Bernoulli { p: 0.05 };
+        let mut net = Network::new(cfg);
+        let h = net.add_flow(
+            FlowConfig::primary("lossy", Time::from_millis(20)),
+            Box::new(PacedCbr::new(20e6)),
+        );
+        net.run();
+        let (rec, _) = net.finish();
+        assert!(rec.flows[h.0].dropped_packets > 50);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let run = || {
+            let mut cfg = base_config(48e6, 5.0);
+            cfg.link.loss = LossModel::Bernoulli { p: 0.01 };
+            cfg.seed = 99;
+            let mut net = Network::new(cfg);
+            net.add_flow(
+                FlowConfig::primary("a", Time::from_millis(40)),
+                Box::new(FixedWindow::new(300)),
+            );
+            net.add_flow(
+                FlowConfig::cross("b", Time::from_millis(40), false),
+                Box::new(PacedCbr::new(12e6)),
+            );
+            net.run();
+            (
+                net.total_delivered_bytes(),
+                net.total_enqueued_bytes(),
+                net.events_processed(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn flows_start_at_their_configured_times() {
+        let mut net = Network::new(base_config(96e6, 10.0));
+        let h = net.add_flow(
+            FlowConfig::primary("late", Time::from_millis(20)).starting_at(Time::from_secs_f64(5.0)),
+            Box::new(PacedCbr::new(10e6)),
+        );
+        net.run();
+        let (rec, _) = net.finish();
+        let slot = rec.monitored_slot(h.0).unwrap();
+        let before = rec.throughput_mbps[slot].mean_in_range(0.0, 4.5);
+        let after = rec.throughput_mbps[slot].mean_in_range(6.0, 10.0);
+        assert!(before < 0.5, "no traffic before start, got {before}");
+        assert!((after - 10.0).abs() < 1.0, "traffic after start, got {after}");
+    }
+}

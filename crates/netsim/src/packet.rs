@@ -1,0 +1,96 @@
+//! Packets and flow identifiers.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a flow within one simulation.
+pub type FlowId = usize;
+
+/// A data packet travelling from a sender towards its receiver.
+///
+/// Sequence numbers count whole segments (not bytes): every congestion
+/// controller in the paper is evaluated with MSS-sized segments, and working
+/// in segments keeps the arithmetic in the controllers identical to the
+/// papers they come from (Cubic, Vegas and Copa are all expressed in packets).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// The flow this packet belongs to.
+    pub flow: FlowId,
+    /// Segment sequence number (0-based, in packets).
+    pub seq: u64,
+    /// Size of the segment in bytes (including an abstracted header).
+    pub size_bytes: u32,
+    /// Time the sender transmitted this packet (enqueued it at the bottleneck).
+    pub sent_at: Time,
+    /// Whether this transmission is a retransmission of an earlier segment.
+    pub retransmit: bool,
+    /// Time the packet entered the bottleneck queue (stamped by the engine).
+    pub enqueued_at: Time,
+}
+
+impl Packet {
+    /// Create a new data packet; the engine stamps `enqueued_at` on arrival at
+    /// the bottleneck queue.
+    pub fn new(flow: FlowId, seq: u64, size_bytes: u32, sent_at: Time, retransmit: bool) -> Self {
+        Packet {
+            flow,
+            seq,
+            size_bytes,
+            sent_at,
+            retransmit,
+            enqueued_at: sent_at,
+        }
+    }
+
+    /// Queueing delay experienced so far if the packet left the queue at `now`.
+    pub fn queueing_delay(&self, now: Time) -> Time {
+        now.saturating_sub(self.enqueued_at)
+    }
+}
+
+/// An acknowledgement travelling back to the sender.
+///
+/// The receiver acknowledges cumulatively and additionally echoes which
+/// segment triggered the ACK, so senders can detect reordering/duplication
+/// and take RTT samples exactly as a real TCP timestamp option would allow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AckPacket {
+    /// The flow being acknowledged.
+    pub flow: FlowId,
+    /// Cumulative acknowledgement: all segments with `seq < cum_ack` have
+    /// been received.
+    pub cum_ack: u64,
+    /// The sequence number of the data segment that triggered this ACK.
+    pub triggering_seq: u64,
+    /// `sent_at` timestamp of the triggering data segment (echoed back).
+    pub data_sent_at: Time,
+    /// Time the triggering data segment arrived at the receiver.
+    pub received_at: Time,
+    /// Number of data bytes newly delivered to the receiver in order as a
+    /// result of the triggering segment (0 for out-of-order arrivals).
+    pub newly_delivered_bytes: u64,
+    /// Total bytes the receiver has delivered in order so far.
+    pub total_delivered_bytes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queueing_delay_is_relative_to_enqueue() {
+        let mut p = Packet::new(0, 7, 1500, Time::from_millis(10), false);
+        p.enqueued_at = Time::from_millis(12);
+        assert_eq!(p.queueing_delay(Time::from_millis(20)), Time::from_millis(8));
+        // Before enqueue time: saturates to zero.
+        assert_eq!(p.queueing_delay(Time::from_millis(5)), Time::ZERO);
+    }
+
+    #[test]
+    fn packet_construction_defaults_enqueue_to_send_time() {
+        let p = Packet::new(3, 0, 1000, Time::from_millis(1), true);
+        assert_eq!(p.enqueued_at, Time::from_millis(1));
+        assert!(p.retransmit);
+        assert_eq!(p.flow, 3);
+    }
+}

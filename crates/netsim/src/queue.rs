@@ -1,0 +1,629 @@
+//! Bottleneck queue disciplines.
+//!
+//! The paper's robustness evaluation (§8.2, Appendix E) covers drop-tail
+//! buffers from 0.25 to 4 BDP and the PIE AQM at two target delays; RED and
+//! CoDel are included as additional AQMs for the extended robustness sweeps.
+//!
+//! All disciplines share the [`QueueDiscipline`] trait: the engine calls
+//! [`QueueDiscipline::enqueue`] when a packet arrives at the bottleneck and
+//! [`QueueDiscipline::dequeue`] when the link is ready to transmit the next
+//! packet.  A discipline may drop on enqueue (drop-tail, RED, PIE) or on
+//! dequeue (CoDel).
+
+use crate::packet::Packet;
+use crate::time::Time;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Outcome of an enqueue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueResult {
+    /// The packet was accepted into the queue.
+    Accepted,
+    /// The packet was dropped by the discipline.
+    Dropped,
+}
+
+/// A bottleneck queue discipline.
+pub trait QueueDiscipline: std::fmt::Debug + Send {
+    /// Offer a packet to the queue at time `now`.
+    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueResult;
+
+    /// Remove the next packet to transmit, if any.
+    fn dequeue(&mut self, now: Time) -> Option<Packet>;
+
+    /// Current queue occupancy in bytes.
+    fn len_bytes(&self) -> u64;
+
+    /// Current queue occupancy in packets.
+    fn len_packets(&self) -> usize;
+
+    /// Total packets dropped by the discipline so far.
+    fn drops(&self) -> u64;
+
+    /// The configured capacity in bytes (for reporting).
+    fn capacity_bytes(&self) -> u64;
+
+    /// Bytes currently queued belonging to the given flow (used to measure
+    /// the "self-inflicted delay" of Fig. 3).
+    fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64;
+}
+
+/// Plain FIFO drop-tail queue with a byte capacity.
+#[derive(Debug)]
+pub struct DropTailQueue {
+    queue: VecDeque<Packet>,
+    capacity_bytes: u64,
+    bytes: u64,
+    drops: u64,
+}
+
+impl DropTailQueue {
+    /// Create a drop-tail queue holding at most `capacity_bytes` bytes.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "queue capacity must be positive");
+        DropTailQueue {
+            queue: VecDeque::new(),
+            capacity_bytes,
+            bytes: 0,
+            drops: 0,
+        }
+    }
+
+    /// Create a drop-tail queue sized to `buffer_secs` of data at `rate_bps`
+    /// (the "100 ms of buffering" style of specification used in the paper).
+    pub fn with_delay_capacity(rate_bps: f64, buffer_secs: f64) -> Self {
+        let bytes = (rate_bps * buffer_secs / 8.0).max(1500.0) as u64;
+        Self::new(bytes)
+    }
+}
+
+impl QueueDiscipline for DropTailQueue {
+    fn enqueue(&mut self, mut pkt: Packet, now: Time) -> EnqueueResult {
+        if self.bytes + pkt.size_bytes as u64 > self.capacity_bytes {
+            self.drops += 1;
+            return EnqueueResult::Dropped;
+        }
+        pkt.enqueued_at = now;
+        self.bytes += pkt.size_bytes as u64;
+        self.queue.push_back(pkt);
+        EnqueueResult::Accepted
+    }
+
+    fn dequeue(&mut self, _now: Time) -> Option<Packet> {
+        let pkt = self.queue.pop_front()?;
+        self.bytes -= pkt.size_bytes as u64;
+        Some(pkt)
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    fn len_packets(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64 {
+        self.queue
+            .iter()
+            .filter(|p| p.flow == flow)
+            .map(|p| p.size_bytes as u64)
+            .sum()
+    }
+}
+
+/// PIE (Proportional Integral controller Enhanced) AQM, RFC 8033 (simplified).
+///
+/// Drop probability is updated every `t_update` based on the deviation of the
+/// estimated queueing delay from `target_delay` and on its trend.
+#[derive(Debug)]
+pub struct PieQueue {
+    inner: DropTailQueue,
+    /// Target queueing delay.
+    target_delay: Time,
+    /// Update interval for the drop probability.
+    t_update: Time,
+    /// Current drop probability.
+    drop_prob: f64,
+    /// Queue delay estimate at the last update.
+    old_delay: Time,
+    last_update: Time,
+    /// Estimated departure rate in bytes/sec (configured; the bottleneck rate).
+    depart_rate_bytes_per_sec: f64,
+    rng: StdRng,
+    drops: u64,
+    /// α and β gains from RFC 8033 (per-second units).
+    alpha: f64,
+    beta: f64,
+}
+
+impl PieQueue {
+    /// Create a PIE queue in front of a link of `rate_bps`, with a physical
+    /// buffer of `capacity_bytes` and the given delay target.
+    pub fn new(capacity_bytes: u64, rate_bps: f64, target_delay: Time, seed: u64) -> Self {
+        PieQueue {
+            inner: DropTailQueue::new(capacity_bytes),
+            target_delay,
+            t_update: Time::from_millis(15),
+            drop_prob: 0.0,
+            old_delay: Time::ZERO,
+            last_update: Time::ZERO,
+            depart_rate_bytes_per_sec: rate_bps / 8.0,
+            rng: StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15),
+            drops: 0,
+            alpha: 0.125,
+            beta: 1.25,
+        }
+    }
+
+    /// Current estimated queueing delay (Little's law: backlog / departure rate).
+    fn current_delay(&self) -> Time {
+        Time::from_secs_f64(self.inner.len_bytes() as f64 / self.depart_rate_bytes_per_sec)
+    }
+
+    fn maybe_update(&mut self, now: Time) {
+        while now.saturating_sub(self.last_update) >= self.t_update {
+            self.last_update = self.last_update + self.t_update;
+            let cur = self.current_delay();
+            let p_delta = self.alpha
+                * (cur.as_secs_f64() - self.target_delay.as_secs_f64())
+                + self.beta * (cur.as_secs_f64() - self.old_delay.as_secs_f64());
+            // RFC 8033 scales the adjustment when drop_prob is small to avoid
+            // oscillation around zero.
+            let scale = if self.drop_prob < 0.000001 {
+                0.0009765625 // 1/2048
+            } else if self.drop_prob < 0.00001 {
+                0.001953125
+            } else if self.drop_prob < 0.0001 {
+                0.00390625
+            } else if self.drop_prob < 0.001 {
+                0.0078125
+            } else if self.drop_prob < 0.01 {
+                0.03125
+            } else if self.drop_prob < 0.1 {
+                0.125
+            } else {
+                1.0
+            };
+            self.drop_prob = (self.drop_prob + p_delta * scale).clamp(0.0, 1.0);
+            // Decay the probability when the queue is idle.
+            if cur == Time::ZERO && self.old_delay == Time::ZERO {
+                self.drop_prob *= 0.98;
+            }
+            self.old_delay = cur;
+        }
+    }
+}
+
+impl QueueDiscipline for PieQueue {
+    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueResult {
+        self.maybe_update(now);
+        // Don't drop when the queue is nearly empty (burst allowance).
+        let delay = self.current_delay();
+        let protect = delay < Time::from_millis_f64(self.target_delay.as_millis_f64() / 2.0)
+            && self.inner.len_packets() < 3;
+        if !protect && self.drop_prob > 0.0 && self.rng.gen::<f64>() < self.drop_prob {
+            self.drops += 1;
+            return EnqueueResult::Dropped;
+        }
+        match self.inner.enqueue(pkt, now) {
+            EnqueueResult::Accepted => EnqueueResult::Accepted,
+            EnqueueResult::Dropped => {
+                self.drops += 1;
+                EnqueueResult::Dropped
+            }
+        }
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        self.maybe_update(now);
+        self.inner.dequeue(now)
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.inner.len_bytes()
+    }
+
+    fn len_packets(&self) -> usize {
+        self.inner.len_packets()
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes()
+    }
+
+    fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64 {
+        self.inner.bytes_for_flow(flow)
+    }
+}
+
+/// Random Early Detection with EWMA-averaged queue length.
+#[derive(Debug)]
+pub struct RedQueue {
+    inner: DropTailQueue,
+    min_thresh_bytes: f64,
+    max_thresh_bytes: f64,
+    max_p: f64,
+    weight: f64,
+    avg_bytes: f64,
+    rng: StdRng,
+    drops: u64,
+}
+
+impl RedQueue {
+    /// Create a RED queue.  Thresholds default to 25% / 75% of capacity with
+    /// `max_p = 0.1` and queue-weight 0.002 (classic Floyd/Jacobson values).
+    pub fn new(capacity_bytes: u64, seed: u64) -> Self {
+        RedQueue {
+            inner: DropTailQueue::new(capacity_bytes),
+            min_thresh_bytes: capacity_bytes as f64 * 0.25,
+            max_thresh_bytes: capacity_bytes as f64 * 0.75,
+            max_p: 0.1,
+            weight: 0.002,
+            avg_bytes: 0.0,
+            rng: StdRng::seed_from_u64(seed ^ 0x6a09e667f3bcc908),
+            drops: 0,
+        }
+    }
+}
+
+impl QueueDiscipline for RedQueue {
+    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueResult {
+        self.avg_bytes =
+            (1.0 - self.weight) * self.avg_bytes + self.weight * self.inner.len_bytes() as f64;
+        let drop = if self.avg_bytes >= self.max_thresh_bytes {
+            true
+        } else if self.avg_bytes > self.min_thresh_bytes {
+            let p = self.max_p * (self.avg_bytes - self.min_thresh_bytes)
+                / (self.max_thresh_bytes - self.min_thresh_bytes);
+            self.rng.gen::<f64>() < p
+        } else {
+            false
+        };
+        if drop {
+            self.drops += 1;
+            return EnqueueResult::Dropped;
+        }
+        match self.inner.enqueue(pkt, now) {
+            EnqueueResult::Accepted => EnqueueResult::Accepted,
+            EnqueueResult::Dropped => {
+                self.drops += 1;
+                EnqueueResult::Dropped
+            }
+        }
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        self.inner.dequeue(now)
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.inner.len_bytes()
+    }
+
+    fn len_packets(&self) -> usize {
+        self.inner.len_packets()
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes()
+    }
+
+    fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64 {
+        self.inner.bytes_for_flow(flow)
+    }
+}
+
+/// CoDel (Controlled Delay) AQM: drops at dequeue when the packet sojourn
+/// time has stayed above `target` for at least `interval`.
+#[derive(Debug)]
+pub struct CoDelQueue {
+    inner: DropTailQueue,
+    target: Time,
+    interval: Time,
+    first_above_time: Option<Time>,
+    dropping: bool,
+    drop_next: Time,
+    drop_count: u64,
+    drops: u64,
+}
+
+impl CoDelQueue {
+    /// Create a CoDel queue with the standard 5 ms target / 100 ms interval.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self::with_params(capacity_bytes, Time::from_millis(5), Time::from_millis(100))
+    }
+
+    /// Create a CoDel queue with explicit target and interval.
+    pub fn with_params(capacity_bytes: u64, target: Time, interval: Time) -> Self {
+        CoDelQueue {
+            inner: DropTailQueue::new(capacity_bytes),
+            target,
+            interval,
+            first_above_time: None,
+            dropping: false,
+            drop_next: Time::ZERO,
+            drop_count: 0,
+            drops: 0,
+        }
+    }
+
+    fn control_law(&self, t: Time) -> Time {
+        let interval_s = self.interval.as_secs_f64();
+        t + Time::from_secs_f64(interval_s / ((self.drop_count.max(1)) as f64).sqrt())
+    }
+
+    /// Returns Some(pkt) if the packet should be delivered, updating the
+    /// "above target" tracking state.
+    fn should_drop(&mut self, pkt: &Packet, now: Time) -> bool {
+        let sojourn = pkt.queueing_delay(now);
+        if sojourn < self.target || self.inner.len_bytes() < 1500 * 2 {
+            self.first_above_time = None;
+            false
+        } else {
+            match self.first_above_time {
+                None => {
+                    self.first_above_time = Some(now + self.interval);
+                    false
+                }
+                Some(fat) => now >= fat,
+            }
+        }
+    }
+}
+
+impl QueueDiscipline for CoDelQueue {
+    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueResult {
+        match self.inner.enqueue(pkt, now) {
+            EnqueueResult::Accepted => EnqueueResult::Accepted,
+            EnqueueResult::Dropped => {
+                self.drops += 1;
+                EnqueueResult::Dropped
+            }
+        }
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<Packet> {
+        loop {
+            let pkt = self.inner.dequeue(now)?;
+            let ok_to_drop = self.should_drop(&pkt, now);
+            if self.dropping {
+                if !ok_to_drop {
+                    self.dropping = false;
+                    return Some(pkt);
+                }
+                if now >= self.drop_next {
+                    self.drops += 1;
+                    self.drop_count += 1;
+                    self.drop_next = self.control_law(self.drop_next);
+                    continue; // drop this packet, try the next
+                }
+                return Some(pkt);
+            } else if ok_to_drop {
+                // Enter dropping state, drop this packet.
+                self.drops += 1;
+                self.dropping = true;
+                self.drop_count = if self.drop_count > 2 { self.drop_count - 2 } else { 1 };
+                self.drop_next = self.control_law(now);
+                continue;
+            } else {
+                return Some(pkt);
+            }
+        }
+    }
+
+    fn len_bytes(&self) -> u64 {
+        self.inner.len_bytes()
+    }
+
+    fn len_packets(&self) -> usize {
+        self.inner.len_packets()
+    }
+
+    fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes()
+    }
+
+    fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64 {
+        self.inner.bytes_for_flow(flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pkt(flow: usize, seq: u64, size: u32, t_ms: u64) -> Packet {
+        Packet::new(flow, seq, size, Time::from_millis(t_ms), false)
+    }
+
+    #[test]
+    fn droptail_respects_capacity_and_fifo_order() {
+        let mut q = DropTailQueue::new(4000);
+        assert_eq!(q.enqueue(pkt(0, 0, 1500, 0), Time::ZERO), EnqueueResult::Accepted);
+        assert_eq!(q.enqueue(pkt(0, 1, 1500, 0), Time::ZERO), EnqueueResult::Accepted);
+        // Third 1500B packet exceeds 4000B capacity.
+        assert_eq!(q.enqueue(pkt(0, 2, 1500, 0), Time::ZERO), EnqueueResult::Dropped);
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.len_packets(), 2);
+        assert_eq!(q.len_bytes(), 3000);
+        assert_eq!(q.dequeue(Time::ZERO).unwrap().seq, 0);
+        assert_eq!(q.dequeue(Time::ZERO).unwrap().seq, 1);
+        assert!(q.dequeue(Time::ZERO).is_none());
+        assert_eq!(q.len_bytes(), 0);
+    }
+
+    #[test]
+    fn droptail_delay_capacity_matches_bdp_style_spec() {
+        // 96 Mbit/s with 100 ms of buffering = 1.2 MB.
+        let q = DropTailQueue::with_delay_capacity(96e6, 0.1);
+        assert_eq!(q.capacity_bytes(), 1_200_000);
+    }
+
+    #[test]
+    fn droptail_tracks_per_flow_bytes() {
+        let mut q = DropTailQueue::new(100_000);
+        q.enqueue(pkt(1, 0, 1500, 0), Time::ZERO);
+        q.enqueue(pkt(2, 0, 1000, 0), Time::ZERO);
+        q.enqueue(pkt(1, 1, 1500, 0), Time::ZERO);
+        assert_eq!(q.bytes_for_flow(1), 3000);
+        assert_eq!(q.bytes_for_flow(2), 1000);
+        assert_eq!(q.bytes_for_flow(9), 0);
+    }
+
+    #[test]
+    fn pie_drops_under_sustained_overload() {
+        // Keep the queue persistently at ~10x the target delay; PIE's drop
+        // probability must rise and start dropping packets.
+        let rate = 12e6; // 12 Mbit/s -> 1500B packet = 1 ms
+        let mut q = PieQueue::new(3_000_000, rate, Time::from_millis(15), 1);
+        let mut now = Time::ZERO;
+        let mut accepted = 0u64;
+        let mut dropped = 0u64;
+        for i in 0..20_000u64 {
+            // Enqueue 2 packets per 1 ms slot but dequeue only 1 -> queue grows.
+            for j in 0..2 {
+                match q.enqueue(pkt(0, i * 2 + j, 1500, 0), now) {
+                    EnqueueResult::Accepted => accepted += 1,
+                    EnqueueResult::Dropped => dropped += 1,
+                }
+            }
+            let _ = q.dequeue(now);
+            now = now + Time::from_millis(1);
+        }
+        assert!(dropped > 100, "PIE should have dropped packets, dropped={dropped}");
+        assert!(accepted > 0);
+    }
+
+    #[test]
+    fn pie_idle_queue_does_not_drop() {
+        let mut q = PieQueue::new(1_000_000, 96e6, Time::from_millis(15), 2);
+        let mut now = Time::ZERO;
+        let mut drops = 0;
+        for i in 0..1000 {
+            if q.enqueue(pkt(0, i, 1500, 0), now) == EnqueueResult::Dropped {
+                drops += 1;
+            }
+            // Drain immediately: queue never builds.
+            let _ = q.dequeue(now);
+            now = now + Time::from_millis(10);
+        }
+        assert_eq!(drops, 0);
+    }
+
+    #[test]
+    fn red_drops_probabilistically_between_thresholds() {
+        let mut q = RedQueue::new(150_000, 7);
+        // Fill to ~50% so the average sits between min (25%) and max (75%).
+        let mut drops = 0;
+        let mut accepted = 0;
+        for i in 0..5000u64 {
+            match q.enqueue(pkt(0, i, 1500, 0), Time::ZERO) {
+                EnqueueResult::Accepted => {
+                    accepted += 1;
+                    if q.len_bytes() > 75_000 {
+                        let _ = q.dequeue(Time::ZERO);
+                    }
+                }
+                EnqueueResult::Dropped => drops += 1,
+            }
+        }
+        assert!(drops > 0, "RED should drop between thresholds");
+        assert!(accepted > drops, "RED should not drop everything");
+    }
+
+    #[test]
+    fn codel_drops_when_sojourn_stays_above_target() {
+        let mut q = CoDelQueue::new(10_000_000);
+        // Enqueue a burst at t=0, dequeue slowly so sojourn times are large.
+        for i in 0..2000u64 {
+            q.enqueue(pkt(0, i, 1500, 0), Time::ZERO);
+        }
+        let mut delivered = 0;
+        let mut now = Time::from_millis(1);
+        while let Some(_p) = q.dequeue(now) {
+            delivered += 1;
+            now = now + Time::from_millis(1);
+            if delivered > 5000 {
+                break;
+            }
+        }
+        assert!(q.drops() > 0, "CoDel should drop under persistent delay");
+        assert!(delivered > 0);
+    }
+
+    #[test]
+    fn codel_does_not_drop_short_lived_queues() {
+        let mut q = CoDelQueue::new(1_000_000);
+        let mut now = Time::ZERO;
+        for i in 0..100u64 {
+            q.enqueue(pkt(0, i, 1500, now.as_nanos() / 1_000_000), now);
+            // Dequeue within the target delay.
+            let _ = q.dequeue(now + Time::from_millis(1));
+            now = now + Time::from_millis(10);
+        }
+        assert_eq!(q.drops(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_droptail_byte_count_consistent(ops in proptest::collection::vec((0u8..2, 100u32..2000), 1..300)) {
+            let mut q = DropTailQueue::new(20_000);
+            let mut model: VecDeque<u32> = VecDeque::new();
+            let mut seq = 0u64;
+            for (op, size) in ops {
+                if op == 0 {
+                    let accepted = q.enqueue(pkt(0, seq, size, 0), Time::ZERO) == EnqueueResult::Accepted;
+                    let model_accepts = model.iter().map(|&s| s as u64).sum::<u64>() + size as u64 <= 20_000;
+                    prop_assert_eq!(accepted, model_accepts);
+                    if accepted { model.push_back(size); }
+                    seq += 1;
+                } else {
+                    let got = q.dequeue(Time::ZERO).map(|p| p.size_bytes);
+                    let want = model.pop_front();
+                    prop_assert_eq!(got, want);
+                }
+                prop_assert_eq!(q.len_bytes(), model.iter().map(|&s| s as u64).sum::<u64>());
+                prop_assert_eq!(q.len_packets(), model.len());
+            }
+        }
+
+        #[test]
+        fn prop_fifo_order_preserved(sizes in proptest::collection::vec(500u32..1500, 1..50)) {
+            let mut q = DropTailQueue::new(10_000_000);
+            for (i, &s) in sizes.iter().enumerate() {
+                q.enqueue(pkt(0, i as u64, s, 0), Time::ZERO);
+            }
+            let mut last = None;
+            while let Some(p) = q.dequeue(Time::ZERO) {
+                if let Some(prev) = last {
+                    prop_assert!(p.seq > prev);
+                }
+                last = Some(p.seq);
+            }
+        }
+    }
+}

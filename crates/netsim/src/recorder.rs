@@ -1,0 +1,457 @@
+//! Instrumentation: everything the paper's figures are plotted from.
+//!
+//! The recorder is owned by the engine and fed three kinds of observations:
+//!
+//! * per-packet events at the bottleneck (enqueue / dequeue / drop), which
+//!   yield queue-occupancy and per-packet queueing-delay series plus the
+//!   ground-truth "fraction of cross-traffic bytes that belong to elastic
+//!   flows" used to score the detector (Fig. 12);
+//! * per-ACK events at each monitored sender, which yield throughput and RTT
+//!   series (Figs. 1, 8, 9, 13, 16–19);
+//! * flow lifecycle events, which yield flow completion times (Fig. 21).
+
+use crate::packet::FlowId;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// A uniformly sampled time series.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Sample timestamps in seconds.
+    pub t: Vec<f64>,
+    /// Sample values.
+    pub v: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Append a sample.
+    pub fn push(&mut self, t: f64, v: f64) {
+        self.t.push(t);
+        self.v.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.v.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.v.is_empty()
+    }
+
+    /// Mean of values in the (closed) time range `[t0, t1]` seconds.
+    /// NaN samples (intervals with no observations) are skipped.
+    pub fn mean_in_range(&self, t0: f64, t1: f64) -> f64 {
+        let vals: Vec<f64> = self
+            .t
+            .iter()
+            .zip(self.v.iter())
+            .filter(|(t, v)| **t >= t0 && **t <= t1 && v.is_finite())
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Mean over all (finite) samples.
+    pub fn mean(&self) -> f64 {
+        let vals: Vec<f64> = self.v.iter().copied().filter(|v| v.is_finite()).collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// The values as a slice (for CDFs and percentile computations).
+    pub fn values(&self) -> &[f64] {
+        &self.v
+    }
+}
+
+/// Recorder configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RecorderConfig {
+    /// Sampling interval for all time series.
+    pub sample_interval: Time,
+    /// Record per-packet queueing-delay samples for monitored flows
+    /// (costs memory on long runs; on by default).
+    pub record_packet_delays: bool,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        RecorderConfig {
+            sample_interval: Time::from_millis(100),
+            record_packet_delays: true,
+        }
+    }
+}
+
+/// Per-flow accumulation for the current sampling interval.
+#[derive(Debug, Clone, Default)]
+struct FlowInterval {
+    received_bytes: u64,
+    rtt_sum_s: f64,
+    rtt_count: u64,
+    qdelay_sum_s: f64,
+    qdelay_count: u64,
+}
+
+/// Summary of a finished (or still running) flow.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Flow identifier.
+    pub id: FlowId,
+    /// Human-readable label copied from the flow configuration.
+    pub label: String,
+    /// Whether the experiment counts this flow as elastic cross traffic
+    /// (`None` for monitored flows, which are not cross traffic).
+    pub counts_as_elastic: Option<bool>,
+    /// Time the flow started.
+    pub start: Time,
+    /// Time the flow finished, if it did.
+    pub finish: Option<Time>,
+    /// Total bytes delivered in order to the receiver (goodput).
+    pub delivered_bytes: u64,
+    /// Total bytes that arrived at the receiver, regardless of order
+    /// (the throughput the paper's figures plot).
+    pub received_bytes: u64,
+    /// Total data packets that were dropped (at the queue, policer or loss model).
+    pub dropped_packets: u64,
+    /// Flow size in bytes if the flow was finite.
+    pub size_bytes: Option<u64>,
+}
+
+impl FlowStats {
+    /// Flow completion time, if the flow finished.
+    pub fn fct(&self) -> Option<Time> {
+        self.finish.map(|f| f.saturating_sub(self.start))
+    }
+
+    /// Mean throughput in bits per second over the flow's lifetime (up to
+    /// `now` for unfinished flows), counting all bytes arriving at the receiver.
+    pub fn mean_throughput_bps(&self, now: Time) -> f64 {
+        let end = self.finish.unwrap_or(now);
+        let dur = end.saturating_sub(self.start).as_secs_f64();
+        if dur <= 0.0 {
+            0.0
+        } else {
+            self.received_bytes as f64 * 8.0 / dur
+        }
+    }
+}
+
+/// The instrumentation sink for a simulation run.
+#[derive(Debug)]
+pub struct Recorder {
+    cfg: RecorderConfig,
+    /// Per monitored flow: throughput in Mbit/s per interval.
+    pub throughput_mbps: Vec<TimeSeries>,
+    /// Per monitored flow: mean RTT (ms) per interval.
+    pub rtt_ms: Vec<TimeSeries>,
+    /// Per monitored flow: mean per-packet bottleneck queueing delay (ms) per interval.
+    pub queue_delay_ms: Vec<TimeSeries>,
+    /// Per monitored flow: raw per-packet queueing delay samples (ms).
+    pub packet_delay_samples_ms: Vec<Vec<f64>>,
+    /// Global bottleneck queue occupancy (bytes), sampled every interval.
+    pub queue_bytes: TimeSeries,
+    /// Cross-traffic arrival rate at the bottleneck (Mbit/s) per interval
+    /// — the ground-truth `z(t)`.
+    pub cross_rate_mbps: TimeSeries,
+    /// Fraction of cross-traffic bytes (per interval) belonging to flows
+    /// tagged elastic — the ground truth of Fig. 12.
+    pub elastic_fraction: TimeSeries,
+    /// Final per-flow summaries (indexed by FlowId).
+    pub flows: Vec<FlowStats>,
+
+    monitored: Vec<FlowId>,
+    monitored_index: Vec<Option<usize>>,
+    intervals: Vec<FlowInterval>,
+    cross_elastic_bytes: u64,
+    cross_inelastic_bytes: u64,
+    last_sample: Time,
+}
+
+impl Recorder {
+    /// Create a recorder; flows are registered afterwards by the engine.
+    pub fn new(cfg: RecorderConfig) -> Self {
+        Recorder {
+            cfg,
+            throughput_mbps: Vec::new(),
+            rtt_ms: Vec::new(),
+            queue_delay_ms: Vec::new(),
+            packet_delay_samples_ms: Vec::new(),
+            queue_bytes: TimeSeries::default(),
+            cross_rate_mbps: TimeSeries::default(),
+            elastic_fraction: TimeSeries::default(),
+            flows: Vec::new(),
+            monitored: Vec::new(),
+            monitored_index: Vec::new(),
+            intervals: Vec::new(),
+            cross_elastic_bytes: 0,
+            cross_inelastic_bytes: 0,
+            last_sample: Time::ZERO,
+        }
+    }
+
+    /// The configured sampling interval.
+    pub fn sample_interval(&self) -> Time {
+        self.cfg.sample_interval
+    }
+
+    /// Register a flow. `monitored` flows get full time series.
+    pub fn register_flow(
+        &mut self,
+        id: FlowId,
+        label: String,
+        counts_as_elastic: Option<bool>,
+        monitored: bool,
+        start: Time,
+        size_bytes: Option<u64>,
+    ) {
+        debug_assert_eq!(id, self.flows.len(), "flows must be registered in order");
+        self.flows.push(FlowStats {
+            id,
+            label,
+            counts_as_elastic,
+            start,
+            finish: None,
+            delivered_bytes: 0,
+            received_bytes: 0,
+            dropped_packets: 0,
+            size_bytes,
+        });
+        if monitored {
+            self.monitored_index.push(Some(self.monitored.len()));
+            self.monitored.push(id);
+            self.throughput_mbps.push(TimeSeries::default());
+            self.rtt_ms.push(TimeSeries::default());
+            self.queue_delay_ms.push(TimeSeries::default());
+            self.packet_delay_samples_ms.push(Vec::new());
+            self.intervals.push(FlowInterval::default());
+        } else {
+            self.monitored_index.push(None);
+        }
+    }
+
+    /// Monitored-series index for a flow, if it is monitored.
+    pub fn monitored_slot(&self, id: FlowId) -> Option<usize> {
+        self.monitored_index.get(id).copied().flatten()
+    }
+
+    /// IDs of the monitored flows, in registration order.
+    pub fn monitored_flows(&self) -> &[FlowId] {
+        &self.monitored
+    }
+
+    /// A data packet of `bytes` from `flow` was accepted into the bottleneck queue.
+    pub fn on_enqueue(&mut self, flow: FlowId, bytes: u32) {
+        match self.flows[flow].counts_as_elastic {
+            Some(true) => self.cross_elastic_bytes += bytes as u64,
+            Some(false) => self.cross_inelastic_bytes += bytes as u64,
+            None => {}
+        }
+    }
+
+    /// A data packet from `flow` was dropped (queue, AQM, policer or loss model).
+    pub fn on_drop(&mut self, flow: FlowId) {
+        self.flows[flow].dropped_packets += 1;
+    }
+
+    /// A packet from `flow` started transmission after waiting `delay` in the queue.
+    pub fn on_dequeue(&mut self, flow: FlowId, delay: Time) {
+        if let Some(slot) = self.monitored_slot(flow) {
+            let ms = delay.as_millis_f64();
+            self.intervals[slot].qdelay_sum_s += ms;
+            self.intervals[slot].qdelay_count += 1;
+            if self.cfg.record_packet_delays {
+                self.packet_delay_samples_ms[slot].push(ms);
+            }
+        }
+    }
+
+    /// A data packet of `bytes` arrived at the receiver of `flow`
+    /// (irrespective of ordering). This is what throughput series count.
+    pub fn on_arrival(&mut self, flow: FlowId, bytes: u64) {
+        self.flows[flow].received_bytes += bytes;
+        if let Some(slot) = self.monitored_slot(flow) {
+            self.intervals[slot].received_bytes += bytes;
+        }
+    }
+
+    /// In-order delivery progressed at the receiver of `flow` (goodput / FCT
+    /// bookkeeping).
+    pub fn on_delivered(&mut self, flow: FlowId, newly_delivered: u64) {
+        self.flows[flow].delivered_bytes += newly_delivered;
+    }
+
+    /// An RTT sample was observed for `flow`.
+    pub fn on_rtt_sample(&mut self, flow: FlowId, rtt: Time) {
+        if let Some(slot) = self.monitored_slot(flow) {
+            self.intervals[slot].rtt_sum_s += rtt.as_millis_f64();
+            self.intervals[slot].rtt_count += 1;
+        }
+    }
+
+    /// The flow finished (delivered all its data).
+    pub fn on_finish(&mut self, flow: FlowId, now: Time) {
+        self.flows[flow].finish = Some(now);
+    }
+
+    /// Close the current sampling interval at time `now` with the given
+    /// bottleneck queue occupancy.
+    pub fn sample(&mut self, now: Time, queue_bytes: u64) {
+        let t = now.as_secs_f64();
+        let dt = now.saturating_sub(self.last_sample).as_secs_f64();
+        self.last_sample = now;
+        self.queue_bytes.push(t, queue_bytes as f64);
+
+        let cross_total = self.cross_elastic_bytes + self.cross_inelastic_bytes;
+        if dt > 0.0 {
+            self.cross_rate_mbps
+                .push(t, cross_total as f64 * 8.0 / dt / 1e6);
+        } else {
+            self.cross_rate_mbps.push(t, 0.0);
+        }
+        let frac = if cross_total > 0 {
+            self.cross_elastic_bytes as f64 / cross_total as f64
+        } else {
+            0.0
+        };
+        self.elastic_fraction.push(t, frac);
+        self.cross_elastic_bytes = 0;
+        self.cross_inelastic_bytes = 0;
+
+        for (slot, _id) in self.monitored.clone().iter().enumerate() {
+            let iv = std::mem::take(&mut self.intervals[slot]);
+            let tput = if dt > 0.0 {
+                iv.received_bytes as f64 * 8.0 / dt / 1e6
+            } else {
+                0.0
+            };
+            self.throughput_mbps[slot].push(t, tput);
+            let rtt = if iv.rtt_count > 0 {
+                iv.rtt_sum_s / iv.rtt_count as f64
+            } else {
+                f64::NAN
+            };
+            self.rtt_ms[slot].push(t, rtt);
+            let qd = if iv.qdelay_count > 0 {
+                iv.qdelay_sum_s / iv.qdelay_count as f64
+            } else {
+                f64::NAN
+            };
+            self.queue_delay_ms[slot].push(t, qd);
+        }
+    }
+
+    /// Flow completion times (seconds) together with flow sizes, for every
+    /// finite flow that finished.
+    pub fn completed_fcts(&self) -> Vec<(u64, f64)> {
+        self.flows
+            .iter()
+            .filter_map(|f| match (f.size_bytes, f.fct()) {
+                (Some(sz), Some(fct)) => Some((sz, fct.as_secs_f64())),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_series_basic_ops() {
+        let mut ts = TimeSeries::default();
+        assert!(ts.is_empty());
+        ts.push(0.0, 1.0);
+        ts.push(1.0, 3.0);
+        ts.push(2.0, 5.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.mean(), 3.0);
+        assert_eq!(ts.mean_in_range(0.5, 2.5), 4.0);
+        assert_eq!(ts.mean_in_range(10.0, 20.0), 0.0);
+        assert_eq!(ts.values(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn recorder_tracks_throughput_and_ground_truth() {
+        let mut r = Recorder::new(RecorderConfig::default());
+        r.register_flow(0, "nimbus".into(), None, true, Time::ZERO, None);
+        r.register_flow(1, "cubic-cross".into(), Some(true), false, Time::ZERO, None);
+        r.register_flow(2, "cbr-cross".into(), Some(false), false, Time::ZERO, None);
+
+        // Interval 1: monitored flow delivers 1.25 MB in 0.1 s = 100 Mbit/s;
+        // cross traffic 75% elastic by bytes.
+        r.on_arrival(0, 1_250_000);
+        r.on_enqueue(1, 1500);
+        r.on_enqueue(1, 1500);
+        r.on_enqueue(1, 1500);
+        r.on_enqueue(2, 1500);
+        r.on_rtt_sample(0, Time::from_millis(60));
+        r.on_rtt_sample(0, Time::from_millis(80));
+        r.on_dequeue(0, Time::from_millis(10));
+        r.sample(Time::from_millis(100), 42_000);
+
+        assert_eq!(r.throughput_mbps[0].len(), 1);
+        assert!((r.throughput_mbps[0].v[0] - 100.0).abs() < 1e-9);
+        assert!((r.rtt_ms[0].v[0] - 70.0).abs() < 1e-9);
+        assert!((r.queue_delay_ms[0].v[0] - 10.0).abs() < 1e-9);
+        assert!((r.elastic_fraction.v[0] - 0.75).abs() < 1e-9);
+        assert_eq!(r.queue_bytes.v[0], 42_000.0);
+        // Cross rate: 6000 bytes in 0.1 s = 0.48 Mbit/s.
+        assert!((r.cross_rate_mbps.v[0] - 0.48).abs() < 1e-9);
+
+        // Interval counters reset.
+        r.sample(Time::from_millis(200), 0);
+        assert_eq!(r.throughput_mbps[0].v[1], 0.0);
+        assert_eq!(r.elastic_fraction.v[1], 0.0);
+    }
+
+    #[test]
+    fn flow_stats_fct_and_throughput() {
+        let mut r = Recorder::new(RecorderConfig::default());
+        r.register_flow(0, "f".into(), Some(true), false, Time::from_millis(1000), Some(1_000_000));
+        r.on_delivered(0, 1_000_000);
+        r.on_arrival(0, 1_000_000);
+        r.on_finish(0, Time::from_millis(3000));
+        let f = &r.flows[0];
+        assert_eq!(f.fct(), Some(Time::from_millis(2000)));
+        assert!((f.mean_throughput_bps(Time::from_millis(9000)) - 4e6).abs() < 1.0);
+        let fcts = r.completed_fcts();
+        assert_eq!(fcts.len(), 1);
+        assert_eq!(fcts[0].0, 1_000_000);
+        assert!((fcts[0].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unmonitored_flows_have_no_series() {
+        let mut r = Recorder::new(RecorderConfig::default());
+        r.register_flow(0, "a".into(), Some(false), false, Time::ZERO, None);
+        assert_eq!(r.monitored_slot(0), None);
+        assert!(r.monitored_flows().is_empty());
+        // Feeding events must not panic.
+        r.on_rtt_sample(0, Time::from_millis(10));
+        r.on_dequeue(0, Time::from_millis(1));
+        r.on_delivered(0, 100);
+        r.on_arrival(0, 100);
+        r.sample(Time::from_millis(100), 0);
+        assert!(r.throughput_mbps.is_empty());
+    }
+
+    #[test]
+    fn drops_are_attributed_to_flows() {
+        let mut r = Recorder::new(RecorderConfig::default());
+        r.register_flow(0, "a".into(), None, true, Time::ZERO, None);
+        r.on_drop(0);
+        r.on_drop(0);
+        assert_eq!(r.flows[0].dropped_packets, 2);
+    }
+}

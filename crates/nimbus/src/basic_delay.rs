@@ -1,0 +1,274 @@
+//! BasicDelay: the paper's simple delay-controlling algorithm (Eq. 4, §4.1).
+//!
+//! On every measurement update the rate is set to
+//!
+//! ```text
+//! rate ← S + α·(µ − S − ẑ) + (β·µ/x)·(x_min + d_t − x)
+//! ```
+//!
+//! where `S` is the send rate over the last window, `ẑ` the cross-traffic
+//! estimate, `x` the current RTT, `x_min` the minimum RTT and `d_t` a target
+//! queueing delay.  The first correction chases the spare capacity
+//! (`µ − S − ẑ`); the second holds the queueing delay near `d_t`, which keeps
+//! the bottleneck busy — a non-empty queue is exactly what the cross-traffic
+//! estimator needs (Eq. 1 is only valid while the link is busy).
+//!
+//! The paper's WAN experiments use `α = 0.8`, `β = 0.5`, `d_t = 12.5 ms`.
+
+use nimbus_transport::cc::{AckEvent, CongestionControl};
+use nimbus_transport::Report;
+use nimbus_netsim::Time;
+use serde::{Deserialize, Serialize};
+
+/// BasicDelay parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BasicDelayConfig {
+    /// Gain on the spare-capacity term (`α < 1`).
+    pub alpha: f64,
+    /// Gain on the delay-error term (`β < 1`).
+    pub beta: f64,
+    /// Target queueing delay `d_t`, seconds.
+    pub target_queue_delay_s: f64,
+    /// Bottleneck link rate `µ`, bits/s.
+    pub mu_bps: f64,
+    /// Floor on the rate so the flow can always keep probing, bits/s.
+    pub min_rate_bps: f64,
+}
+
+impl BasicDelayConfig {
+    /// The paper's parameters (§8.1) for a link of rate `mu_bps`.
+    pub fn paper_defaults(mu_bps: f64) -> Self {
+        BasicDelayConfig {
+            alpha: 0.8,
+            beta: 0.5,
+            target_queue_delay_s: 0.0125,
+            mu_bps,
+            min_rate_bps: mu_bps / 50.0,
+        }
+    }
+}
+
+/// The BasicDelay controller.
+///
+/// It needs the cross-traffic estimate ẑ, which the Nimbus controller feeds
+/// it via [`BasicDelay::set_cross_traffic_estimate`]; run standalone (without
+/// Nimbus) it assumes ẑ = 0 and behaves like a pure delay-target controller.
+#[derive(Debug, Clone)]
+pub struct BasicDelay {
+    cfg: BasicDelayConfig,
+    rate_bps: f64,
+    z_bps: f64,
+    min_rtt_s: f64,
+    last_rtt_s: f64,
+    last_send_rate_bps: f64,
+}
+
+impl BasicDelay {
+    /// Create a BasicDelay controller.
+    pub fn new(cfg: BasicDelayConfig) -> Self {
+        let initial = (cfg.mu_bps / 10.0).max(cfg.min_rate_bps);
+        BasicDelay {
+            cfg,
+            rate_bps: initial,
+            z_bps: 0.0,
+            min_rtt_s: f64::INFINITY,
+            last_rtt_s: 0.0,
+            last_send_rate_bps: initial,
+        }
+    }
+
+    /// Provide the latest cross-traffic estimate ẑ (bits/s).
+    pub fn set_cross_traffic_estimate(&mut self, z_bps: f64) {
+        self.z_bps = z_bps.max(0.0);
+    }
+
+    /// The current target rate (bits/s).
+    pub fn current_rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Directly set the rate (used by Nimbus when switching modes).
+    pub fn set_rate(&mut self, rate_bps: f64) {
+        self.rate_bps = rate_bps.max(self.cfg.min_rate_bps);
+    }
+
+    /// Apply Eq. 4 given the latest measurements.
+    fn update_rate(&mut self, send_rate_bps: f64, rtt_s: f64) {
+        if rtt_s <= 0.0 || !self.min_rtt_s.is_finite() {
+            return;
+        }
+        let s = if send_rate_bps > 0.0 {
+            send_rate_bps
+        } else {
+            self.rate_bps
+        };
+        let spare = self.cfg.mu_bps - s - self.z_bps;
+        let delay_err = self.min_rtt_s + self.cfg.target_queue_delay_s - rtt_s;
+        let rate = s + self.cfg.alpha * spare + self.cfg.beta * self.cfg.mu_bps / rtt_s * delay_err;
+        self.rate_bps = rate.clamp(self.cfg.min_rate_bps, self.cfg.mu_bps * 1.05);
+    }
+}
+
+impl CongestionControl for BasicDelay {
+    fn on_ack(&mut self, ack: &AckEvent) {
+        let rtt = ack.rtt.as_secs_f64();
+        self.last_rtt_s = rtt;
+        self.min_rtt_s = self.min_rtt_s.min(rtt);
+    }
+
+    fn on_loss(&mut self, _now: Time, _in_flight_packets: u64) {
+        // Delay is the primary signal; on loss just ease off multiplicatively.
+        self.rate_bps = (self.rate_bps * 0.9).max(self.cfg.min_rate_bps);
+    }
+
+    fn on_timeout(&mut self, _now: Time) {
+        self.rate_bps = self.cfg.min_rate_bps;
+    }
+
+    fn on_report(&mut self, report: &Report) {
+        if report.rtt_s > 0.0 {
+            self.last_rtt_s = report.rtt_s;
+            self.min_rtt_s = self.min_rtt_s.min(report.rtt_s);
+        }
+        if report.send_rate_bps > 0.0 {
+            self.last_send_rate_bps = report.send_rate_bps;
+        }
+        let rtt = if report.rtt_s > 0.0 {
+            report.rtt_s
+        } else {
+            self.last_rtt_s
+        };
+        if rtt > 0.0 {
+            self.update_rate(self.last_send_rate_bps, rtt);
+        }
+    }
+
+    fn cwnd_packets(&self) -> f64 {
+        // A generous cap of 2·rate·RTT keeps the window from limiting the
+        // paced rate while still bounding the worst case.
+        let rtt = if self.last_rtt_s > 0.0 { self.last_rtt_s } else { 0.1 };
+        (2.0 * self.rate_bps * rtt / 8.0 / 1500.0).max(4.0)
+    }
+
+    fn pacing_rate_bps(&self, _now: Time) -> Option<f64> {
+        Some(self.rate_bps)
+    }
+
+    fn reinitialize(&mut self, rate_bps: f64, _rtt_s: f64, _mss: u32) {
+        self.set_rate(rate_bps);
+    }
+
+    fn name(&self) -> &'static str {
+        "basic-delay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(now_s: f64, s_bps: f64, rtt_s: f64) -> Report {
+        Report {
+            now_s,
+            send_rate_bps: s_bps,
+            recv_rate_bps: s_bps,
+            acked_bytes: 0,
+            lost_packets: 0,
+            rtt_s,
+            min_rtt_s: 0.05,
+            window_acks: 30,
+        }
+    }
+
+    fn ack(rtt_ms: f64) -> AckEvent {
+        AckEvent {
+            now: Time::from_millis_f64(100.0),
+            newly_acked_packets: 1,
+            newly_acked_bytes: 1500,
+            rtt: Time::from_millis_f64(rtt_ms),
+            min_rtt: Time::from_millis_f64(50.0),
+            in_flight_packets: 10,
+            mss: 1500,
+        }
+    }
+
+    #[test]
+    fn rate_climbs_towards_spare_capacity() {
+        let mut cc = BasicDelay::new(BasicDelayConfig::paper_defaults(96e6));
+        cc.on_ack(&ack(50.0));
+        // No cross traffic, RTT at the minimum: the rate should converge to ~µ.
+        let mut s = cc.current_rate_bps();
+        for i in 0..200 {
+            cc.on_report(&report(i as f64 * 0.01, s, 0.0505));
+            s = cc.current_rate_bps();
+        }
+        assert!(s > 90e6, "rate {s}");
+    }
+
+    #[test]
+    fn rate_leaves_room_for_cross_traffic() {
+        let mut cc = BasicDelay::new(BasicDelayConfig::paper_defaults(96e6));
+        cc.on_ack(&ack(50.0));
+        cc.set_cross_traffic_estimate(48e6);
+        // Hold the RTT exactly at x_min + d_t so the delay term vanishes and
+        // the spare-capacity term alone sets the equilibrium: rate → µ − z.
+        let mut s = cc.current_rate_bps();
+        for i in 0..300 {
+            cc.on_report(&report(i as f64 * 0.01, s, 0.0625));
+            s = cc.current_rate_bps();
+        }
+        assert!((s - 48e6).abs() < 8e6, "rate {s} should hover near µ − z");
+    }
+
+    #[test]
+    fn high_delay_pushes_the_rate_down() {
+        let mut cc = BasicDelay::new(BasicDelayConfig::paper_defaults(96e6));
+        cc.on_ack(&ack(50.0));
+        cc.set_rate(90e6);
+        // RTT far above min + target: strong negative correction.
+        cc.on_report(&report(0.0, 90e6, 0.120));
+        assert!(cc.current_rate_bps() < 90e6);
+    }
+
+    #[test]
+    fn queue_is_kept_slightly_full_not_empty() {
+        // At exactly x = x_min + d_t the delay term vanishes; below the target
+        // the correction is positive (keep the queue from emptying).
+        let cfg = BasicDelayConfig::paper_defaults(96e6);
+        let mut cc = BasicDelay::new(cfg);
+        cc.on_ack(&ack(50.0));
+        cc.set_cross_traffic_estimate(96e6 - 40e6); // spare ≈ 0 when S = 40M
+        cc.on_report(&report(0.0, 40e6, 0.050)); // queue empty: x == x_min
+        assert!(cc.current_rate_bps() > 40e6, "should push the rate up to build the target queue");
+    }
+
+    #[test]
+    fn loss_and_timeout_back_off() {
+        let mut cc = BasicDelay::new(BasicDelayConfig::paper_defaults(48e6));
+        cc.set_rate(40e6);
+        cc.on_loss(Time::ZERO, 10);
+        assert!(cc.current_rate_bps() < 40e6);
+        cc.on_timeout(Time::ZERO);
+        assert!(cc.current_rate_bps() <= 48e6 / 50.0 + 1.0);
+    }
+
+    #[test]
+    fn rate_is_always_within_physical_bounds() {
+        let cfg = BasicDelayConfig::paper_defaults(96e6);
+        let mut cc = BasicDelay::new(cfg);
+        cc.on_ack(&ack(50.0));
+        cc.set_cross_traffic_estimate(200e6); // absurd estimate
+        cc.on_report(&report(0.0, 96e6, 0.3));
+        assert!(cc.current_rate_bps() >= cfg.min_rate_bps);
+        assert!(cc.current_rate_bps() <= 96e6 * 1.05);
+        assert!(cc.pacing_rate_bps(Time::ZERO).unwrap() > 0.0);
+        assert!(cc.cwnd_packets() >= 4.0);
+    }
+
+    #[test]
+    fn reinitialize_sets_the_rate() {
+        let mut cc = BasicDelay::new(BasicDelayConfig::paper_defaults(96e6));
+        cc.reinitialize(30e6, 0.05, 1500);
+        assert!((cc.current_rate_bps() - 30e6).abs() < 1.0);
+    }
+}

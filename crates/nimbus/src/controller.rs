@@ -1,0 +1,734 @@
+//! The Nimbus mode-switching congestion controller (§4 of the paper).
+//!
+//! Nimbus layers four pieces on top of the generic sender machinery:
+//!
+//! * an inner **TCP-competitive** controller (Cubic or NewReno), used when
+//!   elastic cross traffic is present;
+//! * an inner **delay-controlling** controller ([`BasicDelay`], Vegas or the
+//!   Copa default mode), used when it is not;
+//! * the **cross-traffic estimator** and **elasticity detector** that decide
+//!   which of the two should be driving;
+//! * the **pulse modulation** applied to whatever rate the active inner
+//!   controller wants, so the detector has something to measure.
+//!
+//! Mode switching details from §4.1 that matter for fidelity:
+//!
+//! * The elasticity verdict is re-evaluated continuously from the FFT over
+//!   the last 5 seconds of ẑ samples, and the mode follows the verdict.
+//! * When switching into TCP-competitive mode, the competitive controller is
+//!   (re)initialized to the rate the flow was sending **5 seconds ago** —
+//!   the elastic competitor has spent the detection delay stealing bandwidth
+//!   from the delay-mode rate, so resuming from the current rate would
+//!   concede it.
+//! * In competitive mode the pulse frequency is `f_pc` (5 Hz); in delay mode
+//!   it is `f_pd` (6 Hz), so watcher flows can follow the pulser's mode (§6).
+
+use crate::basic_delay::{BasicDelay, BasicDelayConfig};
+use crate::detector::{DetectorVerdict, ElasticityConfig, ElasticityDetector};
+use crate::estimator::CrossTrafficEstimator;
+use crate::multiflow::{Multiflow, MultiflowConfig, Role};
+use nimbus_dsp::PulseGenerator;
+use nimbus_netsim::Time;
+use nimbus_transport::cc::{AckEvent, CongestionControl};
+use nimbus_transport::{CcKind, Report};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which algorithm fills the TCP-competitive role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TcpScheme {
+    /// TCP Cubic (the paper's default).
+    Cubic,
+    /// TCP NewReno.
+    NewReno,
+}
+
+/// Which algorithm fills the delay-controlling role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DelayScheme {
+    /// The paper's BasicDelay rule (Eq. 4).
+    BasicDelay,
+    /// TCP Vegas.
+    Vegas,
+    /// Copa's default mode.
+    CopaDefault,
+}
+
+/// Nimbus's operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Mode {
+    /// Delay-controlling mode (no elastic cross traffic detected).
+    Delay,
+    /// TCP-competitive mode (elastic cross traffic detected).
+    Competitive,
+}
+
+/// Nimbus configuration.
+#[derive(Debug, Clone)]
+pub struct NimbusConfig {
+    /// Bottleneck link rate µ in bits/s (`None` ⇒ estimate from the max
+    /// receive rate, like BBR).
+    pub mu_bps: Option<f64>,
+    /// Maximum segment size of the flow, bytes.
+    pub mss: u32,
+    /// Pulse amplitude as a fraction of µ (0.25 by default).
+    pub pulse_amplitude_fraction: f64,
+    /// Elasticity-detector settings (pulse frequency, FFT duration, threshold).
+    pub elasticity: ElasticityConfig,
+    /// Pulse frequency used while in delay mode, Hz (`f_pd`, 6 Hz).
+    pub pulse_freq_delay_hz: f64,
+    /// TCP-competitive inner scheme.
+    pub tcp_scheme: TcpScheme,
+    /// Delay-controlling inner scheme.
+    pub delay_scheme: DelayScheme,
+    /// BasicDelay parameters (used when `delay_scheme` is BasicDelay).
+    pub basic_delay: BasicDelayConfig,
+    /// Multi-flow (pulser/watcher) coordination.
+    pub multiflow: MultiflowConfig,
+    /// Seed for the controller's randomized decisions.
+    pub seed: u64,
+}
+
+impl NimbusConfig {
+    /// The paper's default configuration for a known link rate: Cubic +
+    /// BasicDelay, 0.25·µ pulses at 5/6 Hz, 5-second FFT, η threshold 2.
+    pub fn default_for_link(mu_bps: f64) -> Self {
+        NimbusConfig {
+            mu_bps: Some(mu_bps),
+            mss: 1500,
+            pulse_amplitude_fraction: 0.25,
+            elasticity: ElasticityConfig::default(),
+            pulse_freq_delay_hz: 6.0,
+            tcp_scheme: TcpScheme::Cubic,
+            delay_scheme: DelayScheme::BasicDelay,
+            basic_delay: BasicDelayConfig::paper_defaults(mu_bps),
+            multiflow: MultiflowConfig::default(),
+            seed: 1,
+        }
+    }
+
+    /// Use a different TCP-competitive scheme.
+    pub fn with_tcp_scheme(mut self, scheme: TcpScheme) -> Self {
+        self.tcp_scheme = scheme;
+        self
+    }
+
+    /// Use a different delay-controlling scheme.
+    pub fn with_delay_scheme(mut self, scheme: DelayScheme) -> Self {
+        self.delay_scheme = scheme;
+        self
+    }
+
+    /// Enable pulser/watcher coordination (for multiple Nimbus flows).
+    pub fn with_multiflow(mut self, multiflow: MultiflowConfig) -> Self {
+        self.multiflow = multiflow;
+        self
+    }
+
+    /// Change the pulse amplitude fraction.
+    pub fn with_pulse_amplitude(mut self, fraction: f64) -> Self {
+        self.pulse_amplitude_fraction = fraction;
+        self
+    }
+
+    /// Change the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A `(time, mode)` entry in the mode log.
+pub type ModeLogEntry = (f64, Mode);
+
+/// The concrete delay-mode controller (an enum rather than a trait object so
+/// Nimbus can hand the cross-traffic estimate to BasicDelay, which needs it).
+enum DelayCtl {
+    Basic(BasicDelay),
+    Other(Box<dyn CongestionControl>),
+}
+
+impl DelayCtl {
+    fn as_cc(&self) -> &dyn CongestionControl {
+        match self {
+            DelayCtl::Basic(b) => b,
+            DelayCtl::Other(o) => o.as_ref(),
+        }
+    }
+    fn as_cc_mut(&mut self) -> &mut dyn CongestionControl {
+        match self {
+            DelayCtl::Basic(b) => b,
+            DelayCtl::Other(o) => o.as_mut(),
+        }
+    }
+}
+
+/// The Nimbus controller.  Implements [`CongestionControl`], so it plugs into
+/// the generic [`Sender`](nimbus_transport::Sender).
+pub struct NimbusController {
+    cfg: NimbusConfig,
+    mode: Mode,
+    competitive: Box<dyn CongestionControl>,
+    delay: DelayCtl,
+    estimator: CrossTrafficEstimator,
+    detector: ElasticityDetector,
+    multiflow: Multiflow,
+    pulse: PulseGenerator,
+    /// Smoothed RTT from ACKs (seconds), for rate/window conversions.
+    srtt_s: f64,
+    /// Rate history for the 5-seconds-ago reset: `(time_s, rate_bps)`.
+    rate_history: VecDeque<(f64, f64)>,
+    /// Current time as of the last report (seconds).
+    now_s: f64,
+    /// Log of mode switches.
+    mode_log: Vec<ModeLogEntry>,
+    /// Log of detector verdicts exposed for experiments (`detector` also keeps them).
+    last_verdict: Option<DetectorVerdict>,
+    /// EWMA-smoothed rate used while this flow is a watcher.
+    watcher_rate_bps: Option<f64>,
+}
+
+impl NimbusController {
+    /// Create a Nimbus controller.
+    pub fn new(cfg: NimbusConfig) -> Self {
+        let competitive: Box<dyn CongestionControl> = match cfg.tcp_scheme {
+            TcpScheme::Cubic => CcKind::Cubic.build(cfg.mss),
+            TcpScheme::NewReno => CcKind::NewReno.build(cfg.mss),
+        };
+        let delay: DelayCtl = match cfg.delay_scheme {
+            DelayScheme::BasicDelay => DelayCtl::Basic(BasicDelay::new(cfg.basic_delay)),
+            DelayScheme::Vegas => DelayCtl::Other(CcKind::Vegas.build(cfg.mss)),
+            DelayScheme::CopaDefault => DelayCtl::Other(CcKind::Copa.build(cfg.mss)),
+        };
+        let estimator = match cfg.mu_bps {
+            Some(mu) => CrossTrafficEstimator::with_known_mu(mu, cfg.elasticity.fft_duration_s * 2.0),
+            None => CrossTrafficEstimator::with_estimated_mu(cfg.elasticity.fft_duration_s * 2.0),
+        };
+        let detector = ElasticityDetector::new(cfg.elasticity.clone());
+        let multiflow = Multiflow::new(cfg.multiflow.clone(), cfg.elasticity.fft_duration_s, cfg.seed);
+        let amplitude = cfg.pulse_amplitude_fraction * cfg.mu_bps.unwrap_or(0.0);
+        let pulse = PulseGenerator::asymmetric(cfg.elasticity.pulse_freq_hz, amplitude);
+        let mut controller = NimbusController {
+            cfg,
+            mode: Mode::Delay,
+            competitive,
+            delay,
+            estimator,
+            detector,
+            multiflow,
+            pulse,
+            srtt_s: 0.0,
+            rate_history: VecDeque::new(),
+            now_s: 0.0,
+            mode_log: Vec::new(),
+            last_verdict: None,
+            watcher_rate_bps: None,
+        };
+        controller.mode_log.push((0.0, Mode::Delay));
+        controller
+    }
+
+    /// The current operating mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The current pulser/watcher role.
+    pub fn role(&self) -> Role {
+        self.multiflow.role()
+    }
+
+    /// Every mode switch as `(time_s, new_mode)`.
+    pub fn mode_log(&self) -> &[ModeLogEntry] {
+        &self.mode_log
+    }
+
+    /// The elasticity detector (verdict history, η time series).
+    pub fn detector(&self) -> &ElasticityDetector {
+        &self.detector
+    }
+
+    /// The cross-traffic estimator (ẑ history).
+    pub fn estimator(&self) -> &CrossTrafficEstimator {
+        &self.estimator
+    }
+
+    /// The most recent detector verdict.
+    pub fn last_verdict(&self) -> Option<DetectorVerdict> {
+        self.last_verdict
+    }
+
+    /// Fraction of time spent in delay mode between `t0_s` and `t1_s`
+    /// (computed from the mode log).
+    pub fn delay_mode_fraction(&self, t0_s: f64, t1_s: f64) -> f64 {
+        if t1_s <= t0_s {
+            return 0.0;
+        }
+        let mut total_delay = 0.0;
+        let mut current_mode = Mode::Delay;
+        let mut current_start = t0_s;
+        for &(t, mode) in &self.mode_log {
+            if t <= t0_s {
+                current_mode = mode;
+                continue;
+            }
+            if t >= t1_s {
+                break;
+            }
+            if current_mode == Mode::Delay {
+                total_delay += t - current_start;
+            }
+            current_mode = mode;
+            current_start = t;
+        }
+        if current_mode == Mode::Delay {
+            total_delay += t1_s - current_start;
+        }
+        total_delay / (t1_s - t0_s)
+    }
+
+    /// The bottleneck-rate estimate in use.
+    pub fn mu_bps(&self) -> f64 {
+        self.estimator.mu_bps()
+    }
+
+    fn active(&self) -> &dyn CongestionControl {
+        match self.mode {
+            Mode::Delay => self.delay.as_cc(),
+            Mode::Competitive => self.competitive.as_ref(),
+        }
+    }
+
+    /// The unmodulated rate the active inner controller wants right now.
+    fn base_rate_bps(&self, now: Time) -> f64 {
+        match self.active().pacing_rate_bps(now) {
+            Some(rate) => rate,
+            None => {
+                // Window-based inner controller (Cubic/NewReno): convert the
+                // window to an equivalent rate over the smoothed RTT.
+                let rtt = if self.srtt_s > 0.0 { self.srtt_s } else { 0.1 };
+                self.active().cwnd_packets() * self.cfg.mss as f64 * 8.0 / rtt
+            }
+        }
+    }
+
+    /// Rate the flow was using `lookback_s` seconds ago (for the reset on
+    /// switching to competitive mode).
+    fn rate_at_lookback(&self, lookback_s: f64) -> Option<f64> {
+        let target = self.now_s - lookback_s;
+        self.rate_history
+            .iter()
+            .find(|(t, _)| *t >= target)
+            .map(|&(_, r)| r)
+    }
+
+    /// Current pulse frequency.  A lone Nimbus flow always pulses at `f_p`;
+    /// with multi-flow coordination enabled the pulser uses `f_pc` in
+    /// competitive mode and `f_pd` in delay mode so watchers can read its
+    /// mode out of their receive-rate spectrum (§6).
+    fn current_pulse_freq(&self) -> f64 {
+        if !self.cfg.multiflow.enabled {
+            return self.cfg.elasticity.pulse_freq_hz;
+        }
+        match self.mode {
+            Mode::Competitive => self.cfg.elasticity.pulse_freq_hz,
+            Mode::Delay => self.cfg.pulse_freq_delay_hz,
+        }
+    }
+
+    fn switch_mode(&mut self, new_mode: Mode) {
+        if new_mode == self.mode {
+            return;
+        }
+        if new_mode == Mode::Competitive {
+            // §4.1: reset to the rate from one detection period (5 s) ago.
+            let lookback = self.cfg.elasticity.fft_duration_s;
+            let rate = self
+                .rate_at_lookback(lookback)
+                .unwrap_or_else(|| self.base_rate_bps(Time::from_secs_f64(self.now_s)));
+            let rtt = if self.srtt_s > 0.0 { self.srtt_s } else { 0.05 };
+            self.competitive.reinitialize(rate, rtt, self.cfg.mss);
+        } else {
+            // Entering delay mode: start the delay controller from the rate
+            // the flow is currently achieving so it does not spike the queue.
+            let rate = self.base_rate_bps(Time::from_secs_f64(self.now_s));
+            let rtt = if self.srtt_s > 0.0 { self.srtt_s } else { 0.05 };
+            self.delay.as_cc_mut().reinitialize(rate, rtt, self.cfg.mss);
+        }
+        self.mode = new_mode;
+        self.mode_log.push((self.now_s, new_mode));
+    }
+}
+
+impl CongestionControl for NimbusController {
+    fn on_ack(&mut self, ack: &AckEvent) {
+        let rtt = ack.rtt.as_secs_f64();
+        self.srtt_s = if self.srtt_s == 0.0 {
+            rtt
+        } else {
+            0.875 * self.srtt_s + 0.125 * rtt
+        };
+        // Both inner controllers observe every ACK so that whichever is
+        // activated next starts from sane state.
+        self.competitive.on_ack(ack);
+        self.delay.as_cc_mut().on_ack(ack);
+    }
+
+    fn on_loss(&mut self, now: Time, in_flight_packets: u64) {
+        self.competitive.on_loss(now, in_flight_packets);
+        self.delay.as_cc_mut().on_loss(now, in_flight_packets);
+    }
+
+    fn on_timeout(&mut self, now: Time) {
+        self.competitive.on_timeout(now);
+        self.delay.as_cc_mut().on_timeout(now);
+    }
+
+    fn on_report(&mut self, report: &Report) {
+        self.now_s = report.now_s;
+        // 1. Feed the measurement pipeline.
+        let sample = self.estimator.on_report(report);
+        if let (Some(s), DelayCtl::Basic(bd)) = (sample, &mut self.delay) {
+            bd.set_cross_traffic_estimate(s.z_bps);
+        }
+        // 2. Let both inner controllers see the report.
+        self.competitive.on_report(report);
+        self.delay.as_cc_mut().on_report(report);
+
+        // 3. Record the rate history (for the 5-seconds-ago reset).
+        let now_t = Time::from_secs_f64(report.now_s);
+        let rate_now = self.base_rate_bps(now_t);
+        self.rate_history.push_back((report.now_s, rate_now));
+        let horizon = report.now_s - 2.0 * self.cfg.elasticity.fft_duration_s;
+        while let Some(&(t, _)) = self.rate_history.front() {
+            if t < horizon {
+                self.rate_history.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // 4. Multi-flow coordination.
+        let mu = self.estimator.mu_bps();
+        let sample_rate = 1.0 / self.cfg.elasticity.sample_interval_s;
+        let window_s = self.cfg.elasticity.fft_duration_s;
+        if self.cfg.multiflow.enabled {
+            match self.multiflow.role() {
+                Role::Watcher => {
+                    // Smooth this flow's own rate so the pulser does not
+                    // mistake it for elastic cross traffic (§6).
+                    self.watcher_rate_bps = Some(self.multiflow.shape_rate(rate_now));
+                    let recv = self.estimator.recv_rate_series(window_s);
+                    let presence = self.multiflow.detect_pulser(&recv, sample_rate);
+                    use crate::multiflow::PulserPresence;
+                    match presence {
+                        PulserPresence::Competitive => self.switch_mode(Mode::Competitive),
+                        PulserPresence::Delay => self.switch_mode(Mode::Delay),
+                        PulserPresence::None => {
+                            let recv_rate = report.recv_rate_bps;
+                            self.multiflow.maybe_become_pulser(
+                                report.now_s,
+                                false,
+                                recv_rate,
+                                mu,
+                            );
+                        }
+                    }
+                    // Watchers never pulse.
+                    self.pulse.enabled = false;
+                    return;
+                }
+                Role::Pulser => {
+                    self.watcher_rate_bps = None;
+                    self.pulse.enabled = true;
+                }
+            }
+        }
+
+        // 5. Pulser path: evaluate elasticity and pick the mode.
+        let z_series = self.estimator.z_series(window_s);
+        if let Some(verdict) = self.detector.evaluate(report.now_s, &z_series) {
+            self.last_verdict = Some(verdict);
+            // Multi-pulser conflict check: compare the pulse-frequency content
+            // of ẑ against our own receive rate.
+            if self.cfg.multiflow.enabled {
+                let recv = self.estimator.recv_rate_series(window_s);
+                if recv.len() >= self.cfg.elasticity.window_samples() {
+                    let recv_spectrum =
+                        nimbus_dsp::Spectrum::of_signal(&recv, sample_rate, true);
+                    let recv_peak = recv_spectrum
+                        .peak_near(self.current_pulse_freq(), self.cfg.elasticity.peak_tolerance_hz);
+                    if self
+                        .multiflow
+                        .maybe_step_down(report.now_s, verdict.peak_at_fp, recv_peak)
+                    {
+                        self.pulse.enabled = false;
+                        return;
+                    }
+                }
+            }
+            let new_mode = if verdict.elastic {
+                Mode::Competitive
+            } else {
+                Mode::Delay
+            };
+            self.switch_mode(new_mode);
+        }
+
+        // 6. Keep the pulse generator aligned with the current mode and µ.
+        self.pulse.freq_hz = self.current_pulse_freq();
+        self.pulse.amplitude = self.cfg.pulse_amplitude_fraction * mu;
+        // The detector always listens at the competitive-mode frequency?  No:
+        // it listens at whatever frequency we are currently pulsing at.
+        self.detector.set_pulse_freq(self.current_pulse_freq());
+    }
+
+    fn cwnd_packets(&self) -> f64 {
+        // The window of the active controller, with head-room so that pacing
+        // (not the window) is the binding constraint for rate-based modes.
+        match self.mode {
+            Mode::Competitive => self.competitive.cwnd_packets(),
+            Mode::Delay => self.delay.as_cc().cwnd_packets(),
+        }
+    }
+
+    fn pacing_rate_bps(&self, now: Time) -> Option<f64> {
+        let base = self.base_rate_bps(now);
+        let shaped = if self.cfg.multiflow.enabled && self.multiflow.role() == Role::Watcher {
+            // Watchers smooth their rate (EWMA, updated on the report path)
+            // instead of pulsing.
+            self.watcher_rate_bps.unwrap_or(base)
+        } else {
+            self.pulse.modulate(base, now.as_secs_f64())
+        };
+        Some(shaped.max(self.cfg.mss as f64 * 8.0 / 0.1))
+    }
+
+    fn reinitialize(&mut self, rate_bps: f64, rtt_s: f64, mss: u32) {
+        self.competitive.reinitialize(rate_bps, rtt_s, mss);
+        self.delay.as_cc_mut().reinitialize(rate_bps, rtt_s, mss);
+    }
+
+    fn name(&self) -> &'static str {
+        "nimbus"
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// Convenience: build a complete Nimbus flow endpoint (sender machinery +
+/// Nimbus controller + backlogged source) ready to be added to a
+/// [`Network`](nimbus_netsim::Network).
+pub fn nimbus_flow(cfg: NimbusConfig, label: &str) -> nimbus_transport::Sender {
+    nimbus_transport::Sender::new(
+        nimbus_transport::SenderConfig::labelled(label),
+        Box::new(NimbusController::new(cfg)),
+        Box::new(nimbus_transport::BackloggedSource),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_netsim::{FlowConfig, Network, SimConfig};
+    use nimbus_transport::{BackloggedSource, CcKind, Sender, SenderConfig};
+
+    fn report(now_s: f64, s_bps: f64, r_bps: f64, rtt_s: f64) -> Report {
+        Report {
+            now_s,
+            send_rate_bps: s_bps,
+            recv_rate_bps: r_bps,
+            acked_bytes: 12_000,
+            lost_packets: 0,
+            rtt_s,
+            min_rtt_s: 0.05,
+            window_acks: 40,
+        }
+    }
+
+    fn ack(now_s: f64, rtt_ms: f64) -> AckEvent {
+        AckEvent {
+            now: Time::from_secs_f64(now_s),
+            newly_acked_packets: 1,
+            newly_acked_bytes: 1500,
+            rtt: Time::from_millis_f64(rtt_ms),
+            min_rtt: Time::from_millis_f64(50.0),
+            in_flight_packets: 50,
+            mss: 1500,
+        }
+    }
+
+    #[test]
+    fn starts_in_delay_mode_as_pulser() {
+        let ctl = NimbusController::new(NimbusConfig::default_for_link(96e6));
+        assert_eq!(ctl.mode(), Mode::Delay);
+        assert_eq!(ctl.role(), Role::Pulser);
+        assert_eq!(ctl.mode_log().len(), 1);
+        assert!((ctl.mu_bps() - 96e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn pacing_rate_is_pulsed_around_the_base_rate() {
+        let mut ctl = NimbusController::new(NimbusConfig::default_for_link(96e6));
+        ctl.on_ack(&ack(0.0, 50.0));
+        // Collect the pacing rate over one pulse period and check it swings.
+        let mut rates = Vec::new();
+        for i in 0..200 {
+            let t = i as f64 * 0.001;
+            rates.push(ctl.pacing_rate_bps(Time::from_secs_f64(t)).unwrap());
+        }
+        let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+        let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max - min > 5e6, "pulse swing {} too small", max - min);
+        // Mean stays near the base rate (pulses cancel over a period).
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        let base = rates[0];
+        assert!(mean < base * 3.0 && mean > base / 3.0);
+    }
+
+    /// Drive the controller open-loop with reports synthesized from a given
+    /// cross-traffic behaviour and return the final mode.
+    fn drive_with_cross_traffic(elastic: bool, secs: f64) -> NimbusController {
+        let mu = 96e6;
+        let mut ctl = NimbusController::new(NimbusConfig::default_for_link(mu));
+        ctl.on_ack(&ack(0.0, 60.0));
+        let pulse_probe = PulseGenerator::asymmetric(5.0, 0.25 * mu);
+        let mut t = 0.0;
+        while t < secs {
+            t += 0.01;
+            ctl.on_ack(&ack(t, 60.0));
+            // Our own send rate follows the pulsed pacing rate.
+            let s = ctl
+                .pacing_rate_bps(Time::from_secs_f64(t))
+                .unwrap()
+                .min(mu);
+            // Cross traffic: 48 Mbit/s that either reacts inversely to the
+            // pulses one RTT later (elastic) or ignores them (inelastic).
+            let z = if elastic {
+                48e6 - 0.4 * pulse_probe.offset_at(t - 0.05)
+            } else {
+                48e6
+            };
+            // The receiver sees R = µ·S/(S+z) when the link is saturated.
+            let r = mu * s / (s + z);
+            ctl.on_report(&report(t, s, r, 0.06));
+        }
+        ctl
+    }
+
+    #[test]
+    fn elastic_cross_traffic_switches_to_competitive_mode() {
+        let ctl = drive_with_cross_traffic(true, 12.0);
+        assert_eq!(ctl.mode(), Mode::Competitive);
+        assert!(ctl.mode_log().len() >= 2, "should have switched at least once");
+        // The switch must not have happened before a full FFT window existed.
+        let first_switch = ctl.mode_log()[1].0;
+        assert!(first_switch >= 4.95, "switched too early at {first_switch}");
+        assert!(ctl.last_verdict().unwrap().eta >= 2.0);
+    }
+
+    #[test]
+    fn inelastic_cross_traffic_stays_in_delay_mode() {
+        let ctl = drive_with_cross_traffic(false, 12.0);
+        assert_eq!(ctl.mode(), Mode::Delay);
+        assert!(ctl.delay_mode_fraction(0.0, 12.0) > 0.95);
+    }
+
+    #[test]
+    fn mode_switch_resets_competitive_rate_to_five_seconds_ago() {
+        // Build a controller, keep the delay-mode rate high early and low
+        // late; on the switch the competitive window must reflect the early
+        // (5-seconds-ago) rate rather than the depressed current one.
+        let mu = 96e6;
+        let mut ctl = NimbusController::new(NimbusConfig::default_for_link(mu));
+        ctl.on_ack(&ack(0.0, 50.0));
+        let pulse_probe = PulseGenerator::asymmetric(5.0, 0.25 * mu);
+        let mut t = 0.0;
+        while t < 11.0 {
+            t += 0.01;
+            ctl.on_ack(&ack(t, 55.0));
+            // Delay-mode base rate: pretend the flow sent 60 Mbit/s early,
+            // 20 Mbit/s late (as if an elastic competitor was squeezing it).
+            let s = if t < 6.0 { 60e6 } else { 20e6 };
+            let z = 30e6 - 0.4 * pulse_probe.offset_at(t - 0.05);
+            let r = mu * s / (s + z);
+            ctl.on_report(&report(t, s, r, 0.06));
+        }
+        assert_eq!(ctl.mode(), Mode::Competitive);
+        // The competitive controller was reinitialized from the rate history;
+        // its window should correspond to something well above the late
+        // 20 Mbit/s rate (20 Mbit/s over 55 ms RTT ≈ 92 packets).
+        let cwnd = ctl.cwnd_packets();
+        assert!(cwnd > 120.0, "cwnd {cwnd} suggests the reset used the depressed rate");
+    }
+
+    #[test]
+    fn delay_mode_fraction_accounting() {
+        let mut ctl = NimbusController::new(NimbusConfig::default_for_link(48e6));
+        // Fabricate a mode log: delay 0-10, competitive 10-20, delay 20-30.
+        ctl.mode_log.push((10.0, Mode::Competitive));
+        ctl.mode_log.push((20.0, Mode::Delay));
+        assert!((ctl.delay_mode_fraction(0.0, 30.0) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((ctl.delay_mode_fraction(10.0, 20.0) - 0.0).abs() < 1e-9);
+        assert!((ctl.delay_mode_fraction(20.0, 30.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_to_end_low_delay_against_inelastic_cross_traffic() {
+        // Full simulator run: Nimbus vs 24 Mbit/s Poisson cross traffic on a
+        // 48 Mbit/s link.  Expect near-fair throughput with low queueing delay
+        // (this is the right half of Fig. 1c).
+        let mu = 48e6;
+        let mut net = Network::new(SimConfig::new(mu, 0.1, 40.0));
+        let h = net.add_flow(
+            FlowConfig::primary("nimbus", Time::from_millis(50)),
+            Box::new(nimbus_flow(NimbusConfig::default_for_link(mu), "nimbus")),
+        );
+        net.add_flow(
+            FlowConfig::cross("poisson", Time::from_millis(50), false),
+            Box::new(Sender::new(
+                SenderConfig::labelled("poisson"),
+                CcKind::Unlimited.build(1500),
+                Box::new(nimbus_transport::PoissonSource::new(24e6, 1500, 3)),
+            )),
+        );
+        net.run();
+        let (rec, _) = net.finish();
+        let slot = rec.monitored_slot(h.0).unwrap();
+        let tput = rec.throughput_mbps[slot].mean_in_range(10.0, 40.0);
+        let qd = rec.queue_delay_ms[slot].mean_in_range(10.0, 40.0);
+        assert!(tput > 18.0, "nimbus throughput {tput}");
+        assert!(qd < 40.0, "nimbus queueing delay {qd}");
+    }
+
+    #[test]
+    fn end_to_end_competes_with_cubic_cross_traffic() {
+        // Full simulator run: Nimbus vs one backlogged Cubic flow on a
+        // 48 Mbit/s link (the left half of Fig. 1c).  Expect a roughly fair
+        // share (well above what a pure delay controller would get).
+        let mu = 48e6;
+        let mut net = Network::new(SimConfig::new(mu, 0.1, 60.0));
+        let h = net.add_flow(
+            FlowConfig::primary("nimbus", Time::from_millis(50)),
+            Box::new(nimbus_flow(NimbusConfig::default_for_link(mu), "nimbus")),
+        );
+        net.add_flow(
+            FlowConfig::cross("cubic", Time::from_millis(50), true),
+            Box::new(Sender::new(
+                SenderConfig::labelled("cubic"),
+                CcKind::Cubic.build(1500),
+                Box::new(BackloggedSource),
+            )),
+        );
+        net.run();
+        let (rec, _) = net.finish();
+        let slot = rec.monitored_slot(h.0).unwrap();
+        let tput = rec.throughput_mbps[slot].mean_in_range(20.0, 60.0);
+        assert!(
+            tput > 12.0,
+            "nimbus should hold a reasonable share against cubic, got {tput} Mbit/s"
+        );
+    }
+}

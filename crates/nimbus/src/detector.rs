@@ -1,0 +1,366 @@
+//! The elasticity detector (§3.3–§3.4 of the paper).
+//!
+//! The detector watches the estimated cross-traffic rate `ẑ(t)`, sampled on
+//! every measurement tick, over a sliding window (5 seconds by default).  It
+//! computes the FFT of that window and forms the elasticity metric
+//!
+//! ```text
+//! η = |FFT_ẑ(f_p)| / max_{f ∈ (f_p, 2·f_p)} |FFT_ẑ(f)|        (Eq. 3)
+//! ```
+//!
+//! If the cross traffic contains ACK-clocked (elastic) flows they oscillate
+//! at the pulse frequency `f_p`, producing a pronounced peak there; inelastic
+//! traffic spreads its energy over all frequencies.  A hard threshold
+//! `η ≥ η_thresh` (2 by default, chosen in §3.4 from the Fig. 6 CDFs) yields
+//! the binary verdict.
+//!
+//! The time-domain cross-correlation detector that the paper describes — and
+//! rejects — as its first attempt (§3.3) is also implemented
+//! ([`ElasticityDetector::cross_correlation`]) so the ablation benches can
+//! compare the two.
+
+use nimbus_dsp::{Fft, Spectrum, WindowFunction};
+use serde::{Deserialize, Serialize};
+
+/// Detector configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ElasticityConfig {
+    /// Pulse frequency `f_p` to look for, Hz (5 Hz by default).
+    pub pulse_freq_hz: f64,
+    /// Length of the FFT window, seconds (5 s by default, §3.4).
+    pub fft_duration_s: f64,
+    /// Sample interval of the ẑ series, seconds (10 ms: the CCP report tick).
+    pub sample_interval_s: f64,
+    /// Decision threshold `η_thresh ≥ 1` (2 by default).
+    pub eta_threshold: f64,
+    /// Tolerance around `f_p` when locating its peak, Hz.
+    pub peak_tolerance_hz: f64,
+    /// Window function applied before the FFT.
+    pub window: WindowFunction,
+}
+
+impl Default for ElasticityConfig {
+    fn default() -> Self {
+        ElasticityConfig {
+            pulse_freq_hz: 5.0,
+            fft_duration_s: 5.0,
+            sample_interval_s: 0.01,
+            eta_threshold: 2.0,
+            peak_tolerance_hz: 0.25,
+            window: WindowFunction::Rectangular,
+        }
+    }
+}
+
+impl ElasticityConfig {
+    /// Number of samples in a full detection window.
+    pub fn window_samples(&self) -> usize {
+        (self.fft_duration_s / self.sample_interval_s).round() as usize
+    }
+
+    /// Sampling rate of the ẑ series in Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        1.0 / self.sample_interval_s
+    }
+}
+
+/// The detector's output for one evaluation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DetectorVerdict {
+    /// Evaluation time (seconds).
+    pub t_s: f64,
+    /// The elasticity metric η.
+    pub eta: f64,
+    /// η compared against the threshold.
+    pub elastic: bool,
+    /// |FFT_ẑ(f_p)| (diagnostics).
+    pub peak_at_fp: f64,
+    /// max over the comparison band (diagnostics).
+    pub band_max: f64,
+}
+
+/// The elasticity detector.
+#[derive(Debug, Clone)]
+pub struct ElasticityDetector {
+    cfg: ElasticityConfig,
+    fft_plan: Fft,
+    /// Log of every verdict, for experiment post-processing.
+    verdicts: Vec<DetectorVerdict>,
+}
+
+impl ElasticityDetector {
+    /// Create a detector.
+    pub fn new(cfg: ElasticityConfig) -> Self {
+        let n = cfg.window_samples().max(8);
+        ElasticityDetector {
+            cfg,
+            fft_plan: Fft::new(n),
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ElasticityConfig {
+        &self.cfg
+    }
+
+    /// Change the pulse frequency being looked for (used by watchers that
+    /// track the pulser's mode, and by the 2 Hz slow-pulse variant of App. F).
+    pub fn set_pulse_freq(&mut self, freq_hz: f64) {
+        self.cfg.pulse_freq_hz = freq_hz;
+    }
+
+    /// Compute the elasticity metric η for a ẑ series sampled at the
+    /// configured rate.  Returns `None` until a full window of samples exists.
+    pub fn eta(&self, z_series: &[f64]) -> Option<(f64, f64, f64)> {
+        let needed = self.cfg.window_samples();
+        if z_series.len() < needed {
+            return None;
+        }
+        let window = &z_series[z_series.len() - needed..];
+        let mut buf: Vec<f64> = window.to_vec();
+        self.cfg.window.apply(&mut buf);
+        let spectrum = Spectrum::of_signal_with_plan(
+            &self.fft_plan,
+            &buf,
+            self.cfg.sample_rate_hz(),
+            true,
+        );
+        let fp = self.cfg.pulse_freq_hz;
+        let peak = spectrum.peak_near(fp, self.cfg.peak_tolerance_hz);
+        // The comparison band (f_p, 2 f_p): start just above the peak
+        // tolerance so the pulse's own leakage is not counted.
+        let band = spectrum.peak_in_open_band(fp + self.cfg.peak_tolerance_hz, 2.0 * fp);
+        let eta = if band > 0.0 { peak / band } else { f64::INFINITY };
+        Some((eta, peak, band))
+    }
+
+    /// Evaluate the detector at time `t_s` on the current ẑ series and record
+    /// the verdict.  Returns `None` until a full window of samples exists.
+    pub fn evaluate(&mut self, t_s: f64, z_series: &[f64]) -> Option<DetectorVerdict> {
+        let (eta, peak, band) = self.eta(z_series)?;
+        let verdict = DetectorVerdict {
+            t_s,
+            eta,
+            elastic: eta >= self.cfg.eta_threshold,
+            peak_at_fp: peak,
+            band_max: band,
+        };
+        self.verdicts.push(verdict);
+        Some(verdict)
+    }
+
+    /// The most recent verdict, if any.
+    pub fn last_verdict(&self) -> Option<DetectorVerdict> {
+        self.verdicts.last().copied()
+    }
+
+    /// Every verdict recorded so far.
+    pub fn verdicts(&self) -> &[DetectorVerdict] {
+        &self.verdicts
+    }
+
+    /// Fraction of recorded verdicts (in `[t0, t1]`) that judged the traffic elastic.
+    pub fn elastic_fraction(&self, t0_s: f64, t1_s: f64) -> f64 {
+        let in_range: Vec<&DetectorVerdict> = self
+            .verdicts
+            .iter()
+            .filter(|v| v.t_s >= t0_s && v.t_s <= t1_s)
+            .collect();
+        if in_range.is_empty() {
+            return 0.0;
+        }
+        in_range.iter().filter(|v| v.elastic).count() as f64 / in_range.len() as f64
+    }
+
+    /// The time-domain alternative the paper discards (§3.3): normalized
+    /// cross-correlation between the pulse waveform `s(t)` and `ẑ(t)`,
+    /// maximized over lags up to `max_lag_s`.  Exposed for the ablation bench.
+    pub fn cross_correlation(
+        &self,
+        pulse_series: &[f64],
+        z_series: &[f64],
+        max_lag_s: f64,
+    ) -> f64 {
+        let n = pulse_series.len().min(z_series.len());
+        if n < 8 {
+            return 0.0;
+        }
+        let s = &pulse_series[pulse_series.len() - n..];
+        let z = &z_series[z_series.len() - n..];
+        let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+        let ms = mean(s);
+        let mz = mean(z);
+        let norm_s: f64 = s.iter().map(|x| (x - ms) * (x - ms)).sum::<f64>().sqrt();
+        let norm_z: f64 = z.iter().map(|x| (x - mz) * (x - mz)).sum::<f64>().sqrt();
+        if norm_s < 1e-12 || norm_z < 1e-12 {
+            return 0.0;
+        }
+        let max_lag = ((max_lag_s / self.cfg.sample_interval_s) as usize).min(n / 2);
+        let mut best: f64 = 0.0;
+        for lag in 0..=max_lag {
+            let mut acc = 0.0;
+            for i in 0..n - lag {
+                acc += (s[i] - ms) * (z[i + lag] - mz);
+            }
+            best = best.max((acc / (norm_s * norm_z)).abs());
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimbus_dsp::PulseGenerator;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Synthesize a ẑ series: `base + reaction·pulse(t - lag) + noise`.
+    fn synthetic_z(
+        cfg: &ElasticityConfig,
+        secs: f64,
+        base: f64,
+        reaction_amp: f64,
+        lag_s: f64,
+        noise_amp: f64,
+        seed: u64,
+    ) -> Vec<f64> {
+        let gen = PulseGenerator::asymmetric(cfg.pulse_freq_hz, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = (secs / cfg.sample_interval_s) as usize;
+        (0..n)
+            .map(|i| {
+                let t = i as f64 * cfg.sample_interval_s;
+                // Elastic cross traffic reacts inversely to the pulse, one RTT later.
+                let reaction = -reaction_amp * gen.offset_at(t - lag_s);
+                let noise = noise_amp * (rng.gen::<f64>() - 0.5) * 2.0;
+                (base + reaction + noise).max(0.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn needs_a_full_window_before_deciding() {
+        let cfg = ElasticityConfig::default();
+        let mut det = ElasticityDetector::new(cfg.clone());
+        let short = vec![1e6; cfg.window_samples() - 1];
+        assert!(det.evaluate(1.0, &short).is_none());
+        let full = vec![1e6; cfg.window_samples()];
+        assert!(det.evaluate(2.0, &full).is_some());
+        assert_eq!(det.verdicts().len(), 1);
+    }
+
+    #[test]
+    fn reacting_cross_traffic_is_classified_elastic() {
+        let cfg = ElasticityConfig::default();
+        let mut det = ElasticityDetector::new(cfg.clone());
+        // Cross traffic reacting (after a 50 ms RTT) with amplitude 8 Mbit/s,
+        // noise 2 Mbit/s.
+        let z = synthetic_z(&cfg, 6.0, 48e6, 8e6, 0.05, 2e6, 1);
+        let v = det.evaluate(6.0, &z).unwrap();
+        assert!(v.elastic, "eta = {}", v.eta);
+        assert!(v.eta > 2.0);
+    }
+
+    #[test]
+    fn non_reacting_cross_traffic_is_classified_inelastic() {
+        let cfg = ElasticityConfig::default();
+        let mut det = ElasticityDetector::new(cfg.clone());
+        // Pure noise around a constant rate: no component at f_p beyond chance.
+        let z = synthetic_z(&cfg, 6.0, 48e6, 0.0, 0.0, 6e6, 2);
+        let v = det.evaluate(6.0, &z).unwrap();
+        assert!(!v.elastic, "eta = {}", v.eta);
+    }
+
+    #[test]
+    fn detection_is_robust_to_the_cross_traffic_rtt() {
+        // §3.3: the frequency-domain method does not need to know the cross
+        // traffic's RTT.  Sweep the reaction lag from 10 ms to 200 ms.
+        let cfg = ElasticityConfig::default();
+        for lag_ms in [10.0, 50.0, 100.0, 150.0, 200.0] {
+            let mut det = ElasticityDetector::new(cfg.clone());
+            let z = synthetic_z(&cfg, 6.0, 48e6, 8e6, lag_ms / 1000.0, 2e6, 3);
+            let v = det.evaluate(6.0, &z).unwrap();
+            assert!(v.elastic, "lag {lag_ms} ms: eta = {}", v.eta);
+        }
+    }
+
+    #[test]
+    fn eta_grows_with_the_elastic_fraction() {
+        // Fig. 6: the more of the cross traffic is elastic, the higher η.
+        let cfg = ElasticityConfig::default();
+        let det = ElasticityDetector::new(cfg.clone());
+        let eta_for = |amp: f64| {
+            let z = synthetic_z(&cfg, 6.0, 48e6, amp, 0.05, 3e6, 7);
+            det.eta(&z).unwrap().0
+        };
+        let none = eta_for(0.0);
+        let some = eta_for(4e6);
+        let lots = eta_for(12e6);
+        assert!(some > none, "{some} vs {none}");
+        assert!(lots > some, "{lots} vs {some}");
+    }
+
+    #[test]
+    fn mixed_rtts_superimpose_rather_than_cancel() {
+        // Two elastic responses with different RTTs still produce a peak at f_p.
+        let cfg = ElasticityConfig::default();
+        let mut det = ElasticityDetector::new(cfg.clone());
+        let a = synthetic_z(&cfg, 6.0, 24e6, 5e6, 0.03, 1e6, 11);
+        let b = synthetic_z(&cfg, 6.0, 24e6, 5e6, 0.17, 1e6, 12);
+        let z: Vec<f64> = a.iter().zip(b.iter()).map(|(x, y)| x + y).collect();
+        let v = det.evaluate(6.0, &z).unwrap();
+        assert!(v.elastic, "eta = {}", v.eta);
+    }
+
+    #[test]
+    fn verdict_log_and_fraction() {
+        let cfg = ElasticityConfig::default();
+        let mut det = ElasticityDetector::new(cfg.clone());
+        let elastic = synthetic_z(&cfg, 6.0, 48e6, 8e6, 0.05, 2e6, 4);
+        let inelastic = synthetic_z(&cfg, 6.0, 48e6, 0.0, 0.0, 6e6, 5);
+        det.evaluate(1.0, &elastic);
+        det.evaluate(2.0, &elastic);
+        det.evaluate(3.0, &inelastic);
+        assert_eq!(det.verdicts().len(), 3);
+        assert!((det.elastic_fraction(0.0, 10.0) - 2.0 / 3.0).abs() < 1e-9);
+        assert!((det.elastic_fraction(2.5, 10.0) - 0.0).abs() < 1e-9);
+        assert!(det.last_verdict().is_some());
+    }
+
+    #[test]
+    fn changing_pulse_frequency_moves_the_detection_band() {
+        // A detector listening at 2 Hz must not fire on a 5 Hz reaction
+        // (and vice versa) — this is what Appendix F exploits.
+        let cfg5 = ElasticityConfig::default();
+        let z5 = synthetic_z(&cfg5, 6.0, 48e6, 8e6, 0.05, 2e6, 21);
+        let mut det2 = ElasticityDetector::new(ElasticityConfig {
+            pulse_freq_hz: 2.0,
+            ..ElasticityConfig::default()
+        });
+        let v = det2.evaluate(6.0, &z5).unwrap();
+        assert!(!v.elastic, "2 Hz detector fired on 5 Hz reaction: eta {}", v.eta);
+    }
+
+    #[test]
+    fn cross_correlation_needs_alignment_but_fft_does_not() {
+        // The time-domain method degrades with unknown lag; the FFT does not.
+        let cfg = ElasticityConfig::default();
+        let det = ElasticityDetector::new(cfg.clone());
+        let gen = PulseGenerator::asymmetric(cfg.pulse_freq_hz, 1.0);
+        let n = (6.0 / cfg.sample_interval_s) as usize;
+        let pulses: Vec<f64> = (0..n)
+            .map(|i| gen.offset_at(i as f64 * cfg.sample_interval_s))
+            .collect();
+        let aligned = synthetic_z(&cfg, 6.0, 48e6, 8e6, 0.0, 1e6, 31);
+        let late = synthetic_z(&cfg, 6.0, 48e6, 8e6, 0.13, 1e6, 31);
+        // With zero allowed lag the correlation collapses for the late signal...
+        let c_aligned = det.cross_correlation(&pulses, &aligned, 0.0);
+        let c_late = det.cross_correlation(&pulses, &late, 0.0);
+        assert!(c_aligned > c_late * 1.5, "{c_aligned} vs {c_late}");
+        // ...while η stays high for both.
+        let eta_late = det.eta(&late).unwrap().0;
+        assert!(eta_late > 2.0);
+    }
+}

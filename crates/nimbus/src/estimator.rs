@@ -1,0 +1,262 @@
+//! Cross-traffic rate estimation (Eq. 1 of the paper).
+//!
+//! With a known bottleneck rate `µ`, a busy bottleneck queue and FIFO
+//! service, the share of the link a flow receives equals its share of the
+//! arriving traffic, so
+//!
+//! ```text
+//! R/µ = S / (S + z)        ⇒        ẑ = µ·S/R − S
+//! ```
+//!
+//! where `S` and `R` are the flow's send and receive rates measured over the
+//! *same* window of packets (Eq. 2; the sender machinery provides them via
+//! the CCP-style [`Report`]).  The estimator also keeps the sampled history
+//! of `ẑ` (and of `R`) that the elasticity detector's FFT consumes, and a
+//! max-filter estimate of `µ` for deployments where the link rate is not
+//! supplied (§4.2).
+
+use nimbus_dsp::WindowedMax;
+use nimbus_transport::Report;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One sample of the estimator's output.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ZSample {
+    /// Sample time in seconds.
+    pub t_s: f64,
+    /// Estimated cross-traffic rate, bits/s.
+    pub z_bps: f64,
+    /// The flow's own receive rate at that time, bits/s.
+    pub recv_rate_bps: f64,
+    /// The flow's own send rate at that time, bits/s.
+    pub send_rate_bps: f64,
+}
+
+/// Cross-traffic rate estimator with sample history.
+#[derive(Debug, Clone)]
+pub struct CrossTrafficEstimator {
+    /// Known bottleneck rate, bits/s (`None` ⇒ estimate from max receive rate).
+    configured_mu: Option<f64>,
+    /// Max-filter over the receive rate used when `µ` is not supplied.
+    mu_filter: WindowedMax,
+    /// History of samples, bounded to `history_window_s`.
+    samples: VecDeque<ZSample>,
+    history_window_s: f64,
+    /// Last computed value (for cheap access between reports).
+    last: Option<ZSample>,
+}
+
+impl CrossTrafficEstimator {
+    /// An estimator with a known (configured) bottleneck rate.
+    pub fn with_known_mu(mu_bps: f64, history_window_s: f64) -> Self {
+        assert!(mu_bps > 0.0, "µ must be positive");
+        CrossTrafficEstimator {
+            configured_mu: Some(mu_bps),
+            mu_filter: WindowedMax::new(10.0),
+            samples: VecDeque::new(),
+            history_window_s,
+            last: None,
+        }
+    }
+
+    /// An estimator that learns `µ` as the maximum observed receive rate
+    /// over a 10-second window (the BBR-style approach of §4.2).
+    pub fn with_estimated_mu(history_window_s: f64) -> Self {
+        CrossTrafficEstimator {
+            configured_mu: None,
+            mu_filter: WindowedMax::new(10.0),
+            samples: VecDeque::new(),
+            history_window_s,
+            last: None,
+        }
+    }
+
+    /// The bottleneck rate currently in use.
+    pub fn mu_bps(&self) -> f64 {
+        match self.configured_mu {
+            Some(mu) => mu,
+            None => self.mu_filter.max().unwrap_or(0.0),
+        }
+    }
+
+    /// Estimate ẑ from send and receive rates (Eq. 1), clamped to `[0, µ]`.
+    pub fn estimate(&self, send_rate_bps: f64, recv_rate_bps: f64) -> Option<f64> {
+        let mu = self.mu_bps();
+        if mu <= 0.0 || send_rate_bps <= 0.0 || recv_rate_bps <= 0.0 {
+            return None;
+        }
+        let z = mu * send_rate_bps / recv_rate_bps - send_rate_bps;
+        Some(z.clamp(0.0, mu))
+    }
+
+    /// Ingest a measurement report; returns the new sample if one was produced.
+    pub fn on_report(&mut self, report: &Report) -> Option<ZSample> {
+        if self.configured_mu.is_none() && report.recv_rate_bps > 0.0 {
+            self.mu_filter.update(report.now_s, report.recv_rate_bps);
+        }
+        let z = self.estimate(report.send_rate_bps, report.recv_rate_bps)?;
+        let sample = ZSample {
+            t_s: report.now_s,
+            z_bps: z,
+            recv_rate_bps: report.recv_rate_bps,
+            send_rate_bps: report.send_rate_bps,
+        };
+        self.samples.push_back(sample);
+        while let Some(front) = self.samples.front() {
+            if report.now_s - front.t_s > self.history_window_s {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.last = Some(sample);
+        Some(sample)
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<ZSample> {
+        self.last
+    }
+
+    /// The ẑ series (bits/s) covering at most the last `window_s` seconds,
+    /// oldest first — the input to the detector's FFT.
+    pub fn z_series(&self, window_s: f64) -> Vec<f64> {
+        let latest = match self.samples.back() {
+            Some(s) => s.t_s,
+            None => return Vec::new(),
+        };
+        self.samples
+            .iter()
+            .filter(|s| latest - s.t_s <= window_s)
+            .map(|s| s.z_bps)
+            .collect()
+    }
+
+    /// The receive-rate series over the same window (used by watcher flows,
+    /// which look for the pulser's oscillation in their own `R`).
+    pub fn recv_rate_series(&self, window_s: f64) -> Vec<f64> {
+        let latest = match self.samples.back() {
+            Some(s) => s.t_s,
+            None => return Vec::new(),
+        };
+        self.samples
+            .iter()
+            .filter(|s| latest - s.t_s <= window_s)
+            .map(|s| s.recv_rate_bps)
+            .collect()
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(now_s: f64, s_bps: f64, r_bps: f64) -> Report {
+        Report {
+            now_s,
+            send_rate_bps: s_bps,
+            recv_rate_bps: r_bps,
+            acked_bytes: 0,
+            lost_packets: 0,
+            rtt_s: 0.05,
+            min_rtt_s: 0.05,
+            window_acks: 50,
+        }
+    }
+
+    #[test]
+    fn estimate_matches_equation_one() {
+        let est = CrossTrafficEstimator::with_known_mu(96e6, 5.0);
+        // S = 40, R = 40*96/(40+z). With z = 24: R = 40*96/64 = 60.
+        let z = est.estimate(40e6, 60e6).unwrap();
+        assert!((z - 24e6).abs() < 1.0, "z {z}");
+        // No cross traffic: R == S-ish when S == µ... with S=R the estimate is µ−S.
+        let z = est.estimate(96e6, 96e6).unwrap();
+        assert!(z.abs() < 1.0);
+    }
+
+    #[test]
+    fn estimate_is_clamped_to_physical_range() {
+        let est = CrossTrafficEstimator::with_known_mu(96e6, 5.0);
+        // R > µ (measurement noise) would give negative z: clamp to 0.
+        assert_eq!(est.estimate(40e6, 100e6).unwrap(), 0.0);
+        // Tiny R gives enormous z: clamp to µ.
+        assert_eq!(est.estimate(40e6, 1e5).unwrap(), 96e6);
+        // Degenerate inputs give None.
+        assert!(est.estimate(0.0, 10e6).is_none());
+        assert!(est.estimate(10e6, 0.0).is_none());
+    }
+
+    #[test]
+    fn relative_error_is_small_across_operating_points() {
+        // §3.1 reports median relative error ~1.3%; in a noiseless setting the
+        // estimator should be essentially exact for any (S, z) combination.
+        let mu: f64 = 96e6;
+        let est = CrossTrafficEstimator::with_known_mu(mu, 5.0);
+        for &s in &[6e6, 12e6, 24e6, 48e6, 72e6] {
+            for &z in &[0.0, 8e6, 24e6, 48e6, 80e6] {
+                // Only meaningful when the link is saturated (queue busy).
+                if s + z < mu {
+                    continue;
+                }
+                let r = mu * s / (s + z);
+                let zhat = est.estimate(s, r).unwrap();
+                assert!(
+                    (zhat - z).abs() <= 1.0,
+                    "S={s} z={z} -> zhat={zhat}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn history_is_windowed_and_ordered() {
+        let mut est = CrossTrafficEstimator::with_known_mu(96e6, 5.0);
+        for i in 0..1000 {
+            let t = i as f64 * 0.01;
+            est.on_report(&report(t, 48e6, 64e6));
+        }
+        assert!(est.len() <= 502, "history length {}", est.len());
+        let series = est.z_series(5.0);
+        assert!(!series.is_empty());
+        // All values equal the analytic z = 96*48/64 - 48 = 24 Mbit/s.
+        assert!(series.iter().all(|&z| (z - 24e6).abs() < 1.0));
+        let shorter = est.z_series(1.0);
+        assert!(shorter.len() < series.len());
+    }
+
+    #[test]
+    fn mu_is_learned_from_max_receive_rate_when_not_configured() {
+        let mut est = CrossTrafficEstimator::with_estimated_mu(5.0);
+        assert_eq!(est.mu_bps(), 0.0);
+        est.on_report(&report(0.0, 40e6, 40e6));
+        est.on_report(&report(0.1, 80e6, 88e6));
+        est.on_report(&report(0.2, 40e6, 44e6));
+        assert!((est.mu_bps() - 88e6).abs() < 1.0);
+        // With µ learned, estimates become available.
+        let s = est.on_report(&report(0.3, 44e6, 44e6)).unwrap();
+        assert!((s.z_bps - 44e6).abs() < 1e3);
+    }
+
+    #[test]
+    fn recv_series_matches_reports() {
+        let mut est = CrossTrafficEstimator::with_known_mu(96e6, 5.0);
+        for i in 0..100 {
+            est.on_report(&report(i as f64 * 0.01, 48e6, 50e6 + i as f64 * 1e5));
+        }
+        let rs = est.recv_rate_series(5.0);
+        assert_eq!(rs.len(), est.len());
+        assert!(rs.windows(2).all(|w| w[1] >= w[0]));
+    }
+}

@@ -1,0 +1,43 @@
+//! # nimbus-core
+//!
+//! The paper's contribution: **elasticity detection** and the **Nimbus**
+//! mode-switching congestion controller.
+//!
+//! The pipeline, end to end (§3–§6 of the paper):
+//!
+//! 1. The sender modulates its pacing rate with an **asymmetric sinusoidal
+//!    pulse** at a known frequency `f_p` (Fig. 7, [`nimbus_dsp::pulse`]).
+//! 2. From the CCP-style measurement reports (send rate `S`, receive rate
+//!    `R`) and the known bottleneck rate `µ`, the [`estimator`] computes the
+//!    cross-traffic rate `ẑ = µ·S/R − S` (Eq. 1).
+//! 3. The [`detector`] keeps the last five seconds of `ẑ` samples, takes an
+//!    FFT, and computes the elasticity metric
+//!    `η = |FFT_ẑ(f_p)| / max_{f∈(f_p,2f_p)} |FFT_ẑ(f)|` (Eq. 3).  `η ≥ 2`
+//!    means some of the cross traffic is reacting to the pulses — it contains
+//!    elastic (ACK-clocked) flows.
+//! 4. The [`controller`] uses the detector to switch between a
+//!    **TCP-competitive** inner controller (Cubic or NewReno) and a
+//!    **delay-controlling** one ([`basic_delay::BasicDelay`], Vegas or Copa's
+//!    default mode), resetting the rate to its value from five seconds ago
+//!    when entering competitive mode (§4.1).
+//! 5. With several Nimbus flows on one bottleneck, [`multiflow`] implements
+//!    the pulser/watcher protocol and the randomized pulser election of §6.
+//!
+//! Everything is deterministic and simulator-agnostic: the controller is a
+//! [`nimbus_transport::CongestionControl`], so it plugs into the same sender
+//! machinery as every baseline.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod basic_delay;
+pub mod controller;
+pub mod detector;
+pub mod estimator;
+pub mod multiflow;
+
+pub use basic_delay::{BasicDelay, BasicDelayConfig};
+pub use controller::{DelayScheme, Mode, NimbusConfig, NimbusController, TcpScheme};
+pub use detector::{DetectorVerdict, ElasticityConfig, ElasticityDetector};
+pub use estimator::CrossTrafficEstimator;
+pub use multiflow::{MultiflowConfig, Role};

@@ -1,0 +1,203 @@
+//! Congestion-control algorithms.
+//!
+//! Every scheme the paper evaluates or uses as a building block is
+//! implemented here against one small trait, [`CongestionControl`], which the
+//! [`Sender`](crate::sender::Sender) machinery drives:
+//!
+//! | Module       | Scheme          | Role in the paper                                   |
+//! |--------------|-----------------|------------------------------------------------------|
+//! | [`reno`]     | NewReno         | TCP-competitive mode option; elastic cross traffic    |
+//! | [`cubic`]    | Cubic           | default TCP-competitive mode; elastic cross traffic   |
+//! | [`vegas`]    | Vegas           | delay-control mode option; baseline                   |
+//! | [`copa`]     | Copa            | delay-control mode option; mode-switching baseline    |
+//! | [`bbr`]      | BBR             | baseline                                              |
+//! | [`vivace`]   | PCC-Vivace      | baseline; rate-based (non-ACK-clocked) elastic flow   |
+//! | [`compound`] | Compound TCP    | baseline                                              |
+//! | [`constant`] | CBR / unlimited | inelastic cross traffic                                |
+//! | [`basic_delay`] | BasicDelay   | the paper's Eq. 4 delay controller (used by Nimbus)   |
+//!
+//! `BasicDelay` needs the cross-traffic estimate, so it lives in
+//! `nimbus-core`; everything else is here.
+
+pub mod bbr;
+pub mod compound;
+pub mod constant;
+pub mod copa;
+pub mod cubic;
+pub mod reno;
+pub mod vegas;
+pub mod vivace;
+
+use crate::ccp::Report;
+use nimbus_netsim::Time;
+
+/// Everything a congestion controller learns from one (new, non-duplicate) ACK.
+#[derive(Debug, Clone, Copy)]
+pub struct AckEvent {
+    /// Time the ACK arrived.
+    pub now: Time,
+    /// Segments newly acknowledged by this ACK.
+    pub newly_acked_packets: u64,
+    /// Bytes newly acknowledged by this ACK.
+    pub newly_acked_bytes: u64,
+    /// RTT sample carried by this ACK.
+    pub rtt: Time,
+    /// Smallest RTT observed so far on this connection.
+    pub min_rtt: Time,
+    /// Segments in flight after processing this ACK.
+    pub in_flight_packets: u64,
+    /// The flow's maximum segment size in bytes.
+    pub mss: u32,
+}
+
+/// A congestion-control algorithm.
+///
+/// The controller exposes a congestion window (in packets) and, optionally, a
+/// pacing rate.  Window-only schemes (Reno, Cubic, Vegas, …) return `None`
+/// from [`CongestionControl::pacing_rate_bps`] and are therefore purely
+/// ACK-clocked — which is what makes them *elastic* in the paper's sense.
+/// Rate-based schemes (BBR, Vivace, CBR, Nimbus) return a pacing rate; their
+/// window then acts only as a safety cap.
+pub trait CongestionControl: Send {
+    /// Process a new (non-duplicate) ACK.
+    fn on_ack(&mut self, ack: &AckEvent);
+
+    /// A loss was detected by duplicate ACKs (fast retransmit).
+    fn on_loss(&mut self, now: Time, in_flight_packets: u64);
+
+    /// A retransmission timeout fired.
+    fn on_timeout(&mut self, now: Time);
+
+    /// A periodic (10 ms) CCP-style measurement report.
+    fn on_report(&mut self, _report: &Report) {}
+
+    /// Current congestion window in packets.
+    fn cwnd_packets(&self) -> f64;
+
+    /// Current pacing rate in bits/s, or `None` for pure window/ACK clocking.
+    fn pacing_rate_bps(&self, _now: Time) -> Option<f64> {
+        None
+    }
+
+    /// Reinitialize the controller to operate at roughly `rate_bps` given an
+    /// RTT of `rtt_s` seconds.  Nimbus uses this when switching into its
+    /// TCP-competitive mode: "Nimbus sets the rate (and equivalent window) to
+    /// the rate that was used 5 seconds ago" (§4.1).  The default is a no-op.
+    fn reinitialize(&mut self, _rate_bps: f64, _rtt_s: f64, _mss: u32) {}
+
+    /// Short name for labels and result tables.
+    fn name(&self) -> &'static str;
+
+    /// Downcast support: controllers that want to expose internal logs to the
+    /// experiment harness (Nimbus does) return `Some(self)` here.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// The congestion-control schemes available to experiment configurations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CcKind {
+    /// TCP NewReno.
+    NewReno,
+    /// TCP Cubic.
+    Cubic,
+    /// TCP Vegas.
+    Vegas,
+    /// Copa (with its own default/competitive mode switching).
+    Copa,
+    /// BBR (model of v1).
+    Bbr,
+    /// PCC-Vivace.
+    Vivace,
+    /// Compound TCP.
+    Compound,
+    /// Constant-bit-rate (paced, unlimited window) at the given rate.
+    ConstantRate(f64),
+    /// No congestion control at all: send whenever the application has data.
+    Unlimited,
+}
+
+impl CcKind {
+    /// Instantiate the scheme.  `mss` and the flow's propagation RTT estimate
+    /// are needed by some controllers for initialization.
+    pub fn build(self, mss: u32) -> Box<dyn CongestionControl> {
+        match self {
+            CcKind::NewReno => Box::new(reno::NewReno::new()),
+            CcKind::Cubic => Box::new(cubic::Cubic::new()),
+            CcKind::Vegas => Box::new(vegas::Vegas::new()),
+            CcKind::Copa => Box::new(copa::Copa::new()),
+            CcKind::Bbr => Box::new(bbr::Bbr::new(mss)),
+            CcKind::Vivace => Box::new(vivace::Vivace::new(mss)),
+            CcKind::Compound => Box::new(compound::Compound::new()),
+            CcKind::ConstantRate(bps) => Box::new(constant::ConstantRate::new(bps)),
+            CcKind::Unlimited => Box::new(constant::Unlimited::new()),
+        }
+    }
+
+    /// Whether this scheme is, per Table 1 of the paper, expected to be
+    /// classified as elastic by the detector when running as a backlogged flow.
+    pub fn expected_elastic(self) -> bool {
+        match self {
+            CcKind::NewReno
+            | CcKind::Cubic
+            | CcKind::Vegas
+            | CcKind::Copa
+            | CcKind::Compound => true,
+            // BBR: "Elastic*" (only when CWND-limited); Vivace: "Inelastic*".
+            CcKind::Bbr => true,
+            CcKind::Vivace => false,
+            CcKind::ConstantRate(_) | CcKind::Unlimited => false,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcKind::NewReno => "newreno",
+            CcKind::Cubic => "cubic",
+            CcKind::Vegas => "vegas",
+            CcKind::Copa => "copa",
+            CcKind::Bbr => "bbr",
+            CcKind::Vivace => "pcc-vivace",
+            CcKind::Compound => "compound",
+            CcKind::ConstantRate(_) => "cbr",
+            CcKind::Unlimited => "unlimited",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factory_builds_every_kind() {
+        for kind in [
+            CcKind::NewReno,
+            CcKind::Cubic,
+            CcKind::Vegas,
+            CcKind::Copa,
+            CcKind::Bbr,
+            CcKind::Vivace,
+            CcKind::Compound,
+            CcKind::ConstantRate(10e6),
+            CcKind::Unlimited,
+        ] {
+            let cc = kind.build(1500);
+            assert!(!cc.name().is_empty());
+            assert!(cc.cwnd_packets() > 0.0, "{} must start with a window", cc.name());
+        }
+    }
+
+    #[test]
+    fn table1_expectations() {
+        // Table 1 of the paper.
+        assert!(CcKind::Cubic.expected_elastic());
+        assert!(CcKind::NewReno.expected_elastic());
+        assert!(CcKind::Copa.expected_elastic());
+        assert!(CcKind::Vegas.expected_elastic());
+        assert!(!CcKind::Vivace.expected_elastic());
+        assert!(!CcKind::ConstantRate(1e6).expected_elastic());
+    }
+}

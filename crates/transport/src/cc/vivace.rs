@@ -1,0 +1,318 @@
+//! PCC-Vivace (Dong et al., NSDI 2018 — the paper's reference [7]).
+//!
+//! Vivace is a rate-based, online-learning controller.  Time is divided into
+//! monitor intervals (MIs) of roughly one RTT; in each MI the sender measures
+//! the achieved rate, loss rate and the RTT gradient, computes a utility
+//!
+//! ```text
+//! U(x) = x^0.9 − b · x · max(0, dRTT/dt) − c · x · loss
+//! ```
+//!
+//! and moves its rate along the utility gradient.  Crucially for the paper,
+//! Vivace reacts over MIs — *not* on ACK arrival — so it is **not**
+//! ACK-clocked; the detector classifies it inelastic at the default 5 Hz
+//! pulse and elastic at 2 Hz (Table 1, Appendix F).
+
+use super::{AckEvent, CongestionControl};
+use crate::ccp::Report;
+use nimbus_netsim::Time;
+
+/// Utility-function coefficients (Vivace-latency defaults).
+const EXPONENT: f64 = 0.9;
+const LATENCY_COEFF: f64 = 900.0;
+const LOSS_COEFF: f64 = 11.35;
+
+/// Gradient-ascent step bound (fraction of the current rate per MI).
+const MAX_STEP_FRACTION: f64 = 0.05;
+
+/// The PCC-Vivace congestion controller.
+#[derive(Debug)]
+pub struct Vivace {
+    mss: u32,
+    /// Current sending rate (bits/s).
+    rate_bps: f64,
+    /// Monitor-interval length (updated to the observed RTT).
+    mi_length: Time,
+    mi_start: Time,
+    /// Accumulators for the current MI.
+    mi_acked_bytes: u64,
+    mi_lost_packets: u64,
+    mi_rtt_first: Option<f64>,
+    mi_rtt_last: f64,
+    /// Previous MI's (rate, utility) for the gradient.
+    prev: Option<(f64, f64)>,
+    /// Direction sign of the last step, used for a simple momentum/confidence
+    /// amplifier as in Vivace.
+    consecutive_same_direction: i32,
+    last_direction: f64,
+    /// In the initial slow-start-like phase the rate doubles per MI while
+    /// utility keeps improving.
+    in_starting_phase: bool,
+}
+
+impl Vivace {
+    /// A Vivace controller starting at a conservative 1 Mbit/s probe rate.
+    pub fn new(mss: u32) -> Self {
+        Vivace {
+            mss,
+            rate_bps: 1e6,
+            mi_length: Time::from_millis(100),
+            mi_start: Time::ZERO,
+            mi_acked_bytes: 0,
+            mi_lost_packets: 0,
+            mi_rtt_first: None,
+            mi_rtt_last: 0.0,
+            prev: None,
+            consecutive_same_direction: 0,
+            last_direction: 0.0,
+            in_starting_phase: true,
+        }
+    }
+
+    /// The rate Vivace is currently targeting, in bits/s.
+    pub fn current_rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    fn utility(&self, rate_bps: f64, loss_rate: f64, rtt_gradient: f64) -> f64 {
+        let x_mbps = (rate_bps / 1e6).max(1e-6);
+        x_mbps.powf(EXPONENT)
+            - LATENCY_COEFF * x_mbps * rtt_gradient.max(0.0)
+            - LOSS_COEFF * x_mbps * loss_rate
+    }
+
+    fn close_monitor_interval(&mut self, now: Time) {
+        let mi_secs = now.saturating_sub(self.mi_start).as_secs_f64();
+        if mi_secs <= 0.0 {
+            return;
+        }
+        let achieved_bps = self.mi_acked_bytes as f64 * 8.0 / mi_secs;
+        let sent_estimate = (self.rate_bps * mi_secs / 8.0 / self.mss as f64).max(1.0);
+        let loss_rate = (self.mi_lost_packets as f64 / sent_estimate).min(1.0);
+        let rtt_gradient = match self.mi_rtt_first {
+            Some(first) if mi_secs > 0.0 => (self.mi_rtt_last - first) / mi_secs,
+            _ => 0.0,
+        };
+        let measured_rate = if achieved_bps > 0.0 {
+            achieved_bps
+        } else {
+            self.rate_bps
+        };
+        let utility = self.utility(measured_rate, loss_rate, rtt_gradient);
+
+        if self.in_starting_phase {
+            match self.prev {
+                None => {
+                    self.prev = Some((self.rate_bps, utility));
+                    self.rate_bps *= 2.0;
+                }
+                Some((_, prev_u)) => {
+                    if utility > prev_u && loss_rate < 0.05 {
+                        self.prev = Some((self.rate_bps, utility));
+                        self.rate_bps *= 2.0;
+                    } else {
+                        // Utility stopped improving: leave the starting phase.
+                        self.in_starting_phase = false;
+                        self.rate_bps /= 2.0;
+                        self.prev = Some((self.rate_bps, utility));
+                    }
+                }
+            }
+        } else {
+            // Gradient ascent on utility w.r.t. rate.
+            if let Some((prev_rate, prev_u)) = self.prev {
+                let d_rate = self.rate_bps - prev_rate;
+                let gradient = if d_rate.abs() > 1e3 {
+                    (utility - prev_u) / (d_rate / 1e6)
+                } else {
+                    0.0
+                };
+                let direction = if gradient >= 0.0 { 1.0 } else { -1.0 };
+                if direction == self.last_direction {
+                    self.consecutive_same_direction += 1;
+                } else {
+                    self.consecutive_same_direction = 0;
+                }
+                self.last_direction = direction;
+                let confidence = 1.0 + self.consecutive_same_direction.min(5) as f64 * 0.5;
+                let step = (gradient.abs() * 1e5 * confidence)
+                    .min(self.rate_bps * MAX_STEP_FRACTION)
+                    .max(self.rate_bps * 0.005);
+                self.prev = Some((self.rate_bps, utility));
+                self.rate_bps += direction * step;
+            } else {
+                self.prev = Some((self.rate_bps, utility));
+                self.rate_bps *= 1.05;
+            }
+        }
+        self.rate_bps = self.rate_bps.clamp(0.1e6, 10e9);
+
+        // Reset MI accumulators.
+        self.mi_start = now;
+        self.mi_acked_bytes = 0;
+        self.mi_lost_packets = 0;
+        self.mi_rtt_first = None;
+    }
+}
+
+impl CongestionControl for Vivace {
+    fn on_ack(&mut self, ack: &AckEvent) {
+        self.mi_acked_bytes += ack.newly_acked_bytes;
+        let rtt = ack.rtt.as_secs_f64();
+        if self.mi_rtt_first.is_none() {
+            self.mi_rtt_first = Some(rtt);
+        }
+        self.mi_rtt_last = rtt;
+        // MI length tracks the RTT (bounded to keep reactions sluggish
+        // relative to ACK clocking, as in the real protocol).
+        self.mi_length = Time::from_secs_f64(rtt.clamp(0.05, 0.5));
+    }
+
+    fn on_loss(&mut self, _now: Time, _in_flight_packets: u64) {
+        self.mi_lost_packets += 1;
+    }
+
+    fn on_timeout(&mut self, _now: Time) {
+        self.rate_bps = (self.rate_bps * 0.5).max(0.1e6);
+        self.in_starting_phase = false;
+    }
+
+    fn on_report(&mut self, report: &Report) {
+        let now = Time::from_secs_f64(report.now_s);
+        if now.saturating_sub(self.mi_start) >= self.mi_length {
+            self.close_monitor_interval(now);
+        }
+    }
+
+    fn cwnd_packets(&self) -> f64 {
+        // Rate-based: the window is only a generous safety cap (2 × rate × 0.5 s).
+        (self.rate_bps * 1.0 / 8.0 / self.mss as f64).max(10.0)
+    }
+
+    fn pacing_rate_bps(&self, _now: Time) -> Option<f64> {
+        Some(self.rate_bps)
+    }
+
+    fn name(&self) -> &'static str {
+        "pcc-vivace"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ack(now_ms: u64, rtt_ms: u64, bytes: u64) -> AckEvent {
+        AckEvent {
+            now: Time::from_millis(now_ms),
+            newly_acked_packets: bytes / 1500,
+            newly_acked_bytes: bytes,
+            rtt: Time::from_millis(rtt_ms),
+            min_rtt: Time::from_millis(50),
+            in_flight_packets: 10,
+            mss: 1500,
+        }
+    }
+
+    fn report(now_s: f64) -> Report {
+        Report {
+            now_s,
+            ..Default::default()
+        }
+    }
+
+    /// Simulate `secs` seconds in which the network delivers everything the
+    /// sender offers (no loss, flat RTT), and return the final rate.
+    fn run_unconstrained(vivace: &mut Vivace, secs: f64) -> f64 {
+        let mut t_ms = 0u64;
+        while (t_ms as f64) < secs * 1000.0 {
+            t_ms += 10;
+            // Deliver at the offered rate.
+            let bytes = (vivace.current_rate_bps() * 0.01 / 8.0) as u64;
+            vivace.on_ack(&ack(t_ms, 50, bytes.max(1500)));
+            vivace.on_report(&report(t_ms as f64 / 1000.0));
+        }
+        vivace.current_rate_bps()
+    }
+
+    #[test]
+    fn rate_grows_when_unconstrained() {
+        let mut v = Vivace::new(1500);
+        let start = v.current_rate_bps();
+        let end = run_unconstrained(&mut v, 5.0);
+        assert!(end > start * 4.0, "rate should grow: {start} -> {end}");
+    }
+
+    #[test]
+    fn loss_reduces_utility_and_caps_growth() {
+        // With heavy loss in every MI the rate must end up much lower than in
+        // the loss-free case.
+        let mut lossy = Vivace::new(1500);
+        let mut t_ms = 0u64;
+        while t_ms < 5000 {
+            t_ms += 10;
+            let bytes = (lossy.current_rate_bps() * 0.01 / 8.0) as u64;
+            lossy.on_ack(&ack(t_ms, 50, (bytes / 2).max(1500)));
+            // Many losses per MI.
+            for _ in 0..5 {
+                lossy.on_loss(Time::from_millis(t_ms), 10);
+            }
+            lossy.on_report(&report(t_ms as f64 / 1000.0));
+        }
+        let mut clean = Vivace::new(1500);
+        let clean_rate = run_unconstrained(&mut clean, 5.0);
+        assert!(
+            lossy.current_rate_bps() < clean_rate / 2.0,
+            "lossy {} vs clean {}",
+            lossy.current_rate_bps(),
+            clean_rate
+        );
+    }
+
+    #[test]
+    fn rising_rtt_slows_growth() {
+        let mut v = Vivace::new(1500);
+        let mut t_ms = 0u64;
+        let mut rtt = 50.0;
+        while t_ms < 5000 {
+            t_ms += 10;
+            rtt += 0.5; // steadily climbing RTT => negative latency gradient term
+            let bytes = (v.current_rate_bps() * 0.01 / 8.0) as u64;
+            v.on_ack(&ack(t_ms, rtt as u64, bytes.max(1500)));
+            v.on_report(&report(t_ms as f64 / 1000.0));
+        }
+        let mut clean = Vivace::new(1500);
+        let clean_rate = run_unconstrained(&mut clean, 5.0);
+        assert!(v.current_rate_bps() < clean_rate);
+    }
+
+    #[test]
+    fn reacts_on_monitor_intervals_not_acks() {
+        // The rate must not change between reports even if many ACKs arrive.
+        let mut v = Vivace::new(1500);
+        v.in_starting_phase = false;
+        let before = v.current_rate_bps();
+        for i in 0..100 {
+            v.on_ack(&ack(i, 50, 1500));
+        }
+        assert_eq!(v.current_rate_bps(), before);
+        // After enough time passes and a report arrives, the rate may change.
+        v.on_report(&report(1.0));
+        // (no assertion on direction, just that the mechanism is report-driven)
+    }
+
+    #[test]
+    fn always_provides_a_pacing_rate() {
+        let v = Vivace::new(1500);
+        assert!(v.pacing_rate_bps(Time::ZERO).unwrap() > 0.0);
+        assert!(v.cwnd_packets() >= 10.0);
+    }
+
+    #[test]
+    fn timeout_halves_rate() {
+        let mut v = Vivace::new(1500);
+        v.rate_bps = 40e6;
+        v.on_timeout(Time::ZERO);
+        assert!((v.current_rate_bps() - 20e6).abs() < 1.0);
+    }
+}

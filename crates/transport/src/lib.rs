@@ -1,0 +1,37 @@
+//! # nimbus-transport
+//!
+//! The transport substrate of the Nimbus reproduction: everything between the
+//! raw packet simulator ([`nimbus_netsim`]) and the congestion-control brains.
+//!
+//! * [`sender`] — the sender machinery implementing
+//!   [`nimbus_netsim::FlowEndpoint`]: sequence tracking, windowing, pacing,
+//!   duplicate-ACK and timeout loss recovery, RTT estimation.  It is generic
+//!   over a [`cc::CongestionControl`] implementation, mirroring how the
+//!   paper's system layers congestion-control "programs" on top of a CCP
+//!   datapath.
+//! * [`ccp`] — the CCP-style measurement report (§4.2): aggregated send rate,
+//!   receive rate, RTT and loss counts delivered to the controller every
+//!   10 ms, exactly the quantities Nimbus's estimator consumes.
+//! * [`source`] — application models: backlogged, fixed-size, scripted-rate
+//!   and Poisson sources deciding *when data exists to send* (elastic vs.
+//!   application-limited behaviour starts here).
+//! * [`cc`] — from-scratch implementations of every congestion-control
+//!   algorithm the paper evaluates or uses as a component: NewReno, Cubic,
+//!   Vegas, Copa (default + competitive modes), BBR, PCC-Vivace, Compound,
+//!   plus constant-rate (CBR) and Poisson inelastic senders.
+//! * [`rtt`] — SRTT/RTTVAR/RTO estimation (RFC 6298) and min-RTT tracking.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cc;
+pub mod ccp;
+pub mod rtt;
+pub mod sender;
+pub mod source;
+
+pub use cc::{CcKind, CongestionControl};
+pub use ccp::{Report, ReportAggregator};
+pub use rtt::RttEstimator;
+pub use sender::{Sender, SenderConfig};
+pub use source::{BackloggedSource, FixedSizeSource, PoissonSource, ScriptedSource, Source};

@@ -1,0 +1,165 @@
+//! Round-trip-time estimation.
+//!
+//! Standard RFC 6298 SRTT/RTTVAR smoothing with an RTO floor, plus a windowed
+//! minimum used as the propagation-delay estimate by the delay-based
+//! controllers (Vegas, Copa, BasicDelay) and by Nimbus.
+
+use nimbus_dsp::WindowedMin;
+use nimbus_netsim::Time;
+
+/// SRTT / RTTVAR / RTO estimator plus min-RTT tracking.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    latest: Option<Time>,
+    min_filter: WindowedMin,
+    global_min: Option<Time>,
+    rto_floor: Time,
+}
+
+impl RttEstimator {
+    /// Create an estimator. `min_window_s` bounds how long a min-RTT sample
+    /// is believed (BBR uses 10 s; delay-based schemes often keep it forever —
+    /// pass `f64::INFINITY`-ish large values for that).
+    pub fn new(min_window_s: f64) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            latest: None,
+            min_filter: WindowedMin::new(min_window_s.max(1e-3)),
+            global_min: None,
+            rto_floor: Time::from_millis(200),
+        }
+    }
+
+    /// Feed an RTT sample observed at time `now`.
+    pub fn on_sample(&mut self, rtt: Time, now: Time) {
+        let r = rtt.as_secs_f64();
+        self.latest = Some(rtt);
+        match self.srtt {
+            None => {
+                self.srtt = Some(r);
+                self.rttvar = r / 2.0;
+            }
+            Some(srtt) => {
+                // RFC 6298 with alpha=1/8, beta=1/4.
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - r).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * r);
+            }
+        }
+        self.min_filter.update(now.as_secs_f64(), r);
+        self.global_min = Some(match self.global_min {
+            None => rtt,
+            Some(m) => m.min(rtt),
+        });
+    }
+
+    /// Smoothed RTT, if at least one sample has been seen.
+    pub fn srtt(&self) -> Option<Time> {
+        self.srtt.map(Time::from_secs_f64)
+    }
+
+    /// The most recent raw RTT sample.
+    pub fn latest(&self) -> Option<Time> {
+        self.latest
+    }
+
+    /// Windowed minimum RTT (the propagation-delay estimate).
+    pub fn min_rtt(&self) -> Option<Time> {
+        self.min_filter.min().map(Time::from_secs_f64)
+    }
+
+    /// Minimum RTT ever observed (never expires).
+    pub fn global_min_rtt(&self) -> Option<Time> {
+        self.global_min
+    }
+
+    /// Retransmission timeout: `SRTT + 4·RTTVAR`, floored.
+    pub fn rto(&self) -> Time {
+        match self.srtt {
+            None => Time::from_millis(1000),
+            Some(srtt) => {
+                let rto = Time::from_secs_f64(srtt + 4.0 * self.rttvar.max(0.001));
+                rto.max(self.rto_floor)
+            }
+        }
+    }
+
+    /// Queueing-delay estimate: latest RTT minus minimum RTT.
+    pub fn queueing_delay(&self) -> Option<Time> {
+        match (self.latest, self.global_min) {
+            (Some(l), Some(m)) => Some(l.saturating_sub(m)),
+            _ => None,
+        }
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new(1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes_srtt() {
+        let mut e = RttEstimator::default();
+        assert!(e.srtt().is_none());
+        e.on_sample(Time::from_millis(100), Time::ZERO);
+        assert_eq!(e.srtt().unwrap(), Time::from_millis(100));
+        assert_eq!(e.latest().unwrap(), Time::from_millis(100));
+    }
+
+    #[test]
+    fn srtt_smooths_towards_samples() {
+        let mut e = RttEstimator::default();
+        e.on_sample(Time::from_millis(100), Time::ZERO);
+        for i in 1..200 {
+            e.on_sample(Time::from_millis(50), Time::from_millis(i * 10));
+        }
+        let srtt = e.srtt().unwrap().as_millis_f64();
+        assert!((srtt - 50.0).abs() < 1.0, "srtt {srtt}");
+    }
+
+    #[test]
+    fn min_rtt_tracks_smallest_sample() {
+        let mut e = RttEstimator::new(1e6);
+        e.on_sample(Time::from_millis(80), Time::from_secs_f64(0.0));
+        e.on_sample(Time::from_millis(52), Time::from_secs_f64(1.0));
+        e.on_sample(Time::from_millis(95), Time::from_secs_f64(2.0));
+        assert_eq!(e.min_rtt().unwrap(), Time::from_millis(52));
+        assert_eq!(e.global_min_rtt().unwrap(), Time::from_millis(52));
+        assert_eq!(e.queueing_delay().unwrap(), Time::from_millis(43));
+    }
+
+    #[test]
+    fn windowed_min_expires_but_global_does_not() {
+        let mut e = RttEstimator::new(10.0);
+        e.on_sample(Time::from_millis(40), Time::from_secs_f64(0.0));
+        for s in 1..30 {
+            e.on_sample(Time::from_millis(90), Time::from_secs_f64(s as f64));
+        }
+        // The 40 ms sample is outside the 10 s window.
+        assert_eq!(e.min_rtt().unwrap(), Time::from_millis(90));
+        assert_eq!(e.global_min_rtt().unwrap(), Time::from_millis(40));
+    }
+
+    #[test]
+    fn rto_has_floor_and_grows_with_variance() {
+        let mut e = RttEstimator::default();
+        assert_eq!(e.rto(), Time::from_millis(1000));
+        e.on_sample(Time::from_millis(10), Time::ZERO);
+        assert!(e.rto() >= Time::from_millis(200));
+        // Large variance inflates the RTO.
+        let mut noisy = RttEstimator::default();
+        for i in 0..50 {
+            let r = if i % 2 == 0 { 50 } else { 350 };
+            noisy.on_sample(Time::from_millis(r), Time::from_millis(i * 100));
+        }
+        assert!(noisy.rto() > Time::from_millis(400));
+    }
+}

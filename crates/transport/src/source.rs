@@ -1,0 +1,343 @@
+//! Application (traffic source) models.
+//!
+//! A [`Source`] answers one question for the sender machinery: *how many
+//! bytes has the application produced up to time `t`?*  Whether a flow is
+//! elastic or inelastic begins here:
+//!
+//! * a [`BackloggedSource`] always has data — paired with a window-based
+//!   congestion controller the flow is elastic (ACK-clocked);
+//! * a [`FixedSizeSource`] produces a finite transfer (the CAIDA-style
+//!   cross-flows of §8.1);
+//! * a [`ScriptedSource`] produces bytes at a scripted, time-varying rate —
+//!   the application-limited / constant-bit-rate cross traffic of Figs. 1
+//!   and 8 (paired with an unconstrained controller this is inelastic);
+//! * a [`PoissonSource`] produces packets with exponential inter-arrivals —
+//!   the "Poisson packet arrivals at the specified mean rate" inelastic
+//!   traffic of §5.
+
+use nimbus_netsim::Time;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An application data source.
+pub trait Source: Send {
+    /// Cumulative number of bytes the application has made available for
+    /// transmission up to (and including) time `now`.
+    fn bytes_available(&mut self, now: Time) -> u64;
+
+    /// If the source is currently idle but will produce more data later,
+    /// returns the earliest time more data appears. `None` when the sender
+    /// need not set a timer (either data is available now or the source is done).
+    fn next_data_time(&self, now: Time) -> Option<Time>;
+
+    /// True when the application will never produce more data than it already has.
+    fn done_writing(&self) -> bool;
+
+    /// A short label for diagnostics.
+    fn label(&self) -> &'static str {
+        "source"
+    }
+}
+
+/// An infinite, always-ready source (a bulk transfer that never ends).
+#[derive(Debug, Clone, Default)]
+pub struct BackloggedSource;
+
+impl Source for BackloggedSource {
+    fn bytes_available(&mut self, _now: Time) -> u64 {
+        u64::MAX / 2
+    }
+    fn next_data_time(&self, _now: Time) -> Option<Time> {
+        None
+    }
+    fn done_writing(&self) -> bool {
+        false
+    }
+    fn label(&self) -> &'static str {
+        "backlogged"
+    }
+}
+
+/// A finite transfer of `size_bytes`, all available immediately.
+#[derive(Debug, Clone)]
+pub struct FixedSizeSource {
+    size_bytes: u64,
+}
+
+impl FixedSizeSource {
+    /// A transfer of exactly `size_bytes`.
+    pub fn new(size_bytes: u64) -> Self {
+        FixedSizeSource { size_bytes }
+    }
+}
+
+impl Source for FixedSizeSource {
+    fn bytes_available(&mut self, _now: Time) -> u64 {
+        self.size_bytes
+    }
+    fn next_data_time(&self, _now: Time) -> Option<Time> {
+        None
+    }
+    fn done_writing(&self) -> bool {
+        true
+    }
+    fn label(&self) -> &'static str {
+        "fixed-size"
+    }
+}
+
+/// A piecewise-constant-rate source: the application writes at `rate_bps`
+/// according to a schedule of `(start_time, rate_bps)` segments.
+///
+/// Used for constant-bit-rate cross traffic, the scripted phases of Fig. 8
+/// ("xM denotes x Mbit/s of inelastic cross-traffic") and as the base of the
+/// DASH video model in `nimbus-traffic`.
+#[derive(Debug, Clone)]
+pub struct ScriptedSource {
+    /// (segment start, rate in bits/s), sorted by start time.
+    schedule: Vec<(Time, f64)>,
+    /// Optional hard end: no bytes produced after this time.
+    end: Option<Time>,
+}
+
+impl ScriptedSource {
+    /// Constant rate forever.
+    pub fn constant(rate_bps: f64) -> Self {
+        ScriptedSource {
+            schedule: vec![(Time::ZERO, rate_bps)],
+            end: None,
+        }
+    }
+
+    /// A schedule of `(start, rate_bps)` segments (must be sorted by start).
+    pub fn scheduled(schedule: Vec<(Time, f64)>) -> Self {
+        assert!(!schedule.is_empty(), "schedule must not be empty");
+        assert!(
+            schedule.windows(2).all(|w| w[0].0 <= w[1].0),
+            "schedule must be sorted by start time"
+        );
+        ScriptedSource {
+            schedule,
+            end: None,
+        }
+    }
+
+    /// Stop producing data at `end`.
+    pub fn until(mut self, end: Time) -> Self {
+        self.end = Some(end);
+        self
+    }
+
+    /// Integral of the rate schedule from 0 to `t`, in bytes.
+    fn cumulative_bytes(&self, t: Time) -> u64 {
+        let t = match self.end {
+            Some(e) => t.min(e),
+            None => t,
+        };
+        let mut total_bits = 0.0;
+        for (i, &(start, rate)) in self.schedule.iter().enumerate() {
+            if start >= t {
+                break;
+            }
+            let seg_end = self
+                .schedule
+                .get(i + 1)
+                .map(|&(s, _)| s)
+                .unwrap_or(Time::MAX)
+                .min(t);
+            let dur = seg_end.saturating_sub(start).as_secs_f64();
+            total_bits += rate * dur;
+        }
+        (total_bits / 8.0) as u64
+    }
+}
+
+impl Source for ScriptedSource {
+    fn bytes_available(&mut self, now: Time) -> u64 {
+        self.cumulative_bytes(now)
+    }
+    fn next_data_time(&self, now: Time) -> Option<Time> {
+        if self.done_writing() && Some(now) >= self.end {
+            return None;
+        }
+        // Data accrues continuously; wake the sender one packet-time-ish later.
+        Some(now + Time::from_millis(1))
+    }
+    fn done_writing(&self) -> bool {
+        false
+    }
+    fn label(&self) -> &'static str {
+        "scripted"
+    }
+}
+
+/// Poisson packet arrivals: each arrival makes one MSS of data available.
+///
+/// This is the paper's inelastic cross traffic for most robustness
+/// experiments ("We generate inelastic cross-traffic using Poisson packet
+/// arrivals at the specified mean rate", §5).
+#[derive(Debug)]
+pub struct PoissonSource {
+    mean_rate_bps: f64,
+    packet_bytes: u64,
+    rng: StdRng,
+    /// Arrival times generated so far (cumulative bytes counter + next arrival).
+    generated_bytes: u64,
+    next_arrival: Time,
+    end: Option<Time>,
+}
+
+impl PoissonSource {
+    /// Poisson arrivals of `packet_bytes`-sized writes at `mean_rate_bps`.
+    pub fn new(mean_rate_bps: f64, packet_bytes: u64, seed: u64) -> Self {
+        assert!(mean_rate_bps > 0.0);
+        PoissonSource {
+            mean_rate_bps,
+            packet_bytes,
+            rng: StdRng::seed_from_u64(seed ^ 0x5851f42d4c957f2d),
+            generated_bytes: 0,
+            next_arrival: Time::ZERO,
+            end: None,
+        }
+    }
+
+    /// Stop producing data at `end`.
+    pub fn until(mut self, end: Time) -> Self {
+        self.end = Some(end);
+        self
+    }
+
+    fn advance_to(&mut self, now: Time) {
+        let mean_gap_s = self.packet_bytes as f64 * 8.0 / self.mean_rate_bps;
+        while self.next_arrival <= now {
+            if let Some(end) = self.end {
+                if self.next_arrival > end {
+                    break;
+                }
+            }
+            self.generated_bytes += self.packet_bytes;
+            // Exponential inter-arrival via inverse CDF.
+            let u: f64 = self.rng.gen::<f64>().max(1e-12);
+            let gap = -mean_gap_s * u.ln();
+            self.next_arrival = self.next_arrival + Time::from_secs_f64(gap.max(1e-9));
+        }
+    }
+}
+
+impl Source for PoissonSource {
+    fn bytes_available(&mut self, now: Time) -> u64 {
+        self.advance_to(now);
+        self.generated_bytes
+    }
+    fn next_data_time(&self, now: Time) -> Option<Time> {
+        if let Some(end) = self.end {
+            if now >= end {
+                return None;
+            }
+        }
+        Some(self.next_arrival.max(now + Time::from_micros(100)))
+    }
+    fn done_writing(&self) -> bool {
+        false
+    }
+    fn label(&self) -> &'static str {
+        "poisson"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backlogged_always_has_data() {
+        let mut s = BackloggedSource;
+        assert!(s.bytes_available(Time::ZERO) > 1 << 40);
+        assert!(!s.done_writing());
+        assert_eq!(s.next_data_time(Time::ZERO), None);
+    }
+
+    #[test]
+    fn fixed_size_is_all_available_and_done() {
+        let mut s = FixedSizeSource::new(150_000);
+        assert_eq!(s.bytes_available(Time::ZERO), 150_000);
+        assert!(s.done_writing());
+    }
+
+    #[test]
+    fn scripted_constant_rate_integrates_linearly() {
+        let mut s = ScriptedSource::constant(24e6); // 3 MB/s
+        assert_eq!(s.bytes_available(Time::ZERO), 0);
+        let b1 = s.bytes_available(Time::from_secs_f64(1.0));
+        assert!((b1 as f64 - 3e6).abs() < 1e3);
+        let b10 = s.bytes_available(Time::from_secs_f64(10.0));
+        assert!((b10 as f64 - 30e6).abs() < 1e4);
+    }
+
+    #[test]
+    fn scripted_schedule_switches_rates() {
+        // 8 Mbit/s for 10 s, then 0 for 10 s, then 16 Mbit/s.
+        let mut s = ScriptedSource::scheduled(vec![
+            (Time::ZERO, 8e6),
+            (Time::from_secs_f64(10.0), 0.0),
+            (Time::from_secs_f64(20.0), 16e6),
+        ]);
+        let at_10 = s.bytes_available(Time::from_secs_f64(10.0));
+        assert!((at_10 as f64 - 10e6).abs() < 1e4); // 8 Mbit/s * 10 s = 10 MB
+        let at_20 = s.bytes_available(Time::from_secs_f64(20.0));
+        assert_eq!(at_20, at_10); // idle period adds nothing
+        let at_25 = s.bytes_available(Time::from_secs_f64(25.0));
+        assert!((at_25 as f64 - at_10 as f64 - 10e6).abs() < 1e4);
+    }
+
+    #[test]
+    fn scripted_until_caps_production() {
+        let mut s = ScriptedSource::constant(8e6).until(Time::from_secs_f64(5.0));
+        let at_5 = s.bytes_available(Time::from_secs_f64(5.0));
+        let at_50 = s.bytes_available(Time::from_secs_f64(50.0));
+        assert_eq!(at_5, at_50);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scripted_unsorted_schedule_panics() {
+        let _ = ScriptedSource::scheduled(vec![
+            (Time::from_secs_f64(10.0), 1e6),
+            (Time::ZERO, 2e6),
+        ]);
+    }
+
+    #[test]
+    fn poisson_long_run_rate_matches_mean() {
+        let mut s = PoissonSource::new(24e6, 1500, 7);
+        let bytes = s.bytes_available(Time::from_secs_f64(100.0));
+        let rate = bytes as f64 * 8.0 / 100.0;
+        assert!((rate - 24e6).abs() < 1.5e6, "rate {rate}");
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed_and_bursty() {
+        let gen = |seed| {
+            let mut s = PoissonSource::new(10e6, 1500, seed);
+            (0..100)
+                .map(|i| s.bytes_available(Time::from_millis(i * 10)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(gen(3), gen(3));
+        assert_ne!(gen(3), gen(4));
+        // Burstiness: increments over fixed intervals should vary.
+        let series = gen(3);
+        let increments: Vec<u64> = series.windows(2).map(|w| w[1] - w[0]).collect();
+        let distinct: std::collections::HashSet<_> = increments.iter().collect();
+        assert!(distinct.len() > 5);
+    }
+
+    #[test]
+    fn poisson_until_stops_production() {
+        let mut s = PoissonSource::new(24e6, 1500, 9).until(Time::from_secs_f64(1.0));
+        let b1 = s.bytes_available(Time::from_secs_f64(1.5));
+        let b2 = s.bytes_available(Time::from_secs_f64(100.0));
+        assert_eq!(b1, b2);
+        assert_eq!(s.next_data_time(Time::from_secs_f64(2.0)), None);
+    }
+}

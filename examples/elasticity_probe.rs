@@ -1,0 +1,62 @@
+//! Use the elasticity detector as a stand-alone measurement tool: probe a
+//! bottleneck shared with unknown cross traffic and report η over time.
+//!
+//! The paper suggests exactly this use ("a measurement and diagnostic tool to
+//! detect the nature of cross traffic", §1).
+//!
+//! ```text
+//! cargo run --release --example elasticity_probe -- [elastic|inelastic]
+//! ```
+
+use nimbus_repro::netsim::{FlowConfig, Network, SimConfig, Time};
+use nimbus_repro::nimbus::controller::nimbus_flow;
+use nimbus_repro::nimbus::NimbusConfig;
+use nimbus_repro::transport::{BackloggedSource, CcKind, PoissonSource, Sender, SenderConfig};
+use nimbus_repro::experiments::runner::nimbus_of;
+
+fn main() {
+    let kind = std::env::args().nth(1).unwrap_or_else(|| "elastic".into());
+    let mu = 96e6;
+    let mut net = Network::new(SimConfig::new(mu, 0.1, 40.0));
+    let probe = net.add_flow(
+        FlowConfig::primary("probe", Time::from_millis(50)),
+        Box::new(nimbus_flow(NimbusConfig::default_for_link(mu), "probe")),
+    );
+    match kind.as_str() {
+        "inelastic" => {
+            net.add_flow(
+                FlowConfig::cross("poisson", Time::from_millis(50), false),
+                Box::new(Sender::new(
+                    SenderConfig::labelled("poisson"),
+                    CcKind::Unlimited.build(1500),
+                    Box::new(PoissonSource::new(48e6, 1500, 3)),
+                )),
+            );
+        }
+        _ => {
+            net.add_flow(
+                FlowConfig::cross("cubic", Time::from_millis(50), true),
+                Box::new(Sender::new(
+                    SenderConfig::labelled("cubic"),
+                    CcKind::Cubic.build(1500),
+                    Box::new(BackloggedSource),
+                )),
+            );
+        }
+    }
+    net.run();
+    let (_recorder, endpoints) = net.finish();
+    let controller = nimbus_of(endpoints[probe.0].as_ref()).expect("probe is a Nimbus flow");
+    println!("cross traffic: {kind}");
+    println!("  t(s)    eta   verdict");
+    for v in controller.detector().verdicts().iter().step_by(200) {
+        println!(
+            "  {:5.1}  {:6.2}  {}",
+            v.t_s,
+            v.eta.min(99.0),
+            if v.elastic { "elastic" } else { "inelastic" }
+        );
+    }
+    let frac = controller.detector().elastic_fraction(6.0, 40.0);
+    println!("fraction of verdicts judging the traffic elastic: {frac:.2}");
+}

@@ -1,0 +1,28 @@
+//! # nimbus-repro
+//!
+//! A from-scratch Rust reproduction of *"Elasticity Detection: A Building
+//! Block for Internet Congestion Control"* (Goyal et al.): the Nimbus
+//! elasticity detector and mode-switching congestion controller, every
+//! baseline it is evaluated against, and the packet-level network simulator
+//! the evaluation runs on.
+//!
+//! This facade crate re-exports the workspace members under short names:
+//!
+//! * [`dsp`] — FFT, pulse shapes, filters, statistics.
+//! * [`netsim`] — the discrete-event dumbbell simulator (Mahimahi stand-in).
+//! * [`transport`] — sender machinery, CCP-style reports, Cubic/Reno/Vegas/
+//!   Copa/BBR/Vivace/Compound and the inelastic senders.
+//! * [`traffic`] — WAN, video and scripted-phase cross-traffic generators.
+//! * [`nimbus`] — the paper's contribution: estimator, detector, BasicDelay,
+//!   the Nimbus controller and the multi-flow pulser/watcher protocol.
+//! * [`experiments`] — the harness regenerating every table and figure.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the system inventory and the per-experiment reproduction record.
+
+pub use nimbus_core as nimbus;
+pub use nimbus_dsp as dsp;
+pub use nimbus_experiments as experiments;
+pub use nimbus_netsim as netsim;
+pub use nimbus_traffic as traffic;
+pub use nimbus_transport as transport;
