@@ -16,7 +16,8 @@ use std::time::Duration;
 fn bench_quick_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures_quick");
     group.sample_size(10);
-    for name in ["fig07"] {
+    {
+        let name = "fig07";
         group.bench_function(name, |b| b.iter(|| run_quick(name)));
     }
     group.finish();

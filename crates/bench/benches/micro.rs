@@ -30,7 +30,9 @@ fn bench_detector(c: &mut Criterion) {
     let z: Vec<f64> = (0..cfg.window_samples())
         .map(|i| 48e6 - 0.3 * gen.offset_at(i as f64 * 0.01 - 0.05))
         .collect();
-    c.bench_function("elasticity_metric_eta", |b| b.iter(|| det.eta(black_box(&z))));
+    c.bench_function("elasticity_metric_eta", |b| {
+        b.iter(|| det.eta(black_box(&z)))
+    });
     let est = CrossTrafficEstimator::with_known_mu(96e6, 5.0);
     c.bench_function("cross_traffic_estimate", |b| {
         b.iter(|| est.estimate(black_box(40e6), black_box(60e6)))

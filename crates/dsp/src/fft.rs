@@ -123,7 +123,7 @@ impl Fft {
                 }
                 fft_in_place(&mut a, inner_twiddles, false);
                 for (ak, fk) in a.iter_mut().zip(filter_fft.iter()) {
-                    *ak = *ak * *fk;
+                    *ak *= *fk;
                 }
                 ifft_in_place(&mut a, inner_twiddles);
                 (0..n).map(|k| a[k] * chirp[k]).collect()
@@ -330,7 +330,9 @@ mod tests {
     #[test]
     fn plan_reuse_is_consistent() {
         let plan = Fft::new(500);
-        let x: Vec<Complex> = (0..500).map(|i| Complex::from_real(i as f64 * 0.01)).collect();
+        let x: Vec<Complex> = (0..500)
+            .map(|i| Complex::from_real(i as f64 * 0.01))
+            .collect();
         let a = plan.forward(&x);
         let b = plan.forward(&x);
         assert_close(&a, &b, 1e-12);
@@ -370,6 +372,16 @@ mod tests {
             for (p, q) in a.iter().zip(b.iter()) {
                 prop_assert!((p.re - q.re).abs() < 1e-6 * (1.0 + q.abs()));
                 prop_assert!((p.im - q.im).abs() < 1e-6 * (1.0 + q.abs()));
+            }
+        }
+
+        #[test]
+        fn prop_fft_ifft_round_trips_random_signals(values in proptest::collection::vec(-1e6f64..1e6, 2..256)) {
+            let x: Vec<Complex> = values.iter().map(|&v| Complex::from_real(v)).collect();
+            let back = ifft(&fft(&x));
+            for (orig, rt) in x.iter().zip(back.iter()) {
+                prop_assert!((orig.re - rt.re).abs() < 1e-6 * (1.0 + orig.re.abs()));
+                prop_assert!(rt.im.abs() < 1e-4, "imaginary residue {}", rt.im);
             }
         }
 

@@ -218,7 +218,11 @@ mod tests {
         let tail = &out[1000..];
         let max = tail.iter().cloned().fold(f64::MIN, f64::max);
         let min = tail.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max - min < 2.0, "swing {} should be well under input swing 10", max - min);
+        assert!(
+            max - min < 2.0,
+            "swing {} should be well under input swing 10",
+            max - min
+        );
     }
 
     #[test]

@@ -159,7 +159,9 @@ impl PulseGenerator {
     /// Apply the pulse to a base rate, clamping at a small positive floor so
     /// the sender never stops entirely.
     pub fn modulate(&self, base_rate: f64, t: f64) -> f64 {
-        (base_rate + self.offset_at(t)).max(base_rate * 0.05).max(0.0)
+        (base_rate + self.offset_at(t))
+            .max(base_rate * 0.05)
+            .max(0.0)
     }
 
     /// Total bytes sent *above* the mean rate during the positive part of a
@@ -269,7 +271,9 @@ mod tests {
         let fp = 5.0;
         let gen = PulseGenerator::asymmetric(fp, 24e6);
         let fs = 100.0;
-        let sig: Vec<f64> = (0..500).map(|i| gen.modulate(48e6, i as f64 / fs)).collect();
+        let sig: Vec<f64> = (0..500)
+            .map(|i| gen.modulate(48e6, i as f64 / fs))
+            .collect();
         let spec = Spectrum::of_signal(&sig, fs, true);
         let (_, freq) = spec.dominant_frequency();
         assert!((freq - fp).abs() <= spec.bin_width_hz() + 1e-9);

@@ -34,7 +34,12 @@ impl Spectrum {
     /// `sample_rate_hz`, optionally removing the mean first (the detector
     /// always removes it: the DC component otherwise dwarfs everything).
     pub fn of_signal(signal: &[f64], sample_rate_hz: f64, remove_mean: bool) -> Self {
-        Self::of_signal_with_plan(&Fft::new(signal.len().max(1)), signal, sample_rate_hz, remove_mean)
+        Self::of_signal_with_plan(
+            &Fft::new(signal.len().max(1)),
+            signal,
+            sample_rate_hz,
+            remove_mean,
+        )
     }
 
     /// Same as [`Spectrum::of_signal`] but reusing a prepared [`Fft`] plan.
@@ -44,7 +49,10 @@ impl Spectrum {
         sample_rate_hz: f64,
         remove_mean: bool,
     ) -> Self {
-        assert!(!signal.is_empty(), "cannot take a spectrum of an empty signal");
+        assert!(
+            !signal.is_empty(),
+            "cannot take a spectrum of an empty signal"
+        );
         assert!(sample_rate_hz > 0.0, "sample rate must be positive");
         let n = signal.len();
         let mean = if remove_mean {

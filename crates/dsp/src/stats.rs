@@ -225,9 +225,8 @@ impl RunningStats {
         let total = self.n + other.n;
         let delta = other.mean - self.mean;
         let new_mean = self.mean + delta * other.n as f64 / total as f64;
-        self.m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64) * (other.n as f64) / total as f64;
+        self.m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64) * (other.n as f64) / total as f64;
         self.mean = new_mean;
         self.n = total;
         self.min = self.min.min(other.min);

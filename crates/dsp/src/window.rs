@@ -94,7 +94,10 @@ mod tests {
             WindowFunction::Blackman,
         ] {
             for &c in &win.coefficients(64) {
-                assert!(c >= -1e-12 && c <= 1.0 + 1e-12, "{win:?} coefficient {c} out of range");
+                assert!(
+                    (-1e-12..=1.0 + 1e-12).contains(&c),
+                    "{win:?} coefficient {c} out of range"
+                );
             }
         }
     }

@@ -61,17 +61,32 @@ pub fn fig08(quick: bool) -> ExperimentResult {
         }
         let out = run_scheme_vs_cross(&spec, scheme, None, cross, 2.0);
         let m = &out.flows[0];
-        result.row(&format!("{}_mean_throughput_mbps", m.label), m.mean_throughput_mbps);
-        result.row(&format!("{}_mean_queue_delay_ms", m.label), m.mean_queue_delay_ms);
+        result.row(
+            &format!("{}_mean_throughput_mbps", m.label),
+            m.mean_throughput_mbps,
+        );
+        result.row(
+            &format!("{}_mean_queue_delay_ms", m.label),
+            m.mean_queue_delay_ms,
+        );
         // Fair-share tracking error: mean |throughput − fair share| over time.
         let err: Vec<f64> = m
             .throughput_series
             .iter()
             .map(|(t, v)| (v - schedule.fair_share_mbps(t / scale, 96e6, 1)).abs())
             .collect();
-        result.row(&format!("{}_fair_share_error_mbps", m.label), nimbus_dsp::mean(&err));
-        result.add_series(&format!("{}_throughput_mbps", m.label), m.throughput_series.clone());
-        result.add_series(&format!("{}_queue_delay_ms", m.label), m.queue_delay_series.clone());
+        result.row(
+            &format!("{}_fair_share_error_mbps", m.label),
+            nimbus_dsp::mean(&err),
+        );
+        result.add_series(
+            &format!("{}_throughput_mbps", m.label),
+            m.throughput_series.clone(),
+        );
+        result.add_series(
+            &format!("{}_queue_delay_ms", m.label),
+            m.queue_delay_series.clone(),
+        );
         if scheme.is_nimbus() {
             result.row(
                 &format!("{}_delay_mode_fraction", m.label),
@@ -81,7 +96,12 @@ pub fn fig08(quick: bool) -> ExperimentResult {
     }
     // The reference fair-share line.
     let fair: Vec<(f64, f64)> = (0..(duration as usize))
-        .map(|t| (t as f64, schedule.fair_share_mbps(t as f64 / scale, 96e6, 1)))
+        .map(|t| {
+            (
+                t as f64,
+                schedule.fair_share_mbps(t as f64 / scale, 96e6, 1),
+            )
+        })
         .collect();
     result.add_series("fair_share_mbps", fair);
     result
@@ -126,7 +146,10 @@ pub fn fig09(quick: bool) -> ExperimentResult {
         let rtt_cdf = Cdf::from_samples(&m.rtt_samples_ms);
         let tput_cdf = Cdf::from_samples(&m.throughput_samples_mbps);
         result.row(&format!("{}_median_rtt_ms", m.label), rtt_cdf.median());
-        result.row(&format!("{}_mean_throughput_mbps", m.label), m.mean_throughput_mbps);
+        result.row(
+            &format!("{}_mean_throughput_mbps", m.label),
+            m.mean_throughput_mbps,
+        );
         result.add_series(&format!("{}_rtt_cdf", m.label), rtt_cdf.curve(50));
         result.add_series(&format!("{}_throughput_cdf", m.label), tput_cdf.curve(50));
     }
@@ -169,7 +192,10 @@ pub fn fig10(quick: bool) -> ExperimentResult {
             &format!("{}_throughput_vs_elephant_mbps", m.label),
             nimbus_dsp::mean(&during),
         );
-        result.add_series(&format!("{}_throughput_mbps", m.label), m.throughput_series.clone());
+        result.add_series(
+            &format!("{}_throughput_mbps", m.label),
+            m.throughput_series.clone(),
+        );
     }
     result
 }

@@ -102,12 +102,20 @@ pub fn fig18(quick: bool) -> ExperimentResult {
     let schemes = if quick {
         vec![Scheme::NimbusCubicBasicDelay, Scheme::Cubic]
     } else {
-        vec![Scheme::NimbusCubicBasicDelay, Scheme::Cubic, Scheme::Bbr, Scheme::Vegas]
+        vec![
+            Scheme::NimbusCubicBasicDelay,
+            Scheme::Cubic,
+            Scheme::Bbr,
+            Scheme::Vegas,
+        ]
     };
     for (tag, path) in examples {
         for scheme in &schemes {
             let m = run_path(&path, *scheme, duration);
-            result.row(&format!("path{tag}_{}_throughput_mbps", m.label), m.mean_throughput_mbps);
+            result.row(
+                &format!("path{tag}_{}_throughput_mbps", m.label),
+                m.mean_throughput_mbps,
+            );
             result.row(&format!("path{tag}_{}_mean_rtt_ms", m.label), m.mean_rtt_ms);
         }
     }
@@ -131,7 +139,12 @@ pub fn fig19(quick: bool) -> ExperimentResult {
     let schemes = if quick {
         vec![Scheme::NimbusCubicBasicDelay, Scheme::Cubic]
     } else {
-        vec![Scheme::NimbusCubicBasicDelay, Scheme::Cubic, Scheme::Bbr, Scheme::Vegas]
+        vec![
+            Scheme::NimbusCubicBasicDelay,
+            Scheme::Cubic,
+            Scheme::Bbr,
+            Scheme::Vegas,
+        ]
     };
     for scheme in &schemes {
         let mut tputs = Vec::new();
@@ -142,10 +155,19 @@ pub fn fig19(quick: bool) -> ExperimentResult {
             rtts.push(m.mean_rtt_ms);
         }
         let label = scheme.label();
-        result.row(&format!("{label}_mean_throughput_mbps"), nimbus_dsp::mean(&tputs));
+        result.row(
+            &format!("{label}_mean_throughput_mbps"),
+            nimbus_dsp::mean(&tputs),
+        );
         result.row(&format!("{label}_mean_rtt_ms"), nimbus_dsp::mean(&rtts));
-        result.add_series(&format!("{label}_throughput_cdf"), Cdf::from_samples(&tputs).curve(20));
-        result.add_series(&format!("{label}_rtt_cdf"), Cdf::from_samples(&rtts).curve(20));
+        result.add_series(
+            &format!("{label}_throughput_cdf"),
+            Cdf::from_samples(&tputs).curve(20),
+        );
+        result.add_series(
+            &format!("{label}_rtt_cdf"),
+            Cdf::from_samples(&rtts).curve(20),
+        );
     }
     result
 }
@@ -175,11 +197,18 @@ pub fn fig20(quick: bool) -> ExperimentResult {
             delays.push(m.mean_rtt_ms);
         }
         let label = scheme.label();
-        result.row(&format!("{label}_mean_throughput_mbps"), nimbus_dsp::mean(&tputs));
+        result.row(
+            &format!("{label}_mean_throughput_mbps"),
+            nimbus_dsp::mean(&tputs),
+        );
         result.row(&format!("{label}_mean_rtt_ms"), nimbus_dsp::mean(&delays));
         result.add_series(
             &format!("{label}_scatter"),
-            delays.iter().zip(tputs.iter()).map(|(d, t)| (*d, *t)).collect(),
+            delays
+                .iter()
+                .zip(tputs.iter())
+                .map(|(d, t)| (*d, *t))
+                .collect(),
         );
     }
     result
@@ -194,8 +223,14 @@ mod tests {
         let suite = path_suite();
         assert_eq!(suite.len(), 25);
         assert!(suite.iter().any(|p| p.loss > 0.0), "need lossy paths");
-        assert!(suite.iter().any(|p| p.buffer_s >= 0.2), "need deep-buffered paths");
-        assert!(suite.iter().any(|p| p.buffer_s <= 0.03), "need shallow paths");
+        assert!(
+            suite.iter().any(|p| p.buffer_s >= 0.2),
+            "need deep-buffered paths"
+        );
+        assert!(
+            suite.iter().any(|p| p.buffer_s <= 0.03),
+            "need shallow paths"
+        );
         let ids: std::collections::BTreeSet<usize> = suite.iter().map(|p| p.id).collect();
         assert_eq!(ids.len(), 25);
     }

@@ -55,12 +55,27 @@ pub fn fig01(quick: bool) -> ExperimentResult {
                 .collect();
             nimbus_dsp::mean(&vals)
         };
-        result.row(&format!("{key}_elastic_throughput_mbps"), tput(elastic_window));
-        result.row(&format!("{key}_inelastic_throughput_mbps"), tput(inelastic_window));
+        result.row(
+            &format!("{key}_elastic_throughput_mbps"),
+            tput(elastic_window),
+        );
+        result.row(
+            &format!("{key}_inelastic_throughput_mbps"),
+            tput(inelastic_window),
+        );
         result.row(&format!("{key}_elastic_queue_delay_ms"), qd(elastic_window));
-        result.row(&format!("{key}_inelastic_queue_delay_ms"), qd(inelastic_window));
-        result.add_series(&format!("{key}_throughput_mbps"), m.throughput_series.clone());
-        result.add_series(&format!("{key}_queue_delay_ms"), m.queue_delay_series.clone());
+        result.row(
+            &format!("{key}_inelastic_queue_delay_ms"),
+            qd(inelastic_window),
+        );
+        result.add_series(
+            &format!("{key}_throughput_mbps"),
+            m.throughput_series.clone(),
+        );
+        result.add_series(
+            &format!("{key}_queue_delay_ms"),
+            m.queue_delay_series.clone(),
+        );
         if scheme == Scheme::NimbusCubicBasicDelay {
             result.row("nimbus_delay_mode_fraction", m.delay_mode_fraction);
         }
@@ -265,7 +280,13 @@ pub fn fig06(quick: bool) -> ExperimentResult {
         if frac > 0.0 {
             // The elastic share: a backlogged Cubic flow (it will take what it
             // can; with the inelastic share fixed this approximates the mix).
-            cross.push(super::elastic_cross_flow("cubic", CcKind::Cubic, 0.05, 0.0, None));
+            cross.push(super::elastic_cross_flow(
+                "cubic",
+                CcKind::Cubic,
+                0.05,
+                0.0,
+                None,
+            ));
         }
         if frac < 1.0 {
             cross.push(poisson_cross_flow(
@@ -310,11 +331,11 @@ pub fn fig07() -> ExperimentResult {
     result.add_series("pulse_offset_mbps", series);
     result.row("peak_mbps", mu / 4.0 / 1e6);
     result.row("trough_mbps", -(mu / 12.0) / 1e6);
-    result.row("mean_offset_mbps", AsymmetricPulse.mean_offset(5.0, mu / 4.0) / 1e6);
     result.row(
-        "burst_fraction_of_mu_T",
-        gen.burst_bits() / (mu * 0.2),
+        "mean_offset_mbps",
+        AsymmetricPulse.mean_offset(5.0, mu / 4.0) / 1e6,
     );
+    result.row("burst_fraction_of_mu_T", gen.burst_bits() / (mu * 0.2));
     result
 }
 
@@ -336,7 +357,7 @@ pub fn offline_eta(reacting: bool) -> f64 {
                 0.0
             };
             let s = 40e6 + gen.offset_at(t);
-            let z = (48e6 + reaction) as f64;
+            let z = 48e6 + reaction;
             let r = 96e6 * s / (s + z);
             est.estimate(s, r).unwrap_or(0.0)
         })

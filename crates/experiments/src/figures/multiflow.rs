@@ -33,7 +33,10 @@ pub fn fig16(quick: bool) -> ExperimentResult {
             .nimbus_config(spec.link_rate_bps, 160 + i as u64)
             .unwrap()
             .with_multiflow(MultiflowConfig::enabled());
-        let endpoint = Box::new(nimbus_core::controller::nimbus_flow(cfg, &format!("nimbus-{i}")));
+        let endpoint = Box::new(nimbus_core::controller::nimbus_flow(
+            cfg,
+            &format!("nimbus-{i}"),
+        ));
         let h = net.add_flow(
             FlowConfig::primary(&format!("nimbus-{i}"), Time::from_millis(50))
                 .starting_at(Time::from_secs_f64(start)),
@@ -54,8 +57,14 @@ pub fn fig16(quick: bool) -> ExperimentResult {
             .collect();
         let mean = nimbus_dsp::mean(&vals);
         result.row(&format!("flow{i}_throughput_all_active_mbps"), mean);
-        result.row(&format!("flow{i}_delay_mode_fraction"), m.delay_mode_fraction);
-        result.add_series(&format!("flow{i}_throughput_mbps"), m.throughput_series.clone());
+        result.row(
+            &format!("flow{i}_delay_mode_fraction"),
+            m.delay_mode_fraction,
+        );
+        result.add_series(
+            &format!("flow{i}_throughput_mbps"),
+            m.throughput_series.clone(),
+        );
         if mean > 0.0 {
             rates.push(mean);
         }
@@ -64,10 +73,18 @@ pub fn fig16(quick: bool) -> ExperimentResult {
     if !rates.is_empty() {
         let sum: f64 = rates.iter().sum();
         let sumsq: f64 = rates.iter().map(|r| r * r).sum();
-        result.row("jain_fairness_index", sum * sum / (rates.len() as f64 * sumsq));
+        result.row(
+            "jain_fairness_index",
+            sum * sum / (rates.len() as f64 * sumsq),
+        );
     }
     // Mean RTT across flows (low delay claim).
-    let rtts: Vec<f64> = out.flows.iter().map(|m| m.mean_rtt_ms).filter(|v| v.is_finite()).collect();
+    let rtts: Vec<f64> = out
+        .flows
+        .iter()
+        .map(|m| m.mean_rtt_ms)
+        .filter(|v| v.is_finite())
+        .collect();
     result.row("mean_rtt_ms", nimbus_dsp::mean(&rtts));
     result
 }
@@ -95,7 +112,10 @@ pub fn fig17(quick: bool) -> ExperimentResult {
             .nimbus_config(spec.link_rate_bps, 170 + i as u64)
             .unwrap()
             .with_multiflow(MultiflowConfig::enabled());
-        let endpoint = Box::new(nimbus_core::controller::nimbus_flow(cfg, &format!("nimbus-{i}")));
+        let endpoint = Box::new(nimbus_core::controller::nimbus_flow(
+            cfg,
+            &format!("nimbus-{i}"),
+        ));
         let h = net.add_flow(
             FlowConfig::primary(&format!("nimbus-{i}"), Time::from_millis(50)),
             endpoint,

@@ -11,7 +11,11 @@ use nimbus_transport::CcKind;
 /// Classification accuracy of a Nimbus run given the ground truth ("the cross
 /// traffic is elastic during the whole steady state" or not): fraction of
 /// post-warmup detector verdicts that agree.
-fn nimbus_accuracy(metrics: &crate::runner::SingleFlowMetrics, truth_elastic: bool, warmup_s: f64) -> f64 {
+fn nimbus_accuracy(
+    metrics: &crate::runner::SingleFlowMetrics,
+    truth_elastic: bool,
+    warmup_s: f64,
+) -> f64 {
     let verdicts: Vec<bool> = metrics
         .eta_series
         .iter()
@@ -26,7 +30,13 @@ fn nimbus_accuracy(metrics: &crate::runner::SingleFlowMetrics, truth_elastic: bo
 
 /// Copa's "accuracy": fraction of time it is in the correct mode
 /// (competitive when the competitor is buffer-filling, default otherwise).
-fn copa_accuracy(out: &crate::runner::RunOutput, handle_idx: usize, truth_elastic: bool, warmup_s: f64, duration_s: f64) -> f64 {
+fn copa_accuracy(
+    out: &crate::runner::RunOutput,
+    handle_idx: usize,
+    truth_elastic: bool,
+    warmup_s: f64,
+    duration_s: f64,
+) -> f64 {
     // Reconstruct Copa's mode over time from its mode log via the endpoint
     // downcast path used for Nimbus; Copa is embedded in a Sender, so fetch
     // the controller by name through the recorder label (the mode log is not
@@ -44,7 +54,10 @@ fn copa_accuracy(out: &crate::runner::RunOutput, handle_idx: usize, truth_elasti
     if samples.is_empty() {
         return 0.0;
     }
-    samples.iter().filter(|&&high_queue| high_queue == truth_elastic).count() as f64
+    samples
+        .iter()
+        .filter(|&&high_queue| high_queue == truth_elastic)
+        .count() as f64
         / samples.len() as f64
 }
 
@@ -154,13 +167,17 @@ pub fn fig15(quick: bool) -> ExperimentResult {
             };
             let mut cross: Vec<(FlowConfig, Box<dyn FlowEndpoint>)> = Vec::new();
             match kind {
-                "elastic" => cross.push(elastic_cross_flow("reno", CcKind::NewReno, rtt, 0.0, None)),
-                "inelastic" => {
-                    cross.push(poisson_cross_flow("poisson", 48e6, rtt, spec.seed, 0.0, None))
+                "elastic" => {
+                    cross.push(elastic_cross_flow("reno", CcKind::NewReno, rtt, 0.0, None))
                 }
+                "inelastic" => cross.push(poisson_cross_flow(
+                    "poisson", 48e6, rtt, spec.seed, 0.0, None,
+                )),
                 _ => {
                     cross.push(elastic_cross_flow("reno", CcKind::NewReno, rtt, 0.0, None));
-                    cross.push(poisson_cross_flow("poisson", 24e6, rtt, spec.seed, 0.0, None));
+                    cross.push(poisson_cross_flow(
+                        "poisson", 24e6, rtt, spec.seed, 0.0, None,
+                    ));
                 }
             }
             let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 8.0);
@@ -224,8 +241,14 @@ pub fn fig23(quick: bool) -> ExperimentResult {
             let cross = vec![cbr_cross_flow("cbr", rate, 0.05, 0.0, None)];
             let out = run_scheme_vs_cross(&spec, scheme, None, cross, 6.0);
             let m = &out.flows[0];
-            result.row(&format!("{}_{tag}_throughput_mbps", m.label), m.mean_throughput_mbps);
-            result.row(&format!("{}_{tag}_queue_delay_ms", m.label), m.mean_queue_delay_ms);
+            result.row(
+                &format!("{}_{tag}_throughput_mbps", m.label),
+                m.mean_throughput_mbps,
+            );
+            result.row(
+                &format!("{}_{tag}_queue_delay_ms", m.label),
+                m.mean_queue_delay_ms,
+            );
             result.add_series(
                 &format!("{}_{tag}_queue_delay_series", m.label),
                 m.queue_delay_series.clone(),
@@ -260,7 +283,10 @@ pub fn fig24(quick: bool) -> ExperimentResult {
             )];
             let out = run_scheme_vs_cross(&spec, scheme, None, cross, 6.0);
             let m = &out.flows[0];
-            result.row(&format!("{}_{tag}_throughput_mbps", m.label), m.mean_throughput_mbps);
+            result.row(
+                &format!("{}_{tag}_throughput_mbps", m.label),
+                m.mean_throughput_mbps,
+            );
             result.add_series(
                 &format!("{}_{tag}_throughput_series", m.label),
                 m.throughput_series.clone(),
@@ -279,8 +305,16 @@ pub fn fig25(quick: bool) -> ExperimentResult {
         "Accuracy vs pulse size, link share and link rate (mixed cross traffic)",
         quick,
     );
-    let pulse_sizes: Vec<f64> = if quick { vec![0.125, 0.25] } else { vec![0.0625, 0.125, 0.25, 0.5] };
-    let shares: Vec<f64> = if quick { vec![0.25, 0.5] } else { vec![0.125, 0.25, 0.5, 0.75] };
+    let pulse_sizes: Vec<f64> = if quick {
+        vec![0.125, 0.25]
+    } else {
+        vec![0.0625, 0.125, 0.25, 0.5]
+    };
+    let shares: Vec<f64> = if quick {
+        vec![0.25, 0.5]
+    } else {
+        vec![0.125, 0.25, 0.5, 0.75]
+    };
     let rates: Vec<f64> = if quick { vec![96e6] } else { vec![96e6, 192e6] };
     for &rate in &rates {
         for &pulse in &pulse_sizes {
@@ -379,7 +413,8 @@ pub fn table1(quick: bool) -> ExperimentResult {
         "Classification of cross-traffic types by the elasticity detector",
         quick,
     );
-    let cases: Vec<(&str, Box<dyn Fn(u64) -> (FlowConfig, Box<dyn FlowEndpoint>)>, bool)> = vec![
+    type CrossBuilder = Box<dyn Fn(u64) -> (FlowConfig, Box<dyn FlowEndpoint>)>;
+    let cases: Vec<(&str, CrossBuilder, bool)> = vec![
         (
             "cubic",
             Box::new(|_s| elastic_cross_flow("cubic", CcKind::Cubic, 0.05, 0.0, None)),
@@ -454,8 +489,16 @@ pub fn robustness_sweep(quick: bool) -> ExperimentResult {
         "Detection accuracy across buffer sizes, RTTs and AQM (elastic / mixed / inelastic)",
         quick,
     );
-    let buffers_bdp: Vec<f64> = if quick { vec![0.5, 2.0] } else { vec![0.25, 0.5, 1.0, 2.0, 4.0] };
-    let rtts_ms: Vec<f64> = if quick { vec![50.0] } else { vec![25.0, 50.0, 75.0] };
+    let buffers_bdp: Vec<f64> = if quick {
+        vec![0.5, 2.0]
+    } else {
+        vec![0.25, 0.5, 1.0, 2.0, 4.0]
+    };
+    let rtts_ms: Vec<f64> = if quick {
+        vec![50.0]
+    } else {
+        vec![25.0, 50.0, 75.0]
+    };
     for &rtt_ms in &rtts_ms {
         for &buf in &buffers_bdp {
             for (kind, truth_elastic) in [("elastic", true), ("inelastic", false)] {
@@ -467,17 +510,27 @@ pub fn robustness_sweep(quick: bool) -> ExperimentResult {
                     ..ScenarioSpec::default_96mbps(duration)
                 };
                 let cross = if truth_elastic {
-                    vec![elastic_cross_flow("reno", CcKind::NewReno, rtt_ms / 1000.0, 0.0, None)]
+                    vec![elastic_cross_flow(
+                        "reno",
+                        CcKind::NewReno,
+                        rtt_ms / 1000.0,
+                        0.0,
+                        None,
+                    )]
                 } else {
-                    vec![poisson_cross_flow("poisson", 48e6, rtt_ms / 1000.0, 83, 0.0, None)]
+                    vec![poisson_cross_flow(
+                        "poisson",
+                        48e6,
+                        rtt_ms / 1000.0,
+                        83,
+                        0.0,
+                        None,
+                    )]
                 };
                 let out =
                     run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 8.0);
                 let acc = nimbus_accuracy(&out.flows[0], truth_elastic, 8.0);
-                result.row(
-                    &format!("accuracy_{kind}_rtt{rtt_ms}ms_buf{buf}bdp"),
-                    acc,
-                );
+                result.row(&format!("accuracy_{kind}_rtt{rtt_ms}ms_buf{buf}bdp"), acc);
             }
         }
     }

@@ -27,16 +27,44 @@ pub mod figures;
 pub mod output;
 pub mod runner;
 pub mod scheme;
+pub mod testkit;
 
 pub use output::ExperimentResult;
 pub use runner::{ScenarioSpec, SingleFlowMetrics};
 pub use scheme::Scheme;
+pub use testkit::{
+    paper_invariant_matrix, run_matrix, Cell, CellOutcome, CrossTraffic, Invariants,
+};
 
 /// Names of every experiment the harness can regenerate, in paper order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "fig01", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-    "fig22", "fig23", "fig24", "fig25", "fig26", "table1", "robustness",
+    "fig01",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "fig22",
+    "fig23",
+    "fig24",
+    "fig25",
+    "fig26",
+    "table1",
+    "robustness",
 ];
 
 /// Run one experiment by name.  Returns the structured result.

@@ -49,7 +49,10 @@ fn main() {
                 if let Err(e) = result.write_csv(&out_dir) {
                     eprintln!("warning: could not write CSV for {exp}: {e}");
                 }
-                println!("({exp} finished in {:.1} s)\n", started.elapsed().as_secs_f64());
+                println!(
+                    "({exp} finished in {:.1} s)\n",
+                    started.elapsed().as_secs_f64()
+                );
             }
             None => {
                 eprintln!("unknown experiment: {exp}");

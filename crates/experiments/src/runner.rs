@@ -139,7 +139,11 @@ pub fn nimbus_of(endpoint: &dyn FlowEndpoint) -> Option<&NimbusController> {
 ///
 /// `steady_start_s` excludes the start-up transient from the scalar summaries
 /// (series always cover the whole run).
-pub fn run_and_collect(mut net: Network, handles: &[(FlowHandle, Scheme)], steady_start_s: f64) -> RunOutput {
+pub fn run_and_collect(
+    mut net: Network,
+    handles: &[(FlowHandle, Scheme)],
+    steady_start_s: f64,
+) -> RunOutput {
     net.run();
     let duration_s = net.now().as_secs_f64();
     let (recorder, endpoints) = net.finish();
@@ -284,6 +288,9 @@ mod tests {
         let m = &out.flows[0];
         assert_eq!(m.label, "nimbus");
         assert!(!m.mode_log.is_empty());
-        assert!(m.delay_mode_fraction > 0.5, "alone on the link Nimbus should stay in delay mode");
+        assert!(
+            m.delay_mode_fraction > 0.5,
+            "alone on the link Nimbus should stay in delay mode"
+        );
     }
 }

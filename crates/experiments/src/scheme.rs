@@ -174,7 +174,9 @@ mod tests {
 
     #[test]
     fn nimbus_configs_only_for_nimbus_variants() {
-        assert!(Scheme::NimbusCubicBasicDelay.nimbus_config(96e6, 1).is_some());
+        assert!(Scheme::NimbusCubicBasicDelay
+            .nimbus_config(96e6, 1)
+            .is_some());
         assert!(Scheme::Cubic.nimbus_config(96e6, 1).is_none());
         assert!(Scheme::NimbusCubicBasicDelay.is_nimbus());
         assert!(!Scheme::Bbr.is_nimbus());

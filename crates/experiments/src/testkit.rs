@@ -1,0 +1,526 @@
+//! Scenario-matrix test harness: declarative (scheme × cross-traffic ×
+//! bottleneck × seed) cells with per-cell paper invariants.
+//!
+//! The paper's core claims are *qualitative behavioural invariants* — Cubic
+//! bufferbloats while Vegas does not, Nimbus stays in delay mode under heavy
+//! CBR cross traffic, Vegas is starved by an elastic competitor.  This module
+//! pins those claims down the way TCP Prague's fall-back validation does:
+//! enumerate a matrix of scenarios, run every cell (in parallel across
+//! threads — each cell is an independent deterministic simulation), and
+//! assert the invariants cell by cell.
+//!
+//! ```no_run
+//! use nimbus_experiments::testkit::{paper_invariant_matrix, run_matrix};
+//!
+//! let outcomes = run_matrix(&paper_invariant_matrix());
+//! for o in &outcomes {
+//!     assert!(o.violations.is_empty(), "{}: {:?}", o.name, o.violations);
+//! }
+//! ```
+//!
+//! Every [`CellOutcome`] also carries a fingerprint of the cell's full
+//! [`Recorder`](nimbus_netsim::Recorder) snapshot, so the same matrix doubles
+//! as a whole-system determinism regression: run it twice, compare
+//! fingerprints.
+
+use crate::figures::{cbr_cross_flow, elastic_cross_flow, poisson_cross_flow};
+use crate::runner::{run_scheme_vs_cross, ScenarioSpec, SingleFlowMetrics};
+use crate::scheme::Scheme;
+use nimbus_netsim::{FlowConfig, FlowEndpoint};
+use serde::{Deserialize, Serialize};
+
+/// The cross-traffic families a matrix cell can put on the bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CrossTraffic {
+    /// No cross traffic: the monitored flow is alone on the link.
+    None,
+    /// Constant-bit-rate (inelastic) cross traffic at this fraction of µ.
+    Cbr {
+        /// Offered CBR rate as a fraction of the bottleneck rate.
+        fraction_of_mu: f64,
+    },
+    /// Poisson (inelastic) cross traffic at this fraction of µ.
+    Poisson {
+        /// Mean offered rate as a fraction of the bottleneck rate.
+        fraction_of_mu: f64,
+    },
+    /// One backlogged Cubic competitor (elastic cross traffic).
+    ElasticCubic,
+}
+
+impl CrossTraffic {
+    fn build(&self, link_rate_bps: f64, seed: u64) -> Vec<(FlowConfig, Box<dyn FlowEndpoint>)> {
+        match *self {
+            CrossTraffic::None => Vec::new(),
+            CrossTraffic::Cbr { fraction_of_mu } => vec![cbr_cross_flow(
+                "cbr-cross",
+                fraction_of_mu * link_rate_bps,
+                0.05,
+                0.0,
+                None,
+            )],
+            CrossTraffic::Poisson { fraction_of_mu } => vec![poisson_cross_flow(
+                "poisson-cross",
+                fraction_of_mu * link_rate_bps,
+                0.05,
+                seed.wrapping_mul(31).wrapping_add(7),
+                0.0,
+                None,
+            )],
+            CrossTraffic::ElasticCubic => vec![elastic_cross_flow(
+                "cubic-cross",
+                nimbus_transport::CcKind::Cubic,
+                0.05,
+                0.0,
+                None,
+            )],
+        }
+    }
+
+    /// A short slug for cell names.
+    pub fn label(&self) -> String {
+        match self {
+            CrossTraffic::None => "alone".to_string(),
+            CrossTraffic::Cbr { fraction_of_mu } => {
+                format!("cbr{:.0}", fraction_of_mu * 100.0)
+            }
+            CrossTraffic::Poisson { fraction_of_mu } => {
+                format!("poisson{:.0}", fraction_of_mu * 100.0)
+            }
+            CrossTraffic::ElasticCubic => "cubic".to_string(),
+        }
+    }
+}
+
+/// Bounds asserted against a cell's [`SingleFlowMetrics`].  `None` bounds are
+/// not checked; every cell in a matrix should set at least one.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct Invariants {
+    /// Steady-state mean throughput must be at least this (Mbit/s).
+    pub min_throughput_mbps: Option<f64>,
+    /// Steady-state mean throughput must stay below this (Mbit/s) — for
+    /// starvation claims.
+    pub max_throughput_mbps: Option<f64>,
+    /// Steady-state mean queueing delay must stay below this (ms).
+    pub max_queue_delay_ms: Option<f64>,
+    /// Steady-state mean queueing delay must be at least this (ms) — for
+    /// bufferbloat claims.
+    pub min_queue_delay_ms: Option<f64>,
+    /// Nimbus: fraction of time in delay mode must be at least this.
+    pub min_delay_mode_fraction: Option<f64>,
+    /// Nimbus: fraction of time in delay mode must stay below this.
+    pub max_delay_mode_fraction: Option<f64>,
+    /// Nimbus: the mode log must contain at least one switch to competitive.
+    pub must_enter_competitive: bool,
+}
+
+/// One (scheme × cross-traffic × bottleneck × seed) cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Scheme on the monitored flow.
+    pub scheme: Scheme,
+    /// Cross traffic sharing the bottleneck.
+    pub cross: CrossTraffic,
+    /// Bottleneck rate µ in bits/s.
+    pub link_rate_bps: f64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Run length in seconds.
+    pub duration_s: f64,
+    /// Start of the steady-state window used for the scalar metrics.
+    pub steady_start_s: f64,
+    /// The invariants this cell asserts.
+    pub invariants: Invariants,
+}
+
+impl Cell {
+    /// `scheme@mu vs cross (seed n)` — unique within a well-formed matrix.
+    pub fn name(&self) -> String {
+        format!(
+            "{}@{:.0}M-vs-{}-seed{}",
+            self.scheme.label(),
+            self.link_rate_bps / 1e6,
+            self.cross.label(),
+            self.seed
+        )
+    }
+
+    /// Run this cell to completion and evaluate its invariants.
+    pub fn run(&self) -> CellOutcome {
+        let spec = ScenarioSpec {
+            link_rate_bps: self.link_rate_bps,
+            duration_s: self.duration_s,
+            seed: self.seed,
+            ..ScenarioSpec::default_96mbps(self.duration_s)
+        };
+        let cross = self.cross.build(self.link_rate_bps, self.seed);
+        let out = run_scheme_vs_cross(&spec, self.scheme, None, cross, self.steady_start_s);
+        let metrics = out.flows.into_iter().next().expect("one monitored flow");
+        let violations = self.invariants.check(self.scheme, &metrics);
+        let fingerprint = fingerprint_of(&out.recorder.snapshot(), &metrics);
+        CellOutcome {
+            name: self.name(),
+            metrics,
+            violations,
+            fingerprint,
+        }
+    }
+}
+
+impl Invariants {
+    /// Evaluate the bounds against a cell's metrics; returns one message per
+    /// violated bound (empty = cell passes).
+    pub fn check(&self, scheme: Scheme, m: &SingleFlowMetrics) -> Vec<String> {
+        let mut violations = Vec::new();
+        if let Some(min) = self.min_throughput_mbps {
+            if m.mean_throughput_mbps < min {
+                violations.push(format!(
+                    "throughput {:.2} Mbit/s below floor {min}",
+                    m.mean_throughput_mbps
+                ));
+            }
+        }
+        if let Some(max) = self.max_throughput_mbps {
+            if m.mean_throughput_mbps > max {
+                violations.push(format!(
+                    "throughput {:.2} Mbit/s above ceiling {max} (starvation expected)",
+                    m.mean_throughput_mbps
+                ));
+            }
+        }
+        if let Some(max) = self.max_queue_delay_ms {
+            if m.mean_queue_delay_ms > max {
+                violations.push(format!(
+                    "queue delay {:.2} ms above ceiling {max}",
+                    m.mean_queue_delay_ms
+                ));
+            }
+        }
+        if let Some(min) = self.min_queue_delay_ms {
+            if m.mean_queue_delay_ms < min {
+                violations.push(format!(
+                    "queue delay {:.2} ms below floor {min} (bufferbloat expected)",
+                    m.mean_queue_delay_ms
+                ));
+            }
+        }
+        if let Some(min) = self.min_delay_mode_fraction {
+            if m.delay_mode_fraction < min {
+                violations.push(format!(
+                    "delay-mode fraction {:.2} below floor {min}",
+                    m.delay_mode_fraction
+                ));
+            }
+        }
+        if let Some(max) = self.max_delay_mode_fraction {
+            if m.delay_mode_fraction > max {
+                violations.push(format!(
+                    "delay-mode fraction {:.2} above ceiling {max}",
+                    m.delay_mode_fraction
+                ));
+            }
+        }
+        if self.must_enter_competitive {
+            assert!(
+                scheme.is_nimbus(),
+                "must_enter_competitive only makes sense for Nimbus schemes"
+            );
+            if !m.mode_log.iter().any(|(_, mode)| mode == "competitive") {
+                violations.push("never entered competitive mode".to_string());
+            }
+        }
+        violations
+    }
+}
+
+/// The result of one cell run.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// `Cell::name()` of the cell that produced this outcome.
+    pub name: String,
+    /// The monitored flow's metrics.
+    pub metrics: SingleFlowMetrics,
+    /// Invariant violations (empty = pass).
+    pub violations: Vec<String>,
+    /// FNV-1a hash over the serialized recorder snapshot and metrics; two
+    /// runs of the same cell must agree byte for byte.
+    pub fingerprint: u64,
+}
+
+fn fingerprint_of(recorder_snapshot: &serde::Value, metrics: &SingleFlowMetrics) -> u64 {
+    let mut text = serde_json::to_string(recorder_snapshot).expect("snapshot serializes");
+    text.push_str(&serde_json::to_string(metrics).expect("metrics serialize"));
+    fnv1a(text.as_bytes())
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run every cell of a matrix, in parallel across threads (each cell is an
+/// independent deterministic simulation).  Cells are handed to worker
+/// threads through a shared index, so a slow cell never idles the other
+/// workers; outcomes come back in matrix order regardless of completion
+/// order.
+pub fn run_matrix(cells: &[Cell]) -> Vec<CellOutcome> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<CellOutcome>>> =
+        (0..cells.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..parallelism {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(cell) = cells.get(i) else { break };
+                *slots[i].lock().expect("outcome slot poisoned") = Some(cell.run());
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("outcome slot poisoned")
+                .expect("all cells ran")
+        })
+        .collect()
+}
+
+/// Render a one-line-per-cell report (for `--nocapture` debugging).
+pub fn matrix_report(outcomes: &[CellOutcome]) -> String {
+    let mut out = String::new();
+    for o in outcomes {
+        out.push_str(&format!(
+            "{:46} tput {:7.2} Mbit/s  qd {:7.2} ms  delay-frac {:.2}  {}\n",
+            o.name,
+            o.metrics.mean_throughput_mbps,
+            o.metrics.mean_queue_delay_ms,
+            o.metrics.delay_mode_fraction,
+            if o.violations.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("VIOLATIONS: {:?}", o.violations)
+            }
+        ));
+    }
+    out
+}
+
+/// The default paper-invariant matrix: 14 cells covering the headline claims
+/// of Figs. 1/8 and Appendix D across two bottleneck rates and two seeds per
+/// behavioural claim.  Kept short enough (~30 simulated seconds per cell)
+/// that the whole matrix runs in well under two minutes of wall clock under
+/// `cargo test`.
+pub fn paper_invariant_matrix() -> Vec<Cell> {
+    let mut cells = Vec::new();
+
+    // Fig. 1a: Cubic fills the 100 ms buffer (bufferbloat) but also the link.
+    for seed in [3, 11] {
+        cells.push(Cell {
+            scheme: Scheme::Cubic,
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            seed,
+            duration_s: 30.0,
+            steady_start_s: 8.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(40.0),
+                min_queue_delay_ms: Some(40.0),
+                ..Invariants::default()
+            },
+        });
+    }
+
+    // Fig. 1b: Vegas keeps the queue nearly empty at full throughput.
+    for seed in [3, 11] {
+        cells.push(Cell {
+            scheme: Scheme::Vegas,
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            seed,
+            duration_s: 30.0,
+            steady_start_s: 8.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(40.0),
+                max_queue_delay_ms: Some(15.0),
+                ..Invariants::default()
+            },
+        });
+    }
+
+    // The motivating failure: Vegas starved by an elastic Cubic competitor.
+    for seed in [5, 13] {
+        cells.push(Cell {
+            scheme: Scheme::Vegas,
+            cross: CrossTraffic::ElasticCubic,
+            link_rate_bps: 96e6,
+            seed,
+            duration_s: 40.0,
+            steady_start_s: 15.0,
+            invariants: Invariants {
+                max_throughput_mbps: Some(30.0),
+                ..Invariants::default()
+            },
+        });
+    }
+
+    // Appendix D.1: Nimbus holds delay mode under 83% CBR cross traffic.
+    for seed in [4, 12] {
+        cells.push(Cell {
+            scheme: Scheme::NimbusCubicBasicDelay,
+            cross: CrossTraffic::Cbr {
+                fraction_of_mu: 5.0 / 6.0,
+            },
+            link_rate_bps: 96e6,
+            seed,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(8.0),
+                max_queue_delay_ms: Some(40.0),
+                min_delay_mode_fraction: Some(0.5),
+                ..Invariants::default()
+            },
+        });
+    }
+
+    // Fig. 1c right half: Nimbus vs inelastic Poisson cross traffic — low
+    // delay, near fair-share throughput, delay mode.
+    for seed in [1, 9] {
+        cells.push(Cell {
+            scheme: Scheme::NimbusCubicBasicDelay,
+            cross: CrossTraffic::Poisson {
+                fraction_of_mu: 0.5,
+            },
+            link_rate_bps: 48e6,
+            seed,
+            duration_s: 30.0,
+            steady_start_s: 8.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(15.0),
+                max_queue_delay_ms: Some(40.0),
+                min_delay_mode_fraction: Some(0.6),
+                ..Invariants::default()
+            },
+        });
+    }
+
+    // Fig. 1c left half: Nimbus vs an elastic Cubic competitor — must detect
+    // elasticity, switch to competitive mode and hold a useful share.
+    for seed in [2, 10] {
+        cells.push(Cell {
+            scheme: Scheme::NimbusCubicBasicDelay,
+            cross: CrossTraffic::ElasticCubic,
+            link_rate_bps: 48e6,
+            seed,
+            duration_s: 45.0,
+            steady_start_s: 15.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(12.0),
+                max_delay_mode_fraction: Some(0.9),
+                must_enter_competitive: true,
+                ..Invariants::default()
+            },
+        });
+    }
+
+    // Nimbus alone: nothing elastic to compete with, so it must stay in
+    // delay mode and keep the queue near its small target.
+    for seed in [6, 14] {
+        cells.push(Cell {
+            scheme: Scheme::NimbusCubicBasicDelay,
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            seed,
+            duration_s: 30.0,
+            steady_start_s: 8.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(30.0),
+                max_queue_delay_ms: Some(40.0),
+                min_delay_mode_fraction: Some(0.9),
+                ..Invariants::default()
+            },
+        });
+    }
+
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_well_formed() {
+        let cells = paper_invariant_matrix();
+        assert!(cells.len() >= 12, "matrix must cover at least 12 cells");
+        let mut names: Vec<String> = cells.iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), cells.len(), "cell names must be unique");
+        // Every cell asserts at least one invariant.
+        for c in &cells {
+            let inv = &c.invariants;
+            let any = inv.min_throughput_mbps.is_some()
+                || inv.max_throughput_mbps.is_some()
+                || inv.max_queue_delay_ms.is_some()
+                || inv.min_queue_delay_ms.is_some()
+                || inv.min_delay_mode_fraction.is_some()
+                || inv.max_delay_mode_fraction.is_some()
+                || inv.must_enter_competitive;
+            assert!(any, "cell {} asserts nothing", c.name());
+        }
+    }
+
+    #[test]
+    fn invariant_checks_fire() {
+        let m = SingleFlowMetrics {
+            label: "x".to_string(),
+            mean_throughput_mbps: 10.0,
+            mean_rtt_ms: 60.0,
+            median_rtt_ms: 55.0,
+            mean_queue_delay_ms: 50.0,
+            median_queue_delay_ms: 45.0,
+            throughput_series: Vec::new(),
+            queue_delay_series: Vec::new(),
+            rtt_series: Vec::new(),
+            rtt_samples_ms: Vec::new(),
+            throughput_samples_mbps: Vec::new(),
+            delay_mode_fraction: 0.4,
+            mode_log: Vec::new(),
+            eta_series: Vec::new(),
+        };
+        let inv = Invariants {
+            min_throughput_mbps: Some(20.0),
+            max_queue_delay_ms: Some(40.0),
+            min_delay_mode_fraction: Some(0.5),
+            must_enter_competitive: true,
+            ..Invariants::default()
+        };
+        let violations = inv.check(Scheme::NimbusCubicBasicDelay, &m);
+        assert_eq!(violations.len(), 4, "{violations:?}");
+        let ok = Invariants {
+            max_throughput_mbps: Some(20.0),
+            min_queue_delay_ms: Some(40.0),
+            ..Invariants::default()
+        };
+        assert!(ok.check(Scheme::Cubic, &m).is_empty());
+    }
+
+    #[test]
+    fn fingerprints_are_order_sensitive() {
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+        assert_ne!(fnv1a(b""), fnv1a(b"\0"));
+    }
+}

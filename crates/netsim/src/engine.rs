@@ -407,6 +407,15 @@ impl Network {
                 }
             }
             EventKind::PollSend(id) => {
+                // Only the poll recorded in `next_scheduled_poll` is live; an
+                // entry left in the heap after an earlier poll superseded it
+                // must be dropped here, otherwise every stale entry would
+                // reschedule itself and the poll chains would multiply without
+                // bound (each ACK that moves the wake-up earlier would leak
+                // one immortal chain).
+                if self.now != self.flows[id].next_scheduled_poll {
+                    return;
+                }
                 self.flows[id].next_scheduled_poll = Time::MAX;
                 self.poll_flow(id)
             }
@@ -887,7 +896,8 @@ mod tests {
     fn flows_start_at_their_configured_times() {
         let mut net = Network::new(base_config(96e6, 10.0));
         let h = net.add_flow(
-            FlowConfig::primary("late", Time::from_millis(20)).starting_at(Time::from_secs_f64(5.0)),
+            FlowConfig::primary("late", Time::from_millis(20))
+                .starting_at(Time::from_secs_f64(5.0)),
             Box::new(PacedCbr::new(10e6)),
         );
         net.run();
@@ -896,6 +906,9 @@ mod tests {
         let before = rec.throughput_mbps[slot].mean_in_range(0.0, 4.5);
         let after = rec.throughput_mbps[slot].mean_in_range(6.0, 10.0);
         assert!(before < 0.5, "no traffic before start, got {before}");
-        assert!((after - 10.0).abs() < 1.0, "traffic after start, got {after}");
+        assert!(
+            (after - 10.0).abs() < 1.0,
+            "traffic after start, got {after}"
+        );
     }
 }

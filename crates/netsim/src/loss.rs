@@ -16,9 +16,10 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a random-loss process applied in front of the bottleneck queue.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize, Default)]
 pub enum LossModel {
     /// No random loss (the default).
+    #[default]
     None,
     /// Drop each packet independently with probability `p`.
     Bernoulli {
@@ -37,12 +38,6 @@ pub enum LossModel {
         /// Drop probability in the Bad state.
         p_bad: f64,
     },
-}
-
-impl Default for LossModel {
-    fn default() -> Self {
-        LossModel::None
-    }
 }
 
 /// Stateful sampler for a [`LossModel`].

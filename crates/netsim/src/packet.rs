@@ -81,7 +81,10 @@ mod tests {
     fn queueing_delay_is_relative_to_enqueue() {
         let mut p = Packet::new(0, 7, 1500, Time::from_millis(10), false);
         p.enqueued_at = Time::from_millis(12);
-        assert_eq!(p.queueing_delay(Time::from_millis(20)), Time::from_millis(8));
+        assert_eq!(
+            p.queueing_delay(Time::from_millis(20)),
+            Time::from_millis(8)
+        );
         // Before enqueue time: saturates to zero.
         assert_eq!(p.queueing_delay(Time::from_millis(5)), Time::ZERO);
     }

@@ -173,10 +173,9 @@ impl PieQueue {
 
     fn maybe_update(&mut self, now: Time) {
         while now.saturating_sub(self.last_update) >= self.t_update {
-            self.last_update = self.last_update + self.t_update;
+            self.last_update += self.t_update;
             let cur = self.current_delay();
-            let p_delta = self.alpha
-                * (cur.as_secs_f64() - self.target_delay.as_secs_f64())
+            let p_delta = self.alpha * (cur.as_secs_f64() - self.target_delay.as_secs_f64())
                 + self.beta * (cur.as_secs_f64() - self.old_delay.as_secs_f64());
             // RFC 8033 scales the adjustment when drop_prob is small to avoid
             // oscillation around zero.
@@ -421,7 +420,11 @@ impl QueueDiscipline for CoDelQueue {
                 // Enter dropping state, drop this packet.
                 self.drops += 1;
                 self.dropping = true;
-                self.drop_count = if self.drop_count > 2 { self.drop_count - 2 } else { 1 };
+                self.drop_count = if self.drop_count > 2 {
+                    self.drop_count - 2
+                } else {
+                    1
+                };
                 self.drop_next = self.control_law(now);
                 continue;
             } else {
@@ -463,10 +466,19 @@ mod tests {
     #[test]
     fn droptail_respects_capacity_and_fifo_order() {
         let mut q = DropTailQueue::new(4000);
-        assert_eq!(q.enqueue(pkt(0, 0, 1500, 0), Time::ZERO), EnqueueResult::Accepted);
-        assert_eq!(q.enqueue(pkt(0, 1, 1500, 0), Time::ZERO), EnqueueResult::Accepted);
+        assert_eq!(
+            q.enqueue(pkt(0, 0, 1500, 0), Time::ZERO),
+            EnqueueResult::Accepted
+        );
+        assert_eq!(
+            q.enqueue(pkt(0, 1, 1500, 0), Time::ZERO),
+            EnqueueResult::Accepted
+        );
         // Third 1500B packet exceeds 4000B capacity.
-        assert_eq!(q.enqueue(pkt(0, 2, 1500, 0), Time::ZERO), EnqueueResult::Dropped);
+        assert_eq!(
+            q.enqueue(pkt(0, 2, 1500, 0), Time::ZERO),
+            EnqueueResult::Dropped
+        );
         assert_eq!(q.drops(), 1);
         assert_eq!(q.len_packets(), 2);
         assert_eq!(q.len_bytes(), 3000);
@@ -512,9 +524,12 @@ mod tests {
                 }
             }
             let _ = q.dequeue(now);
-            now = now + Time::from_millis(1);
+            now += Time::from_millis(1);
         }
-        assert!(dropped > 100, "PIE should have dropped packets, dropped={dropped}");
+        assert!(
+            dropped > 100,
+            "PIE should have dropped packets, dropped={dropped}"
+        );
         assert!(accepted > 0);
     }
 
@@ -529,7 +544,7 @@ mod tests {
             }
             // Drain immediately: queue never builds.
             let _ = q.dequeue(now);
-            now = now + Time::from_millis(10);
+            now += Time::from_millis(10);
         }
         assert_eq!(drops, 0);
     }
@@ -566,7 +581,7 @@ mod tests {
         let mut now = Time::from_millis(1);
         while let Some(_p) = q.dequeue(now) {
             delivered += 1;
-            now = now + Time::from_millis(1);
+            now += Time::from_millis(1);
             if delivered > 5000 {
                 break;
             }
@@ -583,7 +598,7 @@ mod tests {
             q.enqueue(pkt(0, i, 1500, now.as_nanos() / 1_000_000), now);
             // Dequeue within the target delay.
             let _ = q.dequeue(now + Time::from_millis(1));
-            now = now + Time::from_millis(10);
+            now += Time::from_millis(10);
         }
         assert_eq!(q.drops(), 0);
     }

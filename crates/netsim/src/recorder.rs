@@ -350,6 +350,35 @@ impl Recorder {
         }
     }
 
+    /// Serialize every public time series and per-flow summary.  This is the
+    /// record the determinism tests compare byte-for-byte: two runs with the
+    /// same `SimConfig` seed must produce identical snapshots.
+    pub fn snapshot(&self) -> serde::Value {
+        use serde::Serialize as _;
+        serde::Value::Map(vec![
+            (
+                "throughput_mbps".to_string(),
+                self.throughput_mbps.to_value(),
+            ),
+            ("rtt_ms".to_string(), self.rtt_ms.to_value()),
+            ("queue_delay_ms".to_string(), self.queue_delay_ms.to_value()),
+            (
+                "packet_delay_samples_ms".to_string(),
+                self.packet_delay_samples_ms.to_value(),
+            ),
+            ("queue_bytes".to_string(), self.queue_bytes.to_value()),
+            (
+                "cross_rate_mbps".to_string(),
+                self.cross_rate_mbps.to_value(),
+            ),
+            (
+                "elastic_fraction".to_string(),
+                self.elastic_fraction.to_value(),
+            ),
+            ("flows".to_string(), self.flows.to_value()),
+        ])
+    }
+
     /// Flow completion times (seconds) together with flow sizes, for every
     /// finite flow that finished.
     pub fn completed_fcts(&self) -> Vec<(u64, f64)> {
@@ -418,7 +447,14 @@ mod tests {
     #[test]
     fn flow_stats_fct_and_throughput() {
         let mut r = Recorder::new(RecorderConfig::default());
-        r.register_flow(0, "f".into(), Some(true), false, Time::from_millis(1000), Some(1_000_000));
+        r.register_flow(
+            0,
+            "f".into(),
+            Some(true),
+            false,
+            Time::from_millis(1000),
+            Some(1_000_000),
+        );
         r.on_delivered(0, 1_000_000);
         r.on_arrival(0, 1_000_000);
         r.on_finish(0, Time::from_millis(3000));

@@ -195,7 +195,10 @@ mod tests {
         let t = transmission_time(1500, 12_000_000.0);
         assert_eq!(t, Time::from_millis(1));
         // 1500 bytes at 96 Mbit/s = 125 µs.
-        assert_eq!(transmission_time(1500, 96_000_000.0), Time::from_micros(125));
+        assert_eq!(
+            transmission_time(1500, 96_000_000.0),
+            Time::from_micros(125)
+        );
     }
 
     #[test]

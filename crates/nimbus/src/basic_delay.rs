@@ -15,9 +15,9 @@
 //!
 //! The paper's WAN experiments use `α = 0.8`, `β = 0.5`, `d_t = 12.5 ms`.
 
+use nimbus_netsim::Time;
 use nimbus_transport::cc::{AckEvent, CongestionControl};
 use nimbus_transport::Report;
-use nimbus_netsim::Time;
 use serde::{Deserialize, Serialize};
 
 /// BasicDelay parameters.
@@ -146,7 +146,11 @@ impl CongestionControl for BasicDelay {
     fn cwnd_packets(&self) -> f64 {
         // A generous cap of 2·rate·RTT keeps the window from limiting the
         // paced rate while still bounding the worst case.
-        let rtt = if self.last_rtt_s > 0.0 { self.last_rtt_s } else { 0.1 };
+        let rtt = if self.last_rtt_s > 0.0 {
+            self.last_rtt_s
+        } else {
+            0.1
+        };
         (2.0 * self.rate_bps * rtt / 8.0 / 1500.0).max(4.0)
     }
 
@@ -239,7 +243,10 @@ mod tests {
         cc.on_ack(&ack(50.0));
         cc.set_cross_traffic_estimate(96e6 - 40e6); // spare ≈ 0 when S = 40M
         cc.on_report(&report(0.0, 40e6, 0.050)); // queue empty: x == x_min
-        assert!(cc.current_rate_bps() > 40e6, "should push the rate up to build the target queue");
+        assert!(
+            cc.current_rate_bps() > 40e6,
+            "should push the rate up to build the target queue"
+        );
     }
 
     #[test]

@@ -182,6 +182,10 @@ pub struct NimbusController {
     now_s: f64,
     /// Log of mode switches.
     mode_log: Vec<ModeLogEntry>,
+    /// Time of the most recent *elastic* verdict, for the switch-back
+    /// hysteresis (§4.1): competitive → delay only after the detector has
+    /// seen nothing elastic for a full FFT window.
+    last_elastic_s: f64,
     /// Log of detector verdicts exposed for experiments (`detector` also keeps them).
     last_verdict: Option<DetectorVerdict>,
     /// EWMA-smoothed rate used while this flow is a watcher.
@@ -201,11 +205,17 @@ impl NimbusController {
             DelayScheme::CopaDefault => DelayCtl::Other(CcKind::Copa.build(cfg.mss)),
         };
         let estimator = match cfg.mu_bps {
-            Some(mu) => CrossTrafficEstimator::with_known_mu(mu, cfg.elasticity.fft_duration_s * 2.0),
+            Some(mu) => {
+                CrossTrafficEstimator::with_known_mu(mu, cfg.elasticity.fft_duration_s * 2.0)
+            }
             None => CrossTrafficEstimator::with_estimated_mu(cfg.elasticity.fft_duration_s * 2.0),
         };
         let detector = ElasticityDetector::new(cfg.elasticity.clone());
-        let multiflow = Multiflow::new(cfg.multiflow.clone(), cfg.elasticity.fft_duration_s, cfg.seed);
+        let multiflow = Multiflow::new(
+            cfg.multiflow.clone(),
+            cfg.elasticity.fft_duration_s,
+            cfg.seed,
+        );
         let amplitude = cfg.pulse_amplitude_fraction * cfg.mu_bps.unwrap_or(0.0);
         let pulse = PulseGenerator::asymmetric(cfg.elasticity.pulse_freq_hz, amplitude);
         let mut controller = NimbusController {
@@ -221,6 +231,7 @@ impl NimbusController {
             rate_history: VecDeque::new(),
             now_s: 0.0,
             mode_log: Vec::new(),
+            last_elastic_s: f64::NEG_INFINITY,
             last_verdict: None,
             watcher_rate_bps: None,
         };
@@ -426,12 +437,8 @@ impl CongestionControl for NimbusController {
                         PulserPresence::Delay => self.switch_mode(Mode::Delay),
                         PulserPresence::None => {
                             let recv_rate = report.recv_rate_bps;
-                            self.multiflow.maybe_become_pulser(
-                                report.now_s,
-                                false,
-                                recv_rate,
-                                mu,
-                            );
+                            self.multiflow
+                                .maybe_become_pulser(report.now_s, false, recv_rate, mu);
                         }
                     }
                     // Watchers never pulse.
@@ -445,7 +452,14 @@ impl CongestionControl for NimbusController {
             }
         }
 
-        // 5. Pulser path: evaluate elasticity and pick the mode.
+        // 5. Pulser path: evaluate elasticity and pick the mode.  The
+        // minimum-peak guard tracks the current µ estimate (which may be
+        // learned at runtime): a configured value of 0 means "automatic",
+        // i.e. the f_p oscillation in ẑ must reach ~2% of µ peak-to-peak
+        // before the cross traffic can be called elastic.
+        if self.cfg.elasticity.min_peak_bps == 0.0 && mu > 0.0 {
+            self.detector.set_min_peak_bps(0.01 * mu);
+        }
         let z_series = self.estimator.z_series(window_s);
         if let Some(verdict) = self.detector.evaluate(report.now_s, &z_series) {
             self.last_verdict = Some(verdict);
@@ -454,10 +468,11 @@ impl CongestionControl for NimbusController {
             if self.cfg.multiflow.enabled {
                 let recv = self.estimator.recv_rate_series(window_s);
                 if recv.len() >= self.cfg.elasticity.window_samples() {
-                    let recv_spectrum =
-                        nimbus_dsp::Spectrum::of_signal(&recv, sample_rate, true);
-                    let recv_peak = recv_spectrum
-                        .peak_near(self.current_pulse_freq(), self.cfg.elasticity.peak_tolerance_hz);
+                    let recv_spectrum = nimbus_dsp::Spectrum::of_signal(&recv, sample_rate, true);
+                    let recv_peak = recv_spectrum.peak_near(
+                        self.current_pulse_freq(),
+                        self.cfg.elasticity.peak_tolerance_hz,
+                    );
                     if self
                         .multiflow
                         .maybe_step_down(report.now_s, verdict.peak_at_fp, recv_peak)
@@ -467,12 +482,18 @@ impl CongestionControl for NimbusController {
                     }
                 }
             }
-            let new_mode = if verdict.elastic {
-                Mode::Competitive
-            } else {
-                Mode::Delay
-            };
-            self.switch_mode(new_mode);
+            // Asymmetric hysteresis (§4.1): elastic cross traffic flips the
+            // controller to competitive mode immediately (every tick in delay
+            // mode concedes throughput), but it only returns to delay mode
+            // after a full FFT window without a single elastic verdict — a
+            // competitor briefly backing off (e.g. Cubic right after a loss)
+            // must not bounce Nimbus back into the mode it gets starved in.
+            if verdict.elastic {
+                self.last_elastic_s = report.now_s;
+                self.switch_mode(Mode::Competitive);
+            } else if report.now_s - self.last_elastic_s >= self.cfg.elasticity.fft_duration_s {
+                self.switch_mode(Mode::Delay);
+            }
         }
 
         // 6. Keep the pulse generator aligned with the current mode and µ.
@@ -484,12 +505,20 @@ impl CongestionControl for NimbusController {
     }
 
     fn cwnd_packets(&self) -> f64 {
-        // The window of the active controller, with head-room so that pacing
-        // (not the window) is the binding constraint for rate-based modes.
-        match self.mode {
+        // The window of the active controller, with enough head-room that the
+        // window never clips the pulse's positive excursion — pacing (which
+        // carries the pulse) must stay the binding constraint.  Without this
+        // a starved delay-mode flow has a window of a few packets, the pulse
+        // never reaches the wire, and the detector goes blind exactly when it
+        // is needed most.
+        let inner = match self.mode {
             Mode::Competitive => self.competitive.cwnd_packets(),
             Mode::Delay => self.delay.as_cc().cwnd_packets(),
-        }
+        };
+        let rtt = if self.srtt_s > 0.0 { self.srtt_s } else { 0.1 };
+        let peak_rate = self.base_rate_bps(Time::from_secs_f64(self.now_s)) + self.pulse.amplitude;
+        let pulse_headroom = 2.0 * peak_rate * rtt / (8.0 * self.cfg.mss as f64);
+        inner.max(pulse_headroom)
     }
 
     fn pacing_rate_bps(&self, now: Time) -> Option<f64> {
@@ -600,10 +629,7 @@ mod tests {
             t += 0.01;
             ctl.on_ack(&ack(t, 60.0));
             // Our own send rate follows the pulsed pacing rate.
-            let s = ctl
-                .pacing_rate_bps(Time::from_secs_f64(t))
-                .unwrap()
-                .min(mu);
+            let s = ctl.pacing_rate_bps(Time::from_secs_f64(t)).unwrap().min(mu);
             // Cross traffic: 48 Mbit/s that either reacts inversely to the
             // pulses one RTT later (elastic) or ignores them (inelastic).
             let z = if elastic {
@@ -622,7 +648,10 @@ mod tests {
     fn elastic_cross_traffic_switches_to_competitive_mode() {
         let ctl = drive_with_cross_traffic(true, 12.0);
         assert_eq!(ctl.mode(), Mode::Competitive);
-        assert!(ctl.mode_log().len() >= 2, "should have switched at least once");
+        assert!(
+            ctl.mode_log().len() >= 2,
+            "should have switched at least once"
+        );
         // The switch must not have happened before a full FFT window existed.
         let first_switch = ctl.mode_log()[1].0;
         assert!(first_switch >= 4.95, "switched too early at {first_switch}");
@@ -661,7 +690,10 @@ mod tests {
         // its window should correspond to something well above the late
         // 20 Mbit/s rate (20 Mbit/s over 55 ms RTT ≈ 92 packets).
         let cwnd = ctl.cwnd_packets();
-        assert!(cwnd > 120.0, "cwnd {cwnd} suggests the reset used the depressed rate");
+        assert!(
+            cwnd > 120.0,
+            "cwnd {cwnd} suggests the reset used the depressed rate"
+        );
     }
 
     #[test]

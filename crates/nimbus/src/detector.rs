@@ -37,6 +37,15 @@ pub struct ElasticityConfig {
     pub peak_tolerance_hz: f64,
     /// Window function applied before the FFT.
     pub window: WindowFunction,
+    /// Minimum spectral magnitude at `f_p` (signal units, i.e. bits/s; a
+    /// sinusoid of amplitude `A` has magnitude `A/2`) for an *elastic*
+    /// verdict.  With no cross traffic ẑ is numerically tiny, and η — a ratio
+    /// of two near-zero magnitudes — is meaningless noise; requiring the
+    /// oscillation to be physically significant suppresses those spurious
+    /// verdicts.  `0.0` disables the guard when the detector is used
+    /// stand-alone; the Nimbus controller treats `0.0` as "automatic" and
+    /// keeps it at 1% of its current µ estimate (known or learned).
+    pub min_peak_bps: f64,
 }
 
 impl Default for ElasticityConfig {
@@ -48,6 +57,7 @@ impl Default for ElasticityConfig {
             eta_threshold: 2.0,
             peak_tolerance_hz: 0.25,
             window: WindowFunction::Rectangular,
+            min_peak_bps: 0.0,
         }
     }
 }
@@ -110,6 +120,12 @@ impl ElasticityDetector {
         self.cfg.pulse_freq_hz = freq_hz;
     }
 
+    /// Update the minimum-peak guard (the Nimbus controller keeps this at a
+    /// fraction of its µ estimate, which may itself be learned at runtime).
+    pub fn set_min_peak_bps(&mut self, min_peak_bps: f64) {
+        self.cfg.min_peak_bps = min_peak_bps;
+    }
+
     /// Compute the elasticity metric η for a ẑ series sampled at the
     /// configured rate.  Returns `None` until a full window of samples exists.
     pub fn eta(&self, z_series: &[f64]) -> Option<(f64, f64, f64)> {
@@ -120,18 +136,18 @@ impl ElasticityDetector {
         let window = &z_series[z_series.len() - needed..];
         let mut buf: Vec<f64> = window.to_vec();
         self.cfg.window.apply(&mut buf);
-        let spectrum = Spectrum::of_signal_with_plan(
-            &self.fft_plan,
-            &buf,
-            self.cfg.sample_rate_hz(),
-            true,
-        );
+        let spectrum =
+            Spectrum::of_signal_with_plan(&self.fft_plan, &buf, self.cfg.sample_rate_hz(), true);
         let fp = self.cfg.pulse_freq_hz;
         let peak = spectrum.peak_near(fp, self.cfg.peak_tolerance_hz);
         // The comparison band (f_p, 2 f_p): start just above the peak
         // tolerance so the pulse's own leakage is not counted.
         let band = spectrum.peak_in_open_band(fp + self.cfg.peak_tolerance_hz, 2.0 * fp);
-        let eta = if band > 0.0 { peak / band } else { f64::INFINITY };
+        let eta = if band > 0.0 {
+            peak / band
+        } else {
+            f64::INFINITY
+        };
         Some((eta, peak, band))
     }
 
@@ -142,7 +158,7 @@ impl ElasticityDetector {
         let verdict = DetectorVerdict {
             t_s,
             eta,
-            elastic: eta >= self.cfg.eta_threshold,
+            elastic: eta >= self.cfg.eta_threshold && peak >= self.cfg.min_peak_bps,
             peak_at_fp: peak,
             band_max: band,
         };
@@ -176,12 +192,7 @@ impl ElasticityDetector {
     /// The time-domain alternative the paper discards (§3.3): normalized
     /// cross-correlation between the pulse waveform `s(t)` and `ẑ(t)`,
     /// maximized over lags up to `max_lag_s`.  Exposed for the ablation bench.
-    pub fn cross_correlation(
-        &self,
-        pulse_series: &[f64],
-        z_series: &[f64],
-        max_lag_s: f64,
-    ) -> f64 {
+    pub fn cross_correlation(&self, pulse_series: &[f64], z_series: &[f64], max_lag_s: f64) -> f64 {
         let n = pulse_series.len().min(z_series.len());
         if n < 8 {
             return 0.0;
@@ -340,7 +351,11 @@ mod tests {
             ..ElasticityConfig::default()
         });
         let v = det2.evaluate(6.0, &z5).unwrap();
-        assert!(!v.elastic, "2 Hz detector fired on 5 Hz reaction: eta {}", v.eta);
+        assert!(
+            !v.elastic,
+            "2 Hz detector fired on 5 Hz reaction: eta {}",
+            v.eta
+        );
     }
 
     #[test]

@@ -212,10 +212,7 @@ mod tests {
                 }
                 let r = mu * s / (s + z);
                 let zhat = est.estimate(s, r).unwrap();
-                assert!(
-                    (zhat - z).abs() <= 1.0,
-                    "S={s} z={z} -> zhat={zhat}"
-                );
+                assert!((zhat - z).abs() <= 1.0, "S={s} z={z} -> zhat={zhat}");
             }
         }
     }

@@ -113,7 +113,11 @@ impl Multiflow {
     /// with it enabled every flow starts as a [`Role::Watcher`] and must win
     /// the election to start pulsing (§6: "Each new flow begins as a watcher").
     pub fn new(cfg: MultiflowConfig, fft_duration_s: f64, seed: u64) -> Self {
-        let role = if cfg.enabled { Role::Watcher } else { Role::Pulser };
+        let role = if cfg.enabled {
+            Role::Watcher
+        } else {
+            Role::Pulser
+        };
         let sample_interval = cfg.decision_interval_s;
         let cutoff = cfg.watcher_cutoff_hz;
         let mut mf = Multiflow {
@@ -230,12 +234,7 @@ impl Multiflow {
     /// Pulser-side conflict resolution: if the cross traffic shows a stronger
     /// component at the pulsing frequency than the flow's own receive rate,
     /// another pulser probably exists; step down with a fixed probability.
-    pub fn maybe_step_down(
-        &mut self,
-        now_s: f64,
-        z_peak_at_fp: f64,
-        recv_peak_at_fp: f64,
-    ) -> bool {
+    pub fn maybe_step_down(&mut self, now_s: f64, z_peak_at_fp: f64, recv_peak_at_fp: f64) -> bool {
         if !self.cfg.enabled || self.role != Role::Pulser {
             return false;
         }

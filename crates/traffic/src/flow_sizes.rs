@@ -54,7 +54,8 @@ impl FlowSizeDistribution {
     /// load into a Poisson flow-arrival rate).
     pub fn mean_bytes(&self) -> f64 {
         // Log-normal mean = exp(µ + σ²/2) with µ = ln(median).
-        let body_mean = (self.body_median_bytes.ln() + self.body_sigma * self.body_sigma / 2.0).exp();
+        let body_mean =
+            (self.body_median_bytes.ln() + self.body_sigma * self.body_sigma / 2.0).exp();
         // Truncated Pareto mean; for α > 1 and a cap L >> x_m this is close to
         // α·x_m/(α−1) but we account for the cap explicitly.
         let a = self.tail_alpha;

@@ -94,7 +94,12 @@ impl PhaseSchedule {
     /// stream from 90–150 s.
     pub fn fig17() -> Self {
         PhaseSchedule::new(
-            vec![(0.0, 0.0, 0), (30.0, 0.0, 3), (90.0, 96e6, 0), (150.0, 0.0, 0)],
+            vec![
+                (0.0, 0.0, 0),
+                (30.0, 0.0, 3),
+                (90.0, 96e6, 0),
+                (150.0, 0.0, 0),
+            ],
             180.0,
         )
     }
@@ -114,7 +119,10 @@ impl PhaseSchedule {
 
     /// End time of the phase starting at index `i`.
     pub fn phase_end(&self, i: usize) -> f64 {
-        self.phases.get(i + 1).map(|p| p.start_s).unwrap_or(self.end_s)
+        self.phases
+            .get(i + 1)
+            .map(|p| p.start_s)
+            .unwrap_or(self.end_s)
     }
 
     /// The scripted Poisson-rate schedule, as `(start, rate_bps)` pairs for a

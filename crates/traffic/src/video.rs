@@ -63,6 +63,11 @@ pub struct VideoSource {
     buffer_chunks: u32,
     /// Total stream duration (no more chunks after this much *content*).
     stream_duration: Time,
+    /// When the session began (set by [`Source::on_flow_start`]); playback
+    /// position is measured from here, so a video flow that starts
+    /// mid-experiment begins at its first chunk instead of offering the
+    /// whole elapsed stream as backlog.
+    session_start: Time,
 }
 
 impl VideoSource {
@@ -73,6 +78,7 @@ impl VideoSource {
             chunk_duration: Time::from_secs_f64(4.0),
             buffer_chunks: 4,
             stream_duration: Time::from_secs_f64(stream_duration_s),
+            session_start: Time::ZERO,
         }
     }
 
@@ -96,12 +102,17 @@ impl VideoSource {
     /// the playback position (in chunks) plus the buffer allowance, capped at
     /// the stream length.
     fn chunks_released(&self, now: Time) -> u64 {
-        let played = (now.as_secs_f64() / self.chunk_duration.as_secs_f64()).floor() as u64;
+        let elapsed = now.saturating_sub(self.session_start).as_secs_f64();
+        let played = (elapsed / self.chunk_duration.as_secs_f64()).floor() as u64;
         (played + self.buffer_chunks as u64).min(self.total_chunks())
     }
 }
 
 impl Source for VideoSource {
+    fn on_flow_start(&mut self, now: Time) {
+        self.session_start = now;
+    }
+
     fn bytes_available(&mut self, now: Time) -> u64 {
         self.chunks_released(now) * self.chunk_bytes()
     }
@@ -110,10 +121,12 @@ impl Source for VideoSource {
         if self.chunks_released(now) >= self.total_chunks() {
             return None;
         }
-        // The next chunk is released at the next chunk boundary.
+        // The next chunk is released at the next chunk boundary (relative to
+        // the session start).
         let chunk_s = self.chunk_duration.as_secs_f64();
-        let next_boundary = ((now.as_secs_f64() / chunk_s).floor() + 1.0) * chunk_s;
-        Some(Time::from_secs_f64(next_boundary))
+        let elapsed = now.saturating_sub(self.session_start).as_secs_f64();
+        let next_boundary = ((elapsed / chunk_s).floor() + 1.0) * chunk_s;
+        Some(self.session_start + Time::from_secs_f64(next_boundary))
     }
 
     fn done_writing(&self) -> bool {
@@ -169,6 +182,18 @@ mod tests {
         assert_eq!(at_end, later);
         assert_eq!(v.next_data_time(Time::from_secs_f64(400.0)), None);
         assert_eq!(later, v.total_chunks() * v.chunk_bytes());
+    }
+
+    #[test]
+    fn late_starting_session_begins_at_its_first_chunk() {
+        let mut v = VideoSource::new(VideoQuality::Fhd1080p, 120.0);
+        v.on_flow_start(Time::from_secs_f64(90.0));
+        // At the session start only the client's buffer allowance is
+        // released, not 90 seconds of stream.
+        assert_eq!(v.bytes_available(Time::from_secs_f64(90.0)), 4 * 4_000_000);
+        assert_eq!(v.bytes_available(Time::from_secs_f64(94.0)), 5 * 4_000_000);
+        let next = v.next_data_time(Time::from_secs_f64(95.0)).unwrap();
+        assert!((next.as_secs_f64() - 98.0).abs() < 1e-9);
     }
 
     #[test]

@@ -123,7 +123,8 @@ impl Bbr {
 impl CongestionControl for Bbr {
     fn on_ack(&mut self, ack: &AckEvent) {
         let now = ack.now;
-        self.min_rtt.update(now.as_secs_f64(), ack.rtt.as_secs_f64());
+        self.min_rtt
+            .update(now.as_secs_f64(), ack.rtt.as_secs_f64());
 
         match self.state {
             State::Startup => {
@@ -180,8 +181,7 @@ impl CongestionControl for Bbr {
     fn on_report(&mut self, report: &Report) {
         // Delivery-rate sample for the bottleneck bandwidth filter.
         if report.recv_rate_bps > 0.0 {
-            self.btl_bw
-                .update(report.now_s, report.recv_rate_bps);
+            self.btl_bw.update(report.now_s, report.recv_rate_bps);
         }
     }
 
@@ -295,7 +295,11 @@ mod tests {
         bbr.on_report(&report(0.0, 96e6));
         bbr.on_ack(&ack(50, 50, 10));
         // BDP = 96e6 * 0.05 / 8 / 1500 = 400 packets.
-        assert!((bbr.cwnd_packets() - 800.0).abs() < 10.0, "cwnd {}", bbr.cwnd_packets());
+        assert!(
+            (bbr.cwnd_packets() - 800.0).abs() < 10.0,
+            "cwnd {}",
+            bbr.cwnd_packets()
+        );
     }
 
     #[test]

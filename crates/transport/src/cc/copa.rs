@@ -106,17 +106,17 @@ impl Copa {
     fn update_mode(&mut self, now: Time) {
         let dq = self.rtt_standing().saturating_sub(self.min_rtt);
         // "Nearly empty": queueing delay below 10% of (a floor of) the min RTT.
-        let near_empty_thresh =
-            Time::from_secs_f64((self.min_rtt.as_secs_f64() * 0.1).max(0.002));
+        let near_empty_thresh = Time::from_secs_f64((self.min_rtt.as_secs_f64() * 0.1).max(0.002));
         if dq <= near_empty_thresh {
             self.last_near_empty = now;
         }
         let five_rtts = Time::from_secs_f64(self.min_rtt.as_secs_f64() * 5.0);
-        let new_mode = if now.saturating_sub(self.last_near_empty) > five_rtts.max(Time::from_millis(25)) {
-            CopaMode::Competitive
-        } else {
-            CopaMode::Default
-        };
+        let new_mode =
+            if now.saturating_sub(self.last_near_empty) > five_rtts.max(Time::from_millis(25)) {
+                CopaMode::Competitive
+            } else {
+                CopaMode::Default
+            };
         if new_mode != self.mode {
             self.mode = new_mode;
             self.mode_log.push((now.as_secs_f64(), new_mode));
@@ -164,7 +164,10 @@ impl CongestionControl for Copa {
 
         self.update_mode(now);
 
-        let dq = self.rtt_standing().saturating_sub(self.min_rtt).as_secs_f64();
+        let dq = self
+            .rtt_standing()
+            .saturating_sub(self.min_rtt)
+            .as_secs_f64();
         let srtt = ack.rtt.as_secs_f64().max(1e-4);
 
         // Slow start: double per RTT until the target rate is crossed.
@@ -191,14 +194,13 @@ impl CongestionControl for Copa {
         // the window at most doubles per RTT (as in the reference Copa).
         let step = ((self.velocity * ack.newly_acked_packets as f64) / (self.delta * self.cwnd))
             .min(ack.newly_acked_packets as f64);
-        let new_direction: i8;
-        if current_rate < target_rate {
+        let new_direction: i8 = if current_rate < target_rate {
             self.cwnd += step;
-            new_direction = 1;
+            1
         } else {
             self.cwnd -= step;
-            new_direction = -1;
-        }
+            -1
+        };
         self.cwnd = self.cwnd.max(2.0);
 
         // Velocity: once per RTT, double if the direction has been consistent

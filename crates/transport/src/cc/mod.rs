@@ -139,11 +139,9 @@ impl CcKind {
     /// classified as elastic by the detector when running as a backlogged flow.
     pub fn expected_elastic(self) -> bool {
         match self {
-            CcKind::NewReno
-            | CcKind::Cubic
-            | CcKind::Vegas
-            | CcKind::Copa
-            | CcKind::Compound => true,
+            CcKind::NewReno | CcKind::Cubic | CcKind::Vegas | CcKind::Copa | CcKind::Compound => {
+                true
+            }
             // BBR: "Elastic*" (only when CWND-limited); Vivace: "Inelastic*".
             CcKind::Bbr => true,
             CcKind::Vivace => false,
@@ -186,7 +184,11 @@ mod tests {
         ] {
             let cc = kind.build(1500);
             assert!(!cc.name().is_empty());
-            assert!(cc.cwnd_packets() > 0.0, "{} must start with a window", cc.name());
+            assert!(
+                cc.cwnd_packets() > 0.0,
+                "{} must start with a window",
+                cc.name()
+            );
         }
     }
 

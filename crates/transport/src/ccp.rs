@@ -208,7 +208,7 @@ mod tests {
         // Early slow phase then a fast phase; the window should only see the
         // fast phase.
         feed_constant(&mut agg, 50, 10.0, 10.0, 1500, 20.0); // 1.2 Mbit/s for 0.5 s
-        // Fast phase starting at 600 ms: 12 Mbit/s.
+                                                             // Fast phase starting at 600 ms: 12 Mbit/s.
         for i in 0..100u64 {
             let sent = Time::from_millis_f64(600.0 + i as f64);
             let acked = Time::from_millis_f64(620.0 + i as f64);
@@ -222,7 +222,12 @@ mod tests {
     #[test]
     fn report_resets_counters() {
         let mut agg = ReportAggregator::new(Time::from_millis(200));
-        agg.on_ack(Time::ZERO, Time::from_millis(10), 3000, Time::from_millis(10));
+        agg.on_ack(
+            Time::ZERO,
+            Time::from_millis(10),
+            3000,
+            Time::from_millis(10),
+        );
         agg.on_loss(2);
         let rep = agg.report(Time::from_millis(10));
         assert_eq!(rep.acked_bytes, 3000);
@@ -238,7 +243,12 @@ mod tests {
         let mut agg = ReportAggregator::new(Time::from_millis(100));
         let (s, r, n) = agg.rates(Time::from_millis(50));
         assert_eq!((s, r, n), (0.0, 0.0, 0));
-        agg.on_ack(Time::ZERO, Time::from_millis(10), 1500, Time::from_millis(10));
+        agg.on_ack(
+            Time::ZERO,
+            Time::from_millis(10),
+            1500,
+            Time::from_millis(10),
+        );
         let (s, r, n) = agg.rates(Time::from_millis(50));
         assert_eq!((s, r), (0.0, 0.0));
         assert_eq!(n, 1);
@@ -247,8 +257,18 @@ mod tests {
     #[test]
     fn min_rtt_is_preserved_across_reports() {
         let mut agg = ReportAggregator::new(Time::from_millis(100));
-        agg.on_ack(Time::ZERO, Time::from_millis(50), 1500, Time::from_millis(50));
-        agg.on_ack(Time::ZERO, Time::from_millis(100), 1500, Time::from_millis(100));
+        agg.on_ack(
+            Time::ZERO,
+            Time::from_millis(50),
+            1500,
+            Time::from_millis(50),
+        );
+        agg.on_ack(
+            Time::ZERO,
+            Time::from_millis(100),
+            1500,
+            Time::from_millis(100),
+        );
         let rep = agg.report(Time::from_millis(100));
         assert!((rep.min_rtt_s - 0.05).abs() < 1e-9);
         assert!((rep.rtt_s - 0.1).abs() < 1e-9);

@@ -28,6 +28,13 @@ pub struct SenderConfig {
     /// Allow pacing catch-up after idle periods up to this long (to avoid
     /// giant bursts after an application-limited pause).
     pub max_pacing_debt: Time,
+    /// Receiver advertised window, in packets: `next_seq` never runs more
+    /// than this far ahead of `cum_acked`.  Without it, a flow whose front
+    /// hole keeps being re-lost (persistently full queue) would keep sending
+    /// new data forever, growing the SACK scoreboard without bound.  The
+    /// default (4096 packets ≈ 6 MB) is far above any bandwidth-delay
+    /// product simulated here.
+    pub max_window_packets: u64,
     /// Hard stop: the flow terminates (like killing the sending process) at
     /// this time even if the application still has data queued.  Used to model
     /// "y long-running cross-flows during this phase" workloads.
@@ -41,6 +48,7 @@ impl Default for SenderConfig {
             label: "sender".to_string(),
             initial_rto: Time::from_millis(1000),
             max_pacing_debt: Time::from_millis(10),
+            max_window_packets: 4096,
             stop_at: None,
         }
     }
@@ -206,6 +214,17 @@ impl Sender {
         self.rto_deadline = now + rto.min(Time::from_secs_f64(60.0));
     }
 
+    /// Arm the RTO only if it is not already running.  Transmissions use this
+    /// rather than `arm_rto`: re-arming on every packet would keep pushing the
+    /// deadline forward while ACK-clocked transmissions continue, so the loss
+    /// of a retransmission (whose hole stalls `cum_acked` but not the ACK
+    /// stream) would never time out and recovery would wedge forever.
+    fn arm_rto_if_idle(&mut self, now: Time) {
+        if self.rto_deadline == Time::MAX {
+            self.arm_rto(now);
+        }
+    }
+
     fn handle_timeout(&mut self, now: Time) {
         self.timeouts += 1;
         self.rto_backoff = (self.rto_backoff + 1).min(6);
@@ -241,19 +260,22 @@ impl Sender {
         if self.sacked.len() < DUPTHRESH {
             return;
         }
-        // Walk the sacked scoreboard once: the gaps between consecutive
-        // sacked segments (and below the lowest sacked segment) are holes.  A
-        // hole is declared lost once at least DUPTHRESH sacked segments lie
-        // above it — the standard SACK dup-threshold rule.
-        let sacked: Vec<u64> = self.sacked.iter().copied().collect();
-        let total = sacked.len();
+        // Walk the sacked scoreboard front-to-back: the gaps between
+        // consecutive sacked segments (and below the lowest sacked segment)
+        // are holes.  A hole is declared lost once at least DUPTHRESH sacked
+        // segments lie above it — the standard SACK dup-threshold rule.  This
+        // runs on every ACK during recovery; the walk is O(|sacked|), which
+        // the receiver window (`SenderConfig::max_window_packets`) keeps
+        // bounded.
+        const MAX_HOLES: usize = 2048;
+        let total = self.sacked.len();
         let mut holes: Vec<u64> = Vec::new();
         let mut expected = self.cum_acked;
-        for (i, &s) in sacked.iter().enumerate() {
+        for (i, &s) in self.sacked.iter().enumerate() {
             let sacked_at_or_above = total - i;
             if sacked_at_or_above >= DUPTHRESH && s > expected {
                 let mut seq = expected;
-                while seq < s && holes.len() < 2048 {
+                while seq < s && holes.len() < MAX_HOLES {
                     if !self.rtx_pending.contains(&seq) {
                         holes.push(seq);
                     }
@@ -261,7 +283,7 @@ impl Sender {
                 }
             }
             expected = expected.max(s + 1);
-            if holes.len() >= 2048 {
+            if holes.len() >= MAX_HOLES {
                 break;
             }
         }
@@ -283,6 +305,7 @@ impl Sender {
 impl FlowEndpoint for Sender {
     fn on_start(&mut self, now: Time) {
         self.next_send_time = now;
+        self.source.on_flow_start(now);
     }
 
     fn on_ack(&mut self, ack: &AckInfo) {
@@ -295,9 +318,13 @@ impl FlowEndpoint for Sender {
             ack.newly_delivered_bytes,
             ack.rtt_sample,
         );
-        if let Some(srtt) = self.rtt.srtt() {
-            // S/R are measured over one RTT of packets (§3.4).
-            self.reports.set_measurement_window(srtt);
+        if let Some(min_rtt) = self.rtt.global_min_rtt() {
+            // S/R are measured over one RTT of packets (§3.4).  The *base*
+            // (minimum) RTT is used, not the smoothed RTT: under bufferbloat
+            // the smoothed RTT approaches the 5 Hz pulse period and a window
+            // that long averages the pulse — and the cross traffic's reaction
+            // to it — out of the measured rates entirely.
+            self.reports.set_measurement_window(min_rtt);
         }
 
         // Update the SACK scoreboard with the segment that triggered this ACK.
@@ -330,7 +357,9 @@ impl FlowEndpoint for Sender {
             let event = AckEvent {
                 now,
                 newly_acked_packets: newly_acked,
-                newly_acked_bytes: ack.newly_delivered_bytes.max(newly_acked * self.cfg.mss as u64),
+                newly_acked_bytes: ack
+                    .newly_delivered_bytes
+                    .max(newly_acked * self.cfg.mss as u64),
                 rtt: ack.rtt_sample,
                 min_rtt: self.rtt.global_min_rtt().unwrap_or(ack.rtt_sample),
                 in_flight_packets: self.in_flight_packets(),
@@ -402,7 +431,20 @@ impl FlowEndpoint for Sender {
             let bytes = self.segment_size(seq, now);
             self.packets_sent += 1;
             self.packets_retransmitted += 1;
-            self.arm_rto(now);
+            // The RTO conceptually times the oldest outstanding segment, so a
+            // retransmission covering the front hole restarts it (the
+            // cumulative ACK stalls for a full RTT while that copy is in
+            // flight, and without the restart the stall races the RTO and
+            // fires spurious timeouts under bufferbloat).  Retransmissions of
+            // higher holes and new data must NOT restart it: under sustained
+            // overload they flow continuously, and pushing the deadline on
+            // every one would let a lost front-hole retransmission wedge
+            // recovery forever with the SACK scoreboard growing per ACK.
+            if seq == self.cum_acked {
+                self.arm_rto(now);
+            } else {
+                self.arm_rto_if_idle(now);
+            }
             return SendAction::Transmit {
                 seq,
                 bytes,
@@ -412,7 +454,9 @@ impl FlowEndpoint for Sender {
 
         // 3. New data, gated by the window, the application and pacing.
         let available = self.available_segments(now);
-        let window_ok = (self.in_flight_packets() as f64) < cwnd && self.rtx_queue.is_empty();
+        let window_ok = (self.in_flight_packets() as f64) < cwnd
+            && self.rtx_queue.is_empty()
+            && self.next_seq < self.cum_acked + self.cfg.max_window_packets;
         let app_ok = self.next_seq < available;
 
         if window_ok && app_ok {
@@ -423,7 +467,7 @@ impl FlowEndpoint for Sender {
                     let bytes = self.segment_size(seq, now);
                     self.next_seq += 1;
                     self.packets_sent += 1;
-                    self.arm_rto(now);
+                    self.arm_rto_if_idle(now);
                     return SendAction::Transmit {
                         seq,
                         bytes,
@@ -443,8 +487,8 @@ impl FlowEndpoint for Sender {
                         self.next_seq += 1;
                         self.packets_sent += 1;
                         let gap = Time::from_secs_f64(bytes as f64 * 8.0 / rate);
-                        self.next_send_time = self.next_send_time + gap;
-                        self.arm_rto(now);
+                        self.next_send_time += gap;
+                        self.arm_rto_if_idle(now);
                         return SendAction::Transmit {
                             seq,
                             bytes,
@@ -594,10 +638,7 @@ mod tests {
         let (rec, _) = net.finish();
         let tv = rec.throughput_mbps[rec.monitored_slot(hv.0).unwrap()].mean_in_range(20.0, 60.0);
         let tc = rec.throughput_mbps[rec.monitored_slot(hc.0).unwrap()].mean_in_range(20.0, 60.0);
-        assert!(
-            tc > tv * 2.0,
-            "cubic ({tc}) should starve vegas ({tv})"
-        );
+        assert!(tc > tv * 2.0, "cubic ({tc}) should starve vegas ({tv})");
     }
 
     #[test]
@@ -664,7 +705,10 @@ mod tests {
         ];
         let h = net.add_flow(
             FlowConfig::primary("scripted", Time::from_millis(50)),
-            sender(CcKind::Unlimited, Box::new(ScriptedSource::scheduled(schedule))),
+            sender(
+                CcKind::Unlimited,
+                Box::new(ScriptedSource::scheduled(schedule)),
+            ),
         );
         net.run();
         let (rec, _) = net.finish();
@@ -689,7 +733,10 @@ mod tests {
         net.run();
         let (rec, endpoints) = net.finish();
         let stats = &rec.flows[h.0];
-        assert!(stats.finish.is_some(), "transfer must complete despite loss");
+        assert!(
+            stats.finish.is_some(),
+            "transfer must complete despite loss"
+        );
         assert_eq!(stats.delivered_bytes, 6_000_000);
         // The sender must actually have retransmitted something.
         let s = endpoints[h.0].label().to_string();

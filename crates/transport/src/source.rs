@@ -21,6 +21,16 @@ use rand::{Rng, SeedableRng};
 
 /// An application data source.
 pub trait Source: Send {
+    /// The flow this source feeds started at `now`.  Time-accruing sources
+    /// (scripted rates, Poisson arrivals) discard anything they would have
+    /// produced *before* the start: a cross flow configured to arrive at
+    /// t = 90 s offers its rate from 90 s on, it does not dump 90 seconds of
+    /// backlog into the network in one burst.  Sources whose data exists all
+    /// at once (backlogged, fixed-size transfers) ignore this.
+    fn on_flow_start(&mut self, now: Time) {
+        let _ = now;
+    }
+
     /// Cumulative number of bytes the application has made available for
     /// transmission up to (and including) time `now`.
     fn bytes_available(&mut self, now: Time) -> u64;
@@ -98,6 +108,9 @@ pub struct ScriptedSource {
     schedule: Vec<(Time, f64)>,
     /// Optional hard end: no bytes produced after this time.
     end: Option<Time>,
+    /// Bytes the schedule had accrued when the flow started; production
+    /// before the flow exists is discarded (see [`Source::on_flow_start`]).
+    base_bytes: u64,
 }
 
 impl ScriptedSource {
@@ -106,6 +119,7 @@ impl ScriptedSource {
         ScriptedSource {
             schedule: vec![(Time::ZERO, rate_bps)],
             end: None,
+            base_bytes: 0,
         }
     }
 
@@ -119,6 +133,7 @@ impl ScriptedSource {
         ScriptedSource {
             schedule,
             end: None,
+            base_bytes: 0,
         }
     }
 
@@ -153,8 +168,11 @@ impl ScriptedSource {
 }
 
 impl Source for ScriptedSource {
+    fn on_flow_start(&mut self, now: Time) {
+        self.base_bytes = self.cumulative_bytes(now);
+    }
     fn bytes_available(&mut self, now: Time) -> u64 {
-        self.cumulative_bytes(now)
+        self.cumulative_bytes(now).saturating_sub(self.base_bytes)
     }
     fn next_data_time(&self, now: Time) -> Option<Time> {
         if self.done_writing() && Some(now) >= self.end {
@@ -219,12 +237,18 @@ impl PoissonSource {
             // Exponential inter-arrival via inverse CDF.
             let u: f64 = self.rng.gen::<f64>().max(1e-12);
             let gap = -mean_gap_s * u.ln();
-            self.next_arrival = self.next_arrival + Time::from_secs_f64(gap.max(1e-9));
+            self.next_arrival += Time::from_secs_f64(gap.max(1e-9));
         }
     }
 }
 
 impl Source for PoissonSource {
+    fn on_flow_start(&mut self, now: Time) {
+        // Fast-forward the arrival process and drop everything generated
+        // before the flow existed.
+        self.advance_to(now);
+        self.generated_bytes = 0;
+    }
     fn bytes_available(&mut self, now: Time) -> u64 {
         self.advance_to(now);
         self.generated_bytes
@@ -301,10 +325,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn scripted_unsorted_schedule_panics() {
-        let _ = ScriptedSource::scheduled(vec![
-            (Time::from_secs_f64(10.0), 1e6),
-            (Time::ZERO, 2e6),
-        ]);
+        let _ =
+            ScriptedSource::scheduled(vec![(Time::from_secs_f64(10.0), 1e6), (Time::ZERO, 2e6)]);
     }
 
     #[test]

@@ -8,11 +8,11 @@
 //! cargo run --release --example elasticity_probe -- [elastic|inelastic]
 //! ```
 
+use nimbus_repro::experiments::runner::nimbus_of;
 use nimbus_repro::netsim::{FlowConfig, Network, SimConfig, Time};
 use nimbus_repro::nimbus::controller::nimbus_flow;
 use nimbus_repro::nimbus::NimbusConfig;
 use nimbus_repro::transport::{BackloggedSource, CcKind, PoissonSource, Sender, SenderConfig};
-use nimbus_repro::experiments::runner::nimbus_of;
 
 fn main() {
     let kind = std::env::args().nth(1).unwrap_or_else(|| "elastic".into());

@@ -25,7 +25,10 @@ fn main() {
     println!("Nimbus on the Fig. 1 scenario (quarter scale):");
     println!("  mean throughput : {:.1} Mbit/s", m.mean_throughput_mbps);
     println!("  mean queue delay: {:.1} ms", m.mean_queue_delay_ms);
-    println!("  time in delay mode: {:.0}%", m.delay_mode_fraction * 100.0);
+    println!(
+        "  time in delay mode: {:.0}%",
+        m.delay_mode_fraction * 100.0
+    );
     println!("  mode switches:");
     for (t, mode) in &m.mode_log {
         println!("    {t:6.1} s -> {mode}");

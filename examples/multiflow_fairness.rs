@@ -6,8 +6,8 @@
 //! cargo run --release --example multiflow_fairness
 //! ```
 
-use nimbus_repro::experiments::runner::{nimbus_of, run_and_collect};
 use nimbus_repro::experiments::runner::ScenarioSpec;
+use nimbus_repro::experiments::runner::{nimbus_of, run_and_collect};
 use nimbus_repro::experiments::Scheme;
 use nimbus_repro::netsim::{FlowConfig, Time};
 use nimbus_repro::nimbus::controller::nimbus_flow;

@@ -48,7 +48,11 @@ fn nimbus_stays_in_delay_mode_against_heavy_cbr_cross_traffic() {
         "nimbus should classify 83% CBR cross traffic as inelastic, delay-mode fraction {}",
         m.delay_mode_fraction
     );
-    assert!(m.mean_throughput_mbps > 8.0, "throughput {}", m.mean_throughput_mbps);
+    assert!(
+        m.mean_throughput_mbps > 8.0,
+        "throughput {}",
+        m.mean_throughput_mbps
+    );
 }
 
 #[test]

@@ -3,8 +3,8 @@
 //! the resulting mode switching delivers the paper's headline behaviour.
 
 use nimbus_repro::experiments::figures::intro::offline_eta;
-use nimbus_repro::experiments::runner::{run_scheme_vs_cross, ScenarioSpec};
 use nimbus_repro::experiments::figures::{elastic_cross_flow, poisson_cross_flow};
+use nimbus_repro::experiments::runner::{run_scheme_vs_cross, ScenarioSpec};
 use nimbus_repro::experiments::Scheme;
 use nimbus_repro::transport::CcKind;
 
@@ -12,8 +12,14 @@ use nimbus_repro::transport::CcKind;
 fn offline_detector_separates_reacting_from_non_reacting_cross_traffic() {
     let elastic = offline_eta(true);
     let inelastic = offline_eta(false);
-    assert!(elastic >= 2.0, "reacting cross traffic must exceed the threshold, eta={elastic}");
-    assert!(inelastic < elastic, "non-reacting eta ({inelastic}) must be below reacting ({elastic})");
+    assert!(
+        elastic >= 2.0,
+        "reacting cross traffic must exceed the threshold, eta={elastic}"
+    );
+    assert!(
+        inelastic < elastic,
+        "non-reacting eta ({inelastic}) must be below reacting ({elastic})"
+    );
 }
 
 #[test]
@@ -26,9 +32,21 @@ fn nimbus_keeps_low_delay_against_inelastic_cross_traffic() {
     let cross = vec![poisson_cross_flow("poisson", 24e6, 0.05, 5, 0.0, None)];
     let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 8.0);
     let m = &out.flows[0];
-    assert!(m.mean_throughput_mbps > 15.0, "throughput {}", m.mean_throughput_mbps);
-    assert!(m.mean_queue_delay_ms < 40.0, "queue delay {}", m.mean_queue_delay_ms);
-    assert!(m.delay_mode_fraction > 0.6, "delay-mode fraction {}", m.delay_mode_fraction);
+    assert!(
+        m.mean_throughput_mbps > 15.0,
+        "throughput {}",
+        m.mean_throughput_mbps
+    );
+    assert!(
+        m.mean_queue_delay_ms < 40.0,
+        "queue delay {}",
+        m.mean_queue_delay_ms
+    );
+    assert!(
+        m.delay_mode_fraction > 0.6,
+        "delay-mode fraction {}",
+        m.delay_mode_fraction
+    );
 }
 
 #[test]
@@ -42,9 +60,17 @@ fn nimbus_competes_against_an_elastic_cubic_flow() {
     let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 15.0);
     let m = &out.flows[0];
     // Fair share is 24 Mbit/s; a pure delay scheme would collapse to a few Mbit/s.
-    assert!(m.mean_throughput_mbps > 12.0, "throughput {}", m.mean_throughput_mbps);
+    assert!(
+        m.mean_throughput_mbps > 12.0,
+        "throughput {}",
+        m.mean_throughput_mbps
+    );
     // It must have left delay mode to do so.
-    assert!(m.delay_mode_fraction < 0.9, "delay-mode fraction {}", m.delay_mode_fraction);
+    assert!(
+        m.delay_mode_fraction < 0.9,
+        "delay-mode fraction {}",
+        m.delay_mode_fraction
+    );
     assert!(
         m.mode_log.iter().any(|(_, mode)| mode == "competitive"),
         "expected at least one switch to competitive mode: {:?}",

@@ -1,0 +1,58 @@
+//! The scenario-matrix harness: every (scheme × cross-traffic × seed) cell
+//! asserts at least one paper invariant, and the full matrix is run twice to
+//! pin seed-determinism of the complete recorder output.
+
+use nimbus_repro::experiments::testkit::{matrix_report, paper_invariant_matrix, run_matrix};
+use std::collections::HashSet;
+
+#[test]
+fn paper_invariants_hold_across_the_matrix() {
+    let cells = paper_invariant_matrix();
+    assert!(cells.len() >= 12, "matrix too small: {}", cells.len());
+    let outcomes = run_matrix(&cells);
+    println!("{}", matrix_report(&outcomes));
+    let failing: Vec<String> = outcomes
+        .iter()
+        .filter(|o| !o.violations.is_empty())
+        .map(|o| format!("{}: {:?}", o.name, o.violations))
+        .collect();
+    assert!(
+        failing.is_empty(),
+        "{} of {} cells violated their invariants:\n{}",
+        failing.len(),
+        outcomes.len(),
+        failing.join("\n")
+    );
+}
+
+#[test]
+fn full_matrix_is_deterministic_and_seed_sensitive() {
+    let cells = paper_invariant_matrix();
+    let first = run_matrix(&cells);
+    let second = run_matrix(&cells);
+    for (a, b) in first.iter().zip(second.iter()) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "cell {} is not deterministic across identical runs",
+            a.name
+        );
+    }
+    // A different seed must actually change the simulation: rerun the matrix
+    // with every seed shifted and require at least the stochastic cells
+    // (Poisson cross traffic) to produce different recorder output.
+    let mut reseeded = cells.clone();
+    for cell in &mut reseeded {
+        cell.seed += 1000;
+    }
+    let third = run_matrix(&reseeded);
+    let originals: HashSet<u64> = first.iter().map(|o| o.fingerprint).collect();
+    let changed = third
+        .iter()
+        .filter(|o| !originals.contains(&o.fingerprint))
+        .count();
+    assert!(
+        changed > 0,
+        "shifting every seed changed no cell's recorder output — seeds are not wired through"
+    );
+}

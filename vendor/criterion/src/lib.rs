@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API slice the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`/`iter_custom`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple wall-clock
+//! measurement loop: each benchmark is warmed up once, then timed over
+//! `sample_size` samples, and the median/min/max per-iteration times are
+//! printed.  No statistics engine, no plotting, no baseline storage; the
+//! numbers are for the repo's BENCH_*.json perf-trajectory entries.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement configuration and top-level entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0);
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self._parent.sample_size);
+        run_bench(&full, samples, &mut f);
+        self
+    }
+
+    /// Finish the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the measurement loop.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly, recording per-sample wall-clock durations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and calibration: aim for samples of at least ~1 ms.
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        self.iters_per_sample = iters;
+        let n = self.samples.capacity();
+        for _ in 0..n {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Like `iter`, but the closure reports its own duration for `iters`
+    /// iterations (used to replay cached one-shot measurements).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.iters_per_sample = 1;
+        let n = self.samples.capacity();
+        for _ in 0..n {
+            self.samples.push(f(1));
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:50} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / b.iters_per_sample as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    println!(
+        "{name:50} median {:>12} (min {:>12}, max {:>12}, {} samples)",
+        fmt_time(median),
+        fmt_time(min),
+        fmt_time(max),
+        per_iter.len()
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Define a benchmark group: either `criterion_group!(name, fn1, fn2)` or the
+/// long form with `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_function("custom", |b| {
+            b.iter_custom(|iters| Duration::from_nanos(10) * (iters as u32))
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, quick_bench);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(5e-9).ends_with("ns"));
+        assert!(fmt_time(5e-6).ends_with("µs"));
+        assert!(fmt_time(5e-3).ends_with("ms"));
+        assert!(fmt_time(5.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,268 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest surface this workspace uses: the
+//! [`proptest!`] macro with `ident in strategy` bindings, range strategies
+//! over numeric types, tuple strategies, and [`collection::vec`].  Each
+//! property runs `PROPTEST_CASES` (default 64) deterministic cases: the RNG
+//! is seeded from the property's name, so failures reproduce exactly and CI
+//! runs are stable.  There is no shrinking — the failing inputs are printed
+//! by the panic message instead.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Deterministic RNG driving input generation (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary value.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Seed from a property name, so each property gets a stable,
+    /// independent stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(hi > lo, "empty range");
+        lo + (((self.next_u64() as u128 * (hi - lo) as u128) >> 64) as u64)
+    }
+}
+
+/// How many cases each property runs (`PROPTEST_CASES` env var, default 64).
+pub fn cases_from_env() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(hi > lo, "empty range");
+                (lo + rng.range_u64(0, (hi - lo) as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+/// A strategy yielding one fixed value (proptest's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A:0);
+impl_tuple_strategy!(A:0, B:1);
+impl_tuple_strategy!(A:0, B:1, C:2);
+impl_tuple_strategy!(A:0, B:1, C:2, D:3);
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `size` and elements
+    /// drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.end > size.start, "empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.range_u64(self.size.start as u64, self.size.end as u64) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// The usual glob import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, Strategy, TestRng};
+}
+
+/// Define property tests.
+///
+/// ```text
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in -1e6f64..1e6, b in -1e6f64..1e6) {
+///         prop_assert!((a + b - (b + a)).abs() < 1e-12);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        #[test]
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cases = $crate::cases_from_env();
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                for __case in 0..__cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let __inputs = format!(
+                        concat!("case {}/{}: ", $(stringify!($arg), " = {:?} ",)+),
+                        __case + 1, __cases, $(&$arg),+
+                    );
+                    let __run = || -> () { $body };
+                    if let Err(err) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run)) {
+                        eprintln!("proptest failure in `{}` with {}", stringify!($name), __inputs);
+                        ::std::panic::resume_unwind(err);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a property (maps to `assert!`; the macro wrapper prints the
+/// generated inputs on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn strategies_respect_ranges() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let x = (0.5f64..1.5).sample(&mut rng);
+            assert!((0.5..1.5).contains(&x));
+            let n = (1usize..10).sample(&mut rng);
+            assert!((1..10).contains(&n));
+            let (a, b) = (0.0f64..1.0, 5i32..6).sample(&mut rng);
+            assert!((0.0..1.0).contains(&a));
+            assert_eq!(b, 5);
+        }
+    }
+
+    #[test]
+    fn vec_strategy_length_in_range() {
+        let mut rng = TestRng::new(2);
+        let strat = collection::vec(0.0f64..1.0, 1..100);
+        for _ in 0..200 {
+            let xs = strat.sample(&mut rng);
+            assert!((1..100).contains(&xs.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(xs in collection::vec(-1e3f64..1e3, 1..50), k in 1usize..5) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!((1..5).contains(&k));
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal, fully deterministic implementation of the slice of the `rand`
+//! API the simulator uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! and the [`Rng`] sampling methods (`gen`, `gen_range`, `gen_bool`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — not the ChaCha12
+//! generator the real `StdRng` wraps, but statistically strong and, crucially
+//! for the reproduction, *stable*: the byte stream for a given seed is part of
+//! the repo's determinism contract and must never change silently.
+
+#![warn(missing_docs)]
+
+/// Concrete RNG types, mirroring `rand::rngs`.
+pub mod rngs {
+    /// A deterministic RNG with the same role as `rand::rngs::StdRng`.
+    ///
+    /// Internally xoshiro256++ (Blackman & Vigna). Construct it with
+    /// [`crate::SeedableRng::seed_from_u64`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build an RNG whose entire output stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+/// Types that [`Rng::gen`] can produce uniformly at random.
+pub trait Standard: Sized {
+    /// Draw one uniformly distributed value.
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (src() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self {
+        (src() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self {
+        src()
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self {
+        (src() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn from_u64_source(src: &mut dyn FnMut() -> u64) -> Self {
+        src() & 1 == 1
+    }
+}
+
+/// Types usable as the bound of [`Rng::gen_range`].
+pub trait UniformSample: Sized + PartialOrd + Copy {
+    /// Draw a value uniformly from `[lo, hi)`.
+    fn sample_range(src: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self;
+}
+
+impl UniformSample for f64 {
+    fn sample_range(src: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        let u = f64::from_u64_source(src);
+        lo + (hi - lo) * u
+    }
+}
+
+impl UniformSample for u64 {
+    fn sample_range(src: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        let span = hi - lo;
+        assert!(span > 0, "gen_range requires a non-empty range");
+        // Multiply-shift rejection-free mapping; bias is < 2^-64 per draw,
+        // irrelevant for simulation workloads.
+        lo + (((src() as u128 * span as u128) >> 64) as u64)
+    }
+}
+
+impl UniformSample for usize {
+    fn sample_range(src: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        u64::sample_range(src, lo as u64, hi as u64) as usize
+    }
+}
+
+impl UniformSample for u32 {
+    fn sample_range(src: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        u64::sample_range(src, lo as u64, hi as u64) as u32
+    }
+}
+
+impl UniformSample for i64 {
+    fn sample_range(src: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        let span = (hi - lo) as u64;
+        assert!(span > 0, "gen_range requires a non-empty range");
+        lo.wrapping_add(u64::sample_range(src, 0, span) as i64)
+    }
+}
+
+impl UniformSample for i32 {
+    fn sample_range(src: &mut dyn FnMut() -> u64, lo: Self, hi: Self) -> Self {
+        i64::sample_range(src, lo as i64, hi as i64) as i32
+    }
+}
+
+/// Random sampling methods, mirroring `rand::Rng`.
+pub trait Rng {
+    /// The raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniformly distributed value of type `T` (for `f64`: in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        let mut src = || self.next_u64();
+        T::from_u64_source(&mut src)
+    }
+
+    /// Uniformly distributed value in the half-open `range`.
+    fn gen_range<T: UniformSample>(&mut self, range: core::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        let mut src = || self.next_u64();
+        T::sample_range(&mut src, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&x));
+            let k = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&k));
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal serialization framework under the `serde` name: the derive macros
+//! `#[derive(Serialize, Deserialize)]` (from the sibling `serde_derive`
+//! crate) map types to and from an untyped [`Value`] tree, and the sibling
+//! `serde_json` crate renders that tree as JSON text.
+//!
+//! Unlike real serde this is not a zero-copy visitor framework — it is a
+//! straightforward value-tree design, which is all the reproduction needs:
+//! experiment results and simulator state are serialized for inspection and
+//! for byte-identical determinism checks, never on a hot path.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An untyped tree of serialized data — the interchange format between
+/// [`Serialize`]/[`Deserialize`] impls and text formats such as `serde_json`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats and `None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (struct fields, map entries).
+    Map(Vec<(String, Value)>),
+}
+
+/// A deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, Error> {
+    Err(Error(msg.into()))
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Look up a struct field by name; missing fields read as [`Value::Null`]
+    /// so `Option` fields tolerate elision.
+    pub fn field(&self, name: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => Ok(entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&NULL)),
+            other => err(format!("expected map with field `{name}`, got {other:?}")),
+        }
+    }
+
+    /// View the value as a sequence.
+    pub fn as_seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => err(format!("expected sequence, got {other:?}")),
+        }
+    }
+
+    /// View the value as map entries.
+    pub fn as_map(&self) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(entries) => Ok(entries),
+            other => err(format!("expected map, got {other:?}")),
+        }
+    }
+
+    /// View the value as a float, accepting any numeric representation.
+    /// `Null` reads as NaN: non-finite floats serialize to `null` (JSON has
+    /// no NaN/Infinity literals), and the round-trip must not fail on them.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Float(x) => Ok(*x),
+            Value::Int(x) => Ok(*x as f64),
+            Value::UInt(x) => Ok(*x as f64),
+            Value::Null => Ok(f64::NAN),
+            other => err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// View the value as an unsigned integer.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match self {
+            Value::UInt(x) => Ok(*x),
+            Value::Int(x) if *x >= 0 => Ok(*x as u64),
+            Value::Float(x) if x.fract() == 0.0 && *x >= 0.0 => Ok(*x as u64),
+            other => err(format!("expected unsigned integer, got {other:?}")),
+        }
+    }
+
+    /// View the value as a signed integer.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match self {
+            Value::Int(x) => Ok(*x),
+            Value::UInt(x) if *x <= i64::MAX as u64 => Ok(*x as i64),
+            Value::Float(x) if x.fract() == 0.0 => Ok(*x as i64),
+            other => err(format!("expected integer, got {other:?}")),
+        }
+    }
+}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a [`Value`], reporting any shape mismatch.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+// ---- primitive impls ----------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => err(format!("expected bool, got {other:?}")),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> { Ok(v.as_i64()? as $t) }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let x = *self as u64;
+                if x <= i64::MAX as u64 { Value::Int(x as i64) } else { Value::UInt(x) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> { Ok(v.as_u64()? as $t) }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64()? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => err(format!("expected string, got {other:?}")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => err(format!("expected single-char string, got {other:?}")),
+        }
+    }
+}
+
+// ---- container impls ----------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output regardless of hasher state.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_map()?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:expr) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_seq()?;
+                if items.len() != $len {
+                    return err(format!("expected {}-tuple, got {} items", $len, items.len()));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A:0; 1);
+impl_tuple!(A:0, B:1; 2);
+impl_tuple!(A:0, B:1, C:2; 3);
+impl_tuple!(A:0, B:1, C:2, D:3; 4);
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(_: &Value) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(f64::from_value(&3.25f64.to_value()).unwrap(), 3.25);
+        assert_eq!(u64::from_value(&7u64.to_value()).unwrap(), 7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_survive_as_nan() {
+        let v = f64::NAN.to_value();
+        assert!(f64::from_value(&v).unwrap().is_nan());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        let back: Vec<(f64, f64)> = Deserialize::from_value(&xs.to_value()).unwrap();
+        assert_eq!(back, xs);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1.5f64);
+        let back: BTreeMap<String, f64> = Deserialize::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+
+        let opt: Option<u32> = None;
+        assert_eq!(opt.to_value(), Value::Null);
+        let back: Option<u32> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(back, None);
+    }
+
+    #[test]
+    fn missing_struct_field_reads_as_null() {
+        let v = Value::Map(vec![("present".into(), Value::Int(1))]);
+        assert_eq!(v.field("absent").unwrap(), &Value::Null);
+        assert!(v.field("present").is_ok());
+    }
+}

@@ -1,0 +1,385 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! non-generic structs (named, tuple and unit) and enums (unit, tuple and
+//! struct variants) by mapping them onto the `serde::Value` tree.  The build
+//! environment has no network access, so there is no `syn`/`quote`; the item
+//! is parsed directly from the raw token stream, which is sufficient for the
+//! shapes this workspace derives on.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (value-tree flavour) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive `serde::Deserialize` (value-tree flavour) for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---- item model ---------------------------------------------------------
+
+enum Body {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---- parsing ------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected `struct` or `enum`, got {t}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        t => panic!("expected item name, got {t}"),
+    };
+    i += 1;
+
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            t => panic!("unsupported struct body for `{name}`: {t:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(&g.stream()))
+            }
+            t => panic!("unsupported enum body for `{name}`: {t:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, body }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            // `#[...]` attribute (doc comments included).
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` and friends.
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Consume a type starting at `toks[*i]`, stopping after the comma that
+/// terminates it (or at end of stream).  Tracks `<`/`>` nesting; a `->` pair
+/// (fn-pointer types) does not close an angle bracket.
+fn skip_type_and_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth: i64 = 0;
+    let mut prev_dash = false;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            let c = p.as_char();
+            if c == '<' {
+                depth += 1;
+            } else if c == '>' && !prev_dash {
+                depth -= 1;
+            } else if c == ',' && depth == 0 {
+                *i += 1;
+                return;
+            }
+            prev_dash = c == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected field name, got {t}"),
+        };
+        i += 1; // field name
+        i += 1; // ':'
+        skip_type_and_comma(&toks, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type_and_comma(&toks, &mut i);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            t => panic!("expected variant name, got {t}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip any `= discriminant` up to the separating comma.
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---- codegen ------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(String::from(\"{vn}\"))"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|k| format!("__f{k}")).collect();
+                            let vals: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(String::from(\"{vn}\"), ::serde::Value::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                vals.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(String::from(\"{vn}\"), ::serde::Value::Map(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Body::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_seq()?;\n\
+                 if __items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error(format!(\"expected {n} items for {name}, got {{}}\", __items.len())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut payload_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn})"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                            .collect();
+                        payload_arms.push(format!(
+                            "\"{vn}\" => {{\n\
+                             let __items = __payload.as_seq()?;\n\
+                             if __items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error(format!(\"expected {n} items for {name}::{vn}, got {{}}\", __items.len())));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }}",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(__payload.field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let mut arms = Vec::new();
+            if !unit_arms.is_empty() {
+                arms.push(format!(
+                    "::serde::Value::Str(__s) => match __s.as_str() {{\n{},\n\
+                     __other => ::std::result::Result::Err(::serde::Error(format!(\"unknown variant `{{}}` of {name}\", __other)))\n}}",
+                    unit_arms.join(",\n")
+                ));
+            }
+            if !payload_arms.is_empty() {
+                arms.push(format!(
+                    "::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                     let (__tag, __payload) = &__entries[0];\n\
+                     match __tag.as_str() {{\n{},\n\
+                     __other => ::std::result::Result::Err(::serde::Error(format!(\"unknown variant `{{}}` of {name}\", __other)))\n}}\n}}",
+                    payload_arms.join(",\n")
+                ));
+            }
+            arms.push(format!(
+                "__other => ::std::result::Result::Err(::serde::Error(format!(\"unexpected value for {name}: {{:?}}\", __other)))"
+            ));
+            format!("match __v {{ {} }}", arms.join(",\n"))
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
