@@ -71,6 +71,7 @@ fn run_path(
 ) -> crate::runner::SingleFlowMetrics {
     let spec = ScenarioSpec {
         link_rate_bps: path.rate_bps,
+        schedule: crate::runner::LinkScheduleSpec::Constant,
         buffer_s: path.buffer_s,
         prop_rtt_s: path.rtt_s,
         duration_s,

@@ -5,6 +5,7 @@ pub mod internet;
 pub mod intro;
 pub mod multiflow;
 pub mod robust;
+pub mod varying;
 
 use nimbus_netsim::{FlowConfig, FlowEndpoint, Time};
 use nimbus_transport::{

@@ -1,0 +1,189 @@
+//! Time-varying bottleneck experiments (beyond the paper's fixed-µ links).
+//!
+//! The paper's detector depends on a live estimate of the bottleneck rate µ
+//! (§4.2) and claims robustness across network conditions; these experiments
+//! probe exactly the regime the fixed-rate evaluation cannot reach:
+//!
+//! * `varying_mu` — how well the BBR-style max-filter µ estimator tracks a
+//!   sinusoidally varying link;
+//! * `varying_detector` — whether the elasticity detector stays quiet (delay
+//!   mode) when the *link*, not the cross traffic, is what oscillates;
+//! * `varying_step` — how quickly Cubic and Nimbus converge to a halved link
+//!   rate.
+
+use crate::output::ExperimentResult;
+use crate::runner::{run_scheme_vs_cross, LinkScheduleSpec, ScenarioSpec};
+use crate::scheme::Scheme;
+
+/// First time (seconds) after `after_s` at which the throughput series stays
+/// within `tolerance` of `target` for a full second — the convergence point
+/// after a rate transition.  NaN when it never converges.
+fn convergence_time_s(series: &[(f64, f64)], after_s: f64, target: f64, tolerance: f64) -> f64 {
+    let close: Vec<(f64, bool)> = series
+        .iter()
+        .filter(|(t, _)| *t >= after_s)
+        .map(|&(t, v)| (t, (v - target).abs() <= tolerance))
+        .collect();
+    let series_end = match close.last() {
+        Some(&(t, _)) => t,
+        None => return f64::NAN,
+    };
+    for (i, &(t, ok)) in close.iter().enumerate() {
+        if !ok {
+            continue;
+        }
+        // A full second of evidence must exist: a band touch in the last few
+        // samples of the run is not convergence.
+        if t + 1.0 > series_end {
+            break;
+        }
+        let window_ok = close
+            .iter()
+            .skip(i)
+            .take_while(|(t2, _)| *t2 <= t + 1.0)
+            .all(|&(_, o)| o);
+        if window_ok {
+            return t - after_s;
+        }
+    }
+    f64::NAN
+}
+
+/// µ-tracking accuracy: a lone Nimbus flow that *learns* µ from its max
+/// receive rate, on a ±25% sinusoidal link.
+pub fn varying_mu(quick: bool) -> ExperimentResult {
+    let duration = if quick { 40.0 } else { 90.0 };
+    let mut result = ExperimentResult::new(
+        "varying_mu",
+        "Nimbus µ-estimate tracking a ±25% sinusoidal bottleneck (learned µ)",
+        quick,
+    );
+    for &(period_s, tag) in &[(10.0, "p10"), (20.0, "p20")] {
+        let spec = ScenarioSpec {
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Sinusoid {
+                amplitude_frac: 0.25,
+                period_s,
+            },
+            duration_s: duration,
+            seed: 31,
+            ..ScenarioSpec::default_96mbps(duration)
+        };
+        let out = run_scheme_vs_cross(&spec, Scheme::NimbusEstimatedMu, None, Vec::new(), 15.0);
+        let m = &out.flows[0];
+        result.row(&format!("mu_tracking_error_{tag}"), m.mu_tracking_error);
+        result.row(&format!("throughput_mbps_{tag}"), m.mean_throughput_mbps);
+        result.add_series(
+            &format!("mu_estimate_mbps_{tag}"),
+            m.mu_series.iter().map(|&(t, mu)| (t, mu / 1e6)).collect(),
+        );
+        result.add_series(
+            &format!("throughput_series_{tag}"),
+            m.throughput_series.clone(),
+        );
+    }
+    result
+}
+
+/// Detector stability: Nimbus alone on an oscillating link must not mistake
+/// the link's own rate variation for elastic cross traffic.
+pub fn varying_detector(quick: bool) -> ExperimentResult {
+    let duration = if quick { 40.0 } else { 90.0 };
+    let mut result = ExperimentResult::new(
+        "varying_detector",
+        "Detector stability alone on a ±25% oscillating bottleneck",
+        quick,
+    );
+    for &(amplitude, tag) in &[(0.1, "amp10"), (0.25, "amp25")] {
+        let spec = ScenarioSpec {
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Sinusoid {
+                amplitude_frac: amplitude,
+                period_s: 10.0,
+            },
+            duration_s: duration,
+            seed: 32,
+            ..ScenarioSpec::default_96mbps(duration)
+        };
+        let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, Vec::new(), 10.0);
+        let m = &out.flows[0];
+        result.row(&format!("delay_mode_fraction_{tag}"), m.delay_mode_fraction);
+        result.row(&format!("throughput_mbps_{tag}"), m.mean_throughput_mbps);
+        let etas: Vec<f64> = m
+            .eta_series
+            .iter()
+            .filter(|(t, _)| *t > 10.0)
+            .map(|(_, e)| *e)
+            .collect();
+        let elastic_frac =
+            etas.iter().filter(|&&e| e >= 2.0).count() as f64 / etas.len().max(1) as f64;
+        result.row(&format!("spurious_elastic_fraction_{tag}"), elastic_frac);
+        result.add_series(&format!("eta_series_{tag}"), m.eta_series.clone());
+    }
+    result
+}
+
+/// Rate step: Cubic vs Nimbus as the link halves from 96 to 48 Mbit/s.
+pub fn varying_step(quick: bool) -> ExperimentResult {
+    let duration = if quick { 40.0 } else { 80.0 };
+    let step_at = duration * 0.45;
+    let mut result = ExperimentResult::new(
+        "varying_step",
+        "Cubic vs Nimbus under a 96 -> 48 Mbit/s rate step",
+        quick,
+    );
+    for scheme in [Scheme::Cubic, Scheme::NimbusCubicBasicDelay] {
+        let spec = ScenarioSpec {
+            link_rate_bps: 96e6,
+            schedule: LinkScheduleSpec::Step {
+                at_s: step_at,
+                factor: 0.5,
+            },
+            duration_s: duration,
+            seed: 33,
+            ..ScenarioSpec::default_96mbps(duration)
+        };
+        let out = run_scheme_vs_cross(&spec, scheme, None, Vec::new(), step_at + 5.0);
+        let m = &out.flows[0];
+        let pre: Vec<f64> = m
+            .throughput_series
+            .iter()
+            .filter(|(t, _)| *t > 8.0 && *t < step_at)
+            .map(|(_, v)| *v)
+            .collect();
+        let pre_mean = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
+        result.row(&format!("{}_pre_step_mbps", m.label), pre_mean);
+        result.row(
+            &format!("{}_post_step_mbps", m.label),
+            m.mean_throughput_mbps,
+        );
+        result.row(
+            &format!("{}_convergence_s", m.label),
+            convergence_time_s(&m.throughput_series, step_at, 48.0, 12.0),
+        );
+        result.add_series(
+            &format!("{}_throughput", m.label),
+            m.throughput_series.clone(),
+        );
+        result.add_series(&format!("{}_rtt", m.label), m.rtt_series.clone());
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergence_detection_finds_the_settle_point() {
+        // Throughput holds 96 until t=10, dips, then settles at 48 from t=12.
+        let mut series: Vec<(f64, f64)> = (0..100).map(|i| (i as f64 * 0.1, 96.0)).collect();
+        series.extend((100..120).map(|i| (i as f64 * 0.1, 70.0)));
+        series.extend((120..200).map(|i| (i as f64 * 0.1, 48.0)));
+        let c = convergence_time_s(&series, 10.0, 48.0, 5.0);
+        assert!((c - 2.0).abs() < 0.2, "convergence {c}");
+        // Never converging yields NaN.
+        let flat: Vec<(f64, f64)> = (0..100).map(|i| (i as f64 * 0.1, 96.0)).collect();
+        assert!(convergence_time_s(&flat, 1.0, 48.0, 5.0).is_nan());
+    }
+}

@@ -27,13 +27,15 @@ pub mod figures;
 pub mod output;
 pub mod runner;
 pub mod scheme;
+pub mod sweep;
 pub mod testkit;
 
 pub use output::ExperimentResult;
-pub use runner::{ScenarioSpec, SingleFlowMetrics};
+pub use runner::{LinkScheduleSpec, ScenarioSpec, SingleFlowMetrics};
 pub use scheme::Scheme;
+pub use sweep::{run_sweep, sweep_matrix, SweepConfig, SweepReport};
 pub use testkit::{
-    paper_invariant_matrix, run_matrix, Cell, CellOutcome, CrossTraffic, Invariants,
+    paper_invariant_matrix, parallel_map, run_matrix, Cell, CellOutcome, CrossTraffic, Invariants,
 };
 
 /// Names of every experiment the harness can regenerate, in paper order.
@@ -65,6 +67,9 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig26",
     "table1",
     "robustness",
+    "varying_mu",
+    "varying_detector",
+    "varying_step",
 ];
 
 /// Run one experiment by name.  Returns the structured result.
@@ -97,6 +102,9 @@ pub fn run_experiment(name: &str, quick: bool) -> Option<ExperimentResult> {
         "fig26" => figures::robust::fig26(quick),
         "table1" => figures::robust::table1(quick),
         "robustness" => figures::robust::robustness_sweep(quick),
+        "varying_mu" => figures::varying::varying_mu(quick),
+        "varying_detector" => figures::varying::varying_detector(quick),
+        "varying_step" => figures::varying::varying_step(quick),
         _ => return None,
     };
     Some(result)
@@ -111,7 +119,7 @@ mod tests {
         // Only check dispatch (not execution) for the expensive ones: an
         // unknown name must return None, known names are all in the list.
         assert!(run_experiment("nonexistent", true).is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 27);
+        assert_eq!(ALL_EXPERIMENTS.len(), 30);
     }
 
     #[test]

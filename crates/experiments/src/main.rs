@@ -1,16 +1,59 @@
-//! Command-line entry point for regenerating the paper's tables and figures.
+//! Command-line entry point for regenerating the paper's tables and figures,
+//! and for the parallel scenario-sweep benchmark.
 //!
 //! ```text
-//! nimbus-experiments <experiment|all> [--quick] [--out DIR]
+//! nimbus-experiments <experiment|all|list> [--quick] [--out DIR]
+//! nimbus-experiments sweep [--quick] [--threads N] [--out PATH]
 //! ```
 
-use nimbus_experiments::{run_experiment, ExperimentResult, ALL_EXPERIMENTS};
+use nimbus_experiments::{run_experiment, ExperimentResult, SweepConfig, ALL_EXPERIMENTS};
 use std::path::PathBuf;
+
+fn run_sweep_command(args: &[String]) -> ! {
+    let mut cfg = SweepConfig {
+        quick: args.iter().any(|a| a == "--quick"),
+        ..SweepConfig::default()
+    };
+    // A flag present without its value operand is an error, not a silent no-op.
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => cfg.threads = Some(n),
+            _ => {
+                eprintln!(
+                    "invalid or missing --threads value: {}",
+                    args.get(i + 1).map(String::as_str).unwrap_or("<none>")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        match args.get(i + 1) {
+            Some(out) => cfg.out = PathBuf::from(out),
+            None => {
+                eprintln!("--out requires a path");
+                std::process::exit(2);
+            }
+        }
+    }
+    match nimbus_experiments::run_sweep(&cfg) {
+        Ok(report) => {
+            println!("{}", nimbus_experiments::sweep::report_table(&report));
+            println!("wrote {}", cfg.out.display());
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!("usage: nimbus-experiments <experiment|all|list> [--quick] [--out DIR]");
+        eprintln!("       nimbus-experiments sweep [--quick] [--threads N] [--out PATH]");
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -22,6 +65,10 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(PathBuf::from)
         .unwrap_or_else(ExperimentResult::default_output_dir);
+
+    if name == "sweep" {
+        run_sweep_command(&args[1..]);
+    }
 
     if name == "list" {
         for e in ALL_EXPERIMENTS {

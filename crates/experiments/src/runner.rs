@@ -3,16 +3,103 @@
 use crate::scheme::Scheme;
 use nimbus_core::{Mode, MultiflowConfig, NimbusController};
 use nimbus_netsim::{
-    FlowConfig, FlowEndpoint, FlowHandle, LossModel, Network, QueueKind, Recorder, SimConfig, Time,
+    FlowConfig, FlowEndpoint, FlowHandle, LossModel, Network, QueueKind, RateSchedule, Recorder,
+    SimConfig, Time,
 };
 use nimbus_transport::Sender;
 use serde::{Deserialize, Serialize};
 
+/// How the bottleneck rate moves over a scenario, expressed relative to the
+/// scenario's base `link_rate_bps` so the same shape can be swept across
+/// link rates.  Converted to a concrete [`RateSchedule`] at network-build
+/// time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LinkScheduleSpec {
+    /// The classic fixed-rate link.
+    Constant,
+    /// One step to `factor·base` at `at_s` seconds.
+    Step {
+        /// When the step happens, seconds.
+        at_s: f64,
+        /// New rate as a fraction of the base rate.
+        factor: f64,
+    },
+    /// An arbitrary staircase: at each `(t_s, factor)` the rate becomes
+    /// `factor·base`.
+    Steps {
+        /// Sorted `(time_s, factor_of_base)` transitions.
+        steps: Vec<(f64, f64)>,
+    },
+    /// `µ(t) = base·(1 + amplitude_frac·sin(2π·t/period_s))`.
+    Sinusoid {
+        /// Peak deviation as a fraction of the base rate.
+        amplitude_frac: f64,
+        /// Oscillation period, seconds.
+        period_s: f64,
+    },
+    /// A trace of rate factors applied every `interval_s`, repeating.
+    Trace {
+        /// Duration of each trace sample, seconds.
+        interval_s: f64,
+        /// Per-interval rates as fractions of the base rate.
+        factors: Vec<f64>,
+    },
+}
+
+impl LinkScheduleSpec {
+    /// Materialize the schedule against a concrete base rate.
+    pub fn to_schedule(&self, base_bps: f64) -> RateSchedule {
+        match self {
+            LinkScheduleSpec::Constant => RateSchedule::constant(base_bps),
+            LinkScheduleSpec::Step { at_s, factor } => {
+                RateSchedule::step(base_bps, Time::from_secs_f64(*at_s), factor * base_bps)
+            }
+            LinkScheduleSpec::Steps { steps } => RateSchedule::Steps {
+                initial_bps: base_bps,
+                steps: steps
+                    .iter()
+                    .map(|&(t_s, f)| (Time::from_secs_f64(t_s), f * base_bps))
+                    .collect(),
+            },
+            LinkScheduleSpec::Sinusoid {
+                amplitude_frac,
+                period_s,
+            } => RateSchedule::sinusoid(base_bps, *amplitude_frac, Time::from_secs_f64(*period_s)),
+            LinkScheduleSpec::Trace {
+                interval_s,
+                factors,
+            } => RateSchedule::trace(
+                Time::from_secs_f64(*interval_s),
+                factors.iter().map(|f| f * base_bps).collect(),
+                true,
+            ),
+        }
+    }
+
+    /// A short slug for cell/result names (`const`, `step50@15`, `sin25p10`, …).
+    pub fn label(&self) -> String {
+        match self {
+            LinkScheduleSpec::Constant => "const".to_string(),
+            LinkScheduleSpec::Step { at_s, factor } => {
+                format!("step{:.0}@{at_s:.0}", factor * 100.0)
+            }
+            LinkScheduleSpec::Steps { steps } => format!("steps{}", steps.len()),
+            LinkScheduleSpec::Sinusoid {
+                amplitude_frac,
+                period_s,
+            } => format!("sin{:.0}p{period_s:.0}", amplitude_frac * 100.0),
+            LinkScheduleSpec::Trace { factors, .. } => format!("trace{}", factors.len()),
+        }
+    }
+}
+
 /// A bottleneck + experiment-duration specification.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioSpec {
-    /// Link rate µ, bits/s.
+    /// Base link rate µ, bits/s.
     pub link_rate_bps: f64,
+    /// How the rate moves over the run (constant unless overridden).
+    pub schedule: LinkScheduleSpec,
     /// Buffer size in seconds of line rate (drop-tail unless `pie_target_s` set).
     pub buffer_s: f64,
     /// Propagation RTT of the monitored flow(s), seconds.
@@ -32,6 +119,7 @@ impl ScenarioSpec {
     pub fn default_96mbps(duration_s: f64) -> Self {
         ScenarioSpec {
             link_rate_bps: 96e6,
+            schedule: LinkScheduleSpec::Constant,
             buffer_s: 0.1,
             prop_rtt_s: 0.05,
             duration_s,
@@ -61,6 +149,7 @@ impl ScenarioSpec {
     pub fn build_network(&self) -> Network {
         let mut cfg = SimConfig::new(self.link_rate_bps, self.buffer_s, self.duration_s);
         cfg.seed = self.seed;
+        cfg.link.schedule = self.schedule.to_schedule(self.link_rate_bps);
         if let Some(target) = self.pie_target_s {
             cfg.link.queue = QueueKind::Pie {
                 target_delay_s: target,
@@ -107,6 +196,13 @@ pub struct SingleFlowMetrics {
     pub mode_log: Vec<(f64, String)>,
     /// Elasticity metric time series (empty for non-Nimbus schemes).
     pub eta_series: Vec<(f64, f64)>,
+    /// Learned-µ series `(t_s, µ̂_bps)` for Nimbus flows estimating the link
+    /// rate at runtime (empty otherwise).
+    pub mu_series: Vec<(f64, f64)>,
+    /// Mean relative error `|µ̂(t) − µ(t)|/µ(t)` over the steady-state window
+    /// against the scenario's true rate schedule.  NaN when µ was configured
+    /// (nothing learned) or no estimates fell in the window.
+    pub mu_tracking_error: f64,
 }
 
 /// Everything a figure needs after a run.
@@ -115,6 +211,10 @@ pub struct RunOutput {
     pub recorder: Recorder,
     /// Metrics for each monitored flow, in the order they were added.
     pub flows: Vec<SingleFlowMetrics>,
+    /// Total engine events processed (for sweep benchmarking).
+    pub events_processed: u64,
+    /// Simulated duration actually covered, seconds.
+    pub duration_s: f64,
 }
 
 /// Extract a time series as `(t, v)` pairs, skipping NaN values.
@@ -146,6 +246,8 @@ pub fn run_and_collect(
 ) -> RunOutput {
     net.run();
     let duration_s = net.now().as_secs_f64();
+    let events_processed = net.events_processed();
+    let schedule = net.rate_schedule().clone();
     let (recorder, endpoints) = net.finish();
     let mut flows = Vec::new();
     for (handle, scheme) in handles {
@@ -187,6 +289,8 @@ pub fn run_and_collect(
             delay_mode_fraction: 1.0,
             mode_log: Vec::new(),
             eta_series: Vec::new(),
+            mu_series: Vec::new(),
+            mu_tracking_error: f64::NAN,
         };
 
         if let Some(nimbus) = nimbus_of(endpoints[handle.0].as_ref()) {
@@ -210,10 +314,28 @@ pub fn run_and_collect(
                 .iter()
                 .map(|v| (v.t_s, v.eta.min(1e3)))
                 .collect();
+            metrics.mu_series = nimbus.estimator().mu_series().to_vec();
+            let errors: Vec<f64> = metrics
+                .mu_series
+                .iter()
+                .filter(|(t, _)| *t >= steady_start_s && *t <= duration_s)
+                .map(|&(t, mu_hat)| {
+                    let mu_true = schedule.rate_at(Time::from_secs_f64(t));
+                    (mu_hat - mu_true).abs() / mu_true
+                })
+                .collect();
+            if !errors.is_empty() {
+                metrics.mu_tracking_error = errors.iter().sum::<f64>() / errors.len() as f64;
+            }
         }
         flows.push(metrics);
     }
-    RunOutput { recorder, flows }
+    RunOutput {
+        recorder,
+        flows,
+        events_processed,
+        duration_s,
+    }
 }
 
 /// Convenience: run a single monitored scheme against an arbitrary set of
@@ -246,10 +368,45 @@ mod tests {
     fn spec_builders_and_quick_scaling() {
         let spec = ScenarioSpec::default_96mbps(180.0);
         assert_eq!(spec.link_rate_bps, 96e6);
+        assert_eq!(spec.schedule, LinkScheduleSpec::Constant);
         let quick = spec.clone().quick(true, 0.2);
         assert!((quick.duration_s - 36.0).abs() < 1e-9);
         let not_quick = spec.quick(false, 0.2);
         assert_eq!(not_quick.duration_s, 180.0);
+    }
+
+    #[test]
+    fn schedule_specs_materialize_against_the_base_rate() {
+        use nimbus_netsim::Time;
+        let step = LinkScheduleSpec::Step {
+            at_s: 10.0,
+            factor: 0.5,
+        };
+        let s = step.to_schedule(96e6);
+        assert_eq!(s.rate_at(Time::from_secs_f64(5.0)), 96e6);
+        assert_eq!(s.rate_at(Time::from_secs_f64(15.0)), 48e6);
+        assert_eq!(step.label(), "step50@10");
+
+        let sin = LinkScheduleSpec::Sinusoid {
+            amplitude_frac: 0.25,
+            period_s: 8.0,
+        };
+        let s = sin.to_schedule(48e6);
+        assert_eq!(s.max_rate_bps(), 60e6);
+        assert_eq!(s.min_rate_bps(), 36e6);
+        assert_eq!(sin.label(), "sin25p8");
+
+        let trace = LinkScheduleSpec::Trace {
+            interval_s: 0.5,
+            factors: vec![1.0, 0.25],
+        };
+        let s = trace.to_schedule(40e6);
+        assert_eq!(s.rate_at(Time::from_millis(250)), 40e6);
+        assert_eq!(s.rate_at(Time::from_millis(750)), 10e6);
+        // Repeats.
+        assert_eq!(s.rate_at(Time::from_millis(1250)), 40e6);
+        assert_eq!(trace.label(), "trace2");
+        assert_eq!(LinkScheduleSpec::Constant.label(), "const");
     }
 
     #[test]

@@ -16,6 +16,10 @@ pub enum Scheme {
     NimbusCubicVegas,
     /// Nimbus's delay-control algorithm alone (no mode switching) — "Nimbus delay".
     NimbusDelayOnly,
+    /// Nimbus with Cubic + BasicDelay but no configured link rate: µ is
+    /// learned at runtime from the max receive rate (§4.2), which is what
+    /// time-varying-link scenarios exercise.
+    NimbusEstimatedMu,
     /// TCP Cubic.
     Cubic,
     /// TCP NewReno.
@@ -52,6 +56,7 @@ impl Scheme {
             Scheme::NimbusCubicCopa => "nimbus-copa",
             Scheme::NimbusCubicVegas => "nimbus-vegas",
             Scheme::NimbusDelayOnly => "nimbus-delay",
+            Scheme::NimbusEstimatedMu => "nimbus-estmu",
             Scheme::Cubic => "cubic",
             Scheme::NewReno => "newreno",
             Scheme::Vegas => "vegas",
@@ -71,6 +76,7 @@ impl Scheme {
                 | Scheme::NimbusCubicCopa
                 | Scheme::NimbusCubicVegas
                 | Scheme::NimbusDelayOnly
+                | Scheme::NimbusEstimatedMu
         )
     }
 
@@ -86,6 +92,14 @@ impl Scheme {
                 // unreachable elasticity threshold.
                 let mut cfg = base;
                 cfg.elasticity.eta_threshold = f64::INFINITY;
+                Some(cfg)
+            }
+            Scheme::NimbusEstimatedMu => {
+                // Learn µ at runtime (BasicDelay keeps paper defaults derived
+                // from the nominal rate; the estimator and pulse amplitude
+                // follow the learned value).
+                let mut cfg = base;
+                cfg.mu_bps = None;
                 Some(cfg)
             }
             _ => None,
@@ -119,7 +133,8 @@ impl Scheme {
             Scheme::NimbusCubicBasicDelay
             | Scheme::NimbusCubicCopa
             | Scheme::NimbusCubicVegas
-            | Scheme::NimbusDelayOnly => {
+            | Scheme::NimbusDelayOnly
+            | Scheme::NimbusEstimatedMu => {
                 let mut cfg = self.nimbus_config(mu_bps, seed).unwrap();
                 if let Some(mf) = multiflow {
                     cfg = cfg.with_multiflow(mf);
@@ -159,6 +174,7 @@ mod tests {
             Scheme::NimbusCubicCopa,
             Scheme::NimbusCubicVegas,
             Scheme::NimbusDelayOnly,
+            Scheme::NimbusEstimatedMu,
             Scheme::Cubic,
             Scheme::NewReno,
             Scheme::Vegas,

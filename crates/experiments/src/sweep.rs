@@ -1,0 +1,272 @@
+//! The `sweep` subcommand: run a (scheme × cross-traffic × bottleneck ×
+//! schedule × seed) matrix in parallel and record per-cell wall-clock and
+//! events-per-second throughput as a benchmark baseline.
+//!
+//! This promotes the testkit's work-queue parallelism
+//! ([`parallel_map`](crate::testkit::parallel_map)) into a user-facing
+//! command: every future PR can run `nimbus-experiments sweep --quick` and
+//! diff the resulting `BENCH_sweep.json` against the committed baseline to
+//! see whether the hot paths got faster or slower.
+
+use crate::runner::LinkScheduleSpec;
+use crate::scheme::Scheme;
+use crate::testkit::{parallel_map, Cell, CrossTraffic, Invariants};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Options for a sweep run.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Scale the matrix down (shorter cells, fewer dimensions).
+    pub quick: bool,
+    /// Worker-thread cap (`None` = one per available core).
+    pub threads: Option<usize>,
+    /// Where to write the JSON report.
+    pub out: PathBuf,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            quick: false,
+            threads: None,
+            out: PathBuf::from("BENCH_sweep.json"),
+        }
+    }
+}
+
+/// Per-cell benchmark record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepCellResult {
+    /// Cell name (`scheme@rate[-schedule]-vs-cross-seedN`).
+    pub name: String,
+    /// Simulated seconds covered by the cell.
+    pub sim_s: f64,
+    /// Wall-clock seconds the cell took.
+    pub wall_s: f64,
+    /// Engine events processed.
+    pub events: u64,
+    /// Events per wall-clock second — the headline perf number.
+    pub events_per_sec: f64,
+    /// Simulated seconds per wall-clock second.
+    pub sim_speedup: f64,
+    /// Steady-state throughput of the monitored flow, Mbit/s (sanity anchor
+    /// so a "faster" sweep that simulates garbage is caught).
+    pub mean_throughput_mbps: f64,
+}
+
+/// The whole sweep report (serialized to `BENCH_sweep.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Report format marker.
+    pub schema: String,
+    /// Whether the quick matrix was run.
+    pub quick: bool,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Number of cells in the matrix.
+    pub cell_count: usize,
+    /// Total wall-clock seconds for the whole sweep.
+    pub total_wall_s: f64,
+    /// Sum of all per-cell events.
+    pub total_events: u64,
+    /// Aggregate events per wall-clock second across the parallel sweep.
+    pub aggregate_events_per_sec: f64,
+    /// Per-cell records, in matrix order.
+    pub cells: Vec<SweepCellResult>,
+}
+
+/// The benchmark matrix: schemes × cross traffic × link rates × schedules ×
+/// seeds.  The quick variant covers every schedule family but trims the
+/// slower dimensions so CI can afford it per-PR.
+pub fn sweep_matrix(quick: bool) -> Vec<Cell> {
+    let schemes: Vec<Scheme> = if quick {
+        vec![Scheme::NimbusCubicBasicDelay, Scheme::Cubic]
+    } else {
+        vec![
+            Scheme::NimbusCubicBasicDelay,
+            Scheme::Cubic,
+            Scheme::Vegas,
+            Scheme::Bbr,
+        ]
+    };
+    let crosses: Vec<CrossTraffic> = if quick {
+        vec![
+            CrossTraffic::None,
+            CrossTraffic::Cbr {
+                fraction_of_mu: 0.5,
+            },
+        ]
+    } else {
+        vec![
+            CrossTraffic::None,
+            CrossTraffic::Cbr {
+                fraction_of_mu: 0.5,
+            },
+            CrossTraffic::Poisson {
+                fraction_of_mu: 0.5,
+            },
+            CrossTraffic::ElasticCubic,
+        ]
+    };
+    let rates: Vec<f64> = if quick { vec![48e6] } else { vec![48e6, 96e6] };
+    let schedules: Vec<LinkScheduleSpec> = vec![
+        LinkScheduleSpec::Constant,
+        LinkScheduleSpec::Sinusoid {
+            amplitude_frac: 0.25,
+            period_s: 10.0,
+        },
+        LinkScheduleSpec::Step {
+            at_s: if quick { 7.0 } else { 15.0 },
+            factor: 0.5,
+        },
+    ];
+    let seeds: Vec<u64> = if quick { vec![1] } else { vec![1, 2] };
+    let duration_s = if quick { 15.0 } else { 40.0 };
+
+    let mut cells = Vec::new();
+    for &scheme in &schemes {
+        for &cross in &crosses {
+            for &rate in &rates {
+                for schedule in &schedules {
+                    for &seed in &seeds {
+                        cells.push(Cell {
+                            scheme,
+                            cross,
+                            link_rate_bps: rate,
+                            schedule: schedule.clone(),
+                            seed,
+                            duration_s,
+                            steady_start_s: duration_s * 0.25,
+                            // The sweep benchmarks; it does not assert.
+                            invariants: Invariants::default(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Run the sweep matrix in parallel, timing each cell, and write the report.
+pub fn run_sweep(cfg: &SweepConfig) -> std::io::Result<SweepReport> {
+    let cells = sweep_matrix(cfg.quick);
+    let threads = cfg
+        .threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .max(1);
+    let started = Instant::now();
+    let results = parallel_map(&cells, Some(threads), |cell| {
+        let cell_start = Instant::now();
+        let outcome = cell.run();
+        let wall_s = cell_start.elapsed().as_secs_f64();
+        SweepCellResult {
+            name: outcome.name,
+            sim_s: outcome.sim_s,
+            wall_s,
+            events: outcome.events,
+            events_per_sec: outcome.events as f64 / wall_s.max(1e-9),
+            sim_speedup: outcome.sim_s / wall_s.max(1e-9),
+            mean_throughput_mbps: outcome.metrics.mean_throughput_mbps,
+        }
+    });
+    let total_wall_s = started.elapsed().as_secs_f64();
+    let total_events: u64 = results.iter().map(|r| r.events).sum();
+    let report = SweepReport {
+        schema: "nimbus-sweep-v1".to_string(),
+        quick: cfg.quick,
+        threads,
+        cell_count: results.len(),
+        total_wall_s,
+        total_events,
+        aggregate_events_per_sec: total_events as f64 / total_wall_s.max(1e-9),
+        cells: results,
+    };
+    write_report(&report, &cfg.out)?;
+    Ok(report)
+}
+
+/// Serialize a report to `path` as pretty-printed JSON.
+pub fn write_report(report: &SweepReport, path: &Path) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, serde_json::to_string_pretty(report).unwrap())
+}
+
+/// Render the report as an aligned text table for the terminal.
+pub fn report_table(report: &SweepReport) -> String {
+    let mut out = format!(
+        "== sweep ({} cells, {} threads, {:.1} s wall, {:.0} events/s aggregate) ==\n",
+        report.cell_count, report.threads, report.total_wall_s, report.aggregate_events_per_sec
+    );
+    for c in &report.cells {
+        out.push_str(&format!(
+            "{:52} {:6.1} sim-s  {:7.3} wall-s  {:9} ev  {:10.0} ev/s  {:7.2} Mbit/s\n",
+            c.name, c.sim_s, c.wall_s, c.events, c.events_per_sec, c.mean_throughput_mbps
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_covers_every_schedule_family_and_is_unique() {
+        let cells = sweep_matrix(true);
+        assert!(cells.len() >= 10, "quick matrix too small: {}", cells.len());
+        let mut names: Vec<String> = cells.iter().map(|c| c.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), cells.len(), "cell names must be unique");
+        assert!(cells
+            .iter()
+            .any(|c| matches!(c.schedule, LinkScheduleSpec::Sinusoid { .. })));
+        assert!(cells
+            .iter()
+            .any(|c| matches!(c.schedule, LinkScheduleSpec::Step { .. })));
+        assert!(cells
+            .iter()
+            .any(|c| c.schedule == LinkScheduleSpec::Constant));
+        // The full matrix is a strict superset in every dimension.
+        let full = sweep_matrix(false);
+        assert!(full.len() > cells.len() * 4);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = SweepReport {
+            schema: "nimbus-sweep-v1".to_string(),
+            quick: true,
+            threads: 4,
+            cell_count: 1,
+            total_wall_s: 1.5,
+            total_events: 1000,
+            aggregate_events_per_sec: 666.7,
+            cells: vec![SweepCellResult {
+                name: "cubic@48M-vs-alone-seed1".to_string(),
+                sim_s: 15.0,
+                wall_s: 0.5,
+                events: 1000,
+                events_per_sec: 2000.0,
+                sim_speedup: 30.0,
+                mean_throughput_mbps: 45.0,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: SweepReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.cells.len(), 1);
+        assert_eq!(back.cells[0].events, 1000);
+        assert!(report_table(&back).contains("cubic@48M"));
+    }
+}

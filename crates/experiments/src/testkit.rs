@@ -24,7 +24,7 @@
 //! fingerprints.
 
 use crate::figures::{cbr_cross_flow, elastic_cross_flow, poisson_cross_flow};
-use crate::runner::{run_scheme_vs_cross, ScenarioSpec, SingleFlowMetrics};
+use crate::runner::{run_scheme_vs_cross, LinkScheduleSpec, ScenarioSpec, SingleFlowMetrics};
 use crate::scheme::Scheme;
 use nimbus_netsim::{FlowConfig, FlowEndpoint};
 use serde::{Deserialize, Serialize};
@@ -110,19 +110,24 @@ pub struct Invariants {
     pub min_delay_mode_fraction: Option<f64>,
     /// Nimbus: fraction of time in delay mode must stay below this.
     pub max_delay_mode_fraction: Option<f64>,
+    /// Nimbus with learned µ: mean relative µ-tracking error against the true
+    /// schedule must stay below this.
+    pub max_mu_error: Option<f64>,
     /// Nimbus: the mode log must contain at least one switch to competitive.
     pub must_enter_competitive: bool,
 }
 
-/// One (scheme × cross-traffic × bottleneck × seed) cell.
+/// One (scheme × cross-traffic × bottleneck × schedule × seed) cell.
 #[derive(Debug, Clone)]
 pub struct Cell {
     /// Scheme on the monitored flow.
     pub scheme: Scheme,
     /// Cross traffic sharing the bottleneck.
     pub cross: CrossTraffic,
-    /// Bottleneck rate µ in bits/s.
+    /// Base bottleneck rate µ in bits/s.
     pub link_rate_bps: f64,
+    /// How the bottleneck rate moves over the run.
+    pub schedule: LinkScheduleSpec,
     /// Simulation seed.
     pub seed: u64,
     /// Run length in seconds.
@@ -134,12 +139,18 @@ pub struct Cell {
 }
 
 impl Cell {
-    /// `scheme@mu vs cross (seed n)` — unique within a well-formed matrix.
+    /// `scheme@mu[-schedule] vs cross (seed n)` — unique within a well-formed matrix.
     pub fn name(&self) -> String {
+        let schedule = if self.schedule == LinkScheduleSpec::Constant {
+            String::new()
+        } else {
+            format!("-{}", self.schedule.label())
+        };
         format!(
-            "{}@{:.0}M-vs-{}-seed{}",
+            "{}@{:.0}M{}-vs-{}-seed{}",
             self.scheme.label(),
             self.link_rate_bps / 1e6,
+            schedule,
             self.cross.label(),
             self.seed
         )
@@ -149,12 +160,15 @@ impl Cell {
     pub fn run(&self) -> CellOutcome {
         let spec = ScenarioSpec {
             link_rate_bps: self.link_rate_bps,
+            schedule: self.schedule.clone(),
             duration_s: self.duration_s,
             seed: self.seed,
             ..ScenarioSpec::default_96mbps(self.duration_s)
         };
         let cross = self.cross.build(self.link_rate_bps, self.seed);
         let out = run_scheme_vs_cross(&spec, self.scheme, None, cross, self.steady_start_s);
+        let events = out.events_processed;
+        let sim_s = out.duration_s;
         let metrics = out.flows.into_iter().next().expect("one monitored flow");
         let violations = self.invariants.check(self.scheme, &metrics);
         let fingerprint = fingerprint_of(&out.recorder.snapshot(), &metrics);
@@ -163,6 +177,8 @@ impl Cell {
             metrics,
             violations,
             fingerprint,
+            events,
+            sim_s,
         }
     }
 }
@@ -170,10 +186,14 @@ impl Cell {
 impl Invariants {
     /// Evaluate the bounds against a cell's metrics; returns one message per
     /// violated bound (empty = cell passes).
+    /// Every comparison is written so that a NaN metric (an empty measurement
+    /// window — see `TimeSeries::mean_in_range`) counts as a violation rather
+    /// than silently passing; the negated comparisons are exactly that intent.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn check(&self, scheme: Scheme, m: &SingleFlowMetrics) -> Vec<String> {
         let mut violations = Vec::new();
         if let Some(min) = self.min_throughput_mbps {
-            if m.mean_throughput_mbps < min {
+            if !(m.mean_throughput_mbps >= min) {
                 violations.push(format!(
                     "throughput {:.2} Mbit/s below floor {min}",
                     m.mean_throughput_mbps
@@ -181,7 +201,7 @@ impl Invariants {
             }
         }
         if let Some(max) = self.max_throughput_mbps {
-            if m.mean_throughput_mbps > max {
+            if !(m.mean_throughput_mbps <= max) {
                 violations.push(format!(
                     "throughput {:.2} Mbit/s above ceiling {max} (starvation expected)",
                     m.mean_throughput_mbps
@@ -189,7 +209,7 @@ impl Invariants {
             }
         }
         if let Some(max) = self.max_queue_delay_ms {
-            if m.mean_queue_delay_ms > max {
+            if !(m.mean_queue_delay_ms <= max) {
                 violations.push(format!(
                     "queue delay {:.2} ms above ceiling {max}",
                     m.mean_queue_delay_ms
@@ -197,7 +217,7 @@ impl Invariants {
             }
         }
         if let Some(min) = self.min_queue_delay_ms {
-            if m.mean_queue_delay_ms < min {
+            if !(m.mean_queue_delay_ms >= min) {
                 violations.push(format!(
                     "queue delay {:.2} ms below floor {min} (bufferbloat expected)",
                     m.mean_queue_delay_ms
@@ -205,7 +225,7 @@ impl Invariants {
             }
         }
         if let Some(min) = self.min_delay_mode_fraction {
-            if m.delay_mode_fraction < min {
+            if !(m.delay_mode_fraction >= min) {
                 violations.push(format!(
                     "delay-mode fraction {:.2} below floor {min}",
                     m.delay_mode_fraction
@@ -213,10 +233,18 @@ impl Invariants {
             }
         }
         if let Some(max) = self.max_delay_mode_fraction {
-            if m.delay_mode_fraction > max {
+            if !(m.delay_mode_fraction <= max) {
                 violations.push(format!(
                     "delay-mode fraction {:.2} above ceiling {max}",
                     m.delay_mode_fraction
+                ));
+            }
+        }
+        if let Some(max) = self.max_mu_error {
+            if !(m.mu_tracking_error <= max) {
+                violations.push(format!(
+                    "µ-tracking error {:.3} above ceiling {max}",
+                    m.mu_tracking_error
                 ));
             }
         }
@@ -245,6 +273,10 @@ pub struct CellOutcome {
     /// FNV-1a hash over the serialized recorder snapshot and metrics; two
     /// runs of the same cell must agree byte for byte.
     pub fingerprint: u64,
+    /// Engine events processed by this cell's simulation.
+    pub events: u64,
+    /// Simulated seconds covered.
+    pub sim_s: f64,
 }
 
 fn fingerprint_of(recorder_snapshot: &serde::Value, metrics: &SingleFlowMetrics) -> u64 {
@@ -262,28 +294,39 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Run every cell of a matrix, in parallel across threads (each cell is an
-/// independent deterministic simulation).  Cells are handed to worker
-/// threads through a shared index, so a slow cell never idles the other
-/// workers; outcomes come back in matrix order regardless of completion
-/// order.
-pub fn run_matrix(cells: &[Cell]) -> Vec<CellOutcome> {
+/// Map `f` over `items` in parallel across up to `max_threads` worker
+/// threads (each item is expected to be an independent deterministic
+/// computation).  Items are handed to workers through a shared index, so a
+/// slow item never idles the other workers; results come back in input order
+/// regardless of completion order.
+///
+/// This is the work queue behind both [`run_matrix`] and the experiments
+/// binary's `sweep` subcommand.
+pub fn parallel_map<T, R, F>(items: &[T], max_threads: Option<usize>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
-    let parallelism = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(cells.len().max(1));
+    let parallelism = max_threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        })
+        .max(1)
+        .min(items.len().max(1));
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<CellOutcome>>> =
-        (0..cells.len()).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..parallelism {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(cell) = cells.get(i) else { break };
-                *slots[i].lock().expect("outcome slot poisoned") = Some(cell.run());
+                let Some(item) = items.get(i) else { break };
+                *slots[i].lock().expect("result slot poisoned") = Some(f(item));
             });
         }
     });
@@ -291,10 +334,16 @@ pub fn run_matrix(cells: &[Cell]) -> Vec<CellOutcome> {
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("outcome slot poisoned")
-                .expect("all cells ran")
+                .expect("result slot poisoned")
+                .expect("all items ran")
         })
         .collect()
+}
+
+/// Run every cell of a matrix, in parallel across threads (each cell is an
+/// independent deterministic simulation).
+pub fn run_matrix(cells: &[Cell]) -> Vec<CellOutcome> {
+    parallel_map(cells, None, Cell::run)
 }
 
 /// Render a one-line-per-cell report (for `--nocapture` debugging).
@@ -317,9 +366,11 @@ pub fn matrix_report(outcomes: &[CellOutcome]) -> String {
     out
 }
 
-/// The default paper-invariant matrix: 14 cells covering the headline claims
+/// The default paper-invariant matrix: 18 cells covering the headline claims
 /// of Figs. 1/8 and Appendix D across two bottleneck rates and two seeds per
-/// behavioural claim.  Kept short enough (~30 simulated seconds per cell)
+/// behavioural claim, plus four time-varying-link cells (µ-tracking on a
+/// sinusoid, detector stability on an oscillating link, throughput following
+/// a rate step).  Kept short enough (~30 simulated seconds per cell)
 /// that the whole matrix runs in well under two minutes of wall clock under
 /// `cargo test`.
 pub fn paper_invariant_matrix() -> Vec<Cell> {
@@ -331,6 +382,7 @@ pub fn paper_invariant_matrix() -> Vec<Cell> {
             scheme: Scheme::Cubic,
             cross: CrossTraffic::None,
             link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
             seed,
             duration_s: 30.0,
             steady_start_s: 8.0,
@@ -348,6 +400,7 @@ pub fn paper_invariant_matrix() -> Vec<Cell> {
             scheme: Scheme::Vegas,
             cross: CrossTraffic::None,
             link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
             seed,
             duration_s: 30.0,
             steady_start_s: 8.0,
@@ -365,6 +418,7 @@ pub fn paper_invariant_matrix() -> Vec<Cell> {
             scheme: Scheme::Vegas,
             cross: CrossTraffic::ElasticCubic,
             link_rate_bps: 96e6,
+            schedule: LinkScheduleSpec::Constant,
             seed,
             duration_s: 40.0,
             steady_start_s: 15.0,
@@ -383,6 +437,7 @@ pub fn paper_invariant_matrix() -> Vec<Cell> {
                 fraction_of_mu: 5.0 / 6.0,
             },
             link_rate_bps: 96e6,
+            schedule: LinkScheduleSpec::Constant,
             seed,
             duration_s: 40.0,
             steady_start_s: 10.0,
@@ -404,6 +459,7 @@ pub fn paper_invariant_matrix() -> Vec<Cell> {
                 fraction_of_mu: 0.5,
             },
             link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
             seed,
             duration_s: 30.0,
             steady_start_s: 8.0,
@@ -423,6 +479,7 @@ pub fn paper_invariant_matrix() -> Vec<Cell> {
             scheme: Scheme::NimbusCubicBasicDelay,
             cross: CrossTraffic::ElasticCubic,
             link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
             seed,
             duration_s: 45.0,
             steady_start_s: 15.0,
@@ -442,6 +499,7 @@ pub fn paper_invariant_matrix() -> Vec<Cell> {
             scheme: Scheme::NimbusCubicBasicDelay,
             cross: CrossTraffic::None,
             link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
             seed,
             duration_s: 30.0,
             steady_start_s: 8.0,
@@ -449,6 +507,74 @@ pub fn paper_invariant_matrix() -> Vec<Cell> {
                 min_throughput_mbps: Some(30.0),
                 max_queue_delay_ms: Some(40.0),
                 min_delay_mode_fraction: Some(0.9),
+                ..Invariants::default()
+            },
+        });
+    }
+
+    // Varying link, µ estimation (§4.2): a lone Nimbus flow learning µ from
+    // its max receive rate must track a ±25% sinusoid within tolerance (the
+    // 10-second max filter rides the upper envelope, so the mean relative
+    // error against the instantaneous µ(t) stays bounded, not tiny).
+    cells.push(Cell {
+        scheme: Scheme::NimbusEstimatedMu,
+        cross: CrossTraffic::None,
+        link_rate_bps: 48e6,
+        schedule: LinkScheduleSpec::Sinusoid {
+            amplitude_frac: 0.25,
+            period_s: 20.0,
+        },
+        seed: 7,
+        duration_s: 40.0,
+        steady_start_s: 15.0,
+        invariants: Invariants {
+            min_throughput_mbps: Some(20.0),
+            max_mu_error: Some(0.35),
+            ..Invariants::default()
+        },
+    });
+
+    // Varying link, detector stability: alone on a ±10% oscillating link
+    // there is nothing elastic, and the oscillation (0.1 Hz) is far from the
+    // pulse frequency (5 Hz) — Nimbus must hold delay mode.  (At ±25% the
+    // µ-error leaks the flow's own pulse into ẑ and the detector degrades;
+    // the `varying_detector` experiment quantifies that cliff.)
+    cells.push(Cell {
+        scheme: Scheme::NimbusCubicBasicDelay,
+        cross: CrossTraffic::None,
+        link_rate_bps: 48e6,
+        schedule: LinkScheduleSpec::Sinusoid {
+            amplitude_frac: 0.1,
+            period_s: 10.0,
+        },
+        seed: 8,
+        duration_s: 40.0,
+        steady_start_s: 10.0,
+        invariants: Invariants {
+            min_throughput_mbps: Some(35.0),
+            max_queue_delay_ms: Some(40.0),
+            min_delay_mode_fraction: Some(0.8),
+            ..Invariants::default()
+        },
+    });
+
+    // Varying link, rate step: Cubic and Nimbus must both follow a 96→48
+    // Mbit/s step — post-step throughput near the new µ, not the old one.
+    for scheme in [Scheme::Cubic, Scheme::NimbusCubicBasicDelay] {
+        cells.push(Cell {
+            scheme,
+            cross: CrossTraffic::None,
+            link_rate_bps: 96e6,
+            schedule: LinkScheduleSpec::Step {
+                at_s: 15.0,
+                factor: 0.5,
+            },
+            seed: 9,
+            duration_s: 40.0,
+            steady_start_s: 22.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(35.0),
+                max_throughput_mbps: Some(50.0),
                 ..Invariants::default()
             },
         });
@@ -478,6 +604,7 @@ mod tests {
                 || inv.min_queue_delay_ms.is_some()
                 || inv.min_delay_mode_fraction.is_some()
                 || inv.max_delay_mode_fraction.is_some()
+                || inv.max_mu_error.is_some()
                 || inv.must_enter_competitive;
             assert!(any, "cell {} asserts nothing", c.name());
         }
@@ -500,6 +627,8 @@ mod tests {
             delay_mode_fraction: 0.4,
             mode_log: Vec::new(),
             eta_series: Vec::new(),
+            mu_series: Vec::new(),
+            mu_tracking_error: f64::NAN,
         };
         let inv = Invariants {
             min_throughput_mbps: Some(20.0),

@@ -22,6 +22,10 @@ pub struct AckInfo {
     pub cum_ack: u64,
     /// Sequence number of the data segment that triggered this ACK.
     pub triggering_seq: u64,
+    /// Size in bytes of the triggering data segment (the bytes that
+    /// physically arrived at the receiver now — use this for rate
+    /// measurement, not `newly_delivered_bytes`).
+    pub triggering_bytes: u32,
     /// When the triggering data segment was originally sent.
     pub data_sent_at: Time,
     /// Round-trip time sample for the triggering segment.
@@ -121,6 +125,7 @@ mod tests {
             now: Time::from_millis(100),
             cum_ack: 10,
             triggering_seq: 9,
+            triggering_bytes: 1500,
             data_sent_at: Time::from_millis(50),
             rtt_sample: Time::from_millis(50),
             is_duplicate: false,

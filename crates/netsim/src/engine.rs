@@ -18,15 +18,22 @@
 //!   and start on the next one.
 //! * `ReceiverArrival` — a data packet reached its receiver; generate an ACK.
 //! * `AckArrival` — an ACK reached the sender; inform the endpoint, poll it.
+//! * `RateChange` — the bottleneck's rate schedule µ(t) reached a transition;
+//!   re-plan the in-flight packet's serialization and re-size delay-specified
+//!   buffers.
 //! * `Tick` — the global 10 ms measurement tick (CCP reporting cadence).
 //! * `Sample` — the recorder's sampling interval elapsed.
 
 use crate::endpoint::{AckInfo, FlowEndpoint, SendAction};
 use crate::loss::{LossModel, LossProcess, Policer};
 use crate::packet::{AckPacket, FlowId, Packet};
-use crate::queue::{CoDelQueue, DropTailQueue, EnqueueResult, PieQueue, QueueDiscipline, RedQueue};
+use crate::queue::{
+    delay_capacity_bytes, CoDelQueue, DropTailQueue, EnqueueResult, PieQueue, QueueDiscipline,
+    RedQueue,
+};
 use crate::recorder::{Recorder, RecorderConfig};
-use crate::time::{transmission_time, Time};
+use crate::schedule::RateSchedule;
+use crate::time::Time;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -60,8 +67,8 @@ pub enum QueueKind {
 /// Bottleneck link configuration.
 #[derive(Debug, Clone)]
 pub struct LinkConfig {
-    /// Link rate µ in bits per second.
-    pub rate_bps: f64,
+    /// Link rate µ(t) in bits per second — constant or time-varying.
+    pub schedule: RateSchedule,
     /// Queue discipline in front of the link.
     pub queue: QueueKind,
     /// Random-loss model applied to packets before they reach the queue.
@@ -74,11 +81,22 @@ impl LinkConfig {
     /// A plain drop-tail bottleneck: `rate_bps` with `buffer_s` seconds of buffering.
     pub fn drop_tail(rate_bps: f64, buffer_s: f64) -> Self {
         LinkConfig {
-            rate_bps,
+            schedule: RateSchedule::constant(rate_bps),
             queue: QueueKind::DropTailDelay(buffer_s),
             loss: LossModel::None,
             policer: None,
         }
+    }
+
+    /// Replace the (constant) rate with an arbitrary schedule.
+    pub fn with_schedule(mut self, schedule: RateSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// The link rate at simulation start, bits/s.
+    pub fn initial_rate_bps(&self) -> f64 {
+        self.schedule.initial_rate_bps()
     }
 }
 
@@ -183,9 +201,19 @@ pub struct FlowHandle(pub FlowId);
 enum EventKind {
     FlowStart(FlowId),
     PollSend(FlowId),
-    LinkDone,
+    /// The bottleneck finished serializing its in-flight packet.  Tagged with
+    /// the link generation at scheduling time: a rate transition mid-
+    /// serialization bumps the generation and reschedules, orphaning the old
+    /// entry, which must then be ignored.
+    LinkDone {
+        gen: u64,
+    },
     ReceiverArrival(Packet),
     AckArrival(AckPacket),
+    /// The rate schedule reaches its next transition: advance the in-flight
+    /// packet's byte progress under the outgoing rate and reschedule its
+    /// completion under the incoming one.
+    RateChange,
     Tick,
     Sample,
 }
@@ -230,6 +258,17 @@ struct FlowState {
     next_scheduled_poll: Time,
 }
 
+/// The packet currently being serialized on the bottleneck link, tracked by
+/// byte progress so the schedule can change the rate under it.
+struct InFlight {
+    pkt: Packet,
+    /// Bits still to serialize (at the current rate).
+    remaining_bits: f64,
+    /// Time the progress was last advanced (transmission start or the most
+    /// recent rate transition).
+    since: Time,
+}
+
 /// The dumbbell network simulator.
 pub struct Network {
     cfg: SimConfig,
@@ -239,7 +278,11 @@ pub struct Network {
     queue: Box<dyn QueueDiscipline>,
     link_busy: bool,
     /// Packet currently being serialized on the bottleneck link.
-    in_flight: Option<Packet>,
+    in_flight: Option<InFlight>,
+    /// Link rate currently in effect, bits/s.
+    current_rate_bps: f64,
+    /// Generation counter validating `LinkDone` events across rate changes.
+    link_gen: u64,
     loss: LossProcess,
     policer: Option<Policer>,
     flows: Vec<FlowState>,
@@ -249,10 +292,15 @@ pub struct Network {
     events_processed: u64,
 }
 
+/// Serialization time of `bits` at `rate_bps` (already floored by the schedule).
+fn bits_time(bits: f64, rate_bps: f64) -> Time {
+    Time::from_secs_f64(bits / rate_bps.max(crate::schedule::MIN_RATE_BPS))
+}
+
 impl Network {
     /// Create an empty network from a configuration.
     pub fn new(cfg: SimConfig) -> Self {
-        let rate = cfg.link.rate_bps;
+        let rate = cfg.link.schedule.initial_rate_bps();
         assert!(rate > 0.0, "bottleneck rate must be positive");
         let queue: Box<dyn QueueDiscipline> = match cfg.link.queue {
             QueueKind::DropTailBytes(b) => Box::new(DropTailQueue::new(b)),
@@ -261,16 +309,17 @@ impl Network {
                 target_delay_s,
                 buffer_s,
             } => Box::new(PieQueue::new(
-                (rate * buffer_s / 8.0) as u64,
+                delay_capacity_bytes(rate, buffer_s),
                 rate,
                 Time::from_secs_f64(target_delay_s),
                 cfg.seed,
             )),
-            QueueKind::Red { buffer_s } => {
-                Box::new(RedQueue::new((rate * buffer_s / 8.0) as u64, cfg.seed))
-            }
+            QueueKind::Red { buffer_s } => Box::new(RedQueue::new(
+                delay_capacity_bytes(rate, buffer_s),
+                cfg.seed,
+            )),
             QueueKind::CoDel { buffer_s } => {
-                Box::new(CoDelQueue::new((rate * buffer_s / 8.0) as u64))
+                Box::new(CoDelQueue::new(delay_capacity_bytes(rate, buffer_s)))
             }
         };
         let loss = LossProcess::new(cfg.link.loss.clone(), cfg.seed);
@@ -287,6 +336,8 @@ impl Network {
             queue,
             link_busy: false,
             in_flight: None,
+            current_rate_bps: rate,
+            link_gen: 0,
             loss,
             policer,
             flows: Vec::new(),
@@ -297,9 +348,14 @@ impl Network {
         }
     }
 
-    /// The bottleneck rate in bits per second.
+    /// The bottleneck rate currently in effect, in bits per second.
     pub fn link_rate_bps(&self) -> f64 {
-        self.cfg.link.rate_bps
+        self.current_rate_bps
+    }
+
+    /// The configured rate schedule µ(t).
+    pub fn rate_schedule(&self) -> &RateSchedule {
+        &self.cfg.link.schedule
     }
 
     /// Current virtual time.
@@ -338,6 +394,9 @@ impl Network {
     pub fn run(&mut self) {
         self.schedule(self.cfg.tick_interval, EventKind::Tick);
         self.schedule(self.cfg.recorder.sample_interval, EventKind::Sample);
+        if let Some(at) = self.cfg.link.schedule.next_transition_after(Time::ZERO) {
+            self.schedule(at, EventKind::RateChange);
+        }
         while let Some(Reverse(entry)) = self.events.pop() {
             if entry.at > self.cfg.duration {
                 break;
@@ -346,6 +405,13 @@ impl Network {
             self.now = entry.at;
             self.events_processed += 1;
             self.dispatch(entry.kind);
+        }
+        // Advance the clock to the configured end of the run: the loop above
+        // leaves `now` at the last event at or before `duration`, which would
+        // stamp the closing sample early and truncate `now()`-based
+        // steady-state windows.
+        if self.now < self.cfg.duration {
+            self.now = self.cfg.duration;
         }
         // Close the final recorder interval.
         let qb = self.queue.len_bytes();
@@ -401,6 +467,7 @@ impl Network {
             EventKind::FlowStart(id) => {
                 if !self.flows[id].started {
                     self.flows[id].started = true;
+                    self.recorder.on_flow_start(id);
                     let now = self.now;
                     self.flows[id].endpoint.on_start(now);
                     self.poll_flow(id);
@@ -419,9 +486,10 @@ impl Network {
                 self.flows[id].next_scheduled_poll = Time::MAX;
                 self.poll_flow(id)
             }
-            EventKind::LinkDone => self.on_link_done(),
+            EventKind::LinkDone { gen } => self.on_link_done(gen),
             EventKind::ReceiverArrival(pkt) => self.on_receiver_arrival(pkt),
             EventKind::AckArrival(ack) => self.on_ack_arrival(ack),
+            EventKind::RateChange => self.on_rate_change(),
             EventKind::Tick => {
                 let now = self.now;
                 for id in 0..self.flows.len() {
@@ -523,15 +591,63 @@ impl Network {
             self.link_busy = true;
             let delay = pkt.queueing_delay(self.now);
             self.recorder.on_dequeue(pkt.flow, delay);
-            let tx = transmission_time(pkt.size_bytes, self.cfg.link.rate_bps);
-            self.in_flight = Some(pkt);
-            self.schedule(self.now + tx, EventKind::LinkDone);
+            let bits = pkt.size_bytes as f64 * 8.0;
+            let tx = bits_time(bits, self.current_rate_bps);
+            self.in_flight = Some(InFlight {
+                pkt,
+                remaining_bits: bits,
+                since: self.now,
+            });
+            self.link_gen += 1;
+            let gen = self.link_gen;
+            self.schedule(self.now + tx, EventKind::LinkDone { gen });
         }
     }
 
-    fn on_link_done(&mut self) {
+    /// Apply a scheduled rate transition.  The in-flight packet (if any) has
+    /// its byte progress advanced under the outgoing rate and its completion
+    /// rescheduled under the incoming one; delay-sized queue capacities are
+    /// recomputed so "x seconds of buffering" keeps meaning x seconds.
+    fn on_rate_change(&mut self) {
+        if let Some(inf) = &mut self.in_flight {
+            let elapsed = self.now.saturating_sub(inf.since).as_secs_f64();
+            inf.remaining_bits = (inf.remaining_bits - elapsed * self.current_rate_bps).max(0.0);
+            inf.since = self.now;
+        }
+        self.current_rate_bps = self.cfg.link.schedule.rate_at(self.now);
+        if let Some(inf) = &self.in_flight {
+            let tx = bits_time(inf.remaining_bits, self.current_rate_bps);
+            self.link_gen += 1;
+            let gen = self.link_gen;
+            self.schedule(self.now + tx, EventKind::LinkDone { gen });
+        }
+        // Keep delay-specified buffers coherent with the new rate.
+        let rate = self.current_rate_bps;
+        let buffer_s = match self.cfg.link.queue {
+            QueueKind::DropTailBytes(_) => None,
+            QueueKind::DropTailDelay(s) => Some(s),
+            QueueKind::Pie { buffer_s, .. } => Some(buffer_s),
+            QueueKind::Red { buffer_s } => Some(buffer_s),
+            QueueKind::CoDel { buffer_s } => Some(buffer_s),
+        };
+        if let Some(s) = buffer_s {
+            self.queue.set_capacity_bytes(delay_capacity_bytes(rate, s));
+        }
+        self.queue.set_drain_rate_bps(rate);
+        if let Some(at) = self.cfg.link.schedule.next_transition_after(self.now) {
+            self.schedule(at, EventKind::RateChange);
+        }
+    }
+
+    fn on_link_done(&mut self, gen: u64) {
+        // A rate transition mid-serialization reschedules completion under a
+        // new generation; the orphaned entry must not complete the packet.
+        if gen != self.link_gen {
+            return;
+        }
         self.link_busy = false;
-        if let Some(pkt) = self.in_flight.take() {
+        if let Some(inf) = self.in_flight.take() {
+            let pkt = inf.pkt;
             // Propagate to the receiver over half the configured RTT.
             let prop = Time::from_nanos(self.flows[pkt.flow].cfg.prop_rtt.as_nanos() / 2);
             self.schedule(self.now + prop, EventKind::ReceiverArrival(pkt));
@@ -560,6 +676,7 @@ impl Network {
             flow: id,
             cum_ack: flow.next_expected,
             triggering_seq: pkt.seq,
+            triggering_bytes: pkt.size_bytes,
             data_sent_at: pkt.sent_at,
             received_at: self.now,
             newly_delivered_bytes: newly_delivered,
@@ -582,6 +699,7 @@ impl Network {
             now: self.now,
             cum_ack: ack.cum_ack,
             triggering_seq: ack.triggering_seq,
+            triggering_bytes: ack.triggering_bytes,
             data_sent_at: ack.data_sent_at,
             rtt_sample: rtt,
             is_duplicate,

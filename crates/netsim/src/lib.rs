@@ -39,6 +39,7 @@ pub mod loss;
 pub mod packet;
 pub mod queue;
 pub mod recorder;
+pub mod schedule;
 pub mod time;
 
 pub use endpoint::{AckInfo, FlowEndpoint, SendAction};
@@ -47,6 +48,7 @@ pub use loss::{LossModel, Policer};
 pub use packet::{FlowId, Packet};
 pub use queue::{CoDelQueue, DropTailQueue, PieQueue, QueueDiscipline, RedQueue};
 pub use recorder::{FlowStats, Recorder, RecorderConfig, TimeSeries};
+pub use schedule::RateSchedule;
 pub use time::Time;
 
 /// Default maximum segment size, in bytes, used when a flow does not override it.

@@ -62,6 +62,11 @@ pub struct AckPacket {
     pub cum_ack: u64,
     /// The sequence number of the data segment that triggered this ACK.
     pub triggering_seq: u64,
+    /// Size in bytes of the triggering data segment — the bytes that
+    /// physically arrived at the receiver with this ACK's trigger (used for
+    /// receive-rate measurement; `newly_delivered_bytes` jumps on hole fills
+    /// and is 0 for out-of-order arrivals, so it is unusable for rates).
+    pub triggering_bytes: u32,
     /// `sent_at` timestamp of the triggering data segment (echoed back).
     pub data_sent_at: Time,
     /// Time the triggering data segment arrived at the receiver.

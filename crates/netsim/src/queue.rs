@@ -16,6 +16,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
+/// Byte capacity of a buffer specified as `buffer_secs` of line rate at
+/// `rate_bps` ("100 ms of buffering"), floored at one MSS so a tiny rate or
+/// buffer still admits a packet.  The single sizing rule shared by initial
+/// queue construction and the engine's rate-transition re-sizing.
+pub fn delay_capacity_bytes(rate_bps: f64, buffer_secs: f64) -> u64 {
+    (rate_bps * buffer_secs / 8.0).max(1500.0) as u64
+}
+
 /// Outcome of an enqueue attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EnqueueResult {
@@ -44,6 +52,15 @@ pub trait QueueDiscipline: std::fmt::Debug + Send {
 
     /// The configured capacity in bytes (for reporting).
     fn capacity_bytes(&self) -> u64;
+
+    /// Re-size the physical buffer (used when a delay-sized buffer follows a
+    /// time-varying link rate).  Packets already queued beyond a shrunken
+    /// capacity are kept; only new enqueues see the new limit.
+    fn set_capacity_bytes(&mut self, bytes: u64);
+
+    /// Inform the discipline of a new link drain rate (bits/s).  Only AQMs
+    /// that model the departure rate (PIE) care; the default is a no-op.
+    fn set_drain_rate_bps(&mut self, _rate_bps: f64) {}
 
     /// Bytes currently queued belonging to the given flow (used to measure
     /// the "self-inflicted delay" of Fig. 3).
@@ -74,8 +91,7 @@ impl DropTailQueue {
     /// Create a drop-tail queue sized to `buffer_secs` of data at `rate_bps`
     /// (the "100 ms of buffering" style of specification used in the paper).
     pub fn with_delay_capacity(rate_bps: f64, buffer_secs: f64) -> Self {
-        let bytes = (rate_bps * buffer_secs / 8.0).max(1500.0) as u64;
-        Self::new(bytes)
+        Self::new(delay_capacity_bytes(rate_bps, buffer_secs))
     }
 }
 
@@ -111,6 +127,10 @@ impl QueueDiscipline for DropTailQueue {
 
     fn capacity_bytes(&self) -> u64 {
         self.capacity_bytes
+    }
+
+    fn set_capacity_bytes(&mut self, bytes: u64) {
+        self.capacity_bytes = bytes.max(1500);
     }
 
     fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64 {
@@ -245,6 +265,14 @@ impl QueueDiscipline for PieQueue {
         self.inner.capacity_bytes()
     }
 
+    fn set_capacity_bytes(&mut self, bytes: u64) {
+        self.inner.set_capacity_bytes(bytes);
+    }
+
+    fn set_drain_rate_bps(&mut self, rate_bps: f64) {
+        self.depart_rate_bytes_per_sec = (rate_bps / 8.0).max(1.0);
+    }
+
     fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64 {
         self.inner.bytes_for_flow(flow)
     }
@@ -324,6 +352,12 @@ impl QueueDiscipline for RedQueue {
 
     fn capacity_bytes(&self) -> u64 {
         self.inner.capacity_bytes()
+    }
+
+    fn set_capacity_bytes(&mut self, bytes: u64) {
+        self.inner.set_capacity_bytes(bytes);
+        self.min_thresh_bytes = self.inner.capacity_bytes() as f64 * 0.25;
+        self.max_thresh_bytes = self.inner.capacity_bytes() as f64 * 0.75;
     }
 
     fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64 {
@@ -447,6 +481,10 @@ impl QueueDiscipline for CoDelQueue {
 
     fn capacity_bytes(&self) -> u64 {
         self.inner.capacity_bytes()
+    }
+
+    fn set_capacity_bytes(&mut self, bytes: u64) {
+        self.inner.set_capacity_bytes(bytes);
     }
 
     fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64 {

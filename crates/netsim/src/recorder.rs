@@ -42,6 +42,10 @@ impl TimeSeries {
 
     /// Mean of values in the (closed) time range `[t0, t1]` seconds.
     /// NaN samples (intervals with no observations) are skipped.
+    ///
+    /// Returns NaN when the range holds no finite samples: a window with no
+    /// observations is *not* the same thing as a genuine zero throughput or
+    /// RTT, and callers must be able to tell the two apart.
     pub fn mean_in_range(&self, t0: f64, t1: f64) -> f64 {
         let vals: Vec<f64> = self
             .t
@@ -51,17 +55,17 @@ impl TimeSeries {
             .map(|(_, v)| *v)
             .collect();
         if vals.is_empty() {
-            0.0
+            f64::NAN
         } else {
             vals.iter().sum::<f64>() / vals.len() as f64
         }
     }
 
-    /// Mean over all (finite) samples.
+    /// Mean over all (finite) samples; NaN when there are none.
     pub fn mean(&self) -> f64 {
         let vals: Vec<f64> = self.v.iter().copied().filter(|v| v.is_finite()).collect();
         if vals.is_empty() {
-            0.0
+            f64::NAN
         } else {
             vals.iter().sum::<f64>() / vals.len() as f64
         }
@@ -112,8 +116,12 @@ pub struct FlowStats {
     /// Whether the experiment counts this flow as elastic cross traffic
     /// (`None` for monitored flows, which are not cross traffic).
     pub counts_as_elastic: Option<bool>,
-    /// Time the flow started.
+    /// Time the flow was configured to start.
     pub start: Time,
+    /// Whether the flow actually started during the run.  Flows whose
+    /// configured `start` lies beyond the simulation duration never run and
+    /// must not pollute FCT or ground-truth aggregates.
+    pub started: bool,
     /// Time the flow finished, if it did.
     pub finish: Option<Time>,
     /// Total bytes delivered in order to the receiver (goodput).
@@ -134,8 +142,13 @@ impl FlowStats {
     }
 
     /// Mean throughput in bits per second over the flow's lifetime (up to
-    /// `now` for unfinished flows), counting all bytes arriving at the receiver.
+    /// `now` for unfinished flows), counting all bytes arriving at the
+    /// receiver.  NaN for flows that never started (no lifetime to average
+    /// over — distinct from a started flow that delivered nothing).
     pub fn mean_throughput_bps(&self, now: Time) -> f64 {
+        if !self.started {
+            return f64::NAN;
+        }
         let end = self.finish.unwrap_or(now);
         let dur = end.saturating_sub(self.start).as_secs_f64();
         if dur <= 0.0 {
@@ -220,6 +233,7 @@ impl Recorder {
             label,
             counts_as_elastic,
             start,
+            started: false,
             finish: None,
             delivered_bytes: 0,
             received_bytes: 0,
@@ -296,6 +310,11 @@ impl Recorder {
             self.intervals[slot].rtt_sum_s += rtt.as_millis_f64();
             self.intervals[slot].rtt_count += 1;
         }
+    }
+
+    /// The flow actually started (its `FlowStart` event fired within the run).
+    pub fn on_flow_start(&mut self, flow: FlowId) {
+        self.flows[flow].started = true;
     }
 
     /// The flow finished (delivered all its data).
@@ -380,15 +399,24 @@ impl Recorder {
     }
 
     /// Flow completion times (seconds) together with flow sizes, for every
-    /// finite flow that finished.
+    /// finite flow that actually ran and finished.
     pub fn completed_fcts(&self) -> Vec<(u64, f64)> {
         self.flows
             .iter()
+            .filter(|f| f.started)
             .filter_map(|f| match (f.size_bytes, f.fct()) {
                 (Some(sz), Some(fct)) => Some((sz, fct.as_secs_f64())),
                 _ => None,
             })
             .collect()
+    }
+
+    /// Per-flow summaries restricted to flows that actually started during
+    /// the run — the view sweep aggregates and ground-truth tables should
+    /// consume so never-started flows (configured `start` past the run's
+    /// duration) don't pollute them.
+    pub fn started_flows(&self) -> impl Iterator<Item = &FlowStats> {
+        self.flows.iter().filter(|f| f.started)
     }
 }
 
@@ -406,8 +434,26 @@ mod tests {
         assert_eq!(ts.len(), 3);
         assert_eq!(ts.mean(), 3.0);
         assert_eq!(ts.mean_in_range(0.5, 2.5), 4.0);
-        assert_eq!(ts.mean_in_range(10.0, 20.0), 0.0);
         assert_eq!(ts.values(), &[1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn empty_ranges_yield_nan_not_zero() {
+        // Regression: a window with no samples used to report 0.0, which is
+        // indistinguishable from a genuine zero throughput/RTT.
+        let mut ts = TimeSeries::default();
+        assert!(ts.mean().is_nan());
+        assert!(ts.mean_in_range(0.0, 10.0).is_nan());
+        ts.push(0.0, f64::NAN);
+        ts.push(1.0, f64::NAN);
+        assert!(ts.mean().is_nan(), "all-NaN series must stay NaN");
+        assert!(ts.mean_in_range(0.0, 2.0).is_nan());
+        ts.push(2.0, 0.0);
+        // A genuine zero sample is reported as zero, not NaN.
+        assert_eq!(ts.mean(), 0.0);
+        assert_eq!(ts.mean_in_range(1.5, 2.5), 0.0);
+        // A window past the data is NaN again.
+        assert!(ts.mean_in_range(10.0, 20.0).is_nan());
     }
 
     #[test]
@@ -455,6 +501,7 @@ mod tests {
             Time::from_millis(1000),
             Some(1_000_000),
         );
+        r.on_flow_start(0);
         r.on_delivered(0, 1_000_000);
         r.on_arrival(0, 1_000_000);
         r.on_finish(0, Time::from_millis(3000));
@@ -465,6 +512,33 @@ mod tests {
         assert_eq!(fcts.len(), 1);
         assert_eq!(fcts[0].0, 1_000_000);
         assert!((fcts[0].1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn never_started_flows_are_excluded_from_summaries() {
+        // Regression: flows whose configured start exceeded the run duration
+        // used to be counted in FCT tables as if they ran.
+        let mut r = Recorder::new(RecorderConfig::default());
+        r.register_flow(0, "ran".into(), Some(true), false, Time::ZERO, Some(500));
+        r.register_flow(
+            1,
+            "never".into(),
+            Some(false),
+            false,
+            Time::from_secs_f64(100.0),
+            Some(500),
+        );
+        r.on_flow_start(0);
+        r.on_arrival(0, 500);
+        r.on_delivered(0, 500);
+        r.on_finish(0, Time::from_secs_f64(1.0));
+        assert_eq!(r.completed_fcts().len(), 1);
+        assert_eq!(r.started_flows().count(), 1);
+        assert!(!r.flows[1].started);
+        assert!(r.flows[1]
+            .mean_throughput_bps(Time::from_secs_f64(10.0))
+            .is_nan());
+        assert!(r.flows[0].mean_throughput_bps(Time::from_secs_f64(10.0)) > 0.0);
     }
 
     #[test]

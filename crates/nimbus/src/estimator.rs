@@ -33,6 +33,15 @@ pub struct ZSample {
     pub send_rate_bps: f64,
 }
 
+/// Per-report growth cap on the learned-µ filter input.  A cumulative-ACK
+/// jump after loss recovery can report a one-tick receive rate several times
+/// the true link rate; feeding that raw into the 10-second max filter poisons
+/// µ̂ for a full window.  Capping each update at 25% above the current
+/// estimate rejects such one-report artifacts while a genuine rate increase
+/// still converges exponentially (10× in ~10 reports, i.e. ~100 ms at the
+/// CCP tick).
+const MU_GROWTH_CAP: f64 = 1.25;
+
 /// Cross-traffic rate estimator with sample history.
 #[derive(Debug, Clone)]
 pub struct CrossTrafficEstimator {
@@ -45,6 +54,9 @@ pub struct CrossTrafficEstimator {
     history_window_s: f64,
     /// Last computed value (for cheap access between reports).
     last: Option<ZSample>,
+    /// `(t_s, µ̂_bps)` per report while µ is being learned (empty when µ is
+    /// configured) — the series varying-link experiments score µ-tracking on.
+    mu_history: Vec<(f64, f64)>,
 }
 
 impl CrossTrafficEstimator {
@@ -57,6 +69,7 @@ impl CrossTrafficEstimator {
             samples: VecDeque::new(),
             history_window_s,
             last: None,
+            mu_history: Vec::new(),
         }
     }
 
@@ -69,6 +82,7 @@ impl CrossTrafficEstimator {
             samples: VecDeque::new(),
             history_window_s,
             last: None,
+            mu_history: Vec::new(),
         }
     }
 
@@ -93,7 +107,21 @@ impl CrossTrafficEstimator {
     /// Ingest a measurement report; returns the new sample if one was produced.
     pub fn on_report(&mut self, report: &Report) -> Option<ZSample> {
         if self.configured_mu.is_none() && report.recv_rate_bps > 0.0 {
-            self.mu_filter.update(report.now_s, report.recv_rate_bps);
+            let current = self.mu_filter.max().unwrap_or(0.0);
+            // With no estimate yet, cap against the send rate instead: over
+            // the same packet window R can only exceed S through bounded
+            // queue-drain compression, so a first sample several times S is
+            // the same ACK-compression artifact the growth cap rejects.
+            let cap = if current > 0.0 {
+                current * MU_GROWTH_CAP
+            } else if report.send_rate_bps > 0.0 {
+                report.send_rate_bps * MU_GROWTH_CAP
+            } else {
+                f64::INFINITY
+            };
+            self.mu_filter
+                .update(report.now_s, report.recv_rate_bps.min(cap));
+            self.mu_history.push((report.now_s, self.mu_bps()));
         }
         let z = self.estimate(report.send_rate_bps, report.recv_rate_bps)?;
         let sample = ZSample {
@@ -117,6 +145,12 @@ impl CrossTrafficEstimator {
     /// The most recent sample.
     pub fn last(&self) -> Option<ZSample> {
         self.last
+    }
+
+    /// The learned-µ series as `(t_s, µ̂_bps)` pairs.  Empty when µ was
+    /// configured rather than estimated.
+    pub fn mu_series(&self) -> &[(f64, f64)] {
+        &self.mu_history
     }
 
     /// The ẑ series (bits/s) covering at most the last `window_s` seconds,
@@ -237,13 +271,46 @@ mod tests {
     fn mu_is_learned_from_max_receive_rate_when_not_configured() {
         let mut est = CrossTrafficEstimator::with_estimated_mu(5.0);
         assert_eq!(est.mu_bps(), 0.0);
-        est.on_report(&report(0.0, 40e6, 40e6));
-        est.on_report(&report(0.1, 80e6, 88e6));
-        est.on_report(&report(0.2, 40e6, 44e6));
+        // Ramp up gently (within the per-report growth cap).
+        let mut r = 40e6;
+        let mut t = 0.0;
+        while r < 88e6 {
+            est.on_report(&report(t, r * 0.9, r));
+            t += 0.01;
+            r *= 1.2;
+        }
+        est.on_report(&report(t, 80e6, 88e6));
         assert!((est.mu_bps() - 88e6).abs() < 1.0);
         // With µ learned, estimates become available.
-        let s = est.on_report(&report(0.3, 44e6, 44e6)).unwrap();
+        let s = est.on_report(&report(t + 0.1, 44e6, 44e6)).unwrap();
         assert!((s.z_bps - 44e6).abs() < 1e3);
+        // The learned series was recorded.
+        assert!(!est.mu_series().is_empty());
+        assert!((est.mu_series().last().unwrap().1 - 88e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn mu_filter_rejects_one_report_rate_spikes() {
+        // Regression: a cumulative-ACK artifact reporting a one-tick receive
+        // rate of several times the link rate used to poison the max filter
+        // for a whole window.
+        let mut est = CrossTrafficEstimator::with_estimated_mu(5.0);
+        for i in 0..100 {
+            est.on_report(&report(i as f64 * 0.01, 44e6, 48e6));
+        }
+        assert!((est.mu_bps() - 48e6).abs() < 1.0);
+        // A 5x spike is capped to 25% growth...
+        est.on_report(&report(1.0, 44e6, 250e6));
+        assert!(est.mu_bps() <= 48e6 * 1.25 + 1.0, "µ {}", est.mu_bps());
+        // ...even as the very first sample (capped against the send rate).
+        let mut fresh = CrossTrafficEstimator::with_estimated_mu(5.0);
+        fresh.on_report(&report(0.0, 44e6, 250e6));
+        assert!(fresh.mu_bps() <= 44e6 * 1.25 + 1.0, "µ {}", fresh.mu_bps());
+        // ...and a *sustained* genuine rate increase still converges quickly.
+        for i in 0..40 {
+            est.on_report(&report(1.01 + i as f64 * 0.01, 90e6, 96e6));
+        }
+        assert!((est.mu_bps() - 96e6).abs() < 1.0, "µ {}", est.mu_bps());
     }
 
     #[test]

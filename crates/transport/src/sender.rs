@@ -312,10 +312,16 @@ impl FlowEndpoint for Sender {
         let now = ack.now;
         // Feed the measurement machinery with every ACK.
         self.rtt.on_sample(ack.rtt_sample, now);
+        // Rates are measured over the packets that physically arrived (the
+        // ACK trigger), not over in-order delivery progress: a hole-filling
+        // retransmission makes `newly_delivered_bytes` jump by the whole
+        // reordering buffer at one instant, which used to spike the measured
+        // receive rate to several times the link rate and poison the learned
+        // µ's max filter for a full window.
         self.reports.on_ack(
             ack.data_sent_at,
             now,
-            ack.newly_delivered_bytes,
+            ack.triggering_bytes as u64,
             ack.rtt_sample,
         );
         if let Some(min_rtt) = self.rtt.global_min_rtt() {
@@ -781,6 +787,7 @@ mod tests {
             now: Time::from_millis(t_ms),
             cum_ack: cum,
             triggering_seq: trig,
+            triggering_bytes: 1500,
             data_sent_at: Time::from_millis(1),
             rtt_sample: Time::from_millis(50),
             is_duplicate: false,
