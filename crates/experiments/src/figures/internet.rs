@@ -78,6 +78,7 @@ fn run_path(
         seed: 1800 + path.id as u64,
         pie_target_s: None,
         loss_probability: path.loss,
+        path: crate::runner::PathSpec::single(),
     };
     let wl = WanWorkload::generate(WanWorkloadConfig {
         base_rtt_s: path.rtt_s,

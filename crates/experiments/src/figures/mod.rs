@@ -4,6 +4,7 @@ pub mod eval;
 pub mod internet;
 pub mod intro;
 pub mod multiflow;
+pub mod multihop;
 pub mod robust;
 pub mod varying;
 

@@ -1,0 +1,193 @@
+//! Multi-bottleneck path experiments (beyond the paper's single-link
+//! dumbbell).
+//!
+//! The paper's central claim is that elasticity can be detected *through* the
+//! network from endpoint-visible signals; these experiments probe the regime
+//! a single-link simulator cannot reach — the multi-queue effects catalogued
+//! for delay-based congestion control by Hayes et al. (ETT 2011):
+//!
+//! * `multihop_secondary` — a fixed secondary bottleneck downstream of the
+//!   nominal link: throughput must cap at the path minimum, and Nimbus must
+//!   keep the *path* (sum over hops) queueing delay low where Cubic
+//!   bufferbloats the tight hop;
+//! * `multihop_moving` — anti-phase rate steps on hops 0 and 1 move the
+//!   bottleneck mid-run while the path minimum stays constant: does the
+//!   detector stay quiet as the standing queue migrates between hops?
+//! * `multihop_midpath` — inelastic cross traffic entering at the interior
+//!   bottleneck hop (not at the sender-side edge): the detector only sees the
+//!   cross traffic's effect on its own ACK stream and must still classify it
+//!   as inelastic.
+
+use crate::figures::cbr_cross_flow;
+use crate::output::ExperimentResult;
+use crate::runner::{run_scheme_vs_cross, LinkScheduleSpec, PathSpec, ScenarioSpec};
+use crate::scheme::Scheme;
+
+/// Fixed secondary bottleneck: hop 0 at 48 Mbit/s feeding a 28.8 Mbit/s
+/// (60%) second hop.  Cubic vs Nimbus, alone on the path.
+pub fn multihop_secondary(quick: bool) -> ExperimentResult {
+    let duration = if quick { 40.0 } else { 90.0 };
+    let mut result = ExperimentResult::new(
+        "multihop_secondary",
+        "Cubic vs Nimbus through a fixed 60% secondary bottleneck (2-hop path)",
+        quick,
+    );
+    for scheme in [Scheme::Cubic, Scheme::NimbusCubicBasicDelay] {
+        let spec = ScenarioSpec {
+            link_rate_bps: 48e6,
+            path: PathSpec::with_secondary(0.6),
+            duration_s: duration,
+            seed: 41,
+            ..ScenarioSpec::default_96mbps(duration)
+        };
+        let out = run_scheme_vs_cross(&spec, scheme, None, Vec::new(), 10.0);
+        let m = &out.flows[0];
+        result.row(
+            &format!("{}_throughput_mbps", m.label),
+            m.mean_throughput_mbps,
+        );
+        result.row(
+            &format!("{}_path_queue_delay_ms", m.label),
+            m.mean_queue_delay_ms,
+        );
+        result.row(
+            &format!("{}_delay_mode_fraction", m.label),
+            m.delay_mode_fraction,
+        );
+        // Where did the standing queue live?  Per-hop mean occupancy (kB).
+        for (hop, series) in out.recorder.hop_queue_bytes.iter().enumerate() {
+            result.row(
+                &format!("{}_hop{hop}_queue_kbytes", m.label),
+                series.mean_in_range(10.0, duration) / 1e3,
+            );
+        }
+        result.add_series(
+            &format!("{}_throughput", m.label),
+            m.throughput_series.clone(),
+        );
+    }
+    result
+}
+
+/// Moving bottleneck: hop 0 steps 48 → 24 Mbit/s at mid-run while hop 1
+/// steps 24 → 48 Mbit/s.  The path minimum is 24 Mbit/s throughout; only the
+/// *location* of the bottleneck (and its standing queue) changes.
+pub fn multihop_moving(quick: bool) -> ExperimentResult {
+    let duration = if quick { 40.0 } else { 80.0 };
+    let swap_at = duration * 0.45;
+    let mut result = ExperimentResult::new(
+        "multihop_moving",
+        "Moving bottleneck via anti-phase steps on hops 0 and 1 (constant path minimum)",
+        quick,
+    );
+    for scheme in [Scheme::Cubic, Scheme::NimbusCubicBasicDelay] {
+        let spec = ScenarioSpec {
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Step {
+                at_s: swap_at,
+                factor: 0.5,
+            },
+            path: PathSpec::moving_bottleneck(0.5, swap_at),
+            duration_s: duration,
+            seed: 42,
+            ..ScenarioSpec::default_96mbps(duration)
+        };
+        let out = run_scheme_vs_cross(&spec, scheme, None, Vec::new(), 8.0);
+        let m = &out.flows[0];
+        let pre: Vec<f64> = m
+            .throughput_series
+            .iter()
+            .filter(|(t, _)| *t > 8.0 && *t < swap_at)
+            .map(|(_, v)| *v)
+            .collect();
+        let pre_mean = pre.iter().sum::<f64>() / pre.len().max(1) as f64;
+        let post = m
+            .throughput_series
+            .iter()
+            .filter(|(t, _)| *t > swap_at + 5.0)
+            .map(|(_, v)| *v)
+            .collect::<Vec<_>>();
+        let post_mean = post.iter().sum::<f64>() / post.len().max(1) as f64;
+        result.row(&format!("{}_pre_swap_mbps", m.label), pre_mean);
+        result.row(&format!("{}_post_swap_mbps", m.label), post_mean);
+        result.row(
+            &format!("{}_delay_mode_fraction", m.label),
+            m.delay_mode_fraction,
+        );
+        // The migrating standing queue, per hop, before and after the swap.
+        for (hop, series) in out.recorder.hop_queue_bytes.iter().enumerate() {
+            result.row(
+                &format!("{}_hop{hop}_pre_swap_kbytes", m.label),
+                series.mean_in_range(8.0, swap_at) / 1e3,
+            );
+            result.row(
+                &format!("{}_hop{hop}_post_swap_kbytes", m.label),
+                series.mean_in_range(swap_at + 5.0, duration) / 1e3,
+            );
+        }
+        result.add_series(
+            &format!("{}_throughput", m.label),
+            m.throughput_series.clone(),
+        );
+    }
+    result
+}
+
+/// Mid-path cross traffic: a 2-hop path whose second hop is the bottleneck,
+/// with CBR cross traffic entering *at* that interior hop.  Nimbus must
+/// classify it as inelastic (stay in delay mode) even though the cross
+/// traffic never shares the first hop with the monitored flow.
+pub fn multihop_midpath(quick: bool) -> ExperimentResult {
+    let duration = if quick { 40.0 } else { 90.0 };
+    let mut result = ExperimentResult::new(
+        "multihop_midpath",
+        "Nimbus vs CBR cross traffic entering at the interior bottleneck hop",
+        quick,
+    );
+    for &(fraction, tag) in &[(0.3, "cbr30"), (0.5, "cbr50")] {
+        let spec = ScenarioSpec {
+            link_rate_bps: 48e6,
+            path: PathSpec::with_secondary(0.6),
+            duration_s: duration,
+            seed: 43,
+            ..ScenarioSpec::default_96mbps(duration)
+        };
+        let bottleneck_bps = spec.nominal_mu_bps();
+        let (cfg, ep) = cbr_cross_flow(
+            &format!("midpath-{tag}"),
+            fraction * bottleneck_bps,
+            0.03,
+            0.0,
+            None,
+        );
+        let cross = vec![(cfg.entering_at(1), ep)];
+        let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 10.0);
+        let m = &out.flows[0];
+        result.row(&format!("throughput_mbps_{tag}"), m.mean_throughput_mbps);
+        result.row(&format!("delay_mode_fraction_{tag}"), m.delay_mode_fraction);
+        result.row(&format!("path_queue_delay_ms_{tag}"), m.mean_queue_delay_ms);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_multihop_secondary_caps_at_path_minimum() {
+        let r = multihop_secondary(true);
+        // Both schemes must be capped by the 28.8 Mbit/s second hop.
+        for scheme in ["cubic", "nimbus"] {
+            let tput = r.get(&format!("{scheme}_throughput_mbps")).unwrap();
+            assert!(
+                tput > 20.0 && tput < 30.0,
+                "{scheme} throughput {tput} not capped by the secondary bottleneck"
+            );
+        }
+        // Cubic's standing queue lives at the tight hop 1, not hop 0.
+        let h0 = r.get("cubic_hop0_queue_kbytes").unwrap();
+        let h1 = r.get("cubic_hop1_queue_kbytes").unwrap();
+        assert!(h1 > h0 * 5.0, "cubic queue at hop0 {h0} kB vs hop1 {h1} kB");
+    }
+}

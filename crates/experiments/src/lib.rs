@@ -31,11 +31,12 @@ pub mod sweep;
 pub mod testkit;
 
 pub use output::ExperimentResult;
-pub use runner::{LinkScheduleSpec, ScenarioSpec, SingleFlowMetrics};
+pub use runner::{HopSpec, LinkScheduleSpec, PathSpec, ScenarioSpec, SingleFlowMetrics};
 pub use scheme::Scheme;
 pub use sweep::{run_sweep, sweep_matrix, SweepConfig, SweepReport};
 pub use testkit::{
-    paper_invariant_matrix, parallel_map, run_matrix, Cell, CellOutcome, CrossTraffic, Invariants,
+    multihop_cells, paper_invariant_matrix, parallel_map, run_matrix, Cell, CellOutcome,
+    CrossTraffic, Invariants,
 };
 
 /// Names of every experiment the harness can regenerate, in paper order.
@@ -70,6 +71,9 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "varying_mu",
     "varying_detector",
     "varying_step",
+    "multihop_secondary",
+    "multihop_moving",
+    "multihop_midpath",
 ];
 
 /// Run one experiment by name.  Returns the structured result.
@@ -105,6 +109,9 @@ pub fn run_experiment(name: &str, quick: bool) -> Option<ExperimentResult> {
         "varying_mu" => figures::varying::varying_mu(quick),
         "varying_detector" => figures::varying::varying_detector(quick),
         "varying_step" => figures::varying::varying_step(quick),
+        "multihop_secondary" => figures::multihop::multihop_secondary(quick),
+        "multihop_moving" => figures::multihop::multihop_moving(quick),
+        "multihop_midpath" => figures::multihop::multihop_midpath(quick),
         _ => return None,
     };
     Some(result)
@@ -119,7 +126,7 @@ mod tests {
         // Only check dispatch (not execution) for the expensive ones: an
         // unknown name must return None, known names are all in the list.
         assert!(run_experiment("nonexistent", true).is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 30);
+        assert_eq!(ALL_EXPERIMENTS.len(), 33);
     }
 
     #[test]

@@ -4,7 +4,13 @@
 //! ```text
 //! nimbus-experiments <experiment|all|list> [--quick] [--out DIR]
 //! nimbus-experiments sweep [--quick] [--threads N] [--out PATH]
+//! nimbus-experiments sweep-check --baseline PATH --current PATH [--threshold FRAC]
 //! ```
+//!
+//! `sweep-check` fails (exit 1) when any cell's events/sec regressed more
+//! than the threshold (default 0.3 = 30%) versus the baseline, unless the
+//! `SWEEP_REGRESSION_OK` environment variable is set (for intentional
+//! changes that re-baseline).
 
 use nimbus_experiments::{run_experiment, ExperimentResult, SweepConfig, ALL_EXPERIMENTS};
 use std::path::PathBuf;
@@ -49,11 +55,79 @@ fn run_sweep_command(args: &[String]) -> ! {
     }
 }
 
+fn run_sweep_check_command(args: &[String]) -> ! {
+    let arg_value = |flag: &str| -> Option<&String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        })
+    };
+    let baseline_path = PathBuf::from(
+        arg_value("--baseline")
+            .map(String::as_str)
+            .unwrap_or("BENCH_sweep.json"),
+    );
+    let Some(current_path) = arg_value("--current").map(PathBuf::from) else {
+        eprintln!("sweep-check requires --current PATH (a freshly written sweep report)");
+        std::process::exit(2);
+    };
+    let threshold = match arg_value("--threshold") {
+        Some(v) => {
+            let t = v.parse::<f64>().unwrap_or(f64::NAN);
+            // A fraction, not a percentage: `--threshold 30` would make the
+            // gate silently unsatisfiable (ratio < 1 - 30), so reject it.
+            if !(t > 0.0 && t < 1.0) {
+                eprintln!("invalid --threshold {v}: expected a fraction in (0, 1), e.g. 0.3 = 30%");
+                std::process::exit(2);
+            }
+            t
+        }
+        None => 0.3,
+    };
+    let read = |path: &PathBuf| {
+        nimbus_experiments::sweep::read_report(path).unwrap_or_else(|e| {
+            eprintln!("cannot read sweep report {}: {e}", path.display());
+            std::process::exit(2);
+        })
+    };
+    let baseline = read(&baseline_path);
+    let current = read(&current_path);
+    let regressions = nimbus_experiments::sweep::perf_regressions(&baseline, &current, threshold);
+    if regressions.is_empty() {
+        println!(
+            "sweep-check ok: no cell regressed more than {:.0}% vs {}",
+            threshold * 100.0,
+            baseline_path.display()
+        );
+        std::process::exit(0);
+    }
+    eprintln!(
+        "sweep-check: {} cell(s) regressed more than {:.0}% vs {}:",
+        regressions.len(),
+        threshold * 100.0,
+        baseline_path.display()
+    );
+    for r in &regressions {
+        eprintln!("  {r}");
+    }
+    if std::env::var_os("SWEEP_REGRESSION_OK").is_some() {
+        eprintln!("SWEEP_REGRESSION_OK set: accepting the regression (re-baseline intended)");
+        std::process::exit(0);
+    }
+    eprintln!("set SWEEP_REGRESSION_OK=1 to accept an intentional change");
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!("usage: nimbus-experiments <experiment|all|list> [--quick] [--out DIR]");
         eprintln!("       nimbus-experiments sweep [--quick] [--threads N] [--out PATH]");
+        eprintln!(
+            "       nimbus-experiments sweep-check --baseline PATH --current PATH [--threshold FRAC]"
+        );
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -68,6 +142,10 @@ fn main() {
 
     if name == "sweep" {
         run_sweep_command(&args[1..]);
+    }
+
+    if name == "sweep-check" {
+        run_sweep_check_command(&args[1..]);
     }
 
     if name == "list" {

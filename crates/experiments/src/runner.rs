@@ -3,8 +3,8 @@
 use crate::scheme::Scheme;
 use nimbus_core::{Mode, MultiflowConfig, NimbusController};
 use nimbus_netsim::{
-    FlowConfig, FlowEndpoint, FlowHandle, LossModel, Network, QueueKind, RateSchedule, Recorder,
-    SimConfig, Time,
+    FlowConfig, FlowEndpoint, FlowHandle, LinkConfig, LossModel, Network, QueueKind, RateSchedule,
+    Recorder, SimConfig, Time,
 };
 use nimbus_transport::Sender;
 use serde::{Deserialize, Serialize};
@@ -93,12 +93,121 @@ impl LinkScheduleSpec {
     }
 }
 
+/// One additional hop appended after the scenario's primary (hop-0)
+/// bottleneck, described relative to the scenario's base `link_rate_bps` so
+/// the same path shape can be swept across link rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HopSpec {
+    /// The hop's base rate as a fraction of the scenario's `link_rate_bps`
+    /// (< 1.0 makes this hop the path's bottleneck).
+    pub rate_factor: f64,
+    /// How the hop's rate moves over the run, materialized against
+    /// `rate_factor·link_rate_bps`.
+    pub schedule: LinkScheduleSpec,
+    /// Buffer size in seconds of this hop's line rate (drop-tail).
+    pub buffer_s: f64,
+    /// Propagation delay from the previous hop's output to this hop, seconds.
+    pub prop_delay_s: f64,
+}
+
+impl HopSpec {
+    /// A constant-rate drop-tail hop at `rate_factor·base` with 100 ms of
+    /// buffering and 10 ms of upstream propagation.
+    pub fn constant(rate_factor: f64) -> Self {
+        HopSpec {
+            rate_factor,
+            schedule: LinkScheduleSpec::Constant,
+            buffer_s: 0.1,
+            prop_delay_s: 0.01,
+        }
+    }
+
+    /// Replace the hop's schedule (builder style).
+    pub fn with_schedule(mut self, schedule: LinkScheduleSpec) -> Self {
+        self.schedule = schedule;
+        self
+    }
+}
+
+/// The shape of the forward path beyond the primary bottleneck: a (possibly
+/// empty) chain of extra hops the packets traverse after hop 0.  The default
+/// — no extra hops — is the paper's single-bottleneck dumbbell, and every
+/// pre-path scenario is exactly a `PathSpec::single()` path.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PathSpec {
+    /// Hops appended after the primary bottleneck, in path order.
+    pub extra_hops: Vec<HopSpec>,
+}
+
+impl PathSpec {
+    /// The classic single-bottleneck path.
+    pub fn single() -> Self {
+        PathSpec::default()
+    }
+
+    /// A two-hop path with a constant secondary bottleneck at
+    /// `rate_factor·link_rate_bps` downstream of the primary hop.
+    pub fn with_secondary(rate_factor: f64) -> Self {
+        PathSpec {
+            extra_hops: vec![HopSpec::constant(rate_factor)],
+        }
+    }
+
+    /// A two-hop *moving-bottleneck* path: at `swap_at_s` the primary hop
+    /// steps down to `low_factor·base` while the secondary hop — which
+    /// started at `low_factor·base` — steps up to full rate.  The path's
+    /// minimum rate is `low_factor·base` throughout, but the hop imposing it
+    /// changes, which is exactly the regime a single-link simulator cannot
+    /// express.
+    pub fn moving_bottleneck(low_factor: f64, swap_at_s: f64) -> Self {
+        PathSpec {
+            extra_hops: vec![HopSpec {
+                rate_factor: low_factor,
+                schedule: LinkScheduleSpec::Step {
+                    at_s: swap_at_s,
+                    factor: 1.0 / low_factor,
+                },
+                buffer_s: 0.1,
+                prop_delay_s: 0.01,
+            }],
+        }
+    }
+
+    /// Total number of hops including the primary bottleneck.
+    pub fn hop_count(&self) -> usize {
+        1 + self.extra_hops.len()
+    }
+
+    /// A short slug for cell/result names: empty for a single hop, otherwise
+    /// e.g. `-2hop60` (two hops, tightest extra hop at 60% of base).
+    pub fn label(&self) -> String {
+        if self.extra_hops.is_empty() {
+            return String::new();
+        }
+        let tightest = self
+            .extra_hops
+            .iter()
+            .map(|h| h.rate_factor)
+            .fold(f64::INFINITY, f64::min);
+        let moving = self
+            .extra_hops
+            .iter()
+            .any(|h| h.schedule != LinkScheduleSpec::Constant);
+        format!(
+            "-{}hop{:.0}{}",
+            self.hop_count(),
+            tightest * 100.0,
+            if moving { "mv" } else { "" }
+        )
+    }
+}
+
 /// A bottleneck + experiment-duration specification.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioSpec {
-    /// Base link rate µ, bits/s.
+    /// Base link rate µ of the primary bottleneck (hop 0), bits/s.
     pub link_rate_bps: f64,
-    /// How the rate moves over the run (constant unless overridden).
+    /// How the primary hop's rate moves over the run (constant unless overridden).
     pub schedule: LinkScheduleSpec,
     /// Buffer size in seconds of line rate (drop-tail unless `pie_target_s` set).
     pub buffer_s: f64,
@@ -108,10 +217,13 @@ pub struct ScenarioSpec {
     pub duration_s: f64,
     /// Random seed.
     pub seed: u64,
-    /// Optional PIE AQM target delay (seconds); drop-tail when `None`.
+    /// Optional PIE AQM target delay (seconds) on the primary hop;
+    /// drop-tail when `None`.
     pub pie_target_s: Option<f64>,
-    /// Random loss probability on the bottleneck (0 = none).
+    /// Random loss probability on the primary hop (0 = none).
     pub loss_probability: f64,
+    /// Extra hops after the primary bottleneck (empty = single-link dumbbell).
+    pub path: PathSpec,
 }
 
 impl ScenarioSpec {
@@ -126,6 +238,7 @@ impl ScenarioSpec {
             seed: 1,
             pie_target_s: None,
             loss_probability: 0.0,
+            path: PathSpec::single(),
         }
     }
 
@@ -145,21 +258,39 @@ impl ScenarioSpec {
         self
     }
 
+    /// The nominal bottleneck rate a configured-µ scheme should be handed:
+    /// the minimum base rate over every hop of the path.  Equal to
+    /// `link_rate_bps` for single-hop scenarios.
+    pub fn nominal_mu_bps(&self) -> f64 {
+        self.path
+            .extra_hops
+            .iter()
+            .map(|h| h.rate_factor * self.link_rate_bps)
+            .fold(self.link_rate_bps, f64::min)
+    }
+
     /// Build the simulator network for this spec.
     pub fn build_network(&self) -> Network {
         let mut cfg = SimConfig::new(self.link_rate_bps, self.buffer_s, self.duration_s);
         cfg.seed = self.seed;
-        cfg.link.schedule = self.schedule.to_schedule(self.link_rate_bps);
+        cfg.path[0].schedule = self.schedule.to_schedule(self.link_rate_bps);
         if let Some(target) = self.pie_target_s {
-            cfg.link.queue = QueueKind::Pie {
+            cfg.path[0].queue = QueueKind::Pie {
                 target_delay_s: target,
                 buffer_s: self.buffer_s,
             };
         }
         if self.loss_probability > 0.0 {
-            cfg.link.loss = LossModel::Bernoulli {
+            cfg.path[0].loss = LossModel::Bernoulli {
                 p: self.loss_probability,
             };
+        }
+        for hop in &self.path.extra_hops {
+            let base = hop.rate_factor * self.link_rate_bps;
+            let link = LinkConfig::drop_tail(base, hop.buffer_s)
+                .with_schedule(hop.schedule.to_schedule(base))
+                .with_prop_delay(Time::from_secs_f64(hop.prop_delay_s));
+            cfg.path.push(link);
         }
         Network::new(cfg)
     }
@@ -247,7 +378,9 @@ pub fn run_and_collect(
     net.run();
     let duration_s = net.now().as_secs_f64();
     let events_processed = net.events_processed();
-    let schedule = net.rate_schedule().clone();
+    // The true µ(t) a flow can sustain is the minimum over every hop's
+    // schedule — on a single-hop path this is just the bottleneck schedule.
+    let schedules: Vec<RateSchedule> = net.hop_schedules().into_iter().cloned().collect();
     let (recorder, endpoints) = net.finish();
     let mut flows = Vec::new();
     for (handle, scheme) in handles {
@@ -320,7 +453,11 @@ pub fn run_and_collect(
                 .iter()
                 .filter(|(t, _)| *t >= steady_start_s && *t <= duration_s)
                 .map(|&(t, mu_hat)| {
-                    let mu_true = schedule.rate_at(Time::from_secs_f64(t));
+                    let at = Time::from_secs_f64(t);
+                    let mu_true = schedules
+                        .iter()
+                        .map(|s| s.rate_at(at))
+                        .fold(f64::INFINITY, f64::min);
                     (mu_hat - mu_true).abs() / mu_true
                 })
                 .collect();
@@ -348,7 +485,7 @@ pub fn run_scheme_vs_cross(
     steady_start_s: f64,
 ) -> RunOutput {
     let mut net = spec.build_network();
-    let endpoint = scheme.build_endpoint(spec.link_rate_bps, spec.seed, multiflow);
+    let endpoint = scheme.build_endpoint(spec.nominal_mu_bps(), spec.seed, multiflow);
     let handle = net.add_flow(
         FlowConfig::primary(scheme.label(), Time::from_secs_f64(spec.prop_rtt_s)),
         endpoint,

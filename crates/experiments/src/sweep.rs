@@ -8,7 +8,7 @@
 //! diff the resulting `BENCH_sweep.json` against the committed baseline to
 //! see whether the hot paths got faster or slower.
 
-use crate::runner::LinkScheduleSpec;
+use crate::runner::{LinkScheduleSpec, PathSpec};
 use crate::scheme::Scheme;
 use crate::testkit::{parallel_map, Cell, CrossTraffic, Invariants};
 use serde::{Deserialize, Serialize};
@@ -136,6 +136,7 @@ pub fn sweep_matrix(quick: bool) -> Vec<Cell> {
                             cross,
                             link_rate_bps: rate,
                             schedule: schedule.clone(),
+                            path: PathSpec::single(),
                             seed,
                             duration_s,
                             steady_start_s: duration_s * 0.25,
@@ -144,6 +145,48 @@ pub fn sweep_matrix(quick: bool) -> Vec<Cell> {
                         });
                     }
                 }
+            }
+        }
+    }
+
+    // Multi-hop path cells: per-cell events/sec under path topologies is
+    // tracked from the same baseline as the single-link cells.  Two path
+    // shapes — a fixed secondary bottleneck and a moving bottleneck (anti-
+    // phase steps on hops 0 and 1) — across the scheme dimension.
+    let paths: Vec<(LinkScheduleSpec, PathSpec)> = vec![
+        (LinkScheduleSpec::Constant, PathSpec::with_secondary(0.6)),
+        (
+            LinkScheduleSpec::Step {
+                at_s: duration_s * 0.45,
+                factor: 0.5,
+            },
+            PathSpec::moving_bottleneck(0.5, duration_s * 0.45),
+        ),
+    ];
+    let path_crosses: Vec<CrossTraffic> = if quick {
+        vec![CrossTraffic::None]
+    } else {
+        vec![
+            CrossTraffic::None,
+            CrossTraffic::Cbr {
+                fraction_of_mu: 0.3,
+            },
+        ]
+    };
+    for &scheme in &schemes {
+        for (schedule, path) in &paths {
+            for &cross in &path_crosses {
+                cells.push(Cell {
+                    scheme,
+                    cross,
+                    link_rate_bps: 48e6,
+                    schedule: schedule.clone(),
+                    path: path.clone(),
+                    seed: 1,
+                    duration_s,
+                    steady_start_s: duration_s * 0.25,
+                    invariants: Invariants::default(),
+                });
             }
         }
     }
@@ -202,6 +245,69 @@ pub fn write_report(report: &SweepReport, path: &Path) -> std::io::Result<()> {
     std::fs::write(path, serde_json::to_string_pretty(report).unwrap())
 }
 
+/// Compare a fresh sweep against a committed baseline: any cell present in
+/// both whose events-per-second fell by more than `threshold` (a fraction,
+/// e.g. 0.3 = 30%) *relative to the median movement across all shared cells*
+/// is reported as a regression.
+///
+/// Normalizing by the median current/baseline ratio makes the gate
+/// machine-portable: the committed baseline is measured on whatever machine
+/// last re-baselined, while CI runs on shared runners with different (and
+/// noisy) absolute speeds — a uniform speed shift moves every cell's ratio
+/// together and is absorbed by the median, whereas a genuine per-scenario
+/// pathology (the historic failure modes were event storms in *one* cell)
+/// lags the rest of the matrix and is flagged.  The trade-off: a perfectly
+/// uniform global slowdown re-baselines silently; the report's
+/// `aggregate_events_per_sec` remains the eyeball check for that.
+///
+/// Cells only present on one side (matrix changes) are ignored — they
+/// establish a new baseline instead.
+pub fn perf_regressions(
+    baseline: &SweepReport,
+    current: &SweepReport,
+    threshold: f64,
+) -> Vec<String> {
+    let base: std::collections::HashMap<&str, &SweepCellResult> = baseline
+        .cells
+        .iter()
+        .map(|c| (c.name.as_str(), c))
+        .collect();
+    let shared: Vec<(&SweepCellResult, f64)> = current
+        .cells
+        .iter()
+        .filter_map(|cell| {
+            let b = base.get(cell.name.as_str())?;
+            (b.events_per_sec > 0.0).then(|| (cell, cell.events_per_sec / b.events_per_sec))
+        })
+        .collect();
+    if shared.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f64> = shared.iter().map(|&(_, r)| r).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    let median = sorted[sorted.len() / 2];
+    let mut regressions = Vec::new();
+    for (cell, ratio) in shared {
+        if ratio < median * (1.0 - threshold) {
+            regressions.push(format!(
+                "{}: {:.0} ev/s, {:.0}% of baseline (matrix median {:.0}%)",
+                cell.name,
+                cell.events_per_sec,
+                ratio * 100.0,
+                median * 100.0
+            ));
+        }
+    }
+    regressions
+}
+
+/// Read a sweep report back from disk.
+pub fn read_report(path: &Path) -> std::io::Result<SweepReport> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{e:?}")))
+}
+
 /// Render the report as an aligned text table for the terminal.
 pub fn report_table(report: &SweepReport) -> String {
     let mut out = format!(
@@ -241,6 +347,75 @@ mod tests {
         // The full matrix is a strict superset in every dimension.
         let full = sweep_matrix(false);
         assert!(full.len() > cells.len() * 4);
+    }
+
+    #[test]
+    fn quick_matrix_includes_multihop_cells() {
+        let cells = sweep_matrix(true);
+        let multihop: Vec<_> = cells.iter().filter(|c| c.path.hop_count() > 1).collect();
+        assert!(
+            multihop.len() >= 4,
+            "quick sweep needs >= 4 multi-hop cells, found {}",
+            multihop.len()
+        );
+        assert!(
+            multihop.iter().any(|c| c.path.label().contains("mv")),
+            "quick sweep needs a moving-bottleneck cell"
+        );
+    }
+
+    #[test]
+    fn perf_regressions_flag_only_genuine_slowdowns() {
+        let cell = |name: &str, eps: f64| SweepCellResult {
+            name: name.to_string(),
+            sim_s: 15.0,
+            wall_s: 1.0,
+            events: 1000,
+            events_per_sec: eps,
+            sim_speedup: 15.0,
+            mean_throughput_mbps: 40.0,
+        };
+        let report = |cells: Vec<SweepCellResult>| SweepReport {
+            schema: "nimbus-sweep-v1".to_string(),
+            quick: true,
+            threads: 1,
+            cell_count: cells.len(),
+            total_wall_s: 1.0,
+            total_events: 1000,
+            aggregate_events_per_sec: 1000.0,
+            cells,
+        };
+        let baseline = report(vec![
+            cell("a", 1000.0),
+            cell("b", 1000.0),
+            cell("c", 1000.0),
+            cell("d", 1000.0),
+            cell("gone", 500.0),
+        ]);
+        // A uniformly 2x-slower machine: every ratio moves together, the
+        // median absorbs it, no false positives.
+        let slower_machine = report(vec![
+            cell("a", 500.0),
+            cell("b", 500.0),
+            cell("c", 500.0),
+            cell("d", 500.0),
+        ]);
+        assert!(perf_regressions(&baseline, &slower_machine, 0.3).is_empty());
+
+        // One pathological cell lagging an otherwise-faster run is flagged;
+        // cells absent from the baseline are ignored.
+        let one_bad_cell = report(vec![
+            cell("a", 1200.0),
+            cell("b", 1150.0),
+            cell("c", 1250.0),
+            cell("d", 400.0),  // ~33% of the ~1.2 median: regression
+            cell("new", 10.0), // not in baseline: ignored
+        ]);
+        let regs = perf_regressions(&baseline, &one_bad_cell, 0.3);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].starts_with("d:"), "{}", regs[0]);
+        // A loose-enough threshold clears it.
+        assert!(perf_regressions(&baseline, &one_bad_cell, 0.7).is_empty());
     }
 
     #[test]

@@ -1,12 +1,21 @@
-//! The discrete-event engine: a dumbbell network with one bottleneck.
+//! The discrete-event engine: a dumbbell network whose forward direction is a
+//! **path** — an ordered chain of links, each with its own rate schedule,
+//! queue discipline, loss model and propagation delay.
 //!
-//! The topology is exactly the network model of Fig. 2 in the paper: any
-//! number of senders share a single bottleneck link of rate `µ` fronted by a
+//! A single-hop path is exactly the network model of Fig. 2 in the paper: any
+//! number of senders share one bottleneck link of rate `µ` fronted by a
 //! queue; receivers acknowledge every data packet; the ACK path is
-//! uncongested.  Per-flow propagation delay is split evenly between the
-//! data direction (bottleneck → receiver) and the ACK direction
+//! uncongested.  Per-flow propagation delay is split evenly between the data
+//! direction (after the flow's last hop → receiver) and the ACK direction
 //! (receiver → sender), so a flow's base RTT equals its configured
-//! propagation RTT plus serialization.
+//! propagation RTT plus per-hop propagation plus serialization.
+//!
+//! Multi-hop paths generalize this: packets traverse the hops in order, each
+//! hop serializing independently at its own (possibly time-varying) rate, so
+//! a *secondary* bottleneck — fixed or moving as the schedules shift — and
+//! cross traffic entering or exiting at interior hops are both expressible.
+//! Flows declare the span of hops they traverse (`entry_hop ..= exit_hop`);
+//! the default span is the whole path.
 //!
 //! Event types:
 //!
@@ -14,13 +23,14 @@
 //! * `PollSend`  — ask a flow's endpoint for its next action (pacing timers,
 //!   retransmission timers and post-ACK transmission opportunities all funnel
 //!   through this one event).
-//! * `LinkDone`  — the bottleneck finished serializing a packet; forward it
-//!   and start on the next one.
+//! * `LinkDone`  — a hop finished serializing a packet; forward it to the
+//!   next hop (or its receiver) and start on the next one.
+//! * `HopArrival` — a data packet propagated to an interior hop's queue.
 //! * `ReceiverArrival` — a data packet reached its receiver; generate an ACK.
 //! * `AckArrival` — an ACK reached the sender; inform the endpoint, poll it.
-//! * `RateChange` — the bottleneck's rate schedule µ(t) reached a transition;
+//! * `RateChange` — one hop's rate schedule µᵢ(t) reached a transition;
 //!   re-plan the in-flight packet's serialization and re-size delay-specified
-//!   buffers.
+//!   buffers on that hop.
 //! * `Tick` — the global 10 ms measurement tick (CCP reporting cadence).
 //! * `Sample` — the recorder's sampling interval elapsed.
 
@@ -64,7 +74,7 @@ pub enum QueueKind {
     },
 }
 
-/// Bottleneck link configuration.
+/// Configuration of one link (hop) on the forward path.
 #[derive(Debug, Clone)]
 pub struct LinkConfig {
     /// Link rate µ(t) in bits per second — constant or time-varying.
@@ -75,6 +85,11 @@ pub struct LinkConfig {
     pub loss: LossModel,
     /// Optional token-bucket policer in front of the queue.
     pub policer: Option<(f64, f64)>,
+    /// Propagation delay from the *previous* hop's output into this link's
+    /// queue.  Ignored on the first hop a flow traverses (senders inject
+    /// directly); after a flow's last hop the packet instead travels the
+    /// data half of the flow's configured propagation RTT to its receiver.
+    pub prop_delay: Time,
 }
 
 impl LinkConfig {
@@ -85,12 +100,19 @@ impl LinkConfig {
             queue: QueueKind::DropTailDelay(buffer_s),
             loss: LossModel::None,
             policer: None,
+            prop_delay: Time::ZERO,
         }
     }
 
     /// Replace the (constant) rate with an arbitrary schedule.
     pub fn with_schedule(mut self, schedule: RateSchedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Set the inbound propagation delay (from the previous hop's output).
+    pub fn with_prop_delay(mut self, delay: Time) -> Self {
+        self.prop_delay = delay;
         self
     }
 
@@ -103,8 +125,10 @@ impl LinkConfig {
 /// Whole-simulation configuration.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// Bottleneck link.
-    pub link: LinkConfig,
+    /// The forward path: an ordered, non-empty chain of links.  `path[0]` is
+    /// the hop adjacent to the senders, the last hop hands packets to their
+    /// receivers.  A one-element path is the paper's dumbbell.
+    pub path: Vec<LinkConfig>,
     /// How long to simulate.
     pub duration: Time,
     /// Measurement tick interval delivered to every endpoint (CCP cadence).
@@ -116,16 +140,28 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// A convenient default: given link rate (bps), buffer (seconds of line
-    /// rate) and run duration in seconds.
+    /// A convenient default: a single-hop path of the given link rate (bps),
+    /// buffer (seconds of line rate) and run duration in seconds.
     pub fn new(rate_bps: f64, buffer_s: f64, duration_s: f64) -> Self {
         SimConfig {
-            link: LinkConfig::drop_tail(rate_bps, buffer_s),
+            path: vec![LinkConfig::drop_tail(rate_bps, buffer_s)],
             duration: Time::from_secs_f64(duration_s),
             tick_interval: Time::from_millis(10),
             recorder: RecorderConfig::default(),
             seed: 1,
         }
+    }
+
+    /// Append another hop to the forward path (builder style).
+    pub fn with_hop(mut self, link: LinkConfig) -> Self {
+        self.path.push(link);
+        self
+    }
+
+    /// The first hop — the classic "the bottleneck" accessor for single-hop
+    /// configurations.
+    pub fn link_mut(&mut self) -> &mut LinkConfig {
+        &mut self.path[0]
     }
 }
 
@@ -146,6 +182,12 @@ pub struct FlowConfig {
     /// Flow size in bytes, if finite (used for FCT bookkeeping only; the
     /// endpoint itself decides when it is `Finished`).
     pub size_bytes: Option<u64>,
+    /// First path hop this flow's packets traverse (0 = the full path).
+    /// Cross traffic that merges in mid-path enters at a later hop.
+    pub entry_hop: usize,
+    /// Last path hop this flow traverses, inclusive (`None` = the path's
+    /// final hop).  Cross traffic that exits mid-path leaves earlier.
+    pub exit_hop: Option<usize>,
 }
 
 impl FlowConfig {
@@ -158,6 +200,8 @@ impl FlowConfig {
             counts_as_elastic: None,
             monitored: true,
             size_bytes: None,
+            entry_hop: 0,
+            exit_hop: None,
         }
     }
 
@@ -170,7 +214,21 @@ impl FlowConfig {
             counts_as_elastic: Some(elastic),
             monitored: false,
             size_bytes: None,
+            entry_hop: 0,
+            exit_hop: None,
         }
+    }
+
+    /// Enter the path at `hop` instead of its head (mid-path cross traffic).
+    pub fn entering_at(mut self, hop: usize) -> Self {
+        self.entry_hop = hop;
+        self
+    }
+
+    /// Leave the path after `hop` instead of its tail (inclusive).
+    pub fn exiting_at(mut self, hop: usize) -> Self {
+        self.exit_hop = Some(hop);
+        self
     }
 
     /// Set the start time.
@@ -201,19 +259,25 @@ pub struct FlowHandle(pub FlowId);
 enum EventKind {
     FlowStart(FlowId),
     PollSend(FlowId),
-    /// The bottleneck finished serializing its in-flight packet.  Tagged with
-    /// the link generation at scheduling time: a rate transition mid-
+    /// Hop `hop` finished serializing its in-flight packet.  Tagged with the
+    /// link generation at scheduling time: a rate transition mid-
     /// serialization bumps the generation and reschedules, orphaning the old
     /// entry, which must then be ignored.
     LinkDone {
+        hop: usize,
         gen: u64,
     },
+    /// A data packet propagated from one hop's output to the next hop's
+    /// queue (the packet's `hop` field names the destination hop).
+    HopArrival(Packet),
     ReceiverArrival(Packet),
     AckArrival(AckPacket),
-    /// The rate schedule reaches its next transition: advance the in-flight
-    /// packet's byte progress under the outgoing rate and reschedule its
-    /// completion under the incoming one.
-    RateChange,
+    /// Hop `hop`'s rate schedule reaches its next transition: advance the
+    /// in-flight packet's byte progress under the outgoing rate and
+    /// reschedule its completion under the incoming one.
+    RateChange {
+        hop: usize,
+    },
     Tick,
     Sample,
 }
@@ -258,8 +322,8 @@ struct FlowState {
     next_scheduled_poll: Time,
 }
 
-/// The packet currently being serialized on the bottleneck link, tracked by
-/// byte progress so the schedule can change the rate under it.
+/// The packet currently being serialized on a link, tracked by byte progress
+/// so the schedule can change the rate under it.
 struct InFlight {
     pkt: Packet,
     /// Bits still to serialize (at the current rate).
@@ -269,26 +333,40 @@ struct InFlight {
     since: Time,
 }
 
-/// The dumbbell network simulator.
+/// Runtime state of one path hop.
+struct LinkState {
+    queue: Box<dyn QueueDiscipline>,
+    busy: bool,
+    /// Packet currently being serialized on this hop's link.
+    in_flight: Option<InFlight>,
+    /// Link rate currently in effect, bits/s.
+    current_rate_bps: f64,
+    /// Generation counter validating `LinkDone` events across rate changes.
+    gen: u64,
+    loss: LossProcess,
+    policer: Option<Policer>,
+}
+
+/// The path network simulator (a dumbbell when the path has one hop).
 pub struct Network {
     cfg: SimConfig,
     now: Time,
     events: BinaryHeap<Reverse<EventEntry>>,
     event_seq: u64,
-    queue: Box<dyn QueueDiscipline>,
-    link_busy: bool,
-    /// Packet currently being serialized on the bottleneck link.
-    in_flight: Option<InFlight>,
-    /// Link rate currently in effect, bits/s.
-    current_rate_bps: f64,
-    /// Generation counter validating `LinkDone` events across rate changes.
-    link_gen: u64,
-    loss: LossProcess,
-    policer: Option<Policer>,
+    links: Vec<LinkState>,
     flows: Vec<FlowState>,
     recorder: Recorder,
+    /// Bytes admitted into the path at each flow's entry hop.
     total_enqueued_bytes: u64,
+    /// Bytes delivered in order to receivers.
     total_delivered_bytes: u64,
+    /// Bytes that arrived at receivers regardless of order.
+    total_received_bytes: u64,
+    /// Bytes dropped after admission (at interior hops of a multi-hop path).
+    dropped_in_transit_bytes: u64,
+    /// Bytes currently propagating between hops or towards a receiver
+    /// (inside a scheduled `HopArrival` / `ReceiverArrival` event).
+    in_transit_bytes: u64,
     events_processed: u64,
 }
 
@@ -297,65 +375,111 @@ fn bits_time(bits: f64, rate_bps: f64) -> Time {
     Time::from_secs_f64(bits / rate_bps.max(crate::schedule::MIN_RATE_BPS))
 }
 
+/// Per-hop seed derivation: hop 0 keeps the master seed byte-for-byte (so
+/// single-hop runs reproduce the pre-path engine exactly); later hops fold in
+/// their index so independent hops draw independent random streams.
+fn hop_seed(master: u64, hop: usize) -> u64 {
+    master.wrapping_add((hop as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
 impl Network {
     /// Create an empty network from a configuration.
     pub fn new(cfg: SimConfig) -> Self {
-        let rate = cfg.link.schedule.initial_rate_bps();
-        assert!(rate > 0.0, "bottleneck rate must be positive");
-        let queue: Box<dyn QueueDiscipline> = match cfg.link.queue {
-            QueueKind::DropTailBytes(b) => Box::new(DropTailQueue::new(b)),
-            QueueKind::DropTailDelay(s) => Box::new(DropTailQueue::with_delay_capacity(rate, s)),
-            QueueKind::Pie {
-                target_delay_s,
-                buffer_s,
-            } => Box::new(PieQueue::new(
-                delay_capacity_bytes(rate, buffer_s),
-                rate,
-                Time::from_secs_f64(target_delay_s),
-                cfg.seed,
-            )),
-            QueueKind::Red { buffer_s } => Box::new(RedQueue::new(
-                delay_capacity_bytes(rate, buffer_s),
-                cfg.seed,
-            )),
-            QueueKind::CoDel { buffer_s } => {
-                Box::new(CoDelQueue::new(delay_capacity_bytes(rate, buffer_s)))
-            }
-        };
-        let loss = LossProcess::new(cfg.link.loss.clone(), cfg.seed);
-        let policer = cfg
-            .link
-            .policer
-            .map(|(rate_bps, burst)| Policer::new(rate_bps, burst));
-        let recorder = Recorder::new(cfg.recorder.clone());
+        assert!(!cfg.path.is_empty(), "the path needs at least one hop");
+        let links: Vec<LinkState> = cfg
+            .path
+            .iter()
+            .enumerate()
+            .map(|(hop, link)| {
+                let rate = link.schedule.initial_rate_bps();
+                assert!(rate > 0.0, "hop {hop} rate must be positive");
+                let seed = hop_seed(cfg.seed, hop);
+                let queue: Box<dyn QueueDiscipline> = match link.queue {
+                    QueueKind::DropTailBytes(b) => Box::new(DropTailQueue::new(b)),
+                    QueueKind::DropTailDelay(s) => {
+                        Box::new(DropTailQueue::with_delay_capacity(rate, s))
+                    }
+                    QueueKind::Pie {
+                        target_delay_s,
+                        buffer_s,
+                    } => Box::new(PieQueue::new(
+                        delay_capacity_bytes(rate, buffer_s),
+                        rate,
+                        Time::from_secs_f64(target_delay_s),
+                        seed,
+                    )),
+                    QueueKind::Red { buffer_s } => {
+                        Box::new(RedQueue::new(delay_capacity_bytes(rate, buffer_s), seed))
+                    }
+                    QueueKind::CoDel { buffer_s } => {
+                        Box::new(CoDelQueue::new(delay_capacity_bytes(rate, buffer_s)))
+                    }
+                };
+                LinkState {
+                    queue,
+                    busy: false,
+                    in_flight: None,
+                    current_rate_bps: rate,
+                    gen: 0,
+                    loss: LossProcess::new(link.loss.clone(), seed),
+                    policer: link
+                        .policer
+                        .map(|(rate_bps, burst)| Policer::new(rate_bps, burst)),
+                }
+            })
+            .collect();
+        let recorder = Recorder::new(cfg.recorder.clone(), cfg.path.len());
         Network {
             cfg,
             now: Time::ZERO,
             events: BinaryHeap::new(),
             event_seq: 0,
-            queue,
-            link_busy: false,
-            in_flight: None,
-            current_rate_bps: rate,
-            link_gen: 0,
-            loss,
-            policer,
+            links,
             flows: Vec::new(),
             recorder,
             total_enqueued_bytes: 0,
             total_delivered_bytes: 0,
+            total_received_bytes: 0,
+            dropped_in_transit_bytes: 0,
+            in_transit_bytes: 0,
             events_processed: 0,
         }
     }
 
-    /// The bottleneck rate currently in effect, in bits per second.
-    pub fn link_rate_bps(&self) -> f64 {
-        self.current_rate_bps
+    /// Number of hops on the forward path.
+    pub fn num_hops(&self) -> usize {
+        self.links.len()
     }
 
-    /// The configured rate schedule µ(t).
+    /// The first hop's rate currently in effect, in bits per second.
+    pub fn link_rate_bps(&self) -> f64 {
+        self.links[0].current_rate_bps
+    }
+
+    /// The rate currently in effect on `hop`, bits/s.
+    pub fn hop_rate_bps(&self, hop: usize) -> f64 {
+        self.links[hop].current_rate_bps
+    }
+
+    /// The first hop's configured rate schedule µ(t) (the primary bottleneck
+    /// of single-hop configurations).
     pub fn rate_schedule(&self) -> &RateSchedule {
-        &self.cfg.link.schedule
+        &self.cfg.path[0].schedule
+    }
+
+    /// Every hop's configured rate schedule, in path order.
+    pub fn hop_schedules(&self) -> Vec<&RateSchedule> {
+        self.cfg.path.iter().map(|l| &l.schedule).collect()
+    }
+
+    /// The path's true bottleneck rate at `t`: the minimum of every hop's
+    /// schedule — the rate an end-to-end flow can sustain at that instant.
+    pub fn path_rate_at(&self, t: Time) -> f64 {
+        self.cfg
+            .path
+            .iter()
+            .map(|l| l.schedule.rate_at(t))
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Current virtual time.
@@ -366,6 +490,22 @@ impl Network {
     /// Add a flow. Returns a handle whose index identifies the flow in the
     /// recorder output.
     pub fn add_flow(&mut self, cfg: FlowConfig, endpoint: Box<dyn FlowEndpoint>) -> FlowHandle {
+        assert!(
+            cfg.entry_hop < self.links.len(),
+            "flow '{}' enters at hop {} of a {}-hop path",
+            cfg.label,
+            cfg.entry_hop,
+            self.links.len()
+        );
+        if let Some(exit) = cfg.exit_hop {
+            assert!(
+                exit >= cfg.entry_hop && exit < self.links.len(),
+                "flow '{}' exits at hop {exit} outside [{}, {})",
+                cfg.label,
+                cfg.entry_hop,
+                self.links.len()
+            );
+        }
         let id = self.flows.len();
         self.recorder.register_flow(
             id,
@@ -394,8 +534,13 @@ impl Network {
     pub fn run(&mut self) {
         self.schedule(self.cfg.tick_interval, EventKind::Tick);
         self.schedule(self.cfg.recorder.sample_interval, EventKind::Sample);
-        if let Some(at) = self.cfg.link.schedule.next_transition_after(Time::ZERO) {
-            self.schedule(at, EventKind::RateChange);
+        for hop in 0..self.cfg.path.len() {
+            if let Some(at) = self.cfg.path[hop]
+                .schedule
+                .next_transition_after(Time::ZERO)
+            {
+                self.schedule(at, EventKind::RateChange { hop });
+            }
         }
         while let Some(Reverse(entry)) = self.events.pop() {
             if entry.at > self.cfg.duration {
@@ -409,13 +554,19 @@ impl Network {
         // Advance the clock to the configured end of the run: the loop above
         // leaves `now` at the last event at or before `duration`, which would
         // stamp the closing sample early and truncate `now()`-based
-        // steady-state windows.
+        // steady-state windows.  This must not depend on any hop's `LinkDone`
+        // firing — a hop whose schedule ends in a (near-)zero-rate outage
+        // schedules its completion far beyond `duration` and still closes here.
         if self.now < self.cfg.duration {
             self.now = self.cfg.duration;
         }
         // Close the final recorder interval.
-        let qb = self.queue.len_bytes();
-        self.recorder.sample(self.now, qb);
+        let occupancy = self.hop_occupancy();
+        self.recorder.sample(self.now, &occupancy);
+    }
+
+    fn hop_occupancy(&self) -> Vec<u64> {
+        self.links.iter().map(|l| l.queue.len_bytes()).collect()
     }
 
     /// Consume the network, returning the recorder (results) and the flow
@@ -442,7 +593,7 @@ impl Network {
         self.events_processed
     }
 
-    /// Total bytes accepted into the bottleneck queue.
+    /// Total bytes admitted into the path at the flows' entry hops.
     pub fn total_enqueued_bytes(&self) -> u64 {
         self.total_enqueued_bytes
     }
@@ -450,6 +601,30 @@ impl Network {
     /// Total bytes delivered in order to receivers.
     pub fn total_delivered_bytes(&self) -> u64 {
         self.total_delivered_bytes
+    }
+
+    /// Total bytes that arrived at receivers, regardless of ordering.
+    pub fn total_received_bytes(&self) -> u64 {
+        self.total_received_bytes
+    }
+
+    /// Bytes dropped after admission (interior hops of a multi-hop path).
+    pub fn dropped_in_transit_bytes(&self) -> u64 {
+        self.dropped_in_transit_bytes
+    }
+
+    /// Bytes currently inside the network: queued at a hop, mid-serialization
+    /// on a link, or propagating between hops / towards a receiver.  Together
+    /// with the counters above this makes admission conservation exact:
+    /// `total_enqueued = total_received + dropped_in_transit + in_network`.
+    pub fn in_network_bytes(&self) -> u64 {
+        self.links
+            .iter()
+            .map(|l| {
+                l.queue.len_bytes() + l.in_flight.as_ref().map_or(0, |f| f.pkt.size_bytes as u64)
+            })
+            .sum::<u64>()
+            + self.in_transit_bytes
     }
 
     fn schedule(&mut self, at: Time, kind: EventKind) {
@@ -486,10 +661,11 @@ impl Network {
                 self.flows[id].next_scheduled_poll = Time::MAX;
                 self.poll_flow(id)
             }
-            EventKind::LinkDone { gen } => self.on_link_done(gen),
+            EventKind::LinkDone { hop, gen } => self.on_link_done(hop, gen),
+            EventKind::HopArrival(pkt) => self.on_hop_arrival(pkt),
             EventKind::ReceiverArrival(pkt) => self.on_receiver_arrival(pkt),
             EventKind::AckArrival(ack) => self.on_ack_arrival(ack),
-            EventKind::RateChange => self.on_rate_change(),
+            EventKind::RateChange { hop } => self.on_rate_change(hop),
             EventKind::Tick => {
                 let now = self.now;
                 for id in 0..self.flows.len() {
@@ -501,8 +677,8 @@ impl Network {
                 self.schedule(now + self.cfg.tick_interval, EventKind::Tick);
             }
             EventKind::Sample => {
-                let qb = self.queue.len_bytes();
-                self.recorder.sample(self.now, qb);
+                let occupancy = self.hop_occupancy();
+                self.recorder.sample(self.now, &occupancy);
                 let next = self.now + self.cfg.recorder.sample_interval;
                 self.schedule(next, EventKind::Sample);
             }
@@ -554,109 +730,158 @@ impl Network {
         }
     }
 
+    /// The last hop flow `id` traverses.
+    fn exit_hop_of(&self, id: FlowId) -> usize {
+        self.flows[id].cfg.exit_hop.unwrap_or(self.links.len() - 1)
+    }
+
+    /// Offer `pkt` to `hop`'s ingress: policer, then random loss, then the
+    /// queue — the same order the single-link engine used.  On a drop the
+    /// recorder and the owning endpoint are notified; returns whether the
+    /// packet was accepted.
+    fn offer_to_hop(&mut self, hop: usize, pkt: Packet) -> bool {
+        let id = pkt.flow;
+        let seq = pkt.seq;
+        let bytes = pkt.size_bytes;
+        let link = &mut self.links[hop];
+        let policed = match &mut link.policer {
+            Some(pol) => !pol.conforms(bytes, self.now),
+            None => false,
+        };
+        // Short-circuit keeps the loss RNG untouched on a policer drop,
+        // exactly as the single-link engine behaved.
+        let lost = policed || link.loss.should_drop();
+        let accepted = !lost && link.queue.enqueue(pkt, self.now) == EnqueueResult::Accepted;
+        if !accepted {
+            self.recorder.on_drop(id, hop);
+            self.flows[id].endpoint.on_packet_dropped(seq, self.now);
+        }
+        accepted
+    }
+
     fn transmit(&mut self, id: FlowId, seq: u64, bytes: u32, retransmit: bool) {
         debug_assert!(bytes > 0, "cannot transmit an empty packet");
-        let pkt = Packet::new(id, seq, bytes, self.now, retransmit);
-        // Policer, then random loss, then the queue.
-        if let Some(pol) = &mut self.policer {
-            if !pol.conforms(bytes, self.now) {
-                self.recorder.on_drop(id);
-                self.flows[id].endpoint.on_packet_dropped(seq, self.now);
-                return;
-            }
-        }
-        if self.loss.should_drop() {
-            self.recorder.on_drop(id);
-            self.flows[id].endpoint.on_packet_dropped(seq, self.now);
-            return;
-        }
-        match self.queue.enqueue(pkt, self.now) {
-            EnqueueResult::Accepted => {
-                self.total_enqueued_bytes += bytes as u64;
-                self.recorder.on_enqueue(id, bytes);
-                self.maybe_start_transmission();
-            }
-            EnqueueResult::Dropped => {
-                self.recorder.on_drop(id);
-                self.flows[id].endpoint.on_packet_dropped(seq, self.now);
-            }
+        let entry = self.flows[id].cfg.entry_hop;
+        let mut pkt = Packet::new(id, seq, bytes, self.now, retransmit);
+        pkt.hop = entry;
+        if self.offer_to_hop(entry, pkt) {
+            self.total_enqueued_bytes += bytes as u64;
+            self.recorder.on_enqueue(id, bytes);
+            self.maybe_start_transmission(entry);
         }
     }
 
-    fn maybe_start_transmission(&mut self) {
-        if self.link_busy {
+    /// A packet propagated to an interior hop's queue.
+    fn on_hop_arrival(&mut self, pkt: Packet) {
+        let hop = pkt.hop;
+        let bytes = pkt.size_bytes as u64;
+        let id = pkt.flow;
+        self.in_transit_bytes -= bytes;
+        if self.offer_to_hop(hop, pkt) {
+            self.maybe_start_transmission(hop);
+        } else {
+            // The bytes were admitted upstream but died here.
+            self.dropped_in_transit_bytes += bytes;
+            self.poll_flow(id);
+        }
+    }
+
+    fn maybe_start_transmission(&mut self, hop: usize) {
+        if self.links[hop].busy {
             return;
         }
-        if let Some(pkt) = self.queue.dequeue(self.now) {
-            self.link_busy = true;
+        if let Some(mut pkt) = self.links[hop].queue.dequeue(self.now) {
+            self.links[hop].busy = true;
             let delay = pkt.queueing_delay(self.now);
-            self.recorder.on_dequeue(pkt.flow, delay);
+            pkt.cum_queue_delay += delay;
+            // The recorder sees one sample per packet: its whole-path
+            // queueing delay, reported as it clears its final queue.
+            if hop >= self.exit_hop_of(pkt.flow) {
+                self.recorder.on_dequeue(pkt.flow, pkt.cum_queue_delay);
+            }
             let bits = pkt.size_bytes as f64 * 8.0;
-            let tx = bits_time(bits, self.current_rate_bps);
-            self.in_flight = Some(InFlight {
+            let tx = bits_time(bits, self.links[hop].current_rate_bps);
+            self.links[hop].in_flight = Some(InFlight {
                 pkt,
                 remaining_bits: bits,
                 since: self.now,
             });
-            self.link_gen += 1;
-            let gen = self.link_gen;
-            self.schedule(self.now + tx, EventKind::LinkDone { gen });
+            self.links[hop].gen += 1;
+            let gen = self.links[hop].gen;
+            self.schedule(self.now + tx, EventKind::LinkDone { hop, gen });
         }
     }
 
-    /// Apply a scheduled rate transition.  The in-flight packet (if any) has
-    /// its byte progress advanced under the outgoing rate and its completion
-    /// rescheduled under the incoming one; delay-sized queue capacities are
-    /// recomputed so "x seconds of buffering" keeps meaning x seconds.
-    fn on_rate_change(&mut self) {
-        if let Some(inf) = &mut self.in_flight {
+    /// Apply a scheduled rate transition on `hop`.  The in-flight packet (if
+    /// any) has its byte progress advanced under the outgoing rate and its
+    /// completion rescheduled under the incoming one; delay-sized queue
+    /// capacities are recomputed so "x seconds of buffering" keeps meaning
+    /// x seconds.
+    fn on_rate_change(&mut self, hop: usize) {
+        let new_rate = self.cfg.path[hop].schedule.rate_at(self.now);
+        let link = &mut self.links[hop];
+        if let Some(inf) = &mut link.in_flight {
             let elapsed = self.now.saturating_sub(inf.since).as_secs_f64();
-            inf.remaining_bits = (inf.remaining_bits - elapsed * self.current_rate_bps).max(0.0);
+            inf.remaining_bits = (inf.remaining_bits - elapsed * link.current_rate_bps).max(0.0);
             inf.since = self.now;
         }
-        self.current_rate_bps = self.cfg.link.schedule.rate_at(self.now);
-        if let Some(inf) = &self.in_flight {
-            let tx = bits_time(inf.remaining_bits, self.current_rate_bps);
-            self.link_gen += 1;
-            let gen = self.link_gen;
-            self.schedule(self.now + tx, EventKind::LinkDone { gen });
+        link.current_rate_bps = new_rate;
+        if let Some(inf) = &link.in_flight {
+            let tx = bits_time(inf.remaining_bits, new_rate);
+            link.gen += 1;
+            let gen = link.gen;
+            let at = self.now + tx;
+            self.schedule(at, EventKind::LinkDone { hop, gen });
         }
         // Keep delay-specified buffers coherent with the new rate.
-        let rate = self.current_rate_bps;
-        let buffer_s = match self.cfg.link.queue {
+        let buffer_s = match self.cfg.path[hop].queue {
             QueueKind::DropTailBytes(_) => None,
             QueueKind::DropTailDelay(s) => Some(s),
             QueueKind::Pie { buffer_s, .. } => Some(buffer_s),
             QueueKind::Red { buffer_s } => Some(buffer_s),
             QueueKind::CoDel { buffer_s } => Some(buffer_s),
         };
+        let link = &mut self.links[hop];
         if let Some(s) = buffer_s {
-            self.queue.set_capacity_bytes(delay_capacity_bytes(rate, s));
+            link.queue
+                .set_capacity_bytes(delay_capacity_bytes(new_rate, s));
         }
-        self.queue.set_drain_rate_bps(rate);
-        if let Some(at) = self.cfg.link.schedule.next_transition_after(self.now) {
-            self.schedule(at, EventKind::RateChange);
+        link.queue.set_drain_rate_bps(new_rate);
+        if let Some(at) = self.cfg.path[hop].schedule.next_transition_after(self.now) {
+            self.schedule(at, EventKind::RateChange { hop });
         }
     }
 
-    fn on_link_done(&mut self, gen: u64) {
+    fn on_link_done(&mut self, hop: usize, gen: u64) {
         // A rate transition mid-serialization reschedules completion under a
         // new generation; the orphaned entry must not complete the packet.
-        if gen != self.link_gen {
+        if gen != self.links[hop].gen {
             return;
         }
-        self.link_busy = false;
-        if let Some(inf) = self.in_flight.take() {
-            let pkt = inf.pkt;
-            // Propagate to the receiver over half the configured RTT.
-            let prop = Time::from_nanos(self.flows[pkt.flow].cfg.prop_rtt.as_nanos() / 2);
-            self.schedule(self.now + prop, EventKind::ReceiverArrival(pkt));
+        self.links[hop].busy = false;
+        if let Some(inf) = self.links[hop].in_flight.take() {
+            let mut pkt = inf.pkt;
+            self.in_transit_bytes += pkt.size_bytes as u64;
+            if hop >= self.exit_hop_of(pkt.flow) {
+                // Last hop for this flow: propagate to the receiver over the
+                // data half of the configured RTT.
+                let prop = Time::from_nanos(self.flows[pkt.flow].cfg.prop_rtt.as_nanos() / 2);
+                self.schedule(self.now + prop, EventKind::ReceiverArrival(pkt));
+            } else {
+                // Interior hop: propagate into the next hop's queue over
+                // that hop's configured inbound delay.
+                let delay = self.cfg.path[hop + 1].prop_delay;
+                pkt.hop = hop + 1;
+                self.schedule(self.now + delay, EventKind::HopArrival(pkt));
+            }
         }
-        self.maybe_start_transmission();
+        self.maybe_start_transmission(hop);
     }
 
     fn on_receiver_arrival(&mut self, pkt: Packet) {
         let id = pkt.flow;
+        self.in_transit_bytes -= pkt.size_bytes as u64;
+        self.total_received_bytes += pkt.size_bytes as u64;
         let flow = &mut self.flows[id];
         // Receiver: cumulative ACK generation with duplicate-data suppression.
         let mut newly_delivered = 0u64;
@@ -974,7 +1199,7 @@ mod tests {
     #[test]
     fn random_loss_model_drops_packets() {
         let mut cfg = base_config(96e6, 5.0);
-        cfg.link.loss = LossModel::Bernoulli { p: 0.05 };
+        cfg.link_mut().loss = LossModel::Bernoulli { p: 0.05 };
         let mut net = Network::new(cfg);
         let h = net.add_flow(
             FlowConfig::primary("lossy", Time::from_millis(20)),
@@ -989,7 +1214,7 @@ mod tests {
     fn simulation_is_deterministic() {
         let run = || {
             let mut cfg = base_config(48e6, 5.0);
-            cfg.link.loss = LossModel::Bernoulli { p: 0.01 };
+            cfg.link_mut().loss = LossModel::Bernoulli { p: 0.01 };
             cfg.seed = 99;
             let mut net = Network::new(cfg);
             net.add_flow(

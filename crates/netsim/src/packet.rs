@@ -24,8 +24,14 @@ pub struct Packet {
     pub sent_at: Time,
     /// Whether this transmission is a retransmission of an earlier segment.
     pub retransmit: bool,
-    /// Time the packet entered the bottleneck queue (stamped by the engine).
+    /// Time the packet entered its current hop's queue (re-stamped by the
+    /// engine at every hop of a multi-link path).
     pub enqueued_at: Time,
+    /// Index of the path hop the packet currently occupies (queue or link).
+    pub hop: usize,
+    /// Total queueing delay accumulated across every hop traversed so far —
+    /// the end-to-end "self-inflicted" delay a path imposes on the packet.
+    pub cum_queue_delay: Time,
 }
 
 impl Packet {
@@ -39,6 +45,8 @@ impl Packet {
             sent_at,
             retransmit,
             enqueued_at: sent_at,
+            hop: 0,
+            cum_queue_delay: Time::ZERO,
         }
     }
 

@@ -171,8 +171,16 @@ pub struct Recorder {
     pub queue_delay_ms: Vec<TimeSeries>,
     /// Per monitored flow: raw per-packet queueing delay samples (ms).
     pub packet_delay_samples_ms: Vec<Vec<f64>>,
-    /// Global bottleneck queue occupancy (bytes), sampled every interval.
+    /// Total path queue occupancy (bytes) summed over every hop, sampled
+    /// every interval.  For a single-hop path this *is* the bottleneck
+    /// occupancy, exactly as in the single-link engine.
     pub queue_bytes: TimeSeries,
+    /// Per-hop queue occupancy (bytes), sampled every interval; indexed by
+    /// path hop.  `hop_queue_bytes[0]` duplicates `queue_bytes` on a
+    /// single-hop path.
+    pub hop_queue_bytes: Vec<TimeSeries>,
+    /// Packets dropped at each hop (queue, AQM, policer or loss model).
+    pub hop_dropped_packets: Vec<u64>,
     /// Cross-traffic arrival rate at the bottleneck (Mbit/s) per interval
     /// — the ground-truth `z(t)`.
     pub cross_rate_mbps: TimeSeries,
@@ -191,8 +199,10 @@ pub struct Recorder {
 }
 
 impl Recorder {
-    /// Create a recorder; flows are registered afterwards by the engine.
-    pub fn new(cfg: RecorderConfig) -> Self {
+    /// Create a recorder for a path of `num_hops` links; flows are
+    /// registered afterwards by the engine.
+    pub fn new(cfg: RecorderConfig, num_hops: usize) -> Self {
+        assert!(num_hops > 0, "a path has at least one hop");
         Recorder {
             cfg,
             throughput_mbps: Vec::new(),
@@ -200,6 +210,8 @@ impl Recorder {
             queue_delay_ms: Vec::new(),
             packet_delay_samples_ms: Vec::new(),
             queue_bytes: TimeSeries::default(),
+            hop_queue_bytes: vec![TimeSeries::default(); num_hops],
+            hop_dropped_packets: vec![0; num_hops],
             cross_rate_mbps: TimeSeries::default(),
             elastic_fraction: TimeSeries::default(),
             flows: Vec::new(),
@@ -215,6 +227,11 @@ impl Recorder {
     /// The configured sampling interval.
     pub fn sample_interval(&self) -> Time {
         self.cfg.sample_interval
+    }
+
+    /// Number of path hops this recorder tracks.
+    pub fn num_hops(&self) -> usize {
+        self.hop_queue_bytes.len()
     }
 
     /// Register a flow. `monitored` flows get full time series.
@@ -272,9 +289,11 @@ impl Recorder {
         }
     }
 
-    /// A data packet from `flow` was dropped (queue, AQM, policer or loss model).
-    pub fn on_drop(&mut self, flow: FlowId) {
+    /// A data packet from `flow` was dropped at `hop` (queue, AQM, policer
+    /// or loss model).
+    pub fn on_drop(&mut self, flow: FlowId, hop: usize) {
         self.flows[flow].dropped_packets += 1;
+        self.hop_dropped_packets[hop] += 1;
     }
 
     /// A packet from `flow` started transmission after waiting `delay` in the queue.
@@ -322,13 +341,18 @@ impl Recorder {
         self.flows[flow].finish = Some(now);
     }
 
-    /// Close the current sampling interval at time `now` with the given
-    /// bottleneck queue occupancy.
-    pub fn sample(&mut self, now: Time, queue_bytes: u64) {
+    /// Close the current sampling interval at time `now` with each hop's
+    /// queue occupancy in path order.
+    pub fn sample(&mut self, now: Time, hop_queue_bytes: &[u64]) {
+        debug_assert_eq!(hop_queue_bytes.len(), self.hop_queue_bytes.len());
         let t = now.as_secs_f64();
         let dt = now.saturating_sub(self.last_sample).as_secs_f64();
         self.last_sample = now;
-        self.queue_bytes.push(t, queue_bytes as f64);
+        let total: u64 = hop_queue_bytes.iter().sum();
+        self.queue_bytes.push(t, total as f64);
+        for (series, &bytes) in self.hop_queue_bytes.iter_mut().zip(hop_queue_bytes) {
+            series.push(t, bytes as f64);
+        }
 
         let cross_total = self.cross_elastic_bytes + self.cross_inelastic_bytes;
         if dt > 0.0 {
@@ -372,9 +396,14 @@ impl Recorder {
     /// Serialize every public time series and per-flow summary.  This is the
     /// record the determinism tests compare byte-for-byte: two runs with the
     /// same `SimConfig` seed must produce identical snapshots.
+    ///
+    /// Per-hop entries are appended only for multi-hop paths: on a one-hop
+    /// path they would merely duplicate `queue_bytes` and the per-flow drop
+    /// counts, and omitting them keeps single-bottleneck snapshots (and the
+    /// fingerprints pinned against the pre-path engine) byte-identical.
     pub fn snapshot(&self) -> serde::Value {
         use serde::Serialize as _;
-        serde::Value::Map(vec![
+        let mut entries = vec![
             (
                 "throughput_mbps".to_string(),
                 self.throughput_mbps.to_value(),
@@ -395,7 +424,18 @@ impl Recorder {
                 self.elastic_fraction.to_value(),
             ),
             ("flows".to_string(), self.flows.to_value()),
-        ])
+        ];
+        if self.num_hops() > 1 {
+            entries.push((
+                "hop_queue_bytes".to_string(),
+                self.hop_queue_bytes.to_value(),
+            ));
+            entries.push((
+                "hop_dropped_packets".to_string(),
+                self.hop_dropped_packets.to_value(),
+            ));
+        }
+        serde::Value::Map(entries)
     }
 
     /// Flow completion times (seconds) together with flow sizes, for every
@@ -458,7 +498,7 @@ mod tests {
 
     #[test]
     fn recorder_tracks_throughput_and_ground_truth() {
-        let mut r = Recorder::new(RecorderConfig::default());
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
         r.register_flow(0, "nimbus".into(), None, true, Time::ZERO, None);
         r.register_flow(1, "cubic-cross".into(), Some(true), false, Time::ZERO, None);
         r.register_flow(2, "cbr-cross".into(), Some(false), false, Time::ZERO, None);
@@ -473,7 +513,7 @@ mod tests {
         r.on_rtt_sample(0, Time::from_millis(60));
         r.on_rtt_sample(0, Time::from_millis(80));
         r.on_dequeue(0, Time::from_millis(10));
-        r.sample(Time::from_millis(100), 42_000);
+        r.sample(Time::from_millis(100), &[42_000]);
 
         assert_eq!(r.throughput_mbps[0].len(), 1);
         assert!((r.throughput_mbps[0].v[0] - 100.0).abs() < 1e-9);
@@ -485,14 +525,14 @@ mod tests {
         assert!((r.cross_rate_mbps.v[0] - 0.48).abs() < 1e-9);
 
         // Interval counters reset.
-        r.sample(Time::from_millis(200), 0);
+        r.sample(Time::from_millis(200), &[0]);
         assert_eq!(r.throughput_mbps[0].v[1], 0.0);
         assert_eq!(r.elastic_fraction.v[1], 0.0);
     }
 
     #[test]
     fn flow_stats_fct_and_throughput() {
-        let mut r = Recorder::new(RecorderConfig::default());
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
         r.register_flow(
             0,
             "f".into(),
@@ -518,7 +558,7 @@ mod tests {
     fn never_started_flows_are_excluded_from_summaries() {
         // Regression: flows whose configured start exceeded the run duration
         // used to be counted in FCT tables as if they ran.
-        let mut r = Recorder::new(RecorderConfig::default());
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
         r.register_flow(0, "ran".into(), Some(true), false, Time::ZERO, Some(500));
         r.register_flow(
             1,
@@ -543,7 +583,7 @@ mod tests {
 
     #[test]
     fn unmonitored_flows_have_no_series() {
-        let mut r = Recorder::new(RecorderConfig::default());
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
         r.register_flow(0, "a".into(), Some(false), false, Time::ZERO, None);
         assert_eq!(r.monitored_slot(0), None);
         assert!(r.monitored_flows().is_empty());
@@ -552,16 +592,16 @@ mod tests {
         r.on_dequeue(0, Time::from_millis(1));
         r.on_delivered(0, 100);
         r.on_arrival(0, 100);
-        r.sample(Time::from_millis(100), 0);
+        r.sample(Time::from_millis(100), &[0]);
         assert!(r.throughput_mbps.is_empty());
     }
 
     #[test]
     fn drops_are_attributed_to_flows() {
-        let mut r = Recorder::new(RecorderConfig::default());
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
         r.register_flow(0, "a".into(), None, true, Time::ZERO, None);
-        r.on_drop(0);
-        r.on_drop(0);
+        r.on_drop(0, 0);
+        r.on_drop(0, 0);
         assert_eq!(r.flows[0].dropped_packets, 2);
     }
 }

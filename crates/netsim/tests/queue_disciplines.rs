@@ -57,7 +57,7 @@ impl FlowEndpoint for PacedCbr {
 fn overload_through(queue: QueueKind) -> (f64, u64, f64) {
     let rate = 24e6;
     let mut cfg = SimConfig::new(rate, 0.1, 20.0);
-    cfg.link.queue = queue;
+    cfg.link_mut().queue = queue;
     let mut net = Network::new(cfg);
     let h = net.add_flow(
         FlowConfig::primary("overload", Time::from_millis(20)),

@@ -91,7 +91,7 @@ impl FlowEndpoint for OnePacket {
 
 fn varying_config(schedule: RateSchedule, duration_s: f64) -> SimConfig {
     let mut cfg = SimConfig::new(schedule.initial_rate_bps(), 0.1, duration_s);
-    cfg.link.schedule = schedule;
+    cfg.link_mut().schedule = schedule;
     cfg
 }
 
@@ -194,7 +194,7 @@ fn varying_link_runs_are_deterministic() {
     let run = || {
         let schedule = RateSchedule::sinusoid(24e6, 0.25, Time::from_secs_f64(4.0));
         let mut cfg = varying_config(schedule, 10.0);
-        cfg.link.loss = LossModel::Bernoulli { p: 0.01 };
+        cfg.link_mut().loss = LossModel::Bernoulli { p: 0.01 };
         cfg.seed = 7;
         let mut net = Network::new(cfg);
         net.add_flow(

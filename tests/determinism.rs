@@ -9,7 +9,7 @@ use nimbus_repro::transport::{BackloggedSource, CcKind, PoissonSource, Sender, S
 fn run_snapshot(seed: u64) -> String {
     let mut cfg = SimConfig::new(48e6, 0.1, 12.0);
     cfg.seed = seed;
-    cfg.link.loss = LossModel::Bernoulli { p: 0.005 };
+    cfg.link_mut().loss = LossModel::Bernoulli { p: 0.005 };
     let mut net = Network::new(cfg);
     net.add_flow(
         FlowConfig::primary("cubic", Time::from_millis(50)),
