@@ -4,8 +4,8 @@
 //! `z(t)` sampled every 10 ms over a 5-second window (§3.3 of the paper), so a
 //! 500-point transform is the common case.  Three implementations live here:
 //!
-//! * [`fft_radix2`] — iterative in-place Cooley–Tukey for power-of-two sizes.
-//! * [`fft_bluestein`] — Bluestein's chirp-z algorithm for arbitrary sizes
+//! * `fft_radix2` — iterative in-place Cooley–Tukey for power-of-two sizes.
+//! * `fft_bluestein` — Bluestein's chirp-z algorithm for arbitrary sizes
 //!   (internally uses the radix-2 kernel on a padded convolution).
 //! * [`dft_naive`] — the O(n²) textbook DFT, kept as the oracle for property
 //!   tests.

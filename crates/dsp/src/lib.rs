@@ -10,7 +10,7 @@
 //! signal-processing world lives in this crate:
 //!
 //! * [`complex`] — a minimal complex-number type (no external deps).
-//! * [`fft`] — radix-2 Cooley–Tukey FFT, Bluestein FFT for arbitrary lengths,
+//! * [`mod@fft`] — radix-2 Cooley–Tukey FFT, Bluestein FFT for arbitrary lengths,
 //!   and a direct DFT used as a test oracle.
 //! * [`spectrum`] — magnitude spectra, frequency/bin conversion and the band
 //!   peak searches needed by the elasticity metric η (Eq. 3 of the paper).

@@ -3,7 +3,7 @@
 use super::elastic_cross_flow;
 use crate::output::ExperimentResult;
 use crate::runner::{run_and_collect, run_scheme_vs_cross, ScenarioSpec};
-use crate::scheme::Scheme;
+use crate::scheme::SchemeSpec;
 use nimbus_dsp::Cdf;
 use nimbus_netsim::{FlowConfig, FlowEndpoint, Time};
 use nimbus_traffic::{PhaseSchedule, VideoQuality, VideoSource, WanWorkload, WanWorkloadConfig};
@@ -20,12 +20,16 @@ pub fn fig08(quick: bool) -> ExperimentResult {
     );
     let schedule = PhaseSchedule::fig8();
     let duration = schedule.end_s * scale;
-    let schemes: Vec<Scheme> = if quick {
-        vec![Scheme::NimbusCubicBasicDelay, Scheme::Cubic, Scheme::Copa]
+    let schemes: Vec<SchemeSpec> = if quick {
+        vec![
+            SchemeSpec::nimbus(),
+            SchemeSpec::cubic(),
+            SchemeSpec::copa(),
+        ]
     } else {
-        let mut s = Scheme::headline_set();
-        s.push(Scheme::NimbusCubicCopa);
-        s.push(Scheme::Compound);
+        let mut s = SchemeSpec::headline_set();
+        s.push(SchemeSpec::nimbus_copa());
+        s.push(SchemeSpec::compound());
         s
     };
     for scheme in schemes {
@@ -130,9 +134,13 @@ pub fn fig09(quick: bool) -> ExperimentResult {
         quick,
     );
     let schemes = if quick {
-        vec![Scheme::NimbusCubicBasicDelay, Scheme::Cubic, Scheme::Vegas]
+        vec![
+            SchemeSpec::nimbus(),
+            SchemeSpec::cubic(),
+            SchemeSpec::vegas(),
+        ]
     } else {
-        Scheme::headline_set()
+        SchemeSpec::headline_set()
     };
     for scheme in schemes {
         let spec = ScenarioSpec {
@@ -164,7 +172,7 @@ pub fn fig10(quick: bool) -> ExperimentResult {
         "Copa vs Nimbus throughput in the presence of large elastic cross flows",
         quick,
     );
-    for scheme in [Scheme::NimbusCubicBasicDelay, Scheme::Copa] {
+    for scheme in [SchemeSpec::nimbus(), SchemeSpec::copa()] {
         let spec = ScenarioSpec {
             duration_s: duration,
             seed: 10,
@@ -209,9 +217,13 @@ pub fn fig11(quick: bool) -> ExperimentResult {
         quick,
     );
     let schemes = if quick {
-        vec![Scheme::NimbusCubicBasicDelay, Scheme::Cubic, Scheme::Vegas]
+        vec![
+            SchemeSpec::nimbus(),
+            SchemeSpec::cubic(),
+            SchemeSpec::vegas(),
+        ]
     } else {
-        Scheme::headline_set()
+        SchemeSpec::headline_set()
     };
     for quality in [VideoQuality::Uhd4k, VideoQuality::Fhd1080p] {
         for scheme in &schemes {
@@ -258,7 +270,7 @@ pub fn fig12(quick: bool) -> ExperimentResult {
         ..ScenarioSpec::default_96mbps(duration)
     };
     let cross = wan_cross(spec.link_rate_bps, 0.5, duration, 120);
-    let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 5.0);
+    let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, cross, 5.0);
     let m = &out.flows[0];
     // Ground truth per interval from the recorder; detector verdicts from the
     // controller.  A period is "elastic" if more than 30% of cross bytes came
@@ -311,7 +323,7 @@ pub fn fig13(quick: bool) -> ExperimentResult {
             };
             let cross = wan_cross(spec.link_rate_bps, load, duration, 130);
             let mut net = spec.build_network();
-            let cfg = Scheme::NimbusCubicBasicDelay
+            let cfg = SchemeSpec::nimbus()
                 .nimbus_config(spec.link_rate_bps, spec.seed)
                 .unwrap()
                 .with_pulse_amplitude(pulse);
@@ -322,7 +334,7 @@ pub fn fig13(quick: bool) -> ExperimentResult {
             for (fc, ep) in cross {
                 net.add_flow(fc, ep);
             }
-            let out = run_and_collect(net, &[(h, Scheme::NimbusCubicBasicDelay)], 5.0);
+            let out = run_and_collect(net, &[(h, SchemeSpec::nimbus())], 5.0);
             let m = &out.flows[0];
             let key = format!("load{}_pulse{}", (load * 100.0) as u32, pulse);
             result.row(&format!("{key}_throughput_mbps"), m.mean_throughput_mbps);
@@ -335,7 +347,7 @@ pub fn fig13(quick: bool) -> ExperimentResult {
             seed: 13,
             ..ScenarioSpec::default_96mbps(duration)
         };
-        for scheme in [Scheme::Cubic, Scheme::Vegas] {
+        for scheme in [SchemeSpec::cubic(), SchemeSpec::vegas()] {
             let cross = wan_cross(spec.link_rate_bps, load, duration, 130);
             let out = run_scheme_vs_cross(&spec, scheme, None, cross, 5.0);
             let m = &out.flows[0];
@@ -362,9 +374,9 @@ pub fn fig21(quick: bool) -> ExperimentResult {
         quick,
     );
     let schemes = if quick {
-        vec![Scheme::NimbusCubicBasicDelay, Scheme::Cubic]
+        vec![SchemeSpec::nimbus(), SchemeSpec::cubic()]
     } else {
-        Scheme::headline_set()
+        SchemeSpec::headline_set()
     };
     let buckets: [(u64, u64, &str); 4] = [
         (0, 15_000, "15KB"),

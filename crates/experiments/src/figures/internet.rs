@@ -8,7 +8,7 @@
 
 use crate::output::ExperimentResult;
 use crate::runner::{run_scheme_vs_cross, ScenarioSpec};
-use crate::scheme::Scheme;
+use crate::scheme::SchemeSpec;
 use nimbus_dsp::Cdf;
 use nimbus_traffic::{WanWorkload, WanWorkloadConfig};
 
@@ -66,7 +66,7 @@ pub fn path_suite() -> Vec<PathProfile> {
 
 fn run_path(
     path: &PathProfile,
-    scheme: Scheme,
+    scheme: SchemeSpec,
     duration_s: f64,
 ) -> crate::runner::SingleFlowMetrics {
     let spec = ScenarioSpec {
@@ -79,6 +79,7 @@ fn run_path(
         pie_target_s: None,
         loss_probability: path.loss,
         path: crate::runner::PathSpec::single(),
+        cross_flows: Vec::new(),
     };
     let wl = WanWorkload::generate(WanWorkloadConfig {
         base_rtt_s: path.rtt_s,
@@ -102,13 +103,13 @@ pub fn fig18(quick: bool) -> ExperimentResult {
     // Path A: deep-buffered; Path B: FTTH; Path C: shallow + loss.
     let examples = [("A", suite[0]), ("B", suite[1]), ("C", suite[3])];
     let schemes = if quick {
-        vec![Scheme::NimbusCubicBasicDelay, Scheme::Cubic]
+        vec![SchemeSpec::nimbus(), SchemeSpec::cubic()]
     } else {
         vec![
-            Scheme::NimbusCubicBasicDelay,
-            Scheme::Cubic,
-            Scheme::Bbr,
-            Scheme::Vegas,
+            SchemeSpec::nimbus(),
+            SchemeSpec::cubic(),
+            SchemeSpec::bbr(),
+            SchemeSpec::vegas(),
         ]
     };
     for (tag, path) in examples {
@@ -139,13 +140,13 @@ pub fn fig19(quick: bool) -> ExperimentResult {
         suite.iter().filter(|p| p.loss == 0.0).collect()
     };
     let schemes = if quick {
-        vec![Scheme::NimbusCubicBasicDelay, Scheme::Cubic]
+        vec![SchemeSpec::nimbus(), SchemeSpec::cubic()]
     } else {
         vec![
-            Scheme::NimbusCubicBasicDelay,
-            Scheme::Cubic,
-            Scheme::Bbr,
-            Scheme::Vegas,
+            SchemeSpec::nimbus(),
+            SchemeSpec::cubic(),
+            SchemeSpec::bbr(),
+            SchemeSpec::vegas(),
         ]
     };
     for scheme in &schemes {
@@ -186,7 +187,7 @@ pub fn fig20(quick: bool) -> ExperimentResult {
         quick,
     );
     let base = path_suite()[0];
-    for scheme in [Scheme::Cubic, Scheme::NimbusDelayOnly] {
+    for scheme in [SchemeSpec::cubic(), SchemeSpec::nimbus_delay_only()] {
         let mut tputs = Vec::new();
         let mut delays = Vec::new();
         for run in 0..runs {

@@ -3,7 +3,7 @@
 use super::{fig1_cross_traffic, poisson_cross_flow};
 use crate::output::ExperimentResult;
 use crate::runner::{run_scheme_vs_cross, ScenarioSpec};
-use crate::scheme::Scheme;
+use crate::scheme::SchemeSpec;
 use nimbus_core::{CrossTrafficEstimator, ElasticityConfig, ElasticityDetector};
 use nimbus_dsp::{AsymmetricPulse, PulseGenerator, PulseShape, Spectrum};
 use nimbus_transport::CcKind;
@@ -19,9 +19,9 @@ pub fn fig01(quick: bool) -> ExperimentResult {
     );
     let duration = 180.0 * scale;
     for (key, scheme) in [
-        ("cubic", Scheme::Cubic),
-        ("delay_control", Scheme::NimbusDelayOnly),
-        ("nimbus", Scheme::NimbusCubicBasicDelay),
+        ("cubic", SchemeSpec::cubic()),
+        ("delay_control", SchemeSpec::nimbus_delay_only()),
+        ("nimbus", SchemeSpec::nimbus()),
     ] {
         let spec = ScenarioSpec {
             duration_s: duration,
@@ -76,7 +76,7 @@ pub fn fig01(quick: bool) -> ExperimentResult {
             &format!("{key}_queue_delay_ms"),
             m.queue_delay_series.clone(),
         );
-        if scheme == Scheme::NimbusCubicBasicDelay {
+        if scheme == SchemeSpec::nimbus() {
             result.row("nimbus_delay_mode_fraction", m.delay_mode_fraction);
         }
     }
@@ -100,7 +100,7 @@ pub fn fig03(quick: bool) -> ExperimentResult {
         ..ScenarioSpec::fig1_48mbps(duration)
     };
     let cross = fig1_cross_traffic(scale, 24e6, 13);
-    let out = run_scheme_vs_cross(&spec, Scheme::Cubic, None, cross, 2.0);
+    let out = run_scheme_vs_cross(&spec, SchemeSpec::cubic(), None, cross, 2.0);
     let m = &out.flows[0];
     // Self-inflicted delay ≈ total queueing delay × our share of throughput.
     let total_qd: Vec<(f64, f64)> = out
@@ -163,7 +163,7 @@ fn z_series_against(
         seed,
         ..ScenarioSpec::default_96mbps(duration_s)
     };
-    let mut scheme_cfg = Scheme::NimbusCubicBasicDelay
+    let mut scheme_cfg = SchemeSpec::nimbus()
         .nimbus_config(spec.link_rate_bps, seed)
         .unwrap();
     scheme_cfg.elasticity.pulse_freq_hz = pulse_freq_hz;
@@ -179,7 +179,7 @@ fn z_series_against(
         poisson_cross_flow("poisson", 48e6, 0.05, seed + 1, 0.0, None)
     };
     net.add_flow(cross.0, cross.1);
-    let out = crate::runner::run_and_collect(net, &[(h, Scheme::NimbusCubicBasicDelay)], 2.0);
+    let out = crate::runner::run_and_collect(net, &[(h, SchemeSpec::nimbus())], 2.0);
     let endpoint = &out.flows[0];
     let eta = endpoint
         .eta_series
@@ -298,7 +298,7 @@ pub fn fig06(quick: bool) -> ExperimentResult {
                 None,
             ));
         }
-        let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 2.0);
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, cross, 2.0);
         let etas: Vec<f64> = out.flows[0]
             .eta_series
             .iter()

@@ -8,10 +8,10 @@ pub mod multihop;
 pub mod robust;
 pub mod varying;
 
+use crate::runner::CrossFlowSpec;
+use crate::scheme::SchemeSpec;
 use nimbus_netsim::{FlowConfig, FlowEndpoint, Time};
-use nimbus_transport::{
-    BackloggedSource, CcKind, PoissonSource, ScriptedSource, Sender, SenderConfig, Source,
-};
+use nimbus_transport::{CcKind, PoissonSource, ScriptedSource, Sender, SenderConfig, Source};
 
 /// A backlogged elastic cross-flow using the given loss-based scheme.
 /// `stop_s` terminates the flow at that time (the application goes away).
@@ -22,18 +22,37 @@ pub fn elastic_cross_flow(
     start_s: f64,
     stop_s: Option<f64>,
 ) -> (FlowConfig, Box<dyn FlowEndpoint>) {
-    let mut sender_cfg = SenderConfig::labelled(label);
-    if let Some(stop) = stop_s {
-        sender_cfg = sender_cfg.stopping_at(Time::from_secs_f64(stop));
-    }
-    let cfg = FlowConfig::cross(label, Time::from_secs_f64(rtt_s), true)
-        .starting_at(Time::from_secs_f64(start_s));
-    let ep: Box<dyn FlowEndpoint> = Box::new(Sender::new(
-        sender_cfg,
-        kind.build(1500),
-        Box::new(BackloggedSource),
-    ));
-    (cfg, ep)
+    scheme_cross_flow(
+        label,
+        &SchemeSpec::Bare(kind),
+        0.0,
+        0,
+        rtt_s,
+        start_s,
+        stop_s,
+    )
+}
+
+/// A backlogged cross-flow running an arbitrary [`SchemeSpec`] — the
+/// generalization of [`elastic_cross_flow`] that lets *any* scheme the
+/// algebra can express (including Nimbus wrappers) act as cross traffic.
+/// `mu_bps` is the nominal bottleneck rate handed to configured-µ wrappers
+/// (ignored by bare CCAs) and `seed` drives any randomized behaviour.
+/// Thin wrapper over [`CrossFlowSpec::build_labelled`], the single engine
+/// behind every spec-described cross flow.
+pub fn scheme_cross_flow(
+    label: &str,
+    spec: &SchemeSpec,
+    mu_bps: f64,
+    seed: u64,
+    rtt_s: f64,
+    start_s: f64,
+    stop_s: Option<f64>,
+) -> (FlowConfig, Box<dyn FlowEndpoint>) {
+    let mut flow = CrossFlowSpec::new(*spec).starting_at(start_s);
+    flow.rtt_s = rtt_s;
+    flow.stop_s = stop_s;
+    flow.build_labelled(label, mu_bps, seed)
 }
 
 /// An inelastic Poisson cross-traffic aggregate at `rate_bps`.

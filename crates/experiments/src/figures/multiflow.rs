@@ -3,7 +3,7 @@
 use super::{cbr_cross_flow, elastic_cross_flow};
 use crate::output::ExperimentResult;
 use crate::runner::{nimbus_of, ScenarioSpec};
-use crate::scheme::Scheme;
+use crate::scheme::SchemeSpec;
 use nimbus_core::MultiflowConfig;
 use nimbus_netsim::{FlowConfig, Time};
 use nimbus_transport::CcKind;
@@ -29,7 +29,7 @@ pub fn fig16(quick: bool) -> ExperimentResult {
     let mut handles = Vec::new();
     for i in 0..4usize {
         let start = i as f64 * stagger;
-        let cfg = Scheme::NimbusCubicVegas
+        let cfg = SchemeSpec::nimbus_vegas()
             .nimbus_config(spec.link_rate_bps, 160 + i as u64)
             .unwrap()
             .with_multiflow(MultiflowConfig::enabled());
@@ -42,7 +42,7 @@ pub fn fig16(quick: bool) -> ExperimentResult {
                 .starting_at(Time::from_secs_f64(start)),
             endpoint,
         );
-        handles.push((h, Scheme::NimbusCubicVegas));
+        handles.push((h, SchemeSpec::nimbus_vegas()));
     }
     let out = crate::runner::run_and_collect(net, &handles, stagger * 2.0);
     // Fairness during the window where all four flows are active.
@@ -108,7 +108,7 @@ pub fn fig17(quick: bool) -> ExperimentResult {
     let mut net = spec.build_network();
     let mut handles = Vec::new();
     for i in 0..3usize {
-        let cfg = Scheme::NimbusCubicBasicDelay
+        let cfg = SchemeSpec::nimbus()
             .nimbus_config(spec.link_rate_bps, 170 + i as u64)
             .unwrap()
             .with_multiflow(MultiflowConfig::enabled());
@@ -120,7 +120,7 @@ pub fn fig17(quick: bool) -> ExperimentResult {
             FlowConfig::primary(&format!("nimbus-{i}"), Time::from_millis(50)),
             endpoint,
         );
-        handles.push((h, Scheme::NimbusCubicBasicDelay));
+        handles.push((h, SchemeSpec::nimbus()));
     }
     // Elastic phase: 3 Cubic flows from 30–90 s (scaled).
     for i in 0..3 {

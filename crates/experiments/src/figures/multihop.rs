@@ -21,7 +21,7 @@
 use crate::figures::cbr_cross_flow;
 use crate::output::ExperimentResult;
 use crate::runner::{run_scheme_vs_cross, LinkScheduleSpec, PathSpec, ScenarioSpec};
-use crate::scheme::Scheme;
+use crate::scheme::SchemeSpec;
 
 /// Fixed secondary bottleneck: hop 0 at 48 Mbit/s feeding a 28.8 Mbit/s
 /// (60%) second hop.  Cubic vs Nimbus, alone on the path.
@@ -32,7 +32,7 @@ pub fn multihop_secondary(quick: bool) -> ExperimentResult {
         "Cubic vs Nimbus through a fixed 60% secondary bottleneck (2-hop path)",
         quick,
     );
-    for scheme in [Scheme::Cubic, Scheme::NimbusCubicBasicDelay] {
+    for scheme in [SchemeSpec::cubic(), SchemeSpec::nimbus()] {
         let spec = ScenarioSpec {
             link_rate_bps: 48e6,
             path: PathSpec::with_secondary(0.6),
@@ -80,7 +80,7 @@ pub fn multihop_moving(quick: bool) -> ExperimentResult {
         "Moving bottleneck via anti-phase steps on hops 0 and 1 (constant path minimum)",
         quick,
     );
-    for scheme in [Scheme::Cubic, Scheme::NimbusCubicBasicDelay] {
+    for scheme in [SchemeSpec::cubic(), SchemeSpec::nimbus()] {
         let spec = ScenarioSpec {
             link_rate_bps: 48e6,
             schedule: LinkScheduleSpec::Step {
@@ -161,7 +161,7 @@ pub fn multihop_midpath(quick: bool) -> ExperimentResult {
             None,
         );
         let cross = vec![(cfg.entering_at(1), ep)];
-        let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 10.0);
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, cross, 10.0);
         let m = &out.flows[0];
         result.row(&format!("throughput_mbps_{tag}"), m.mean_throughput_mbps);
         result.row(&format!("delay_mode_fraction_{tag}"), m.delay_mode_fraction);

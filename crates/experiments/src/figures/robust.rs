@@ -3,7 +3,7 @@
 use super::{cbr_cross_flow, elastic_cross_flow, poisson_cross_flow};
 use crate::output::ExperimentResult;
 use crate::runner::{run_and_collect, run_scheme_vs_cross, ScenarioSpec};
-use crate::scheme::Scheme;
+use crate::scheme::SchemeSpec;
 use nimbus_core::Mode;
 use nimbus_netsim::{FlowConfig, FlowEndpoint, Time};
 use nimbus_transport::CcKind;
@@ -86,14 +86,14 @@ pub fn fig14(quick: bool) -> ExperimentResult {
         };
         // Nimbus against CBR at `share` of the link.
         let cross = vec![cbr_cross_flow("cbr", share * 96e6, 0.05, 0.0, None)];
-        let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 6.0);
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, cross, 6.0);
         let acc = nimbus_accuracy(&out.flows[0], false, 6.0);
         result.row(&format!("nimbus_accuracy_share{:.0}", share * 100.0), acc);
         nimbus_left.push((share, acc));
 
         // Copa against the same traffic.
         let cross = vec![cbr_cross_flow("cbr", share * 96e6, 0.05, 0.0, None)];
-        let out = run_scheme_vs_cross(&spec, Scheme::Copa, None, cross, 6.0);
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::copa(), None, cross, 6.0);
         let acc = copa_accuracy(&out, 0, false, 6.0, duration);
         result.row(&format!("copa_accuracy_share{:.0}", share * 100.0), acc);
         copa_left.push((share, acc));
@@ -121,7 +121,7 @@ pub fn fig14(quick: bool) -> ExperimentResult {
             0.0,
             None,
         )];
-        let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 8.0);
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, cross, 8.0);
         let acc = nimbus_accuracy(&out.flows[0], true, 8.0);
         result.row(&format!("nimbus_accuracy_rttx{ratio}"), acc);
         nimbus_right.push((ratio, acc));
@@ -133,7 +133,7 @@ pub fn fig14(quick: bool) -> ExperimentResult {
             0.0,
             None,
         )];
-        let out = run_scheme_vs_cross(&spec, Scheme::Copa, None, cross, 8.0);
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::copa(), None, cross, 8.0);
         let acc = copa_accuracy(&out, 0, true, 8.0, duration);
         result.row(&format!("copa_accuracy_rttx{ratio}"), acc);
         copa_right.push((ratio, acc));
@@ -180,7 +180,7 @@ pub fn fig15(quick: bool) -> ExperimentResult {
                     ));
                 }
             }
-            let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 8.0);
+            let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, cross, 8.0);
             let acc = nimbus_accuracy(&out.flows[0], truth_elastic, 8.0);
             result.row(&format!("{kind}_accuracy_rttx{ratio}"), acc);
         }
@@ -204,7 +204,7 @@ pub fn fig22(quick: bool) -> ExperimentResult {
         vec![0.5, 1.0, 2.0, 4.0]
     };
     for &bdp in &buffers {
-        for scheme in [Scheme::NimbusCubicBasicDelay, Scheme::Cubic] {
+        for scheme in [SchemeSpec::nimbus(), SchemeSpec::cubic()] {
             let spec = ScenarioSpec {
                 buffer_s: bdp * bdp_s,
                 duration_s: duration,
@@ -232,7 +232,7 @@ pub fn fig23(quick: bool) -> ExperimentResult {
         quick,
     );
     for &(rate, tag) in &[(24e6, "24M"), (80e6, "80M")] {
-        for scheme in [Scheme::Copa, Scheme::NimbusCubicBasicDelay] {
+        for scheme in [SchemeSpec::copa(), SchemeSpec::nimbus()] {
             let spec = ScenarioSpec {
                 duration_s: duration,
                 seed: 23,
@@ -268,7 +268,7 @@ pub fn fig24(quick: bool) -> ExperimentResult {
         quick,
     );
     for &(ratio, tag) in &[(1.0, "1x"), (4.0, "4x")] {
-        for scheme in [Scheme::Copa, Scheme::NimbusCubicBasicDelay] {
+        for scheme in [SchemeSpec::copa(), SchemeSpec::nimbus()] {
             let spec = ScenarioSpec {
                 duration_s: duration,
                 seed: 24,
@@ -333,7 +333,7 @@ pub fn fig25(quick: bool) -> ExperimentResult {
                     poisson_cross_flow("poisson", inelastic_rate, 0.05, 251, 0.0, None),
                 ];
                 let mut net = spec.build_network();
-                let cfg = Scheme::NimbusCubicBasicDelay
+                let cfg = SchemeSpec::nimbus()
                     .nimbus_config(rate, spec.seed)
                     .unwrap()
                     .with_pulse_amplitude(pulse);
@@ -344,7 +344,7 @@ pub fn fig25(quick: bool) -> ExperimentResult {
                 for (fc, ep) in cross {
                     net.add_flow(fc, ep);
                 }
-                let out = run_and_collect(net, &[(h, Scheme::NimbusCubicBasicDelay)], 8.0);
+                let out = run_and_collect(net, &[(h, SchemeSpec::nimbus())], 8.0);
                 let acc = nimbus_accuracy(&out.flows[0], true, 8.0);
                 result.row(
                     &format!(
@@ -376,7 +376,7 @@ pub fn fig26(quick: bool) -> ExperimentResult {
             seed: 26,
             ..ScenarioSpec::default_96mbps(duration)
         };
-        let mut cfg = Scheme::NimbusCubicBasicDelay
+        let mut cfg = SchemeSpec::nimbus()
             .nimbus_config(spec.link_rate_bps, spec.seed)
             .unwrap();
         cfg.elasticity.pulse_freq_hz = freq;
@@ -387,7 +387,7 @@ pub fn fig26(quick: bool) -> ExperimentResult {
         );
         let cross = elastic_cross_flow("vivace", CcKind::Vivace, 0.05, 0.0, None);
         net.add_flow(cross.0, cross.1);
-        let out = run_and_collect(net, &[(h, Scheme::NimbusCubicBasicDelay)], 8.0);
+        let out = run_and_collect(net, &[(h, SchemeSpec::nimbus())], 8.0);
         let etas: Vec<f64> = out.flows[0]
             .eta_series
             .iter()
@@ -463,7 +463,7 @@ pub fn table1(quick: bool) -> ExperimentResult {
             ..ScenarioSpec::default_96mbps(duration)
         };
         let cross = vec![build(spec.seed + 1)];
-        let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 8.0);
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, cross, 8.0);
         let m = &out.flows[0];
         let elastic_frac = m
             .eta_series
@@ -527,8 +527,7 @@ pub fn robustness_sweep(quick: bool) -> ExperimentResult {
                         None,
                     )]
                 };
-                let out =
-                    run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 8.0);
+                let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, cross, 8.0);
                 let acc = nimbus_accuracy(&out.flows[0], truth_elastic, 8.0);
                 result.row(&format!("accuracy_{kind}_rtt{rtt_ms}ms_buf{buf}bdp"), acc);
             }
@@ -543,7 +542,7 @@ pub fn robustness_sweep(quick: bool) -> ExperimentResult {
             ..ScenarioSpec::default_96mbps(duration)
         };
         let cross = vec![elastic_cross_flow("reno", CcKind::NewReno, 0.05, 0.0, None)];
-        let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 8.0);
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, cross, 8.0);
         result.row(
             &format!("accuracy_elastic_{tag}"),
             nimbus_accuracy(&out.flows[0], true, 8.0),

@@ -13,7 +13,7 @@
 
 use crate::output::ExperimentResult;
 use crate::runner::{run_scheme_vs_cross, LinkScheduleSpec, ScenarioSpec};
-use crate::scheme::Scheme;
+use crate::scheme::SchemeSpec;
 
 /// First time (seconds) after `after_s` at which the throughput series stays
 /// within `tolerance` of `target` for a full second — the convergence point
@@ -69,7 +69,7 @@ pub fn varying_mu(quick: bool) -> ExperimentResult {
             seed: 31,
             ..ScenarioSpec::default_96mbps(duration)
         };
-        let out = run_scheme_vs_cross(&spec, Scheme::NimbusEstimatedMu, None, Vec::new(), 15.0);
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus_estmu(), None, Vec::new(), 15.0);
         let m = &out.flows[0];
         result.row(&format!("mu_tracking_error_{tag}"), m.mu_tracking_error);
         result.row(&format!("throughput_mbps_{tag}"), m.mean_throughput_mbps);
@@ -105,7 +105,7 @@ pub fn varying_detector(quick: bool) -> ExperimentResult {
             seed: 32,
             ..ScenarioSpec::default_96mbps(duration)
         };
-        let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, Vec::new(), 10.0);
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, Vec::new(), 10.0);
         let m = &out.flows[0];
         result.row(&format!("delay_mode_fraction_{tag}"), m.delay_mode_fraction);
         result.row(&format!("throughput_mbps_{tag}"), m.mean_throughput_mbps);
@@ -132,7 +132,7 @@ pub fn varying_step(quick: bool) -> ExperimentResult {
         "Cubic vs Nimbus under a 96 -> 48 Mbit/s rate step",
         quick,
     );
-    for scheme in [Scheme::Cubic, Scheme::NimbusCubicBasicDelay] {
+    for scheme in [SchemeSpec::cubic(), SchemeSpec::nimbus()] {
         let spec = ScenarioSpec {
             link_rate_bps: 96e6,
             schedule: LinkScheduleSpec::Step {

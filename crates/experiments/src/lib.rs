@@ -31,12 +31,16 @@ pub mod sweep;
 pub mod testkit;
 
 pub use output::ExperimentResult;
-pub use runner::{HopSpec, LinkScheduleSpec, PathSpec, ScenarioSpec, SingleFlowMetrics};
+pub use runner::{
+    CrossFlowSpec, HopSpec, LinkScheduleSpec, PathSpec, ScenarioSpec, SingleFlowMetrics,
+};
+#[allow(deprecated)]
 pub use scheme::Scheme;
-pub use sweep::{run_sweep, sweep_matrix, SweepConfig, SweepReport};
+pub use scheme::{MuSpec, NimbusSpec, ParseSchemeError, SchemeSpec, SwitchSpec};
+pub use sweep::{run_sweep, sweep_matrix, sweep_matrix_with, SweepConfig, SweepReport};
 pub use testkit::{
-    multihop_cells, paper_invariant_matrix, parallel_map, run_matrix, Cell, CellOutcome,
-    CrossTraffic, Invariants,
+    legacy_single_bottleneck_cells, multihop_cells, paper_invariant_matrix, parallel_map,
+    run_matrix, spec_combination_cells, Cell, CellOutcome, CrossTraffic, Invariants,
 };
 
 /// Names of every experiment the harness can regenerate, in paper order.

@@ -3,16 +3,23 @@
 //!
 //! ```text
 //! nimbus-experiments <experiment|all|list> [--quick] [--out DIR]
-//! nimbus-experiments sweep [--quick] [--threads N] [--out PATH]
+//! nimbus-experiments sweep [--quick] [--threads N] [--out PATH] [--scheme SPEC]...
 //! nimbus-experiments sweep-check --baseline PATH --current PATH [--threshold FRAC]
 //! ```
+//!
+//! `--scheme` takes a [`SchemeSpec`](nimbus_experiments::SchemeSpec) string
+//! — a bare CCA (`cubic`, `constant(24M)`) or a Nimbus wrapper composition
+//! (`nimbus(competitive=reno,delay=copa,mu=learned)`) — and may be repeated
+//! to replace the sweep's scheme axis.
 //!
 //! `sweep-check` fails (exit 1) when any cell's events/sec regressed more
 //! than the threshold (default 0.3 = 30%) versus the baseline, unless the
 //! `SWEEP_REGRESSION_OK` environment variable is set (for intentional
 //! changes that re-baseline).
 
-use nimbus_experiments::{run_experiment, ExperimentResult, SweepConfig, ALL_EXPERIMENTS};
+use nimbus_experiments::{
+    run_experiment, ExperimentResult, SchemeSpec, SweepConfig, ALL_EXPERIMENTS,
+};
 use std::path::PathBuf;
 
 fn run_sweep_command(args: &[String]) -> ! {
@@ -41,6 +48,28 @@ fn run_sweep_command(args: &[String]) -> ! {
                 std::process::exit(2);
             }
         }
+    }
+    // Repeated `--scheme SPEC` flags replace the matrix's scheme axis.
+    let mut schemes: Vec<SchemeSpec> = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--scheme" {
+            match args.get(i + 1) {
+                Some(text) => match text.parse::<SchemeSpec>() {
+                    Ok(spec) => schemes.push(spec),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    }
+                },
+                None => {
+                    eprintln!("--scheme requires a spec string, e.g. 'nimbus(competitive=reno)'");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if !schemes.is_empty() {
+        cfg.schemes = Some(schemes);
     }
     match nimbus_experiments::run_sweep(&cfg) {
         Ok(report) => {
@@ -124,10 +153,15 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!("usage: nimbus-experiments <experiment|all|list> [--quick] [--out DIR]");
-        eprintln!("       nimbus-experiments sweep [--quick] [--threads N] [--out PATH]");
+        eprintln!(
+            "       nimbus-experiments sweep [--quick] [--threads N] [--out PATH] [--scheme SPEC]..."
+        );
         eprintln!(
             "       nimbus-experiments sweep-check --baseline PATH --current PATH [--threshold FRAC]"
         );
+        eprintln!("scheme specs: bare CCAs (cubic, newreno, vegas, copa, bbr, vivace, compound,");
+        eprintln!("  constant(<rate>)) or nimbus(competitive=cubic|reno, delay=basic|copa|vegas,");
+        eprintln!("  mu=configured|learned, switch=auto|never)");
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }

@@ -1,12 +1,12 @@
 //! Scenario construction and post-run metric extraction shared by every figure.
 
-use crate::scheme::Scheme;
+use crate::scheme::SchemeSpec;
 use nimbus_core::{Mode, MultiflowConfig, NimbusController};
 use nimbus_netsim::{
     FlowConfig, FlowEndpoint, FlowHandle, LinkConfig, LossModel, Network, QueueKind, RateSchedule,
     Recorder, SimConfig, Time,
 };
-use nimbus_transport::Sender;
+use nimbus_transport::{BackloggedSource, Sender, SenderConfig};
 use serde::{Deserialize, Serialize};
 
 /// How the bottleneck rate moves over a scenario, expressed relative to the
@@ -44,6 +44,12 @@ pub enum LinkScheduleSpec {
         /// Per-interval rates as fractions of the base rate.
         factors: Vec<f64>,
     },
+    /// One of the curated built-in traces shipped with the simulator
+    /// ([`RateSchedule::builtin_trace`]): `cellular`, `wifi`, `step-outage`.
+    NamedTrace {
+        /// The built-in trace's name.
+        name: String,
+    },
 }
 
 impl LinkScheduleSpec {
@@ -73,6 +79,13 @@ impl LinkScheduleSpec {
                 factors.iter().map(|f| f * base_bps).collect(),
                 true,
             ),
+            LinkScheduleSpec::NamedTrace { name } => RateSchedule::builtin_trace(name, base_bps)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "unknown built-in trace `{name}` (available: {})",
+                        RateSchedule::builtin_trace_names().join(", ")
+                    )
+                }),
         }
     }
 
@@ -89,6 +102,7 @@ impl LinkScheduleSpec {
                 period_s,
             } => format!("sin{:.0}p{period_s:.0}", amplitude_frac * 100.0),
             LinkScheduleSpec::Trace { factors, .. } => format!("trace{}", factors.len()),
+            LinkScheduleSpec::NamedTrace { name } => format!("trace-{name}"),
         }
     }
 }
@@ -178,6 +192,35 @@ impl PathSpec {
         1 + self.extra_hops.len()
     }
 
+    /// The nominal bottleneck rate seen by a flow traversing hops
+    /// `[enter, exit]` of this path (inclusive; `None` = the path's tail):
+    /// the minimum base rate over exactly those hops.  Hop 0 is the primary
+    /// bottleneck at `link_rate_bps`.
+    pub fn nominal_mu_over_hops(
+        &self,
+        link_rate_bps: f64,
+        enter: usize,
+        exit: Option<usize>,
+    ) -> f64 {
+        let last = exit
+            .unwrap_or(self.extra_hops.len())
+            .min(self.extra_hops.len());
+        let mut mu = f64::INFINITY;
+        for hop in enter..=last {
+            let rate = if hop == 0 {
+                link_rate_bps
+            } else {
+                self.extra_hops[hop - 1].rate_factor * link_rate_bps
+            };
+            mu = mu.min(rate);
+        }
+        if mu.is_finite() {
+            mu
+        } else {
+            link_rate_bps
+        }
+    }
+
     /// A short slug for cell/result names: empty for a single hop, otherwise
     /// e.g. `-2hop60` (two hops, tightest extra hop at 60% of base).
     pub fn label(&self) -> String {
@@ -199,6 +242,119 @@ impl PathSpec {
             tightest * 100.0,
             if moving { "mv" } else { "" }
         )
+    }
+}
+
+/// One cross-traffic flow described entirely by a [`SchemeSpec`], so a
+/// scenario can place *any* scheme — a bare CCA, a CBR aggregate, or another
+/// Nimbus wrapper — in competition with the monitored flow, on any segment
+/// of the path.  This is what makes heterogeneous-competition scenarios
+/// (e.g. nimbus vs. standalone Copa vs. Cubic on one bottleneck)
+/// declarative.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossFlowSpec {
+    /// The scheme this flow runs.
+    pub scheme: SchemeSpec,
+    /// Flow label; defaults to `<scheme-label>-cross<index>`.
+    pub label: Option<String>,
+    /// When the flow starts, seconds.
+    pub start_s: f64,
+    /// When the application goes away, seconds (`None` = whole run).
+    pub stop_s: Option<f64>,
+    /// Propagation RTT, seconds.
+    pub rtt_s: f64,
+    /// The hop this flow enters the path at.
+    pub entry_hop: usize,
+    /// The last hop this flow traverses (`None` = the path's tail).
+    pub exit_hop: Option<usize>,
+}
+
+impl CrossFlowSpec {
+    /// A backlogged cross flow running `scheme` for the whole run on the
+    /// whole path, 50 ms RTT.
+    pub fn new(scheme: SchemeSpec) -> Self {
+        CrossFlowSpec {
+            scheme,
+            label: None,
+            start_s: 0.0,
+            stop_s: None,
+            rtt_s: 0.05,
+            entry_hop: 0,
+            exit_hop: None,
+        }
+    }
+
+    /// Set the start time (builder style).
+    pub fn starting_at(mut self, start_s: f64) -> Self {
+        self.start_s = start_s;
+        self
+    }
+
+    /// Stop the flow at `stop_s` (builder style).
+    pub fn stopping_at(mut self, stop_s: f64) -> Self {
+        self.stop_s = Some(stop_s);
+        self
+    }
+
+    /// Confine the flow to hops `[enter, exit]` of the path (builder style).
+    pub fn on_hops(mut self, enter: usize, exit: usize) -> Self {
+        self.entry_hop = enter;
+        self.exit_hop = Some(exit);
+        self
+    }
+
+    /// Override the flow label (builder style).
+    pub fn labelled(mut self, label: &str) -> Self {
+        self.label = Some(label.to_string());
+        self
+    }
+
+    /// Materialize the flow against a scenario (`mu_bps` is the path's
+    /// nominal bottleneck rate, for Nimbus wrappers with configured µ).
+    pub fn build(
+        &self,
+        index: usize,
+        mu_bps: f64,
+        seed: u64,
+    ) -> (FlowConfig, Box<dyn FlowEndpoint>) {
+        let label = self
+            .label
+            .clone()
+            .unwrap_or_else(|| format!("{}-cross{index}", self.scheme.label()));
+        let cc_seed = seed.wrapping_mul(193).wrapping_add(index as u64);
+        self.build_labelled(&label, mu_bps, cc_seed)
+    }
+
+    /// [`CrossFlowSpec::build`] with the label and controller seed fully
+    /// resolved by the caller — the single engine behind every
+    /// spec-described cross flow (the testkit's `CrossTraffic` families
+    /// delegate here too, via `figures::scheme_cross_flow`).
+    pub fn build_labelled(
+        &self,
+        label: &str,
+        mu_bps: f64,
+        cc_seed: u64,
+    ) -> (FlowConfig, Box<dyn FlowEndpoint>) {
+        let mut sender_cfg = SenderConfig::labelled(label);
+        if let Some(stop) = self.stop_s {
+            sender_cfg = sender_cfg.stopping_at(Time::from_secs_f64(stop));
+        }
+        let mut cfg = FlowConfig::cross(
+            label,
+            Time::from_secs_f64(self.rtt_s),
+            self.scheme.is_elastic(),
+        )
+        .starting_at(Time::from_secs_f64(self.start_s))
+        .entering_at(self.entry_hop);
+        if let Some(exit) = self.exit_hop {
+            cfg = cfg.exiting_at(exit);
+        }
+        let ep: Box<dyn FlowEndpoint> = Box::new(Sender::new(
+            sender_cfg,
+            self.scheme.build_cc(mu_bps, cc_seed, None),
+            Box::new(BackloggedSource),
+        ));
+        (cfg, ep)
     }
 }
 
@@ -224,6 +380,9 @@ pub struct ScenarioSpec {
     pub loss_probability: f64,
     /// Extra hops after the primary bottleneck (empty = single-link dumbbell).
     pub path: PathSpec,
+    /// Spec-described cross flows, each carrying its own [`SchemeSpec`]
+    /// (added to the network after any imperatively built cross traffic).
+    pub cross_flows: Vec<CrossFlowSpec>,
 }
 
 impl ScenarioSpec {
@@ -239,6 +398,7 @@ impl ScenarioSpec {
             pie_target_s: None,
             loss_probability: 0.0,
             path: PathSpec::single(),
+            cross_flows: Vec::new(),
         }
     }
 
@@ -262,11 +422,7 @@ impl ScenarioSpec {
     /// the minimum base rate over every hop of the path.  Equal to
     /// `link_rate_bps` for single-hop scenarios.
     pub fn nominal_mu_bps(&self) -> f64 {
-        self.path
-            .extra_hops
-            .iter()
-            .map(|h| h.rate_factor * self.link_rate_bps)
-            .fold(self.link_rate_bps, f64::min)
+        self.path.nominal_mu_over_hops(self.link_rate_bps, 0, None)
     }
 
     /// Build the simulator network for this spec.
@@ -372,7 +528,7 @@ pub fn nimbus_of(endpoint: &dyn FlowEndpoint) -> Option<&NimbusController> {
 /// (series always cover the whole run).
 pub fn run_and_collect(
     mut net: Network,
-    handles: &[(FlowHandle, Scheme)],
+    handles: &[(FlowHandle, SchemeSpec)],
     steady_start_s: f64,
 ) -> RunOutput {
     net.run();
@@ -393,7 +549,7 @@ pub fn run_and_collect(
         let window = (steady_start_s, duration_s);
 
         let mut metrics = SingleFlowMetrics {
-            label: scheme.label().to_string(),
+            label: scheme.label(),
             mean_throughput_mbps: tput.mean_in_range(window.0, window.1),
             mean_rtt_ms: rtt.mean_in_range(window.0, window.1),
             median_rtt_ms: nimbus_dsp::percentile(
@@ -476,10 +632,12 @@ pub fn run_and_collect(
 }
 
 /// Convenience: run a single monitored scheme against an arbitrary set of
-/// cross-traffic flows on the given scenario.
+/// cross-traffic flows on the given scenario.  Spec-described cross flows
+/// ([`ScenarioSpec::cross_flows`]) are added after the imperative `cross`
+/// set.
 pub fn run_scheme_vs_cross(
     spec: &ScenarioSpec,
-    scheme: Scheme,
+    scheme: SchemeSpec,
     multiflow: Option<MultiflowConfig>,
     cross: Vec<(FlowConfig, Box<dyn FlowEndpoint>)>,
     steady_start_s: f64,
@@ -487,10 +645,19 @@ pub fn run_scheme_vs_cross(
     let mut net = spec.build_network();
     let endpoint = scheme.build_endpoint(spec.nominal_mu_bps(), spec.seed, multiflow);
     let handle = net.add_flow(
-        FlowConfig::primary(scheme.label(), Time::from_secs_f64(spec.prop_rtt_s)),
+        FlowConfig::primary(&scheme.label(), Time::from_secs_f64(spec.prop_rtt_s)),
         endpoint,
     );
     for (cfg, ep) in cross {
+        net.add_flow(cfg, ep);
+    }
+    for (i, cf) in spec.cross_flows.iter().enumerate() {
+        // A hop-confined flow's nominal µ is the minimum over the hops it
+        // actually traverses, not the whole path's.
+        let mu = spec
+            .path
+            .nominal_mu_over_hops(spec.link_rate_bps, cf.entry_hop, cf.exit_hop);
+        let (cfg, ep) = cf.build(i, mu, spec.seed);
         net.add_flow(cfg, ep);
     }
     run_and_collect(net, &[(handle, scheme)], steady_start_s)
@@ -560,7 +727,7 @@ mod tests {
                 Box::new(FixedSizeSource::new(2_000_000)),
             )),
         )];
-        let out = run_scheme_vs_cross(&spec, Scheme::Cubic, None, cross, 3.0);
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::cubic(), None, cross, 3.0);
         assert_eq!(out.flows.len(), 1);
         let m = &out.flows[0];
         assert_eq!(m.label, "cubic");
@@ -573,12 +740,53 @@ mod tests {
     }
 
     #[test]
+    fn named_trace_schedules_materialize_and_label() {
+        let spec = LinkScheduleSpec::NamedTrace {
+            name: "cellular".to_string(),
+        };
+        let s = spec.to_schedule(48e6);
+        assert_eq!(s.rate_at(Time::ZERO), 48e6);
+        assert!(!s.is_constant());
+        assert_eq!(spec.label(), "trace-cellular");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown built-in trace")]
+    fn unknown_named_trace_panics_with_the_catalogue() {
+        LinkScheduleSpec::NamedTrace {
+            name: "bogus".to_string(),
+        }
+        .to_schedule(48e6);
+    }
+
+    #[test]
+    fn spec_described_cross_flows_compete() {
+        // A declarative heterogeneous scenario: monitored Cubic vs a CBR
+        // aggregate carried entirely by `ScenarioSpec::cross_flows`.
+        let mut spec = ScenarioSpec {
+            duration_s: 15.0,
+            ..ScenarioSpec::fig1_48mbps(15.0)
+        };
+        spec.cross_flows = vec![CrossFlowSpec::new(crate::scheme::SchemeSpec::constant(
+            24e6,
+        ))];
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::cubic(), None, Vec::new(), 5.0);
+        let m = &out.flows[0];
+        // The CBR flow holds its half, so Cubic lands near the other half.
+        assert!(
+            m.mean_throughput_mbps > 14.0 && m.mean_throughput_mbps < 30.0,
+            "cubic got {} Mbit/s against a 24 Mbit/s CBR competitor",
+            m.mean_throughput_mbps
+        );
+    }
+
+    #[test]
     fn nimbus_metrics_include_mode_log() {
         let spec = ScenarioSpec {
             duration_s: 12.0,
             ..ScenarioSpec::fig1_48mbps(12.0)
         };
-        let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, Vec::new(), 3.0);
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, Vec::new(), 3.0);
         let m = &out.flows[0];
         assert_eq!(m.label, "nimbus");
         assert!(!m.mode_log.is_empty());

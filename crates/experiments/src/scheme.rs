@@ -1,116 +1,344 @@
-//! The congestion-control schemes an experiment can place on the monitored flow.
+//! The compositional scheme algebra: what congestion control runs on a flow.
+//!
+//! # Architecture
+//!
+//! The paper's central claim is that elasticity detection is a *building
+//! block*: Nimbus is not one congestion-control algorithm but a **wrapper**
+//! that layers the pulser/detector machinery over two inner controllers — an
+//! arbitrary TCP-competitive scheme and an arbitrary delay-mode scheme — and
+//! switches between them (§4).  The public API here mirrors that directly:
+//!
+//! * [`SchemeSpec::Bare`] — a standalone CCA ([`CcKind`]): `cubic`, `reno`,
+//!   `vegas`, `copa`, `bbr`, `vivace`, `compound`, `constant(<rate>)`, …
+//! * [`SchemeSpec::Nimbus`] — the wrapper, parameterized by a
+//!   [`NimbusSpec`]: which competitive scheme, which delay scheme, whether µ
+//!   is configured or learned at runtime (§4.2), and whether mode switching
+//!   is enabled at all (the paper's "Nimbus delay" baseline disables it).
+//!
+//! Every spec is **string-parseable** ([`std::str::FromStr`]) and prints
+//! back to its canonical form ([`std::fmt::Display`]), so CLI flags, sweep
+//! axes and per-flow scenario entries all take the same grammar:
+//!
+//! ```text
+//! cubic                                   a bare CCA
+//! constant(24M)                           CBR cross traffic at 24 Mbit/s
+//! nimbus                                  the paper's default wrapper
+//! nimbus(competitive=reno)                wrap NewReno instead of Cubic
+//! nimbus(delay=copa,mu=learned)           Copa delay mode, runtime-learned µ
+//! nimbus(switch=never)                    delay mode only ("Nimbus delay")
+//! ```
+//!
+//! Result labels ([`SchemeSpec::label`]) are derived from the spec, and the
+//! legacy [`Scheme`] enum variants survive as deprecated aliases — both as
+//! Rust values (`Scheme::NimbusCubicCopa.spec()`) and as parse strings
+//! (`"NimbusCubicCopa"`, `"nimbus-copa"`) — that map onto specs producing
+//! byte-identical simulations (pinned by `tests/scheme_spec.rs`).
 
 use nimbus_core::{DelayScheme, MultiflowConfig, NimbusConfig, NimbusController, TcpScheme};
 use nimbus_netsim::FlowEndpoint;
-use nimbus_transport::{BackloggedSource, CcKind, Sender, SenderConfig, Source};
-use serde::{Deserialize, Serialize};
+use nimbus_transport::{
+    format_rate_bps, BackloggedSource, CcKind, CongestionControl, Sender, SenderConfig, Source,
+};
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::str::FromStr;
 
-/// A congestion-control scheme under test (the flavours compared in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub enum Scheme {
-    /// Nimbus with Cubic as the competitive scheme and BasicDelay for delay control.
-    NimbusCubicBasicDelay,
-    /// Nimbus with Cubic and Copa's default mode for delay control.
-    NimbusCubicCopa,
-    /// Nimbus with Cubic and Vegas for delay control.
-    NimbusCubicVegas,
-    /// Nimbus's delay-control algorithm alone (no mode switching) — "Nimbus delay".
-    NimbusDelayOnly,
-    /// Nimbus with Cubic + BasicDelay but no configured link rate: µ is
-    /// learned at runtime from the max receive rate (§4.2), which is what
-    /// time-varying-link scenarios exercise.
-    NimbusEstimatedMu,
-    /// TCP Cubic.
-    Cubic,
-    /// TCP NewReno.
-    NewReno,
-    /// TCP Vegas.
-    Vegas,
-    /// Copa (its own mode switching).
-    Copa,
-    /// BBR.
-    Bbr,
-    /// PCC-Vivace.
-    Vivace,
-    /// Compound TCP.
-    Compound,
+/// Where the Nimbus wrapper gets the bottleneck rate µ from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MuSpec {
+    /// µ is configured up front from the scenario's nominal link rate.
+    #[default]
+    Configured,
+    /// µ is learned at runtime from the max receive rate (§4.2).
+    Learned,
 }
 
-impl Scheme {
+/// Whether the Nimbus wrapper may switch into TCP-competitive mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwitchSpec {
+    /// Follow the elasticity detector (the paper's Nimbus).
+    #[default]
+    Auto,
+    /// Never switch: stay in delay mode forever ("Nimbus delay").
+    Never,
+}
+
+/// The parameters of the Nimbus wrapper: elasticity detection layered over
+/// an inner competitive scheme and an inner delay scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NimbusSpec {
+    /// The inner TCP-competitive scheme (used when cross traffic is elastic).
+    pub competitive: TcpScheme,
+    /// The inner delay-controlling scheme (used when it is not).
+    pub delay: DelayScheme,
+    /// Where the bottleneck-rate estimate µ comes from.
+    pub mu: MuSpec,
+    /// Whether mode switching is enabled.
+    pub switch: SwitchSpec,
+}
+
+impl Default for NimbusSpec {
+    /// The paper's default wrapper: Cubic + BasicDelay, configured µ,
+    /// detector-driven switching.
+    fn default() -> Self {
+        NimbusSpec {
+            competitive: TcpScheme::Cubic,
+            delay: DelayScheme::BasicDelay,
+            mu: MuSpec::Configured,
+            switch: SwitchSpec::Auto,
+        }
+    }
+}
+
+/// A congestion-control scheme specification: either a bare CCA or the
+/// Nimbus wrapper composed over inner CCAs.  See the [module docs](self)
+/// for the grammar and the architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchemeSpec {
+    /// The Nimbus wrapper (§4) around inner competitive/delay schemes.
+    Nimbus(NimbusSpec),
+    /// A standalone CCA with no elasticity detection.
+    Bare(CcKind),
+}
+
+/// A scheme-spec parse failure, with an actionable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError(pub String);
+
+impl fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scheme spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl SchemeSpec {
+    // ---- constructors ---------------------------------------------------
+
+    /// The paper's default Nimbus: Cubic-competitive + BasicDelay,
+    /// configured µ, detector-driven switching.
+    pub fn nimbus() -> Self {
+        SchemeSpec::Nimbus(NimbusSpec::default())
+    }
+
+    /// Nimbus with Copa's default mode as the delay scheme (`nimbus-copa`).
+    pub fn nimbus_copa() -> Self {
+        Self::nimbus().with_delay(DelayScheme::CopaDefault)
+    }
+
+    /// Nimbus with Vegas as the delay scheme (`nimbus-vegas`).
+    pub fn nimbus_vegas() -> Self {
+        Self::nimbus().with_delay(DelayScheme::Vegas)
+    }
+
+    /// Nimbus's delay controller alone, mode switching disabled
+    /// (`nimbus-delay`).
+    pub fn nimbus_delay_only() -> Self {
+        Self::nimbus().delay_only()
+    }
+
+    /// Nimbus learning µ at runtime from the max receive rate
+    /// (`nimbus-estmu`, §4.2).
+    pub fn nimbus_estmu() -> Self {
+        Self::nimbus().with_learned_mu()
+    }
+
+    /// Bare TCP Cubic.
+    pub fn cubic() -> Self {
+        SchemeSpec::Bare(CcKind::Cubic)
+    }
+
+    /// Bare TCP NewReno.
+    pub fn newreno() -> Self {
+        SchemeSpec::Bare(CcKind::NewReno)
+    }
+
+    /// Bare TCP Vegas.
+    pub fn vegas() -> Self {
+        SchemeSpec::Bare(CcKind::Vegas)
+    }
+
+    /// Bare Copa (its own mode switching).
+    pub fn copa() -> Self {
+        SchemeSpec::Bare(CcKind::Copa)
+    }
+
+    /// Bare BBR.
+    pub fn bbr() -> Self {
+        SchemeSpec::Bare(CcKind::Bbr)
+    }
+
+    /// Bare PCC-Vivace.
+    pub fn vivace() -> Self {
+        SchemeSpec::Bare(CcKind::Vivace)
+    }
+
+    /// Bare Compound TCP.
+    pub fn compound() -> Self {
+        SchemeSpec::Bare(CcKind::Compound)
+    }
+
+    /// A constant-bit-rate (inelastic) sender at `rate_bps`.
+    pub fn constant(rate_bps: f64) -> Self {
+        SchemeSpec::Bare(CcKind::ConstantRate(rate_bps))
+    }
+
+    // ---- builders (Nimbus only) ----------------------------------------
+
+    fn map_nimbus(self, f: impl FnOnce(&mut NimbusSpec)) -> Self {
+        match self {
+            SchemeSpec::Nimbus(mut n) => {
+                f(&mut n);
+                SchemeSpec::Nimbus(n)
+            }
+            SchemeSpec::Bare(kind) => panic!(
+                "scheme `{}` is a bare CCA; Nimbus options only apply to nimbus(...) specs",
+                kind
+            ),
+        }
+    }
+
+    /// Replace the wrapper's inner TCP-competitive scheme.
+    ///
+    /// # Panics
+    /// Panics on a bare (non-Nimbus) spec.
+    pub fn with_competitive(self, competitive: TcpScheme) -> Self {
+        self.map_nimbus(|n| n.competitive = competitive)
+    }
+
+    /// Replace the wrapper's inner delay-controlling scheme.
+    ///
+    /// # Panics
+    /// Panics on a bare (non-Nimbus) spec.
+    pub fn with_delay(self, delay: DelayScheme) -> Self {
+        self.map_nimbus(|n| n.delay = delay)
+    }
+
+    /// Learn µ at runtime instead of configuring it (§4.2).
+    ///
+    /// # Panics
+    /// Panics on a bare (non-Nimbus) spec.
+    pub fn with_learned_mu(self) -> Self {
+        self.map_nimbus(|n| n.mu = MuSpec::Learned)
+    }
+
+    /// Disable mode switching (the "Nimbus delay" baseline).
+    ///
+    /// # Panics
+    /// Panics on a bare (non-Nimbus) spec.
+    pub fn delay_only(self) -> Self {
+        self.map_nimbus(|n| n.switch = SwitchSpec::Never)
+    }
+
+    // ---- inspection -----------------------------------------------------
+
     /// All schemes plotted in Fig. 8/9.
-    pub fn headline_set() -> Vec<Scheme> {
+    pub fn headline_set() -> Vec<SchemeSpec> {
         vec![
-            Scheme::NimbusCubicBasicDelay,
-            Scheme::Cubic,
-            Scheme::Bbr,
-            Scheme::Vegas,
-            Scheme::Copa,
-            Scheme::Vivace,
+            Self::nimbus(),
+            Self::cubic(),
+            Self::bbr(),
+            Self::vegas(),
+            Self::copa(),
+            Self::vivace(),
         ]
     }
 
-    /// A short label used in result tables.
-    pub fn label(&self) -> &'static str {
-        match self {
-            Scheme::NimbusCubicBasicDelay => "nimbus",
-            Scheme::NimbusCubicCopa => "nimbus-copa",
-            Scheme::NimbusCubicVegas => "nimbus-vegas",
-            Scheme::NimbusDelayOnly => "nimbus-delay",
-            Scheme::NimbusEstimatedMu => "nimbus-estmu",
-            Scheme::Cubic => "cubic",
-            Scheme::NewReno => "newreno",
-            Scheme::Vegas => "vegas",
-            Scheme::Copa => "copa",
-            Scheme::Bbr => "bbr",
-            Scheme::Vivace => "pcc-vivace",
-            Scheme::Compound => "compound",
-        }
-    }
-
-    /// Whether this scheme is a Nimbus variant (whose controller exposes a
+    /// Whether this spec is a Nimbus wrapper (whose controller exposes a
     /// mode log / detector).
     pub fn is_nimbus(&self) -> bool {
-        matches!(
-            self,
-            Scheme::NimbusCubicBasicDelay
-                | Scheme::NimbusCubicCopa
-                | Scheme::NimbusCubicVegas
-                | Scheme::NimbusDelayOnly
-                | Scheme::NimbusEstimatedMu
-        )
+        matches!(self, SchemeSpec::Nimbus(_))
     }
 
-    /// Build a Nimbus configuration for this scheme on a link of `mu_bps`.
-    pub fn nimbus_config(&self, mu_bps: f64, seed: u64) -> Option<NimbusConfig> {
-        let base = NimbusConfig::default_for_link(mu_bps).with_seed(seed);
+    /// Whether a backlogged flow running this spec reacts to competing
+    /// traffic (CBR/unlimited senders do not; everything else does).
+    pub fn is_elastic(&self) -> bool {
         match self {
-            Scheme::NimbusCubicBasicDelay => Some(base),
-            Scheme::NimbusCubicCopa => Some(base.with_delay_scheme(DelayScheme::CopaDefault)),
-            Scheme::NimbusCubicVegas => Some(base.with_delay_scheme(DelayScheme::Vegas)),
-            Scheme::NimbusDelayOnly => {
-                // Delay-only: never pulse into competitive mode by setting an
-                // unreachable elasticity threshold.
-                let mut cfg = base;
-                cfg.elasticity.eta_threshold = f64::INFINITY;
-                Some(cfg)
-            }
-            Scheme::NimbusEstimatedMu => {
-                // Learn µ at runtime (BasicDelay keeps paper defaults derived
-                // from the nominal rate; the estimator and pulse amplitude
-                // follow the learned value).
-                let mut cfg = base;
-                cfg.mu_bps = None;
-                Some(cfg)
-            }
-            _ => None,
+            SchemeSpec::Nimbus(_) => true,
+            SchemeSpec::Bare(kind) => !matches!(kind, CcKind::ConstantRate(_) | CcKind::Unlimited),
         }
     }
 
-    /// Instantiate a backlogged monitored flow running this scheme.
+    /// A short label for result tables and cell names, derived from the
+    /// spec.  Legacy combinations keep their historical labels (`nimbus`,
+    /// `nimbus-copa`, `nimbus-estmu`, `cubic`, `pcc-vivace`, …); novel
+    /// combinations compose suffixes (`nimbus-reno-copa-estmu`).
+    pub fn label(&self) -> String {
+        match self {
+            SchemeSpec::Bare(kind) => match kind {
+                // The exact rate rendering (`cbr24M`, `cbr400k`) keeps
+                // distinct CBR schemes distinct in name-keyed results.
+                CcKind::ConstantRate(bps) => format!("cbr{}", format_rate_bps(*bps)),
+                other => other.name().to_string(),
+            },
+            SchemeSpec::Nimbus(n) => {
+                let mut label = String::from("nimbus");
+                if n.switch == SwitchSpec::Never {
+                    label.push_str("-delay");
+                }
+                if n.competitive == TcpScheme::NewReno {
+                    label.push_str("-reno");
+                }
+                match n.delay {
+                    DelayScheme::BasicDelay => {}
+                    DelayScheme::CopaDefault => label.push_str("-copa"),
+                    DelayScheme::Vegas => label.push_str("-vegas"),
+                }
+                if n.mu == MuSpec::Learned {
+                    label.push_str("-estmu");
+                }
+                label
+            }
+        }
+    }
+
+    // ---- building the sender stack --------------------------------------
+
+    /// Build a Nimbus configuration for this spec on a link of `mu_bps`
+    /// (`None` for bare specs).
+    pub fn nimbus_config(&self, mu_bps: f64, seed: u64) -> Option<NimbusConfig> {
+        let SchemeSpec::Nimbus(n) = self else {
+            return None;
+        };
+        let mut cfg = NimbusConfig::default_for_link(mu_bps)
+            .with_seed(seed)
+            .with_tcp_scheme(n.competitive)
+            .with_delay_scheme(n.delay);
+        if n.mu == MuSpec::Learned {
+            cfg = cfg.with_learned_mu();
+        }
+        if n.switch == SwitchSpec::Never {
+            cfg = cfg.without_switching();
+        }
+        Some(cfg)
+    }
+
+    /// Build just the congestion controller for this spec (the piece a
+    /// [`Sender`] is generic over).
+    pub fn build_cc(
+        &self,
+        mu_bps: f64,
+        seed: u64,
+        multiflow: Option<MultiflowConfig>,
+    ) -> Box<dyn CongestionControl> {
+        match self {
+            SchemeSpec::Nimbus(_) => {
+                let mut cfg = self.nimbus_config(mu_bps, seed).expect("nimbus spec");
+                if let Some(mf) = multiflow {
+                    cfg = cfg.with_multiflow(mf);
+                }
+                Box::new(NimbusController::new(cfg))
+            }
+            SchemeSpec::Bare(kind) => kind.build(1500),
+        }
+    }
+
+    /// Instantiate a backlogged flow endpoint running this spec.
     ///
-    /// `mu_bps` is the bottleneck rate (needed by Nimbus variants), `seed`
-    /// drives any randomized behaviour, and `multiflow` enables the
-    /// pulser/watcher protocol on Nimbus variants.
+    /// `mu_bps` is the path's nominal bottleneck rate (needed by Nimbus
+    /// wrappers with configured µ), `seed` drives any randomized behaviour,
+    /// and `multiflow` enables the pulser/watcher protocol on Nimbus specs.
     pub fn build_endpoint(
         &self,
         mu_bps: f64,
@@ -120,7 +348,7 @@ impl Scheme {
         self.build_endpoint_with_source(mu_bps, seed, multiflow, Box::new(BackloggedSource))
     }
 
-    /// Instantiate a monitored flow running this scheme over a custom source.
+    /// Instantiate a flow endpoint running this spec over a custom source.
     pub fn build_endpoint_with_source(
         &self,
         mu_bps: f64,
@@ -128,37 +356,259 @@ impl Scheme {
         multiflow: Option<MultiflowConfig>,
         source: Box<dyn Source>,
     ) -> Box<dyn FlowEndpoint> {
-        let sender_cfg = SenderConfig::labelled(self.label());
-        let cc: Box<dyn nimbus_transport::CongestionControl> = match self {
-            Scheme::NimbusCubicBasicDelay
-            | Scheme::NimbusCubicCopa
-            | Scheme::NimbusCubicVegas
-            | Scheme::NimbusDelayOnly
-            | Scheme::NimbusEstimatedMu => {
-                let mut cfg = self.nimbus_config(mu_bps, seed).unwrap();
-                if let Some(mf) = multiflow {
-                    cfg = cfg.with_multiflow(mf);
-                }
-                Box::new(NimbusController::new(cfg))
-            }
-            Scheme::Cubic => CcKind::Cubic.build(1500),
-            Scheme::NewReno => CcKind::NewReno.build(1500),
-            Scheme::Vegas => CcKind::Vegas.build(1500),
-            Scheme::Copa => CcKind::Copa.build(1500),
-            Scheme::Bbr => CcKind::Bbr.build(1500),
-            Scheme::Vivace => CcKind::Vivace.build(1500),
-            Scheme::Compound => CcKind::Compound.build(1500),
-        };
-        Box::new(Sender::new(sender_cfg, cc, source))
+        self.build_endpoint_labelled(&self.label(), mu_bps, seed, multiflow, source)
     }
 
-    /// Placeholder for the unused `TcpScheme` import (kept for configuration
-    /// completeness: Nimbus variants could also use NewReno competitively).
-    pub fn competitive_scheme(&self) -> Option<TcpScheme> {
-        if self.is_nimbus() {
-            Some(TcpScheme::Cubic)
-        } else {
-            None
+    /// Instantiate a flow endpoint with an explicit sender label (cross
+    /// flows conventionally label themselves `<scheme>-cross`).
+    pub fn build_endpoint_labelled(
+        &self,
+        label: &str,
+        mu_bps: f64,
+        seed: u64,
+        multiflow: Option<MultiflowConfig>,
+        source: Box<dyn Source>,
+    ) -> Box<dyn FlowEndpoint> {
+        Box::new(Sender::new(
+            SenderConfig::labelled(label),
+            self.build_cc(mu_bps, seed, multiflow),
+            source,
+        ))
+    }
+}
+
+// ---- canonical text form -------------------------------------------------
+
+impl fmt::Display for SchemeSpec {
+    /// The canonical, re-parseable spec string: bare names for bare CCAs,
+    /// `nimbus` for the default wrapper, `nimbus(key=value,...)` with only
+    /// the non-default keys otherwise.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemeSpec::Bare(kind) => write!(f, "{kind}"),
+            SchemeSpec::Nimbus(n) => {
+                let mut opts = Vec::new();
+                if n.competitive == TcpScheme::NewReno {
+                    opts.push("competitive=reno".to_string());
+                }
+                match n.delay {
+                    DelayScheme::BasicDelay => {}
+                    DelayScheme::CopaDefault => opts.push("delay=copa".to_string()),
+                    DelayScheme::Vegas => opts.push("delay=vegas".to_string()),
+                }
+                if n.mu == MuSpec::Learned {
+                    opts.push("mu=learned".to_string());
+                }
+                if n.switch == SwitchSpec::Never {
+                    opts.push("switch=never".to_string());
+                }
+                if opts.is_empty() {
+                    write!(f, "nimbus")
+                } else {
+                    write!(f, "nimbus({})", opts.join(","))
+                }
+            }
+        }
+    }
+}
+
+fn parse_nimbus_options(args: &str) -> Result<NimbusSpec, ParseSchemeError> {
+    let mut spec = NimbusSpec::default();
+    for pair in args.split(',') {
+        let pair = pair.trim();
+        if pair.is_empty() {
+            continue;
+        }
+        let Some((key, value)) = pair.split_once('=') else {
+            return Err(ParseSchemeError(format!(
+                "nimbus option `{pair}` is not of the form key=value \
+                 (expected competitive=, delay=, mu=, or switch=)"
+            )));
+        };
+        match (key.trim(), value.trim()) {
+            ("competitive", "cubic") => spec.competitive = TcpScheme::Cubic,
+            ("competitive", "reno") | ("competitive", "newreno") => {
+                spec.competitive = TcpScheme::NewReno
+            }
+            ("competitive", v) => {
+                return Err(ParseSchemeError(format!(
+                    "unknown competitive scheme `{v}` (expected cubic or reno)"
+                )))
+            }
+            ("delay", "basic") | ("delay", "basicdelay") => spec.delay = DelayScheme::BasicDelay,
+            ("delay", "copa") => spec.delay = DelayScheme::CopaDefault,
+            ("delay", "vegas") => spec.delay = DelayScheme::Vegas,
+            ("delay", v) => {
+                return Err(ParseSchemeError(format!(
+                    "unknown delay scheme `{v}` (expected basic, copa, or vegas)"
+                )))
+            }
+            ("mu", "configured") => spec.mu = MuSpec::Configured,
+            ("mu", "learned") | ("mu", "estimated") => spec.mu = MuSpec::Learned,
+            ("mu", v) => {
+                return Err(ParseSchemeError(format!(
+                    "unknown mu mode `{v}` (expected configured or learned)"
+                )))
+            }
+            ("switch", "auto") => spec.switch = SwitchSpec::Auto,
+            ("switch", "never") | ("switch", "off") => spec.switch = SwitchSpec::Never,
+            ("switch", v) => {
+                return Err(ParseSchemeError(format!(
+                    "unknown switch mode `{v}` (expected auto or never)"
+                )))
+            }
+            (k, _) => {
+                return Err(ParseSchemeError(format!(
+                    "unknown nimbus option `{k}` \
+                     (expected competitive=cubic|reno, delay=basic|copa|vegas, \
+                     mu=configured|learned, switch=auto|never)"
+                )))
+            }
+        }
+    }
+    Ok(spec)
+}
+
+impl FromStr for SchemeSpec {
+    type Err = ParseSchemeError;
+
+    /// Parse a spec string.  Accepts the canonical grammar (see the
+    /// [module docs](self)), the legacy [`Scheme`] variant names
+    /// (`NimbusCubicCopa`, `Vivace`, …) and the legacy labels
+    /// (`nimbus-copa`, `nimbus-estmu`, `pcc-vivace`, …) as aliases.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        // Legacy enum variant names (the old serde encoding of `Scheme`).
+        match trimmed {
+            "NimbusCubicBasicDelay" => return Ok(Self::nimbus()),
+            "NimbusCubicCopa" => return Ok(Self::nimbus_copa()),
+            "NimbusCubicVegas" => return Ok(Self::nimbus_vegas()),
+            "NimbusDelayOnly" => return Ok(Self::nimbus_delay_only()),
+            "NimbusEstimatedMu" => return Ok(Self::nimbus_estmu()),
+            "Cubic" => return Ok(Self::cubic()),
+            "NewReno" => return Ok(Self::newreno()),
+            "Vegas" => return Ok(Self::vegas()),
+            "Copa" => return Ok(Self::copa()),
+            "Bbr" => return Ok(Self::bbr()),
+            "Vivace" => return Ok(Self::vivace()),
+            "Compound" => return Ok(Self::compound()),
+            _ => {}
+        }
+        let lower = trimmed.to_ascii_lowercase();
+        // Legacy labels for the Nimbus flavours.
+        match lower.as_str() {
+            "nimbus" => return Ok(Self::nimbus()),
+            "nimbus-copa" => return Ok(Self::nimbus_copa()),
+            "nimbus-vegas" => return Ok(Self::nimbus_vegas()),
+            "nimbus-delay" => return Ok(Self::nimbus_delay_only()),
+            "nimbus-estmu" => return Ok(Self::nimbus_estmu()),
+            _ => {}
+        }
+        if let Some(rest) = lower.strip_prefix("nimbus(") {
+            let args = rest.strip_suffix(')').ok_or_else(|| {
+                ParseSchemeError(format!("`{trimmed}` is missing the closing `)`"))
+            })?;
+            return Ok(SchemeSpec::Nimbus(parse_nimbus_options(args)?));
+        }
+        // The constant(<rate>)/cbr(<rate>) grammar lives in `CcKind`'s own
+        // `FromStr`; for those heads its diagnostics (bad rate, missing
+        // paren) are the actionable message, while anything else gets the
+        // spec-level overview of the whole grammar.
+        match lower.parse::<CcKind>() {
+            Ok(kind) => Ok(SchemeSpec::Bare(kind)),
+            Err(e) if lower.starts_with("constant(") || lower.starts_with("cbr(") => {
+                Err(ParseSchemeError(e))
+            }
+            Err(_) => Err(ParseSchemeError(format!(
+                "unknown scheme `{trimmed}` (expected a bare CCA such as cubic, newreno, \
+                     vegas, copa, bbr, vivace, compound, constant(<rate>), or a wrapper spec \
+                     such as nimbus(competitive=reno,delay=copa,mu=learned))"
+            ))),
+        }
+    }
+}
+
+impl Serialize for SchemeSpec {
+    /// Serialized as the canonical spec string.
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for SchemeSpec {
+    /// Deserialized from any string [`FromStr`] accepts — including the
+    /// legacy `Scheme` variant names, so pre-redesign serialized data still
+    /// loads.
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Str(s) => s.parse().map_err(|e: ParseSchemeError| serde::Error(e.0)),
+            other => Err(serde::Error(format!(
+                "expected scheme spec string, got {other:?}"
+            ))),
+        }
+    }
+}
+
+// ---- deprecated enum aliases ----------------------------------------------
+
+/// The pre-redesign closed scheme enum.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the compositional `SchemeSpec` algebra instead; every variant maps \
+            onto a spec via `From<Scheme>`"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// `nimbus` — Cubic-competitive + BasicDelay.
+    NimbusCubicBasicDelay,
+    /// `nimbus(delay=copa)`.
+    NimbusCubicCopa,
+    /// `nimbus(delay=vegas)`.
+    NimbusCubicVegas,
+    /// `nimbus(switch=never)` — delay control only.
+    NimbusDelayOnly,
+    /// `nimbus(mu=learned)` — µ learned at runtime (§4.2).
+    NimbusEstimatedMu,
+    /// Bare TCP Cubic.
+    Cubic,
+    /// Bare TCP NewReno.
+    NewReno,
+    /// Bare TCP Vegas.
+    Vegas,
+    /// Bare Copa.
+    Copa,
+    /// Bare BBR.
+    Bbr,
+    /// Bare PCC-Vivace.
+    Vivace,
+    /// Bare Compound TCP.
+    Compound,
+}
+
+#[allow(deprecated)]
+impl Scheme {
+    /// The equivalent compositional spec.
+    pub fn spec(self) -> SchemeSpec {
+        self.into()
+    }
+}
+
+#[allow(deprecated)]
+impl From<Scheme> for SchemeSpec {
+    fn from(scheme: Scheme) -> SchemeSpec {
+        match scheme {
+            Scheme::NimbusCubicBasicDelay => SchemeSpec::nimbus(),
+            Scheme::NimbusCubicCopa => SchemeSpec::nimbus_copa(),
+            Scheme::NimbusCubicVegas => SchemeSpec::nimbus_vegas(),
+            Scheme::NimbusDelayOnly => SchemeSpec::nimbus_delay_only(),
+            Scheme::NimbusEstimatedMu => SchemeSpec::nimbus_estmu(),
+            Scheme::Cubic => SchemeSpec::cubic(),
+            Scheme::NewReno => SchemeSpec::newreno(),
+            Scheme::Vegas => SchemeSpec::vegas(),
+            Scheme::Copa => SchemeSpec::copa(),
+            Scheme::Bbr => SchemeSpec::bbr(),
+            Scheme::Vivace => SchemeSpec::vivace(),
+            Scheme::Compound => SchemeSpec::compound(),
         }
     }
 }
@@ -167,43 +617,186 @@ impl Scheme {
 mod tests {
     use super::*;
 
+    fn all_legacy() -> Vec<SchemeSpec> {
+        vec![
+            SchemeSpec::nimbus(),
+            SchemeSpec::nimbus_copa(),
+            SchemeSpec::nimbus_vegas(),
+            SchemeSpec::nimbus_delay_only(),
+            SchemeSpec::nimbus_estmu(),
+            SchemeSpec::cubic(),
+            SchemeSpec::newreno(),
+            SchemeSpec::vegas(),
+            SchemeSpec::copa(),
+            SchemeSpec::bbr(),
+            SchemeSpec::vivace(),
+            SchemeSpec::compound(),
+        ]
+    }
+
     #[test]
-    fn every_scheme_builds_an_endpoint() {
-        for s in [
-            Scheme::NimbusCubicBasicDelay,
-            Scheme::NimbusCubicCopa,
-            Scheme::NimbusCubicVegas,
-            Scheme::NimbusDelayOnly,
-            Scheme::NimbusEstimatedMu,
-            Scheme::Cubic,
-            Scheme::NewReno,
-            Scheme::Vegas,
-            Scheme::Copa,
-            Scheme::Bbr,
-            Scheme::Vivace,
-            Scheme::Compound,
-        ] {
+    fn every_spec_builds_an_endpoint_with_its_label() {
+        let mut specs = all_legacy();
+        specs.push(SchemeSpec::nimbus().with_competitive(TcpScheme::NewReno));
+        specs.push(SchemeSpec::nimbus_copa().with_learned_mu());
+        specs.push(SchemeSpec::constant(12e6));
+        for s in specs {
             let ep = s.build_endpoint(96e6, 1, None);
             assert_eq!(ep.label(), s.label());
         }
     }
 
     #[test]
-    fn nimbus_configs_only_for_nimbus_variants() {
-        assert!(Scheme::NimbusCubicBasicDelay
+    fn legacy_labels_are_preserved() {
+        let expected = [
+            "nimbus",
+            "nimbus-copa",
+            "nimbus-vegas",
+            "nimbus-delay",
+            "nimbus-estmu",
+            "cubic",
+            "newreno",
+            "vegas",
+            "copa",
+            "bbr",
+            "pcc-vivace",
+            "compound",
+        ];
+        for (spec, want) in all_legacy().iter().zip(expected) {
+            assert_eq!(spec.label(), want);
+        }
+    }
+
+    #[test]
+    fn novel_combinations_compose_labels() {
+        assert_eq!(
+            SchemeSpec::nimbus()
+                .with_competitive(TcpScheme::NewReno)
+                .label(),
+            "nimbus-reno"
+        );
+        assert_eq!(
+            SchemeSpec::nimbus_copa().with_learned_mu().label(),
+            "nimbus-copa-estmu"
+        );
+        assert_eq!(
+            SchemeSpec::nimbus_delay_only()
+                .with_delay(DelayScheme::Vegas)
+                .label(),
+            "nimbus-delay-vegas"
+        );
+        assert_eq!(SchemeSpec::constant(24e6).label(), "cbr24M");
+        assert_eq!(SchemeSpec::constant(4e5).label(), "cbr400k");
+    }
+
+    #[test]
+    fn display_round_trips_and_aliases_parse() {
+        for spec in all_legacy() {
+            let text = spec.to_string();
+            let back: SchemeSpec = text.parse().unwrap();
+            assert_eq!(back, spec, "`{text}` did not round-trip");
+        }
+        // Canonical strings for the interesting flavours.
+        assert_eq!(SchemeSpec::nimbus().to_string(), "nimbus");
+        assert_eq!(SchemeSpec::nimbus_copa().to_string(), "nimbus(delay=copa)");
+        assert_eq!(
+            SchemeSpec::nimbus_delay_only().to_string(),
+            "nimbus(switch=never)"
+        );
+        // Legacy aliases.
+        assert_eq!(
+            "NimbusCubicCopa".parse::<SchemeSpec>().unwrap(),
+            SchemeSpec::nimbus_copa()
+        );
+        assert_eq!(
+            "nimbus-estmu".parse::<SchemeSpec>().unwrap(),
+            SchemeSpec::nimbus_estmu()
+        );
+        assert_eq!(
+            "pcc-vivace".parse::<SchemeSpec>().unwrap(),
+            SchemeSpec::vivace()
+        );
+        // Whitespace and case tolerance.
+        assert_eq!(
+            " Nimbus( Competitive = Reno , Mu = Learned ) "
+                .parse::<SchemeSpec>()
+                .unwrap(),
+            SchemeSpec::nimbus()
+                .with_competitive(TcpScheme::NewReno)
+                .with_learned_mu()
+        );
+        assert_eq!(
+            "constant(24M)".parse::<SchemeSpec>().unwrap(),
+            SchemeSpec::constant(24e6)
+        );
+    }
+
+    #[test]
+    fn malformed_specs_report_actionable_errors() {
+        let err = "nimbus(delay=reno)".parse::<SchemeSpec>().unwrap_err();
+        assert!(err.0.contains("unknown delay scheme"), "{err}");
+        let err = "nimbus(pulse=off)".parse::<SchemeSpec>().unwrap_err();
+        assert!(err.0.contains("unknown nimbus option"), "{err}");
+        let err = "nimbus(delay=copa".parse::<SchemeSpec>().unwrap_err();
+        assert!(err.0.contains("closing"), "{err}");
+        let err = "quic".parse::<SchemeSpec>().unwrap_err();
+        assert!(err.0.contains("unknown scheme"), "{err}");
+        let err = "constant(fast)".parse::<SchemeSpec>().unwrap_err();
+        assert!(err.0.contains("invalid rate"), "{err}");
+    }
+
+    #[test]
+    fn nimbus_configs_only_for_nimbus_specs() {
+        assert!(SchemeSpec::nimbus().nimbus_config(96e6, 1).is_some());
+        assert!(SchemeSpec::cubic().nimbus_config(96e6, 1).is_none());
+        assert!(SchemeSpec::nimbus().is_nimbus());
+        assert!(!SchemeSpec::bbr().is_nimbus());
+        // The spec options actually reach the config.
+        let cfg = SchemeSpec::nimbus()
+            .with_competitive(TcpScheme::NewReno)
             .nimbus_config(96e6, 1)
-            .is_some());
-        assert!(Scheme::Cubic.nimbus_config(96e6, 1).is_none());
-        assert!(Scheme::NimbusCubicBasicDelay.is_nimbus());
-        assert!(!Scheme::Bbr.is_nimbus());
+            .unwrap();
+        assert_eq!(cfg.tcp_scheme, TcpScheme::NewReno);
+        let cfg = SchemeSpec::nimbus_delay_only()
+            .nimbus_config(96e6, 1)
+            .unwrap();
+        assert!(cfg.elasticity.eta_threshold.is_infinite());
+        let cfg = SchemeSpec::nimbus_estmu().nimbus_config(96e6, 1).unwrap();
+        assert!(cfg.mu_bps.is_none());
     }
 
     #[test]
     fn headline_set_covers_the_paper_baselines() {
-        let set = Scheme::headline_set();
-        assert!(set.contains(&Scheme::Cubic));
-        assert!(set.contains(&Scheme::Bbr));
-        assert!(set.contains(&Scheme::Copa));
-        assert!(set.contains(&Scheme::Vivace));
+        let set = SchemeSpec::headline_set();
+        assert!(set.contains(&SchemeSpec::cubic()));
+        assert!(set.contains(&SchemeSpec::bbr()));
+        assert!(set.contains(&SchemeSpec::copa()));
+        assert!(set.contains(&SchemeSpec::vivace()));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_enum_variants_convert() {
+        assert_eq!(Scheme::NimbusCubicBasicDelay.spec(), SchemeSpec::nimbus());
+        assert_eq!(
+            Scheme::NimbusDelayOnly.spec(),
+            SchemeSpec::nimbus_delay_only()
+        );
+        assert_eq!(Scheme::Vivace.spec(), SchemeSpec::vivace());
+    }
+
+    #[test]
+    fn serde_round_trips_including_legacy_strings() {
+        let spec = SchemeSpec::nimbus_copa().with_learned_mu();
+        let v = spec.to_value();
+        assert_eq!(v, Value::Str("nimbus(delay=copa,mu=learned)".to_string()));
+        assert_eq!(SchemeSpec::from_value(&v).unwrap(), spec);
+        // The old enum's serde encoding (unit variant name) still loads.
+        let legacy = Value::Str("NimbusEstimatedMu".to_string());
+        assert_eq!(
+            SchemeSpec::from_value(&legacy).unwrap(),
+            SchemeSpec::nimbus_estmu()
+        );
+        assert!(SchemeSpec::from_value(&Value::Int(3)).is_err());
     }
 }

@@ -3,14 +3,20 @@
 //! events-per-second throughput as a benchmark baseline.
 //!
 //! This promotes the testkit's work-queue parallelism
-//! ([`parallel_map`](crate::testkit::parallel_map)) into a user-facing
+//! ([`parallel_map`]) into a user-facing
 //! command: every future PR can run `nimbus-experiments sweep --quick` and
 //! diff the resulting `BENCH_sweep.json` against the committed baseline to
 //! see whether the hot paths got faster or slower.
+//!
+//! The scheme axis takes [`SchemeSpec`] strings: repeated `--scheme` flags
+//! (`sweep --scheme 'nimbus(competitive=reno,mu=learned)' --scheme cubic`)
+//! replace the default axis, benchmarking exactly those schemes across the
+//! cross-traffic/rate/schedule dimensions.
 
 use crate::runner::{LinkScheduleSpec, PathSpec};
-use crate::scheme::Scheme;
+use crate::scheme::SchemeSpec;
 use crate::testkit::{parallel_map, Cell, CrossTraffic, Invariants};
+use nimbus_core::TcpScheme;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -24,6 +30,9 @@ pub struct SweepConfig {
     pub threads: Option<usize>,
     /// Where to write the JSON report.
     pub out: PathBuf,
+    /// Override the matrix's scheme axis (`--scheme` on the CLI, repeatable,
+    /// each value a [`SchemeSpec`] string).  `None` runs the default axis.
+    pub schemes: Option<Vec<SchemeSpec>>,
 }
 
 impl Default for SweepConfig {
@@ -32,6 +41,7 @@ impl Default for SweepConfig {
             quick: false,
             threads: None,
             out: PathBuf::from("BENCH_sweep.json"),
+            schemes: None,
         }
     }
 }
@@ -81,15 +91,27 @@ pub struct SweepReport {
 /// seeds.  The quick variant covers every schedule family but trims the
 /// slower dimensions so CI can afford it per-PR.
 pub fn sweep_matrix(quick: bool) -> Vec<Cell> {
-    let schemes: Vec<Scheme> = if quick {
-        vec![Scheme::NimbusCubicBasicDelay, Scheme::Cubic]
-    } else {
-        vec![
-            Scheme::NimbusCubicBasicDelay,
-            Scheme::Cubic,
-            Scheme::Vegas,
-            Scheme::Bbr,
-        ]
+    sweep_matrix_with(quick, None)
+}
+
+/// [`sweep_matrix`] with an optional override of the scheme axis: pass the
+/// specs from repeated `--scheme` flags to benchmark exactly those schemes
+/// across the cross/rate/schedule dimensions and the multi-hop path shapes.
+/// The fixed new-combination slice (spec-built wrapper compositions, the
+/// built-in trace) is only appended for the default axis — it exists to
+/// keep the CI perf gate covering those paths, not to dilute an explicit
+/// axis.
+pub fn sweep_matrix_with(quick: bool, scheme_axis: Option<&[SchemeSpec]>) -> Vec<Cell> {
+    let default_axis = scheme_axis.is_none();
+    let schemes: Vec<SchemeSpec> = match scheme_axis {
+        Some(axis) => axis.to_vec(),
+        None if quick => vec![SchemeSpec::nimbus(), SchemeSpec::cubic()],
+        None => vec![
+            SchemeSpec::nimbus(),
+            SchemeSpec::cubic(),
+            SchemeSpec::vegas(),
+            SchemeSpec::bbr(),
+        ],
     };
     let crosses: Vec<CrossTraffic> = if quick {
         vec![
@@ -107,7 +129,7 @@ pub fn sweep_matrix(quick: bool) -> Vec<Cell> {
             CrossTraffic::Poisson {
                 fraction_of_mu: 0.5,
             },
-            CrossTraffic::ElasticCubic,
+            CrossTraffic::elastic_cubic(),
         ]
     };
     let rates: Vec<f64> = if quick { vec![48e6] } else { vec![48e6, 96e6] };
@@ -127,13 +149,13 @@ pub fn sweep_matrix(quick: bool) -> Vec<Cell> {
 
     let mut cells = Vec::new();
     for &scheme in &schemes {
-        for &cross in &crosses {
+        for cross in &crosses {
             for &rate in &rates {
                 for schedule in &schedules {
                     for &seed in &seeds {
                         cells.push(Cell {
                             scheme,
-                            cross,
+                            cross: cross.clone(),
                             link_rate_bps: rate,
                             schedule: schedule.clone(),
                             path: PathSpec::single(),
@@ -175,10 +197,10 @@ pub fn sweep_matrix(quick: bool) -> Vec<Cell> {
     };
     for &scheme in &schemes {
         for (schedule, path) in &paths {
-            for &cross in &path_crosses {
+            for cross in &path_crosses {
                 cells.push(Cell {
                     scheme,
-                    cross,
+                    cross: cross.clone(),
                     link_rate_bps: 48e6,
                     schedule: schedule.clone(),
                     path: path.clone(),
@@ -190,12 +212,62 @@ pub fn sweep_matrix(quick: bool) -> Vec<Cell> {
             }
         }
     }
+
+    // New-combination cells (default axis only): schemes and competition
+    // shapes only the compositional `SchemeSpec` builder can assemble, plus
+    // a curated built-in trace.  Keeping them in the quick matrix means the
+    // CI perf gate covers the spec-built path, not just the legacy
+    // combinations.
+    if default_axis {
+        let combos: Vec<(SchemeSpec, CrossTraffic, LinkScheduleSpec)> = vec![
+            (
+                SchemeSpec::nimbus().with_competitive(TcpScheme::NewReno),
+                CrossTraffic::elastic_cubic(),
+                LinkScheduleSpec::Constant,
+            ),
+            (
+                SchemeSpec::nimbus_copa().with_learned_mu(),
+                CrossTraffic::None,
+                LinkScheduleSpec::Sinusoid {
+                    amplitude_frac: 0.1,
+                    period_s: 10.0,
+                },
+            ),
+            (
+                SchemeSpec::nimbus(),
+                CrossTraffic::Mix {
+                    specs: vec![SchemeSpec::copa(), SchemeSpec::cubic()],
+                },
+                LinkScheduleSpec::Constant,
+            ),
+            (
+                SchemeSpec::cubic(),
+                CrossTraffic::None,
+                LinkScheduleSpec::NamedTrace {
+                    name: "cellular".to_string(),
+                },
+            ),
+        ];
+        for (scheme, cross, schedule) in combos {
+            cells.push(Cell {
+                scheme,
+                cross,
+                link_rate_bps: 48e6,
+                schedule,
+                path: PathSpec::single(),
+                seed: 1,
+                duration_s,
+                steady_start_s: duration_s * 0.25,
+                invariants: Invariants::default(),
+            });
+        }
+    }
     cells
 }
 
 /// Run the sweep matrix in parallel, timing each cell, and write the report.
 pub fn run_sweep(cfg: &SweepConfig) -> std::io::Result<SweepReport> {
-    let cells = sweep_matrix(cfg.quick);
+    let cells = sweep_matrix_with(cfg.quick, cfg.schemes.as_deref());
     let threads = cfg
         .threads
         .unwrap_or_else(|| {
@@ -362,6 +434,31 @@ mod tests {
             multihop.iter().any(|c| c.path.label().contains("mv")),
             "quick sweep needs a moving-bottleneck cell"
         );
+    }
+
+    #[test]
+    fn quick_matrix_includes_new_combination_cells() {
+        let cells = sweep_matrix(true);
+        let names: Vec<String> = cells.iter().map(|c| c.name()).collect();
+        // Spec-built combinations the legacy enum could not express, plus a
+        // built-in trace, are part of the per-PR perf gate.
+        assert!(
+            names.iter().any(|n| n.starts_with("nimbus-reno@")),
+            "{names:?}"
+        );
+        assert!(names.iter().any(|n| n.starts_with("nimbus-copa-estmu@")));
+        assert!(names.iter().any(|n| n.contains("-vs-copa+cubic-")));
+        assert!(names.iter().any(|n| n.contains("trace-cellular")));
+    }
+
+    #[test]
+    fn scheme_axis_override_benchmarks_exactly_those_schemes() {
+        let axis = vec![SchemeSpec::vegas()];
+        let cells = sweep_matrix_with(true, Some(&axis));
+        assert!(!cells.is_empty());
+        assert!(cells.iter().all(|c| c.scheme == SchemeSpec::vegas()));
+        // The default-axis extras are not appended for an explicit axis.
+        assert!(cells.iter().all(|c| !c.name().contains("copa+cubic")));
     }
 
     #[test]

@@ -94,6 +94,61 @@ impl RateSchedule {
         }
     }
 
+    /// The names of the curated built-in traces accepted by
+    /// [`RateSchedule::builtin_trace`], for error messages and docs.
+    pub fn builtin_trace_names() -> &'static [&'static str] {
+        &["cellular", "wifi", "step-outage"]
+    }
+
+    /// The curated built-in trace with the given name, as `(interval_s,
+    /// factors-of-base-rate)`, or `None` for an unknown name.
+    ///
+    /// * `cellular` — LTE-like: large swings (0.15–1.5× base) with deep
+    ///   fades, 500 ms granularity, repeating every 16 s.
+    /// * `wifi` — moderate variation (0.55–1.2× base) with occasional dips
+    ///   from contention, 200 ms granularity, repeating every 4.8 s.
+    /// * `step-outage` — nominal rate with a 2-second near-outage (0.02×)
+    ///   and a staged recovery, 1 s granularity, repeating every 16 s.
+    pub fn builtin_trace_factors(name: &str) -> Option<(f64, &'static [f64])> {
+        match name {
+            "cellular" => Some((
+                0.5,
+                &[
+                    1.0, 1.2, 0.9, 0.5, 0.3, 0.15, 0.4, 0.8, 1.1, 1.5, 1.3, 0.7, 0.45, 0.25, 0.6,
+                    1.0, 1.4, 1.1, 0.8, 0.35, 0.2, 0.55, 0.9, 1.2, 1.0, 0.65, 0.4, 0.85, 1.3, 1.5,
+                    1.1, 0.75,
+                ],
+            )),
+            "wifi" => Some((
+                0.2,
+                &[
+                    1.0, 1.1, 1.2, 1.0, 0.9, 1.1, 0.7, 0.6, 1.0, 1.2, 1.1, 0.95, 0.8, 0.55, 0.9,
+                    1.15, 1.05, 1.0, 0.85, 0.7, 1.1, 1.2, 0.95, 0.65,
+                ],
+            )),
+            "step-outage" => Some((
+                1.0,
+                &[
+                    1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.02, 0.02, 0.3, 0.6, 1.0, 1.0, 1.0, 1.0, 1.0,
+                    1.0,
+                ],
+            )),
+            _ => None,
+        }
+    }
+
+    /// A curated built-in trace materialized against `base_bps` (the trace's
+    /// factors scale the base rate), or `None` for an unknown name.  See
+    /// [`RateSchedule::builtin_trace_factors`] for the catalogue.
+    pub fn builtin_trace(name: &str, base_bps: f64) -> Option<Self> {
+        let (interval_s, factors) = Self::builtin_trace_factors(name)?;
+        Some(Self::trace(
+            Time::from_secs_f64(interval_s),
+            factors.iter().map(|f| f * base_bps).collect(),
+            true,
+        ))
+    }
+
     /// A trace schedule from per-interval rates.
     pub fn trace(interval: Time, rates_bps: Vec<f64>, repeat: bool) -> Self {
         assert!(
@@ -360,6 +415,28 @@ mod tests {
             wrap.next_transition_after(Time::from_millis(350)),
             Some(Time::from_millis(400))
         );
+    }
+
+    #[test]
+    fn builtin_traces_materialize_and_unknown_names_do_not() {
+        for &name in RateSchedule::builtin_trace_names() {
+            let (interval_s, factors) = RateSchedule::builtin_trace_factors(name).unwrap();
+            assert!(interval_s > 0.0);
+            assert!(factors.len() >= 8, "trace {name} too short to be useful");
+            let s = RateSchedule::builtin_trace(name, 48e6).unwrap();
+            // Factors scale the base rate; the schedule repeats.
+            assert_eq!(s.rate_at(Time::ZERO), (factors[0] * 48e6).max(MIN_RATE_BPS));
+            let period = interval_s * factors.len() as f64;
+            assert_eq!(
+                s.rate_at(Time::from_secs_f64(period + interval_s / 2.0)),
+                s.rate_at(Time::from_secs_f64(interval_s / 2.0)),
+            );
+        }
+        // The outage trace actually dips near zero but never to zero.
+        let outage = RateSchedule::builtin_trace("step-outage", 48e6).unwrap();
+        assert!(outage.min_rate_bps() < 2e6);
+        assert!(outage.min_rate_bps() >= MIN_RATE_BPS);
+        assert!(RateSchedule::builtin_trace("nonexistent", 48e6).is_none());
     }
 
     #[test]

@@ -136,6 +136,23 @@ impl NimbusConfig {
         self.seed = seed;
         self
     }
+
+    /// Learn µ at runtime from the max receive rate (§4.2) instead of
+    /// trusting a configured link rate.  BasicDelay keeps the paper defaults
+    /// derived from the nominal rate; the estimator and pulse amplitude
+    /// follow the learned value.
+    pub fn with_learned_mu(mut self) -> Self {
+        self.mu_bps = None;
+        self
+    }
+
+    /// Disable mode switching: the controller stays in delay mode forever
+    /// (the paper's "Nimbus delay" baseline) by setting an unreachable
+    /// elasticity threshold.
+    pub fn without_switching(mut self) -> Self {
+        self.elasticity.eta_threshold = f64::INFINITY;
+        self
+    }
 }
 
 /// A `(time, mode)` entry in the mode log.

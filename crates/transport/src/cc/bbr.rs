@@ -1,4 +1,4 @@
-//! BBR (Cardwell et al. — the paper's reference [5]), modelled after v1.
+//! BBR (Cardwell et al. — the paper's reference \[5\]), modelled after v1.
 //!
 //! BBR estimates the bottleneck bandwidth `b` (max delivery rate over a
 //! 10-RTT window) and the minimum RTT `d` (min over 10 s), paces at

@@ -1,4 +1,4 @@
-//! Copa (Arun & Balakrishnan, NSDI 2018 — the paper's reference [2]).
+//! Copa (Arun & Balakrishnan, NSDI 2018 — the paper's reference \[2\]).
 //!
 //! Copa targets a sending rate of `1/(δ·d_q)` packets per RTT where `d_q` is
 //! the estimated queueing delay.  The window moves towards the target with a

@@ -1,4 +1,4 @@
-//! TCP Cubic congestion control (Ha, Rhee, Xu — the paper's reference [12]).
+//! TCP Cubic congestion control (Ha, Rhee, Xu — the paper's reference \[12\]).
 //!
 //! Cubic is the paper's default TCP-competitive mode and its canonical
 //! example of elastic, buffer-filling cross traffic.  The window grows as

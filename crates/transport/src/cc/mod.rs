@@ -14,7 +14,7 @@
 //! | [`vivace`]   | PCC-Vivace      | baseline; rate-based (non-ACK-clocked) elastic flow   |
 //! | [`compound`] | Compound TCP    | baseline                                              |
 //! | [`constant`] | CBR / unlimited | inelastic cross traffic                                |
-//! | [`basic_delay`] | BasicDelay   | the paper's Eq. 4 delay controller (used by Nimbus)   |
+//! | `basic_delay` | BasicDelay   | the paper's Eq. 4 delay controller (used by Nimbus)   |
 //!
 //! `BasicDelay` needs the cross-traffic estimate, so it lives in
 //! `nimbus-core`; everything else is here.
@@ -165,6 +165,94 @@ impl CcKind {
     }
 }
 
+/// Parse a bit-rate string: a plain number is bits/s, and a trailing
+/// `k`/`M`/`G` (case-insensitive) scales by 10³/10⁶/10⁹ — `48M`, `2.5M`,
+/// `1200k`, `96000000` are all valid.
+pub fn parse_rate_bps(s: &str) -> Result<f64, String> {
+    let s = s.trim();
+    let (digits, multiplier) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 1e3),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 1e6),
+        Some('g') | Some('G') => (&s[..s.len() - 1], 1e9),
+        _ => (s, 1.0),
+    };
+    let value: f64 = digits.trim().parse().map_err(|_| {
+        format!("invalid rate `{s}`: expected a number with optional k/M/G suffix, e.g. `48M`")
+    })?;
+    if !value.is_finite() || value <= 0.0 {
+        return Err(format!("invalid rate `{s}`: must be positive and finite"));
+    }
+    Ok(value * multiplier)
+}
+
+/// Render a bit-rate the way [`parse_rate_bps`] reads it, preferring the
+/// shortest exact form (`48M`, `1200k`, `2.5M`, …).  The fallback is the
+/// shortest decimal that round-trips through `f64`.
+pub fn format_rate_bps(bps: f64) -> String {
+    for (div, suffix) in [(1e9, "G"), (1e6, "M"), (1e3, "k")] {
+        let scaled = bps / div;
+        // `{}` on f64 prints the shortest decimal that round-trips, and the
+        // guard re-applies the parser's own multiplication, so the printed
+        // form always parses back to exactly `bps`.
+        if scaled >= 1.0 && scaled * div == bps {
+            return format!("{scaled}{suffix}");
+        }
+    }
+    if bps.fract() == 0.0 && bps < 1e15 {
+        format!("{}", bps as u64)
+    } else {
+        format!("{bps:?}")
+    }
+}
+
+impl std::fmt::Display for CcKind {
+    /// The canonical spec-string form, re-parseable by the `FromStr` impl:
+    /// bare lowercase names plus `constant(<rate>)` for CBR senders.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CcKind::Vivace => write!(f, "vivace"),
+            CcKind::ConstantRate(bps) => write!(f, "constant({})", format_rate_bps(*bps)),
+            other => write!(f, "{}", other.name()),
+        }
+    }
+}
+
+impl std::str::FromStr for CcKind {
+    type Err = String;
+
+    /// Parse a bare-CCA spec string: `cubic`, `newreno` (alias `reno`),
+    /// `vegas`, `copa`, `bbr`, `vivace` (alias `pcc-vivace`), `compound`,
+    /// `unlimited`, or `constant(<rate>)` (alias `cbr(<rate>)`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "cubic" => return Ok(CcKind::Cubic),
+            "newreno" | "reno" => return Ok(CcKind::NewReno),
+            "vegas" => return Ok(CcKind::Vegas),
+            "copa" => return Ok(CcKind::Copa),
+            "bbr" => return Ok(CcKind::Bbr),
+            "vivace" | "pcc-vivace" => return Ok(CcKind::Vivace),
+            "compound" => return Ok(CcKind::Compound),
+            "unlimited" => return Ok(CcKind::Unlimited),
+            _ => {}
+        }
+        if let Some(args) = lower
+            .strip_prefix("constant(")
+            .or_else(|| lower.strip_prefix("cbr("))
+        {
+            let rate = args.strip_suffix(')').ok_or_else(|| {
+                format!("invalid scheme `{s}`: missing closing `)` after the rate")
+            })?;
+            return Ok(CcKind::ConstantRate(parse_rate_bps(rate)?));
+        }
+        Err(format!(
+            "unknown congestion-control scheme `{s}` (expected cubic, newreno, vegas, copa, \
+             bbr, vivace, compound, unlimited, or constant(<rate>) such as constant(24M))"
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +278,53 @@ mod tests {
                 cc.name()
             );
         }
+    }
+
+    #[test]
+    fn rates_parse_and_format_exactly() {
+        assert_eq!(parse_rate_bps("48M").unwrap(), 48e6);
+        assert_eq!(parse_rate_bps("1200k").unwrap(), 1.2e6);
+        assert_eq!(parse_rate_bps("2.5M").unwrap(), 2.5e6);
+        assert_eq!(parse_rate_bps("1G").unwrap(), 1e9);
+        assert_eq!(parse_rate_bps(" 96000000 ").unwrap(), 96e6);
+        assert!(parse_rate_bps("fast").is_err());
+        assert!(parse_rate_bps("-3M").is_err());
+        assert!(parse_rate_bps("").is_err());
+
+        assert_eq!(format_rate_bps(48e6), "48M");
+        assert_eq!(format_rate_bps(2.5e6), "2.5M");
+        assert_eq!(format_rate_bps(1e9), "1G");
+        assert_eq!(format_rate_bps(999.0), "999");
+        // Round-trip exactness for awkward values.
+        for bps in [4e5, 1.23e6, 7.0, 123456789.0, 2.5e3, 48e6 / 7.0] {
+            let text = format_rate_bps(bps);
+            assert_eq!(parse_rate_bps(&text).unwrap(), bps, "via `{text}`");
+        }
+    }
+
+    #[test]
+    fn kind_display_round_trips_through_from_str() {
+        for kind in [
+            CcKind::NewReno,
+            CcKind::Cubic,
+            CcKind::Vegas,
+            CcKind::Copa,
+            CcKind::Bbr,
+            CcKind::Vivace,
+            CcKind::Compound,
+            CcKind::ConstantRate(2.5e6),
+            CcKind::Unlimited,
+        ] {
+            let text = kind.to_string();
+            assert_eq!(text.parse::<CcKind>().unwrap(), kind, "via `{text}`");
+        }
+        assert_eq!("reno".parse::<CcKind>().unwrap(), CcKind::NewReno);
+        assert_eq!("pcc-vivace".parse::<CcKind>().unwrap(), CcKind::Vivace);
+        assert_eq!(
+            "cbr(24M)".parse::<CcKind>().unwrap(),
+            CcKind::ConstantRate(24e6)
+        );
+        assert!("quic".parse::<CcKind>().is_err());
     }
 
     #[test]

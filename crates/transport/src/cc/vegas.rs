@@ -1,4 +1,4 @@
-//! TCP Vegas (Brakmo & Peterson — the paper's reference [3]).
+//! TCP Vegas (Brakmo & Peterson — the paper's reference \[3\]).
 //!
 //! Vegas estimates the number of its own packets sitting in the bottleneck
 //! queue as `diff = cwnd · (1 − baseRTT/RTT)` and holds it between `α` and

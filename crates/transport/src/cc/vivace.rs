@@ -1,4 +1,4 @@
-//! PCC-Vivace (Dong et al., NSDI 2018 — the paper's reference [7]).
+//! PCC-Vivace (Dong et al., NSDI 2018 — the paper's reference \[7\]).
 //!
 //! Vivace is a rate-based, online-learning controller.  Time is divided into
 //! monitor intervals (MIs) of roughly one RTT; in each MI the sender measures

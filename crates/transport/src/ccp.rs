@@ -1,6 +1,6 @@
 //! CCP-style measurement reports.
 //!
-//! The paper implements Nimbus on CCP [23], whose datapath reports aggregate
+//! The paper implements Nimbus on CCP \[23\], whose datapath reports aggregate
 //! measurements to the user-space controller every 10 ms (§4.2): bytes acked,
 //! losses, the RTT, and — crucially for Nimbus — the send rate `S` and receive
 //! rate `R` measured over the most recent window of packets (Eq. 2).

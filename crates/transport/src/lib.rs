@@ -30,7 +30,7 @@ pub mod rtt;
 pub mod sender;
 pub mod source;
 
-pub use cc::{CcKind, CongestionControl};
+pub use cc::{format_rate_bps, parse_rate_bps, CcKind, CongestionControl};
 pub use ccp::{Report, ReportAggregator};
 pub use rtt::RttEstimator;
 pub use sender::{Sender, SenderConfig};

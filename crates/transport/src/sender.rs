@@ -5,7 +5,7 @@
 //! uses (§4.2): sequence tracking, windowing, pacing, duplicate-ACK and
 //! timeout-based loss recovery, RTT estimation and the 10 ms measurement
 //! report.  The congestion-control "program" on top only ever sees
-//! [`AckEvent`](crate::cc::AckEvent)s, loss notifications and
+//! [`AckEvent`]s, loss notifications and
 //! [`Report`](crate::ccp::Report)s, and only ever answers with a window and
 //! an optional pacing rate.
 
@@ -235,6 +235,22 @@ impl Sender {
         self.rtx_pending.clear();
         if self.next_seq > self.cum_acked {
             self.queue_retransmit(self.cum_acked);
+        }
+        if self.rto_backoff >= 2 {
+            // Second consecutive timeout with zero progress: the first RTO's
+            // retransmission never got through — the signature of a whole
+            // flight dropped at once (e.g. a deep rate fade shrinking the
+            // queue) with no surviving SACKs to drain `in_flight_packets()`.
+            // The phantom flight then pins `in_flight` above the post-timeout
+            // cwnd, the `in_flight < cwnd` send gate never opens, and backoff
+            // walks to the 60 s cap while the flow sits dead.  Deem the
+            // entire unsacked flight lost (RFC 5681: after an RTO the pipe is
+            // empty) by queueing every hole — queued segments don't count as
+            // in flight, so the gate opens and recovery proceeds ACK-clocked,
+            // skipping anything SACKed in the meantime.
+            for seq in self.cum_acked..self.next_seq {
+                self.queue_retransmit(seq);
+            }
         }
         self.dup_acks = 0;
         self.recovery_point = None;

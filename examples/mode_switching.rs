@@ -8,7 +8,7 @@
 
 use nimbus_repro::experiments::figures::fig1_cross_traffic;
 use nimbus_repro::experiments::runner::{run_scheme_vs_cross, ScenarioSpec};
-use nimbus_repro::experiments::Scheme;
+use nimbus_repro::experiments::SchemeSpec;
 
 fn main() {
     // Quarter-scale Fig. 1: 45 s total, elastic phase 7.5–22.5 s, inelastic
@@ -20,7 +20,7 @@ fn main() {
         ..ScenarioSpec::fig1_48mbps(180.0 * scale)
     };
     let cross = fig1_cross_traffic(scale, 24e6, 11);
-    let out = run_scheme_vs_cross(&spec, Scheme::NimbusCubicBasicDelay, None, cross, 2.0);
+    let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, cross, 2.0);
     let m = &out.flows[0];
     println!("Nimbus on the Fig. 1 scenario (quarter scale):");
     println!("  mean throughput : {:.1} Mbit/s", m.mean_throughput_mbps);

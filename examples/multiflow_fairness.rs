@@ -8,7 +8,7 @@
 
 use nimbus_repro::experiments::runner::ScenarioSpec;
 use nimbus_repro::experiments::runner::{nimbus_of, run_and_collect};
-use nimbus_repro::experiments::Scheme;
+use nimbus_repro::experiments::SchemeSpec;
 use nimbus_repro::netsim::{FlowConfig, Time};
 use nimbus_repro::nimbus::controller::nimbus_flow;
 use nimbus_repro::nimbus::MultiflowConfig;
@@ -22,7 +22,7 @@ fn main() {
     let mut net = spec.build_network();
     let mut handles = Vec::new();
     for i in 0..3usize {
-        let cfg = Scheme::NimbusCubicBasicDelay
+        let cfg = SchemeSpec::nimbus()
             .nimbus_config(spec.link_rate_bps, 40 + i as u64)
             .unwrap()
             .with_multiflow(MultiflowConfig::enabled());
@@ -31,7 +31,7 @@ fn main() {
                 .starting_at(Time::from_secs_f64(i as f64 * 10.0)),
             Box::new(nimbus_flow(cfg, &format!("nimbus-{i}"))),
         );
-        handles.push((h, Scheme::NimbusCubicBasicDelay));
+        handles.push((h, SchemeSpec::nimbus()));
     }
     let out = run_and_collect(net, &handles, 35.0);
     println!("three Nimbus flows (staggered arrivals) on a 96 Mbit/s link:");

@@ -2,8 +2,10 @@
 //! provably behaviour-preserving, and the new multi-hop cells must be
 //! deterministic regardless of how the matrix is scheduled across threads.
 
-use nimbus_repro::experiments::testkit::{multihop_cells, paper_invariant_matrix, parallel_map};
-use nimbus_repro::experiments::{PathSpec, Scheme};
+use nimbus_repro::experiments::testkit::{
+    legacy_single_bottleneck_cells, multihop_cells, parallel_map,
+};
+use nimbus_repro::experiments::{PathSpec, SchemeSpec};
 use std::collections::HashMap;
 
 /// Recorder fingerprints of the 18 pre-path matrix cells, captured on the
@@ -37,14 +39,15 @@ const PRE_REFACTOR_FINGERPRINTS: &[(&str, u64)] = &[
 #[test]
 fn one_hop_paths_reproduce_pre_refactor_fingerprints() {
     let pinned: HashMap<&str, u64> = PRE_REFACTOR_FINGERPRINTS.iter().copied().collect();
-    let cells: Vec<_> = paper_invariant_matrix()
-        .into_iter()
-        .filter(|c| c.path == PathSpec::single())
-        .collect();
+    let cells = legacy_single_bottleneck_cells();
+    assert!(
+        cells.iter().all(|c| c.path == PathSpec::single()),
+        "the legacy slice is single-bottleneck by construction"
+    );
     assert_eq!(
         cells.len(),
         pinned.len(),
-        "the single-hop slice of the matrix must still be the original 18 cells"
+        "the legacy slice of the matrix must still be the original 18 cells"
     );
     let outcomes = parallel_map(&cells, None, |c| c.run());
     for o in &outcomes {
@@ -90,7 +93,7 @@ fn learned_mu_tracks_the_path_minimum_not_the_noisy_first_hop() {
     // minimum; capturing the first hop instead would read ~48 Mbit/s.
     let cell = multihop_cells()
         .into_iter()
-        .find(|c| c.scheme == Scheme::NimbusEstimatedMu)
+        .find(|c| c.scheme == SchemeSpec::nimbus_estmu())
         .expect("the multi-hop slice includes an estimated-µ cell");
     let outcome = cell.run();
     assert!(

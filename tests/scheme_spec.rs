@@ -1,0 +1,250 @@
+//! The `SchemeSpec` redesign's contract tests.
+//!
+//! 1. **Behaviour preservation**: every legacy `Scheme` enum variant,
+//!    expressed as a `SchemeSpec` *parsed from its legacy alias string*,
+//!    reproduces the recorder fingerprints captured on the pre-redesign
+//!    enum path, byte for byte — alone on the link for all 12 variants and
+//!    against an elastic Cubic competitor for the five Nimbus flavours.
+//! 2. **Round-trips**: `FromStr` ↔ `Display` ↔ serde over randomly composed
+//!    valid specs (proptest).
+//! 3. **Rejection**: malformed spec strings fail with actionable messages.
+
+use nimbus_repro::experiments::testkit::{parallel_map, Cell, CrossTraffic, Invariants};
+use nimbus_repro::experiments::{LinkScheduleSpec, PathSpec, SchemeSpec};
+use nimbus_repro::nimbus::{DelayScheme, TcpScheme};
+use nimbus_repro::transport::CcKind;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Per-variant recorder fingerprints captured on the legacy `Scheme` enum
+/// path immediately before the `SchemeSpec` redesign.  The first column is
+/// the legacy alias string the spec is parsed from; the cell name the run
+/// must produce (and the fingerprint it must hash to) follow.
+const LEGACY_FINGERPRINTS_ALONE: &[(&str, &str, u64)] = &[
+    (
+        "NimbusCubicBasicDelay",
+        "nimbus@48M-vs-alone-seed17",
+        0xce3f74cac3359920,
+    ),
+    (
+        "NimbusCubicCopa",
+        "nimbus-copa@48M-vs-alone-seed17",
+        0x2d6e8740ed491d80,
+    ),
+    (
+        "NimbusCubicVegas",
+        "nimbus-vegas@48M-vs-alone-seed17",
+        0x04572f105fb3b2aa,
+    ),
+    (
+        "NimbusDelayOnly",
+        "nimbus-delay@48M-vs-alone-seed17",
+        0x9079dcd6146debec,
+    ),
+    (
+        "NimbusEstimatedMu",
+        "nimbus-estmu@48M-vs-alone-seed17",
+        0x098248daeaa57721,
+    ),
+    ("Cubic", "cubic@48M-vs-alone-seed17", 0x468305ac73be07af),
+    ("NewReno", "newreno@48M-vs-alone-seed17", 0x7658b2ca552df73a),
+    ("Vegas", "vegas@48M-vs-alone-seed17", 0xe403a5a46156d992),
+    ("Copa", "copa@48M-vs-alone-seed17", 0x8732aa98b0df0887),
+    ("Bbr", "bbr@48M-vs-alone-seed17", 0x70282d8c84a358b9),
+    (
+        "Vivace",
+        "pcc-vivace@48M-vs-alone-seed17",
+        0x0570645ce6cf0ee4,
+    ),
+    (
+        "Compound",
+        "compound@48M-vs-alone-seed17",
+        0xc3624d30681e4d88,
+    ),
+];
+
+/// The five Nimbus flavours against an elastic Cubic competitor, this time
+/// parsed from the legacy *label* aliases (`nimbus-copa`, …) so both alias
+/// families are proven equivalent to the enum path.
+const LEGACY_FINGERPRINTS_VS_CUBIC: &[(&str, &str, u64)] = &[
+    ("nimbus", "nimbus@96M-vs-cubic-seed18", 0x4fb8913e960cd2c2),
+    (
+        "nimbus-copa",
+        "nimbus-copa@96M-vs-cubic-seed18",
+        0xba48b59353abe99b,
+    ),
+    (
+        "nimbus-vegas",
+        "nimbus-vegas@96M-vs-cubic-seed18",
+        0xc04599233c8de4c0,
+    ),
+    (
+        "nimbus-delay",
+        "nimbus-delay@96M-vs-cubic-seed18",
+        0xce660627c2f715ad,
+    ),
+    (
+        "nimbus-estmu",
+        "nimbus-estmu@96M-vs-cubic-seed18",
+        0xd323b5297c3678d4,
+    ),
+];
+
+fn preservation_cells() -> (Vec<Cell>, HashMap<String, u64>) {
+    let mut cells = Vec::new();
+    let mut pinned = HashMap::new();
+    for &(alias, name, fingerprint) in LEGACY_FINGERPRINTS_ALONE {
+        let scheme: SchemeSpec = alias.parse().expect("legacy alias parses");
+        cells.push(Cell {
+            scheme,
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 17,
+            duration_s: 20.0,
+            steady_start_s: 6.0,
+            invariants: Invariants::default(),
+        });
+        pinned.insert(name.to_string(), fingerprint);
+    }
+    for &(alias, name, fingerprint) in LEGACY_FINGERPRINTS_VS_CUBIC {
+        let scheme: SchemeSpec = alias.parse().expect("legacy label parses");
+        cells.push(Cell {
+            scheme,
+            cross: CrossTraffic::elastic_cubic(),
+            link_rate_bps: 96e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 18,
+            duration_s: 25.0,
+            steady_start_s: 8.0,
+            invariants: Invariants::default(),
+        });
+        pinned.insert(name.to_string(), fingerprint);
+    }
+    (cells, pinned)
+}
+
+#[test]
+fn every_legacy_variant_reproduces_its_pre_redesign_fingerprint() {
+    let (cells, pinned) = preservation_cells();
+    let outcomes = parallel_map(&cells, None, |c| c.run());
+    for o in &outcomes {
+        let expected = pinned
+            .get(&o.name)
+            .unwrap_or_else(|| panic!("cell {} not in the pinned set", o.name));
+        assert_eq!(
+            o.fingerprint, *expected,
+            "cell {} diverged from the legacy Scheme enum path",
+            o.name
+        );
+    }
+}
+
+#[test]
+fn builder_enum_and_string_paths_agree() {
+    // Three routes to the same spec: the deprecated enum, the canonical
+    // string, and the builder — all must be the same value.
+    #[allow(deprecated)]
+    let from_enum: SchemeSpec = nimbus_repro::experiments::Scheme::NimbusCubicCopa.into();
+    let from_string: SchemeSpec = "nimbus(delay=copa)".parse().unwrap();
+    let from_builder = SchemeSpec::nimbus().with_delay(DelayScheme::CopaDefault);
+    assert_eq!(from_enum, from_string);
+    assert_eq!(from_string, from_builder);
+}
+
+fn compose_nimbus(comp: usize, delay: usize, mu: usize, sw: usize) -> SchemeSpec {
+    let mut spec = SchemeSpec::nimbus();
+    if comp == 1 {
+        spec = spec.with_competitive(TcpScheme::NewReno);
+    }
+    spec = match delay {
+        0 => spec,
+        1 => spec.with_delay(DelayScheme::CopaDefault),
+        _ => spec.with_delay(DelayScheme::Vegas),
+    };
+    if mu == 1 {
+        spec = spec.with_learned_mu();
+    }
+    if sw == 1 {
+        spec = spec.delay_only();
+    }
+    spec
+}
+
+fn bare(index: usize, rate_bps: f64) -> SchemeSpec {
+    match index {
+        0 => SchemeSpec::cubic(),
+        1 => SchemeSpec::newreno(),
+        2 => SchemeSpec::vegas(),
+        3 => SchemeSpec::copa(),
+        4 => SchemeSpec::bbr(),
+        5 => SchemeSpec::vivace(),
+        6 => SchemeSpec::compound(),
+        7 => SchemeSpec::Bare(CcKind::Unlimited),
+        _ => SchemeSpec::constant(rate_bps),
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_specs_round_trip_through_display_and_serde(
+        pick in 0usize..2,
+        comp in 0usize..2,
+        delay in 0usize..3,
+        mu in 0usize..2,
+        sw in 0usize..2,
+        bare_index in 0usize..9,
+        rate_units in 1u64..4000,
+    ) {
+        // Rates are whole multiples of 100 kbit/s, so every generated rate
+        // has an exact decimal (and often a k/M-suffixed) rendering.
+        let spec = if pick == 0 {
+            compose_nimbus(comp, delay, mu, sw)
+        } else {
+            bare(bare_index, rate_units as f64 * 1e5)
+        };
+        // Display → FromStr.
+        let text = spec.to_string();
+        let parsed: SchemeSpec = text.parse()
+            .unwrap_or_else(|e| panic!("`{text}` failed to re-parse: {e}"));
+        prop_assert_eq!(parsed, spec);
+        // serde (JSON text) → back.
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SchemeSpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, spec);
+        // The derived label is stable and non-empty.
+        prop_assert_eq!(parsed.label(), spec.label());
+        prop_assert!(!spec.label().is_empty());
+    }
+}
+
+#[test]
+fn malformed_specs_fail_with_actionable_messages() {
+    for (input, needle) in [
+        ("", "unknown scheme"),
+        ("quic", "unknown scheme"),
+        ("nimbus(delay=bbr)", "unknown delay scheme"),
+        ("nimbus(competitive=vegas)", "unknown competitive scheme"),
+        ("nimbus(mu=guessed)", "unknown mu mode"),
+        ("nimbus(switch=sometimes)", "unknown switch mode"),
+        ("nimbus(pulse=0.5)", "unknown nimbus option"),
+        ("nimbus(delay)", "key=value"),
+        ("nimbus(delay=copa", "closing"),
+        ("constant()", "invalid rate"),
+        ("constant(-3M)", "invalid rate"),
+        ("constant(12Q)", "invalid rate"),
+        // The `cbr(` alias gets the same precise diagnostics.
+        ("cbr(fast)", "invalid rate"),
+        ("cbr(24M", "closing"),
+    ] {
+        let err = input
+            .parse::<SchemeSpec>()
+            .expect_err(&format!("`{input}` should not parse"));
+        assert!(
+            err.0.contains(needle),
+            "error for `{input}` should mention `{needle}`, got: {err}"
+        );
+    }
+}
