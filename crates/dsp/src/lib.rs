@@ -9,6 +9,8 @@
 //! the estimated cross-traffic rate.  Everything the detector needs from the
 //! signal-processing world lives in this crate:
 //!
+//! * [`biquad`] — second-order IIR sections (notch), the ẑ pre-filter stage
+//!   of the pluggable µ-estimation API.
 //! * [`complex`] — a minimal complex-number type (no external deps).
 //! * [`mod@fft`] — radix-2 Cooley–Tukey FFT, Bluestein FFT for arbitrary lengths,
 //!   and a direct DFT used as a test oracle.
@@ -29,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod biquad;
 pub mod complex;
 pub mod fft;
 pub mod filter;
@@ -37,6 +40,7 @@ pub mod spectrum;
 pub mod stats;
 pub mod window;
 
+pub use biquad::Biquad;
 pub use complex::Complex;
 pub use fft::{dft_naive, fft, fft_real, ifft, Fft};
 pub use filter::{Ewma, WindowedMax, WindowedMin};

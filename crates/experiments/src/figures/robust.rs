@@ -555,3 +555,52 @@ pub fn robustness_sweep(quick: bool) -> ExperimentResult {
     let _ = Mode::Delay; // referenced for documentation purposes
     result
 }
+
+/// The µ-estimation strategy axis on the cellular deep-fade trace (the
+/// ROADMAP regime where the hardwired max filter deadlocks at the pacing
+/// floor): plain learned µ, the probing estimator, and the BBR / Cubic
+/// references.  The number that matters is throughput through the fades —
+/// the max filter reads 0.12 Mbit/s while the probe epochs recover double
+/// digits.
+pub fn cellular_estimators(quick: bool) -> ExperimentResult {
+    let duration = if quick { 40.0 } else { 90.0 };
+    let mut result = ExperimentResult::new(
+        "cellular_estimators",
+        "µ-estimation strategies on the cellular deep-fade trace",
+        quick,
+    );
+    for (spec_text, tag) in [
+        ("nimbus(mu=learned)", "maxfilt"),
+        ("nimbus(mu=learned(probe=1))", "probing"),
+        ("nimbus(mu=learned(probe=1,gain=3))", "probing_g3"),
+        ("bbr", "bbr"),
+        ("cubic", "cubic"),
+    ] {
+        let spec = ScenarioSpec {
+            link_rate_bps: 48e6,
+            schedule: crate::runner::LinkScheduleSpec::NamedTrace {
+                name: "cellular".to_string(),
+            },
+            duration_s: duration,
+            seed: 44,
+            ..ScenarioSpec::default_96mbps(duration)
+        };
+        let scheme: SchemeSpec = spec_text.parse().expect("estimator spec parses");
+        let out = run_scheme_vs_cross(&spec, scheme, None, Vec::new(), 10.0);
+        let m = &out.flows[0];
+        result.row(&format!("throughput_mbps_{tag}"), m.mean_throughput_mbps);
+        result.row(&format!("queue_delay_ms_{tag}"), m.mean_queue_delay_ms);
+        if !m.mu_series.is_empty() {
+            result.row(&format!("mu_error_{tag}"), m.mu_tracking_error);
+            result.add_series(
+                &format!("mu_estimate_mbps_{tag}"),
+                m.mu_series.iter().map(|&(t, mu)| (t, mu / 1e6)).collect(),
+            );
+        }
+        result.add_series(
+            &format!("throughput_series_{tag}"),
+            m.throughput_series.clone(),
+        );
+    }
+    result
+}

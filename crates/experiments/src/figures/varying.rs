@@ -9,7 +9,10 @@
 //! * `varying_detector` — whether the elasticity detector stays quiet (delay
 //!   mode) when the *link*, not the cross traffic, is what oscillates;
 //! * `varying_step` — how quickly Cubic and Nimbus converge to a halved link
-//!   rate.
+//!   rate;
+//! * `varying_estimator` — the µ-estimation strategy axis on the ±10%
+//!   sinusoid where the plain max filter loses delay mode: every
+//!   learned-µ/ẑ-filter combination side by side.
 
 use crate::output::ExperimentResult;
 use crate::runner::{run_scheme_vs_cross, LinkScheduleSpec, ScenarioSpec};
@@ -118,6 +121,46 @@ pub fn varying_detector(quick: bool) -> ExperimentResult {
         let elastic_frac =
             etas.iter().filter(|&&e| e >= 2.0).count() as f64 / etas.len().max(1) as f64;
         result.row(&format!("spurious_elastic_fraction_{tag}"), elastic_frac);
+        result.add_series(&format!("eta_series_{tag}"), m.eta_series.clone());
+    }
+    result
+}
+
+/// The estimator-strategy axis on the ±10% sinusoid (the ROADMAP regime
+/// where every learned-µ wrapper loses delay mode): the plain max filter,
+/// the µ-error-aware adaptive thresholds, the link-frequency notch, and the
+/// probing estimator, with configured µ as the reference.
+pub fn varying_estimator(quick: bool) -> ExperimentResult {
+    let duration = if quick { 40.0 } else { 90.0 };
+    let mut result = ExperimentResult::new(
+        "varying_estimator",
+        "µ-estimation strategies and ẑ filters alone on a ±10% sinusoidal bottleneck",
+        quick,
+    );
+    for (spec_text, tag) in [
+        ("nimbus", "configured"),
+        ("nimbus(mu=learned)", "maxfilt"),
+        ("nimbus(mu=learned,zfilter=adaptive)", "adaptive"),
+        ("nimbus(mu=learned,zfilter=notch(freq=0.1))", "notch"),
+        ("nimbus(mu=learned(probe=1))", "probing"),
+    ] {
+        let spec = ScenarioSpec {
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Sinusoid {
+                amplitude_frac: 0.1,
+                period_s: 10.0,
+            },
+            duration_s: duration,
+            seed: 43,
+            ..ScenarioSpec::default_96mbps(duration)
+        };
+        let scheme: SchemeSpec = spec_text.parse().expect("estimator spec parses");
+        let out = run_scheme_vs_cross(&spec, scheme, None, Vec::new(), 10.0);
+        let m = &out.flows[0];
+        result.row(&format!("delay_mode_fraction_{tag}"), m.delay_mode_fraction);
+        result.row(&format!("throughput_mbps_{tag}"), m.mean_throughput_mbps);
+        result.row(&format!("queue_delay_ms_{tag}"), m.mean_queue_delay_ms);
+        result.row(&format!("mu_error_{tag}"), m.mu_tracking_error);
         result.add_series(&format!("eta_series_{tag}"), m.eta_series.clone());
     }
     result

@@ -39,8 +39,8 @@ pub use scheme::Scheme;
 pub use scheme::{MuSpec, NimbusSpec, ParseSchemeError, SchemeSpec, SwitchSpec};
 pub use sweep::{run_sweep, sweep_matrix, sweep_matrix_with, SweepConfig, SweepReport};
 pub use testkit::{
-    legacy_single_bottleneck_cells, multihop_cells, paper_invariant_matrix, parallel_map,
-    run_matrix, spec_combination_cells, Cell, CellOutcome, CrossTraffic, Invariants,
+    estimator_cells, legacy_single_bottleneck_cells, multihop_cells, paper_invariant_matrix,
+    parallel_map, run_matrix, spec_combination_cells, Cell, CellOutcome, CrossTraffic, Invariants,
 };
 
 /// Names of every experiment the harness can regenerate, in paper order.
@@ -72,9 +72,11 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fig26",
     "table1",
     "robustness",
+    "cellular_estimators",
     "varying_mu",
     "varying_detector",
     "varying_step",
+    "varying_estimator",
     "multihop_secondary",
     "multihop_moving",
     "multihop_midpath",
@@ -110,9 +112,11 @@ pub fn run_experiment(name: &str, quick: bool) -> Option<ExperimentResult> {
         "fig26" => figures::robust::fig26(quick),
         "table1" => figures::robust::table1(quick),
         "robustness" => figures::robust::robustness_sweep(quick),
+        "cellular_estimators" => figures::robust::cellular_estimators(quick),
         "varying_mu" => figures::varying::varying_mu(quick),
         "varying_detector" => figures::varying::varying_detector(quick),
         "varying_step" => figures::varying::varying_step(quick),
+        "varying_estimator" => figures::varying::varying_estimator(quick),
         "multihop_secondary" => figures::multihop::multihop_secondary(quick),
         "multihop_moving" => figures::multihop::multihop_moving(quick),
         "multihop_midpath" => figures::multihop::multihop_midpath(quick),
@@ -130,7 +134,7 @@ mod tests {
         // Only check dispatch (not execution) for the expensive ones: an
         // unknown name must return None, known names are all in the list.
         assert!(run_experiment("nonexistent", true).is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 33);
+        assert_eq!(ALL_EXPERIMENTS.len(), 35);
     }
 
     #[test]

@@ -50,6 +50,15 @@ pub enum LinkScheduleSpec {
         /// The built-in trace's name.
         name: String,
     },
+    /// An external Mahimahi-format packet-delivery trace loaded from disk
+    /// ([`RateSchedule::from_mahimahi_file`]).  Unlike every other family
+    /// the trace carries *absolute* rates — the scenario's base rate does
+    /// not scale it (it still sizes delay-specified buffers and is handed
+    /// to configured-µ schemes as the nominal rate).
+    TraceFile {
+        /// Path to the trace file (one millisecond timestamp per line).
+        path: String,
+    },
 }
 
 impl LinkScheduleSpec {
@@ -86,6 +95,8 @@ impl LinkScheduleSpec {
                         RateSchedule::builtin_trace_names().join(", ")
                     )
                 }),
+            LinkScheduleSpec::TraceFile { path } => RateSchedule::from_mahimahi_file(path)
+                .unwrap_or_else(|e| panic!("cannot load mahimahi trace: {e}")),
         }
     }
 
@@ -103,6 +114,13 @@ impl LinkScheduleSpec {
             } => format!("sin{:.0}p{period_s:.0}", amplitude_frac * 100.0),
             LinkScheduleSpec::Trace { factors, .. } => format!("trace{}", factors.len()),
             LinkScheduleSpec::NamedTrace { name } => format!("trace-{name}"),
+            LinkScheduleSpec::TraceFile { path } => {
+                let stem = std::path::Path::new(path)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "file".to_string());
+                format!("mm-{stem}")
+            }
         }
     }
 }
@@ -737,6 +755,31 @@ mod tests {
         // Non-Nimbus flows report a full delay-mode fraction and empty logs.
         assert_eq!(m.delay_mode_fraction, 1.0);
         assert!(m.mode_log.is_empty());
+    }
+
+    #[test]
+    fn trace_file_schedules_load_and_label() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../traces/sample-cellular.mahimahi"
+        );
+        let spec = LinkScheduleSpec::TraceFile {
+            path: path.to_string(),
+        };
+        let s = spec.to_schedule(48e6);
+        // Absolute rates from the file: the 48 Mbit/s base does not scale them.
+        assert!(s.max_rate_bps() < 20e6, "max {}", s.max_rate_bps());
+        assert!(!s.is_constant());
+        assert_eq!(spec.label(), "mm-sample-cellular");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot load mahimahi trace")]
+    fn missing_trace_file_panics_with_the_path() {
+        LinkScheduleSpec::TraceFile {
+            path: "/nonexistent/x.trace".to_string(),
+        }
+        .to_schedule(48e6);
     }
 
     #[test]

@@ -25,8 +25,17 @@
 //! nimbus                                  the paper's default wrapper
 //! nimbus(competitive=reno)                wrap NewReno instead of Cubic
 //! nimbus(delay=copa,mu=learned)           Copa delay mode, runtime-learned µ
+//! nimbus(mu=learned(probe=3))             learned µ with probe-up epochs
+//! nimbus(mu=learned(probe=3,gain=4))      ... pacing at 4x during probes
+//! nimbus(mu=learned,zfilter=adaptive)     µ-error-aware detection thresholds
+//! nimbus(zfilter=notch(freq=0.1))         notch ẑ at the link frequency
 //! nimbus(switch=never)                    delay mode only ("Nimbus delay")
 //! ```
+//!
+//! The `mu=`/`zfilter=` axes select a µ-estimation strategy and a
+//! ẑ-conditioning stage from the pluggable estimation API
+//! ([`nimbus_core::estimator`]); see that module for the strategy catalogue
+//! and a worked "which estimator when" table.
 //!
 //! Result labels ([`SchemeSpec::label`]) are derived from the spec, and the
 //! legacy [`Scheme`] enum variants survive as deprecated aliases — both as
@@ -34,7 +43,11 @@
 //! (`"NimbusCubicCopa"`, `"nimbus-copa"`) — that map onto specs producing
 //! byte-identical simulations (pinned by `tests/scheme_spec.rs`).
 
-use nimbus_core::{DelayScheme, MultiflowConfig, NimbusConfig, NimbusController, TcpScheme};
+use nimbus_core::estimator::DEFAULT_MU_WINDOW_S;
+use nimbus_core::{
+    DelayScheme, LearnedMuConfig, MuEstimatorConfig, MultiflowConfig, NimbusConfig,
+    NimbusController, ProbingConfig, TcpScheme, ZFilterConfig,
+};
 use nimbus_netsim::FlowEndpoint;
 use nimbus_transport::{
     format_rate_bps, BackloggedSource, CcKind, CongestionControl, Sender, SenderConfig, Source,
@@ -43,14 +56,34 @@ use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 use std::str::FromStr;
 
-/// Where the Nimbus wrapper gets the bottleneck rate µ from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// Where the Nimbus wrapper gets the bottleneck rate µ from: configured up
+/// front, or one of the pluggable learned-µ estimation strategies
+/// ([`LearnedMuConfig`], §4.2 and beyond).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum MuSpec {
     /// µ is configured up front from the scenario's nominal link rate.
     #[default]
     Configured,
-    /// µ is learned at runtime from the max receive rate (§4.2).
-    Learned,
+    /// µ is learned at runtime (`mu=learned`, `mu=learned(probe=…)`, …).
+    Learned(LearnedMuConfig),
+}
+
+impl MuSpec {
+    /// The classic §4.2 max-filter learned µ (`mu=learned`).
+    pub fn learned() -> Self {
+        MuSpec::Learned(LearnedMuConfig::default())
+    }
+
+    /// Learned µ with probe-up epochs and the loss floor
+    /// (`mu=learned(probe=…)`), at the default probing parameters.
+    pub fn probing() -> Self {
+        MuSpec::Learned(LearnedMuConfig::Probing(ProbingConfig::default()))
+    }
+
+    /// Whether µ is learned at runtime (any strategy).
+    pub fn is_learned(&self) -> bool {
+        matches!(self, MuSpec::Learned(_))
+    }
 }
 
 /// Whether the Nimbus wrapper may switch into TCP-competitive mode.
@@ -65,7 +98,7 @@ pub enum SwitchSpec {
 
 /// The parameters of the Nimbus wrapper: elasticity detection layered over
 /// an inner competitive scheme and an inner delay scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NimbusSpec {
     /// The inner TCP-competitive scheme (used when cross traffic is elastic).
     pub competitive: TcpScheme,
@@ -73,18 +106,21 @@ pub struct NimbusSpec {
     pub delay: DelayScheme,
     /// Where the bottleneck-rate estimate µ comes from.
     pub mu: MuSpec,
+    /// ẑ conditioning between the estimator and the detector.
+    pub zfilter: ZFilterConfig,
     /// Whether mode switching is enabled.
     pub switch: SwitchSpec,
 }
 
 impl Default for NimbusSpec {
-    /// The paper's default wrapper: Cubic + BasicDelay, configured µ,
+    /// The paper's default wrapper: Cubic + BasicDelay, configured µ, raw ẑ,
     /// detector-driven switching.
     fn default() -> Self {
         NimbusSpec {
             competitive: TcpScheme::Cubic,
             delay: DelayScheme::BasicDelay,
             mu: MuSpec::Configured,
+            zfilter: ZFilterConfig::None,
             switch: SwitchSpec::Auto,
         }
     }
@@ -215,12 +251,38 @@ impl SchemeSpec {
         self.map_nimbus(|n| n.delay = delay)
     }
 
-    /// Learn µ at runtime instead of configuring it (§4.2).
+    /// Learn µ at runtime instead of configuring it (§4.2), with the
+    /// classic max-filter strategy.
     ///
     /// # Panics
     /// Panics on a bare (non-Nimbus) spec.
     pub fn with_learned_mu(self) -> Self {
-        self.map_nimbus(|n| n.mu = MuSpec::Learned)
+        self.map_nimbus(|n| n.mu = MuSpec::learned())
+    }
+
+    /// Learn µ with an arbitrary strategy (`mu=learned(…)`).
+    ///
+    /// # Panics
+    /// Panics on a bare (non-Nimbus) spec.
+    pub fn with_mu_strategy(self, strategy: LearnedMuConfig) -> Self {
+        self.map_nimbus(|n| n.mu = MuSpec::Learned(strategy))
+    }
+
+    /// Learn µ with probe-up epochs and the loss floor at default parameters
+    /// (`mu=learned(probe=3)`).
+    ///
+    /// # Panics
+    /// Panics on a bare (non-Nimbus) spec.
+    pub fn with_probing_mu(self) -> Self {
+        self.map_nimbus(|n| n.mu = MuSpec::probing())
+    }
+
+    /// Install a ẑ-conditioning stage (`zfilter=…`).
+    ///
+    /// # Panics
+    /// Panics on a bare (non-Nimbus) spec.
+    pub fn with_z_filter(self, zfilter: ZFilterConfig) -> Self {
+        self.map_nimbus(|n| n.zfilter = zfilter)
     }
 
     /// Disable mode switching (the "Nimbus delay" baseline).
@@ -285,8 +347,21 @@ impl SchemeSpec {
                     DelayScheme::CopaDefault => label.push_str("-copa"),
                     DelayScheme::Vegas => label.push_str("-vegas"),
                 }
-                if n.mu == MuSpec::Learned {
-                    label.push_str("-estmu");
+                if let MuSpec::Learned(lc) = n.mu {
+                    label.push_str(&learned_mu_label(&lc));
+                }
+                match n.zfilter {
+                    ZFilterConfig::None => {}
+                    ZFilterConfig::Notch { freq_hz, .. } => {
+                        label.push_str(&format!("-notch{freq_hz}"));
+                    }
+                    ZFilterConfig::Adaptive { k } => {
+                        if k == 8.0 {
+                            label.push_str("-zadapt");
+                        } else {
+                            label.push_str(&format!("-zadapt{k}"));
+                        }
+                    }
                 }
                 label
             }
@@ -305,8 +380,11 @@ impl SchemeSpec {
             .with_seed(seed)
             .with_tcp_scheme(n.competitive)
             .with_delay_scheme(n.delay);
-        if n.mu == MuSpec::Learned {
-            cfg = cfg.with_learned_mu();
+        if let MuSpec::Learned(lc) = n.mu {
+            cfg = cfg.with_mu_estimator(MuEstimatorConfig::Learned(lc));
+        }
+        if n.zfilter != ZFilterConfig::None {
+            cfg = cfg.with_z_filter(n.zfilter);
         }
         if n.switch == SwitchSpec::Never {
             cfg = cfg.without_switching();
@@ -379,6 +457,102 @@ impl SchemeSpec {
 
 // ---- canonical text form -------------------------------------------------
 
+/// Label suffix for a learned-µ strategy: the legacy `-estmu` for the plain
+/// default max filter, compact parameter slugs for everything else (only
+/// non-default parameters are appended, so distinct strategies get distinct
+/// cell names without default noise).
+fn learned_mu_label(lc: &LearnedMuConfig) -> String {
+    match lc {
+        LearnedMuConfig::MaxFilter { window_s } if *window_s == DEFAULT_MU_WINDOW_S => {
+            "-estmu".to_string()
+        }
+        LearnedMuConfig::MaxFilter { window_s } => format!("-estmu-w{window_s}"),
+        LearnedMuConfig::Probing(p) => {
+            let d = ProbingConfig::default();
+            let mut s = format!("-estmu-probe{}", p.probe_interval_s);
+            // Every non-default parameter gets a slug: two strategies that
+            // differ in any knob must never share a cell/result name.
+            if p.probe_gain != d.probe_gain {
+                s.push_str(&format!("g{}", p.probe_gain));
+            }
+            if p.probe_duration_s != d.probe_duration_s {
+                s.push_str(&format!("d{}", p.probe_duration_s));
+            }
+            if p.window_s != d.window_s {
+                s.push_str(&format!("w{}", p.window_s));
+            }
+            if p.loss_backoff != d.loss_backoff {
+                s.push_str(&format!("l{}", p.loss_backoff));
+            }
+            if p.backoff_interval_s != d.backoff_interval_s {
+                s.push_str(&format!("li{}", p.backoff_interval_s));
+            }
+            if p.recent_window_s != d.recent_window_s {
+                s.push_str(&format!("r{}", p.recent_window_s));
+            }
+            if p.cap_margin != d.cap_margin {
+                s.push_str(&format!("c{}", p.cap_margin));
+            }
+            s
+        }
+    }
+}
+
+/// The canonical `mu=` option value (`learned`, `learned(probe=3)`, …).
+fn mu_option(lc: &LearnedMuConfig) -> String {
+    let mut args = Vec::new();
+    match lc {
+        LearnedMuConfig::MaxFilter { window_s } => {
+            if *window_s != DEFAULT_MU_WINDOW_S {
+                args.push(format!("window={window_s}"));
+            }
+        }
+        LearnedMuConfig::Probing(p) => {
+            let d = ProbingConfig::default();
+            args.push(format!("probe={}", p.probe_interval_s));
+            if p.probe_gain != d.probe_gain {
+                args.push(format!("gain={}", p.probe_gain));
+            }
+            if p.probe_duration_s != d.probe_duration_s {
+                args.push(format!("dur={}", p.probe_duration_s));
+            }
+            if p.window_s != d.window_s {
+                args.push(format!("window={}", p.window_s));
+            }
+            if p.loss_backoff != d.loss_backoff {
+                args.push(format!("loss={}", p.loss_backoff));
+            }
+            if p.backoff_interval_s != d.backoff_interval_s {
+                args.push(format!("lossint={}", p.backoff_interval_s));
+            }
+            if p.recent_window_s != d.recent_window_s {
+                args.push(format!("recent={}", p.recent_window_s));
+            }
+            if p.cap_margin != d.cap_margin {
+                args.push(format!("cap={}", p.cap_margin));
+            }
+        }
+    }
+    if args.is_empty() {
+        "mu=learned".to_string()
+    } else {
+        format!("mu=learned({})", args.join(","))
+    }
+}
+
+/// The canonical `zfilter=` option value (`notch(freq=0.1)`, `adaptive`, …).
+fn zfilter_option(zf: &ZFilterConfig) -> Option<String> {
+    match zf {
+        ZFilterConfig::None => None,
+        ZFilterConfig::Notch { freq_hz, q } if *q == 0.7 => {
+            Some(format!("zfilter=notch(freq={freq_hz})"))
+        }
+        ZFilterConfig::Notch { freq_hz, q } => Some(format!("zfilter=notch(freq={freq_hz},q={q})")),
+        ZFilterConfig::Adaptive { k } if *k == 8.0 => Some("zfilter=adaptive".to_string()),
+        ZFilterConfig::Adaptive { k } => Some(format!("zfilter=adaptive(k={k})")),
+    }
+}
+
 impl fmt::Display for SchemeSpec {
     /// The canonical, re-parseable spec string: bare names for bare CCAs,
     /// `nimbus` for the default wrapper, `nimbus(key=value,...)` with only
@@ -396,8 +570,11 @@ impl fmt::Display for SchemeSpec {
                     DelayScheme::CopaDefault => opts.push("delay=copa".to_string()),
                     DelayScheme::Vegas => opts.push("delay=vegas".to_string()),
                 }
-                if n.mu == MuSpec::Learned {
-                    opts.push("mu=learned".to_string());
+                if let MuSpec::Learned(lc) = &n.mu {
+                    opts.push(mu_option(lc));
+                }
+                if let Some(zf) = zfilter_option(&n.zfilter) {
+                    opts.push(zf);
                 }
                 if n.switch == SwitchSpec::Never {
                     opts.push("switch=never".to_string());
@@ -412,9 +589,230 @@ impl fmt::Display for SchemeSpec {
     }
 }
 
+/// Split on `sep` at parenthesis depth zero only, so values like
+/// `learned(probe=3,gain=2)` survive the option split intact.
+fn split_top_level(s: &str, sep: char) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            c if c == sep && depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Split a `head(inner)` call form; a bare `head` has no inner args.
+/// Errors if the parentheses are unbalanced.
+fn split_call(value: &str) -> Result<(&str, Option<&str>), ParseSchemeError> {
+    match value.split_once('(') {
+        None => Ok((value, None)),
+        Some((head, rest)) => {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| ParseSchemeError(format!("`{value}` is missing the closing `)`")))?;
+            Ok((head, Some(inner)))
+        }
+    }
+}
+
+/// Parse one positive-number parameter of a `mu=learned(...)` or
+/// `zfilter=...(...)` call.
+fn parse_positive(key: &str, value: &str, what: &str) -> Result<f64, ParseSchemeError> {
+    let v: f64 = value
+        .trim()
+        .parse()
+        .map_err(|_| ParseSchemeError(format!("invalid {what} `{key}={value}`: not a number")))?;
+    if !(v > 0.0 && v.is_finite()) {
+        return Err(ParseSchemeError(format!(
+            "invalid {what} `{key}={value}`: must be a positive number"
+        )));
+    }
+    Ok(v)
+}
+
+/// Parse the value of `mu=`: `configured`, `learned`, or a parameterised
+/// `learned(probe=…, gain=…, dur=…, window=…, loss=…, lossint=…)` strategy.
+fn parse_mu_value(value: &str) -> Result<MuSpec, ParseSchemeError> {
+    let (head, inner) = split_call(value)?;
+    match (head.trim(), inner) {
+        ("configured", None) => Ok(MuSpec::Configured),
+        ("learned", None) | ("estimated", None) => Ok(MuSpec::learned()),
+        ("learned", Some(args)) | ("estimated", Some(args)) => {
+            let mut window_s: Option<f64> = None;
+            let mut probe: Option<f64> = None;
+            let mut gain: Option<f64> = None;
+            let mut dur: Option<f64> = None;
+            let mut loss: Option<f64> = None;
+            let mut lossint: Option<f64> = None;
+            let mut recent: Option<f64> = None;
+            let mut cap: Option<f64> = None;
+            for pair in args.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                let Some((key, v)) = pair.split_once('=') else {
+                    return Err(ParseSchemeError(format!(
+                        "mu=learned option `{pair}` is not of the form key=value \
+                         (expected probe=, gain=, dur=, window=, loss=, lossint=, \
+                         recent=, or cap=)"
+                    )));
+                };
+                let slot = match key.trim() {
+                    "probe" => &mut probe,
+                    "gain" => &mut gain,
+                    "dur" => &mut dur,
+                    "window" => &mut window_s,
+                    "loss" => &mut loss,
+                    "lossint" => &mut lossint,
+                    "recent" => &mut recent,
+                    "cap" => &mut cap,
+                    k => {
+                        return Err(ParseSchemeError(format!(
+                            "unknown mu=learned option `{k}` (expected probe=<s>, gain=<x>, \
+                             dur=<s>, window=<s>, loss=<frac>, lossint=<s>, recent=<s>, \
+                             cap=<x>)"
+                        )))
+                    }
+                };
+                *slot = Some(parse_positive(key.trim(), v, "mu=learned parameter")?);
+            }
+            if probe.is_none()
+                && (gain.is_some()
+                    || dur.is_some()
+                    || loss.is_some()
+                    || lossint.is_some()
+                    || recent.is_some()
+                    || cap.is_some())
+            {
+                return Err(ParseSchemeError(
+                    "mu=learned probing parameters (gain/dur/loss/lossint) require probe=<interval>"
+                        .to_string(),
+                ));
+            }
+            match probe {
+                None => Ok(MuSpec::Learned(LearnedMuConfig::MaxFilter {
+                    window_s: window_s.unwrap_or(DEFAULT_MU_WINDOW_S),
+                })),
+                Some(interval) => {
+                    let d = ProbingConfig::default();
+                    let cfg = ProbingConfig {
+                        window_s: window_s.unwrap_or(d.window_s),
+                        probe_interval_s: interval,
+                        probe_duration_s: dur.unwrap_or(d.probe_duration_s),
+                        probe_gain: gain.unwrap_or(d.probe_gain),
+                        loss_backoff: loss.unwrap_or(d.loss_backoff),
+                        backoff_interval_s: lossint.unwrap_or(d.backoff_interval_s),
+                        recent_window_s: recent.unwrap_or(d.recent_window_s),
+                        cap_margin: cap.unwrap_or(d.cap_margin),
+                    };
+                    if 2.0 * cfg.probe_duration_s >= cfg.probe_interval_s {
+                        return Err(ParseSchemeError(format!(
+                            "probe duration {} s plus its equal-length drain (during which \
+                             ẑ is held) must be shorter than the probe interval {} s — \
+                             use dur < probe/2",
+                            cfg.probe_duration_s, cfg.probe_interval_s
+                        )));
+                    }
+                    if cfg.probe_gain <= 1.0 {
+                        return Err(ParseSchemeError(format!(
+                            "probe gain {} must exceed 1 (a probe paces *above* the base rate)",
+                            cfg.probe_gain
+                        )));
+                    }
+                    if cfg.loss_backoff >= 1.0 {
+                        return Err(ParseSchemeError(format!(
+                            "loss backoff {} must be a decay factor below 1",
+                            cfg.loss_backoff
+                        )));
+                    }
+                    Ok(MuSpec::Learned(LearnedMuConfig::Probing(cfg)))
+                }
+            }
+        }
+        (v, _) => Err(ParseSchemeError(format!(
+            "unknown mu mode `{v}` (expected configured, learned, or learned(probe=...))"
+        ))),
+    }
+}
+
+/// Parse the value of `zfilter=`: `none`, `notch(freq=…[,q=…])`, or
+/// `adaptive[(k=…)]`.
+fn parse_zfilter_value(value: &str) -> Result<ZFilterConfig, ParseSchemeError> {
+    let (head, inner) = split_call(value)?;
+    match (head.trim(), inner) {
+        ("none", None) => Ok(ZFilterConfig::None),
+        ("adaptive", None) => Ok(ZFilterConfig::adaptive()),
+        ("adaptive", Some(args)) => {
+            let mut k = match ZFilterConfig::adaptive() {
+                ZFilterConfig::Adaptive { k } => k,
+                _ => unreachable!(),
+            };
+            for pair in args.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                match pair.split_once('=') {
+                    Some(("k", v)) => k = parse_positive("k", v, "zfilter parameter")?,
+                    _ => {
+                        return Err(ParseSchemeError(format!(
+                            "unknown zfilter=adaptive option `{pair}` (expected k=<gain>)"
+                        )))
+                    }
+                }
+            }
+            Ok(ZFilterConfig::Adaptive { k })
+        }
+        ("notch", Some(args)) => {
+            let mut freq: Option<f64> = None;
+            let mut q = 0.7;
+            for pair in args.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                match pair.split_once('=') {
+                    Some(("freq", v)) => {
+                        freq = Some(parse_positive("freq", v, "zfilter parameter")?)
+                    }
+                    Some(("q", v)) => q = parse_positive("q", v, "zfilter parameter")?,
+                    _ => {
+                        return Err(ParseSchemeError(format!(
+                            "unknown zfilter=notch option `{pair}` (expected freq=<hz>, q=<q>)"
+                        )))
+                    }
+                }
+            }
+            let freq_hz = freq.ok_or_else(|| {
+                ParseSchemeError(
+                    "zfilter=notch requires the link-variation frequency: notch(freq=<hz>)"
+                        .to_string(),
+                )
+            })?;
+            Ok(ZFilterConfig::Notch { freq_hz, q })
+        }
+        ("notch", None) => Err(ParseSchemeError(
+            "zfilter=notch requires the link-variation frequency: notch(freq=<hz>)".to_string(),
+        )),
+        (v, _) => Err(ParseSchemeError(format!(
+            "unknown zfilter `{v}` (expected none, notch(freq=...), or adaptive)"
+        ))),
+    }
+}
+
 fn parse_nimbus_options(args: &str) -> Result<NimbusSpec, ParseSchemeError> {
     let mut spec = NimbusSpec::default();
-    for pair in args.split(',') {
+    for pair in split_top_level(args, ',') {
         let pair = pair.trim();
         if pair.is_empty() {
             continue;
@@ -422,7 +820,7 @@ fn parse_nimbus_options(args: &str) -> Result<NimbusSpec, ParseSchemeError> {
         let Some((key, value)) = pair.split_once('=') else {
             return Err(ParseSchemeError(format!(
                 "nimbus option `{pair}` is not of the form key=value \
-                 (expected competitive=, delay=, mu=, or switch=)"
+                 (expected competitive=, delay=, mu=, zfilter=, or switch=)"
             )));
         };
         match (key.trim(), value.trim()) {
@@ -443,13 +841,8 @@ fn parse_nimbus_options(args: &str) -> Result<NimbusSpec, ParseSchemeError> {
                     "unknown delay scheme `{v}` (expected basic, copa, or vegas)"
                 )))
             }
-            ("mu", "configured") => spec.mu = MuSpec::Configured,
-            ("mu", "learned") | ("mu", "estimated") => spec.mu = MuSpec::Learned,
-            ("mu", v) => {
-                return Err(ParseSchemeError(format!(
-                    "unknown mu mode `{v}` (expected configured or learned)"
-                )))
-            }
+            ("mu", v) => spec.mu = parse_mu_value(v)?,
+            ("zfilter", v) => spec.zfilter = parse_zfilter_value(v)?,
             ("switch", "auto") => spec.switch = SwitchSpec::Auto,
             ("switch", "never") | ("switch", "off") => spec.switch = SwitchSpec::Never,
             ("switch", v) => {
@@ -461,7 +854,8 @@ fn parse_nimbus_options(args: &str) -> Result<NimbusSpec, ParseSchemeError> {
                 return Err(ParseSchemeError(format!(
                     "unknown nimbus option `{k}` \
                      (expected competitive=cubic|reno, delay=basic|copa|vegas, \
-                     mu=configured|learned, switch=auto|never)"
+                     mu=configured|learned|learned(probe=...), \
+                     zfilter=none|notch(freq=...)|adaptive, switch=auto|never)"
                 )))
             }
         }
@@ -762,7 +1156,8 @@ mod tests {
             .unwrap();
         assert!(cfg.elasticity.eta_threshold.is_infinite());
         let cfg = SchemeSpec::nimbus_estmu().nimbus_config(96e6, 1).unwrap();
-        assert!(cfg.mu_bps.is_none());
+        assert!(cfg.mu.is_learned());
+        assert_eq!(cfg.mu, MuEstimatorConfig::learned());
     }
 
     #[test]

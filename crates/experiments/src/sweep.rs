@@ -247,6 +247,27 @@ pub fn sweep_matrix_with(quick: bool, scheme_axis: Option<&[SchemeSpec]>) -> Vec
                     name: "cellular".to_string(),
                 },
             ),
+            // The estimator axis of the µ-estimation API: the probing
+            // strategy on the deep-fade trace it recovers, and the adaptive
+            // ẑ thresholds on the sinusoid regime they recover — both in
+            // the per-PR perf gate so the strategy hot paths are tracked.
+            (
+                SchemeSpec::nimbus().with_probing_mu(),
+                CrossTraffic::None,
+                LinkScheduleSpec::NamedTrace {
+                    name: "cellular".to_string(),
+                },
+            ),
+            (
+                SchemeSpec::nimbus()
+                    .with_learned_mu()
+                    .with_z_filter(nimbus_core::ZFilterConfig::adaptive()),
+                CrossTraffic::None,
+                LinkScheduleSpec::Sinusoid {
+                    amplitude_frac: 0.1,
+                    period_s: 10.0,
+                },
+            ),
         ];
         for (scheme, cross, schedule) in combos {
             cells.push(Cell {
@@ -449,6 +470,9 @@ mod tests {
         assert!(names.iter().any(|n| n.starts_with("nimbus-copa-estmu@")));
         assert!(names.iter().any(|n| n.contains("-vs-copa+cubic-")));
         assert!(names.iter().any(|n| n.contains("trace-cellular")));
+        // The estimator axis rides in the perf gate too.
+        assert!(names.iter().any(|n| n.starts_with("nimbus-estmu-probe1@")));
+        assert!(names.iter().any(|n| n.starts_with("nimbus-estmu-zadapt@")));
     }
 
     #[test]

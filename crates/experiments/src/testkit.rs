@@ -472,16 +472,96 @@ pub fn matrix_report(outcomes: &[CellOutcome]) -> String {
 /// of Figs. 1/8 and Appendix D, seven multi-hop path cells
 /// ([`multihop_cells`]: fixed and *moving* secondary bottlenecks, learned-µ
 /// tracking the path minimum, doubly-saturated hops, elastic traffic on the
-/// non-bottleneck hop), and five spec-combination cells
+/// non-bottleneck hop), five spec-combination cells
 /// ([`spec_combination_cells`]) exercising wrapper compositions the closed
-/// enum could not express.  Kept short enough (~30 simulated seconds per
-/// cell) that the whole matrix runs in well under two minutes of wall clock
-/// under `cargo test`.
+/// enum could not express, and three estimator-strategy cells
+/// ([`estimator_cells`]) gating the regimes the pluggable µ-estimation API
+/// recovers.  Kept short enough (~30 simulated seconds per cell) that the
+/// whole matrix runs in well under two minutes of wall clock under
+/// `cargo test`.
 pub fn paper_invariant_matrix() -> Vec<Cell> {
     let mut cells = legacy_single_bottleneck_cells();
     cells.extend(multihop_cells());
     cells.extend(spec_combination_cells());
+    cells.extend(estimator_cells());
     cells
+}
+
+/// Matrix cells gating the µ-estimation strategy API: the two ROADMAP
+/// regimes where the hardwired max-filter learned µ degrades, recovered
+/// under a non-default estimator/ẑ-filter, plus a guard that the adaptive
+/// thresholds do not suppress *genuine* elasticity.
+pub fn estimator_cells() -> Vec<Cell> {
+    vec![
+        // ROADMAP regime (b): on the cellular deep-fade trace the max-filter
+        // learned µ collapses to the pacing floor and deadlocks (µ̂ ≈ recv
+        // rate ≈ pace ≈ 120 kbit/s, 0.12 Mbit/s throughput while BBR gets
+        // ~38).  Probe-up epochs plus the delivery-informed pace/window cap
+        // break the fixed point: ≥ 10 Mbit/s required (measured 14.7).
+        Cell {
+            scheme: SchemeSpec::nimbus().with_probing_mu(),
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::NamedTrace {
+                name: "cellular".to_string(),
+            },
+            path: PathSpec::single(),
+            seed: 44,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(10.0),
+                ..Invariants::default()
+            },
+        },
+        // ROADMAP regime (a): learned-µ wrappers lose delay mode on a ±10%
+        // sinusoid where configured µ is stable (delay-fraction 0.07–0.25 —
+        // the µ̂ error leaks the flow's own pulse into ẑ well below the
+        // configured-µ cliff).  The µ-error-aware adaptive thresholds hold
+        // delay mode ≥ 0.9 (measured 1.00, queueing delay 3.5 ms vs 39).
+        Cell {
+            scheme: SchemeSpec::nimbus()
+                .with_learned_mu()
+                .with_z_filter(nimbus_core::ZFilterConfig::adaptive()),
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Sinusoid {
+                amplitude_frac: 0.1,
+                period_s: 10.0,
+            },
+            path: PathSpec::single(),
+            seed: 43,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(35.0),
+                min_delay_mode_fraction: Some(0.9),
+                max_queue_delay_ms: Some(20.0),
+                ..Invariants::default()
+            },
+        },
+        // Guard: the adaptive bars must rise only for the µ̂-error *leak* —
+        // against a genuine elastic Cubic competitor (which fills ẑ itself,
+        // damping the scaling) the wrapper must still detect and switch.
+        Cell {
+            scheme: SchemeSpec::nimbus()
+                .with_learned_mu()
+                .with_z_filter(nimbus_core::ZFilterConfig::adaptive()),
+            cross: CrossTraffic::elastic_cubic(),
+            link_rate_bps: 96e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 42,
+            duration_s: 45.0,
+            steady_start_s: 15.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(12.0),
+                max_delay_mode_fraction: Some(0.9),
+                must_enter_competitive: true,
+                ..Invariants::default()
+            },
+        },
+    ]
 }
 
 /// The 18 single-bottleneck cells that predate both the path engine and the

@@ -149,6 +149,92 @@ impl RateSchedule {
         ))
     }
 
+    /// Bytes one Mahimahi delivery opportunity carries (the mahimahi shell's
+    /// fixed MTU).
+    pub const MAHIMAHI_BYTES_PER_OPPORTUNITY: f64 = 1504.0;
+
+    /// Default binning interval for Mahimahi traces: fine enough to keep
+    /// sub-second fades, coarse enough that a handful of opportunities per
+    /// bin quantizes the rate reasonably.
+    pub const MAHIMAHI_DEFAULT_BIN: Time = Time::from_millis(100);
+
+    /// Parse a [Mahimahi](http://mahimahi.mit.edu/) packet-delivery trace:
+    /// one integer per line, the millisecond timestamp at which one
+    /// MTU-sized (1504-byte) packet can cross the link; repeated timestamps
+    /// mean multiple deliveries in that millisecond.  Like `mm-link` the
+    /// replay loops on the final timestamp — rounded *up* to a whole number
+    /// of bins, since the piecewise-constant schedule cannot end
+    /// mid-segment; a trace whose length is not a bin multiple replays with
+    /// up to one bin of extra period.  The last (possibly partial) bin's
+    /// rate is computed over its actual width, so it is not diluted by the
+    /// rounding.
+    ///
+    /// Opportunities are binned into `bin`-sized intervals and converted to
+    /// a repeating piecewise-constant [`RateSchedule::Trace`]; the absolute
+    /// rates come from the file (unlike the factor-based built-in traces, no
+    /// base rate scales them).
+    ///
+    /// Errors carry the 1-based line number and the offending token.
+    pub fn from_mahimahi_str(text: &str, bin: Time) -> Result<Self, String> {
+        assert!(bin > Time::ZERO, "bin interval must be positive");
+        let mut timestamps_ms: Vec<u64> = Vec::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let ts: u64 = line.parse().map_err(|_| {
+                format!(
+                    "mahimahi trace line {}: `{line}` is not a millisecond timestamp",
+                    idx + 1
+                )
+            })?;
+            timestamps_ms.push(ts);
+        }
+        let last_ms = *timestamps_ms
+            .iter()
+            .max()
+            .ok_or("mahimahi trace holds no delivery opportunities")?;
+        if last_ms == 0 {
+            return Err("mahimahi trace ends at t=0: the replay period would be empty".to_string());
+        }
+        // Bin in nanoseconds: sub-millisecond (or non-whole-millisecond)
+        // bins must not truncate to zero-width divisions.
+        let bin_ns = bin.as_nanos() as u128;
+        let last_ns = last_ms as u128 * 1_000_000;
+        let bins = last_ns.div_ceil(bin_ns) as usize;
+        let mut counts = vec![0u64; bins];
+        for ts in timestamps_ms {
+            let idx = ((ts as u128 * 1_000_000 / bin_ns) as usize).min(bins - 1);
+            counts[idx] += 1;
+        }
+        let bin_s = bin.as_secs_f64();
+        // The final bin may be partial (the trace ends inside it): quote its
+        // deliveries over the width the trace actually covers.
+        let last_width_ns = last_ns - bin_ns * (bins as u128 - 1);
+        let last_width_s = last_width_ns as f64 / 1e9;
+        let n = counts.len();
+        let rates = counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let width = if i == n - 1 { last_width_s } else { bin_s };
+                c as f64 * Self::MAHIMAHI_BYTES_PER_OPPORTUNITY * 8.0 / width
+            })
+            .collect();
+        Ok(Self::trace(bin, rates, true))
+    }
+
+    /// [`RateSchedule::from_mahimahi_str`] reading from a file, at the
+    /// default 100 ms binning.
+    pub fn from_mahimahi_file(path: impl AsRef<std::path::Path>) -> Result<Self, String> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read mahimahi trace {}: {e}", path.display()))?;
+        Self::from_mahimahi_str(&text, Self::MAHIMAHI_DEFAULT_BIN)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+
     /// A trace schedule from per-interval rates.
     pub fn trace(interval: Time, rates_bps: Vec<f64>, repeat: bool) -> Self {
         assert!(
@@ -437,6 +523,50 @@ mod tests {
         assert!(outage.min_rate_bps() < 2e6);
         assert!(outage.min_rate_bps() >= MIN_RATE_BPS);
         assert!(RateSchedule::builtin_trace("nonexistent", 48e6).is_none());
+    }
+
+    #[test]
+    fn mahimahi_traces_bin_into_rates_and_repeat() {
+        // 5 opportunities in [0, 100) ms, 0 in [100, 200), 2 in [200, 300):
+        // 3 bins at 100 ms, repeating.  Note the unsorted + repeated lines.
+        let text = "0\n50\n50\n99\n20\n250\n201\n300\n";
+        let s = RateSchedule::from_mahimahi_str(text, Time::from_millis(100)).unwrap();
+        let bps = |packets: f64| packets * 1504.0 * 8.0 / 0.1;
+        assert_eq!(s.rate_at(Time::from_millis(50)), bps(5.0));
+        // The floor keeps the empty bin from dividing by zero downstream.
+        assert_eq!(s.rate_at(Time::from_millis(150)), MIN_RATE_BPS);
+        // The final timestamp (300 = the wrap point) lands in the last bin.
+        assert_eq!(s.rate_at(Time::from_millis(250)), bps(3.0));
+        // Wraps like mm-link.
+        assert_eq!(s.rate_at(Time::from_millis(350)), bps(5.0));
+        assert!(!s.is_constant());
+    }
+
+    #[test]
+    fn mahimahi_parse_errors_are_actionable() {
+        let err =
+            RateSchedule::from_mahimahi_str("12\nfast\n20\n", Time::from_millis(100)).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("fast"), "{err}");
+        let err = RateSchedule::from_mahimahi_str("\n  \n", Time::from_millis(100)).unwrap_err();
+        assert!(err.contains("no delivery opportunities"), "{err}");
+        let err = RateSchedule::from_mahimahi_str("0\n0\n", Time::from_millis(100)).unwrap_err();
+        assert!(err.contains("t=0"), "{err}");
+        let err = RateSchedule::from_mahimahi_file("/nonexistent/x.trace").unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
+    fn bundled_sample_trace_loads() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../traces/sample-cellular.mahimahi"
+        );
+        let s = RateSchedule::from_mahimahi_file(path).unwrap();
+        assert!(!s.is_constant());
+        // The sample is a varying multi-Mbit/s link with a deep fade.
+        assert!(s.max_rate_bps() > 5e6, "max {}", s.max_rate_bps());
+        assert!(s.min_rate_bps() < 1e6, "min {}", s.min_rate_bps());
     }
 
     #[test]

@@ -25,8 +25,9 @@
 
 use crate::basic_delay::{BasicDelay, BasicDelayConfig};
 use crate::detector::{DetectorVerdict, ElasticityConfig, ElasticityDetector};
-use crate::estimator::CrossTrafficEstimator;
+use crate::estimator::{CrossTrafficEstimator, MuEstimatorConfig, ZFilterConfig};
 use crate::multiflow::{Multiflow, MultiflowConfig, Role};
+use nimbus_dsp::Biquad;
 use nimbus_dsp::PulseGenerator;
 use nimbus_netsim::Time;
 use nimbus_transport::cc::{AckEvent, CongestionControl};
@@ -66,9 +67,13 @@ pub enum Mode {
 /// Nimbus configuration.
 #[derive(Debug, Clone)]
 pub struct NimbusConfig {
-    /// Bottleneck link rate µ in bits/s (`None` ⇒ estimate from the max
-    /// receive rate, like BBR).
-    pub mu_bps: Option<f64>,
+    /// Where the bottleneck rate µ comes from: configured up front, or one
+    /// of the pluggable learned-µ strategies of §4.2 and beyond (see
+    /// [`crate::estimator`] for the strategy catalogue).
+    pub mu: MuEstimatorConfig,
+    /// ẑ conditioning between the estimator and the detector (none, a notch
+    /// at the link-variation frequency, or µ-uncertainty-scaled thresholds).
+    pub z_filter: ZFilterConfig,
     /// Maximum segment size of the flow, bytes.
     pub mss: u32,
     /// Pulse amplitude as a fraction of µ (0.25 by default).
@@ -94,7 +99,8 @@ impl NimbusConfig {
     /// BasicDelay, 0.25·µ pulses at 5/6 Hz, 5-second FFT, η threshold 2.
     pub fn default_for_link(mu_bps: f64) -> Self {
         NimbusConfig {
-            mu_bps: Some(mu_bps),
+            mu: MuEstimatorConfig::Configured { mu_bps },
+            z_filter: ZFilterConfig::None,
             mss: 1500,
             pulse_amplitude_fraction: 0.25,
             elasticity: ElasticityConfig::default(),
@@ -141,8 +147,19 @@ impl NimbusConfig {
     /// trusting a configured link rate.  BasicDelay keeps the paper defaults
     /// derived from the nominal rate; the estimator and pulse amplitude
     /// follow the learned value.
-    pub fn with_learned_mu(mut self) -> Self {
-        self.mu_bps = None;
+    pub fn with_learned_mu(self) -> Self {
+        self.with_mu_estimator(MuEstimatorConfig::learned())
+    }
+
+    /// Select an arbitrary µ-estimation strategy (see [`crate::estimator`]).
+    pub fn with_mu_estimator(mut self, mu: MuEstimatorConfig) -> Self {
+        self.mu = mu;
+        self
+    }
+
+    /// Install a ẑ-conditioning stage between the estimator and the detector.
+    pub fn with_z_filter(mut self, z_filter: ZFilterConfig) -> Self {
+        self.z_filter = z_filter;
         self
     }
 
@@ -221,19 +238,22 @@ impl NimbusController {
             DelayScheme::Vegas => DelayCtl::Other(CcKind::Vegas.build(cfg.mss)),
             DelayScheme::CopaDefault => DelayCtl::Other(CcKind::Copa.build(cfg.mss)),
         };
-        let estimator = match cfg.mu_bps {
-            Some(mu) => {
-                CrossTrafficEstimator::with_known_mu(mu, cfg.elasticity.fft_duration_s * 2.0)
-            }
-            None => CrossTrafficEstimator::with_estimated_mu(cfg.elasticity.fft_duration_s * 2.0),
-        };
+        let mut estimator =
+            CrossTrafficEstimator::from_config(&cfg.mu, cfg.elasticity.fft_duration_s * 2.0);
+        if let ZFilterConfig::Notch { freq_hz, q } = cfg.z_filter {
+            estimator.set_z_prefilter(Some(Biquad::notch(
+                freq_hz,
+                q,
+                cfg.elasticity.sample_rate_hz(),
+            )));
+        }
         let detector = ElasticityDetector::new(cfg.elasticity.clone());
         let multiflow = Multiflow::new(
             cfg.multiflow.clone(),
             cfg.elasticity.fft_duration_s,
             cfg.seed,
         );
-        let amplitude = cfg.pulse_amplitude_fraction * cfg.mu_bps.unwrap_or(0.0);
+        let amplitude = cfg.pulse_amplitude_fraction * cfg.mu.configured_mu_bps().unwrap_or(0.0);
         let pulse = PulseGenerator::asymmetric(cfg.elasticity.pulse_freq_hz, amplitude);
         let mut controller = NimbusController {
             cfg,
@@ -364,6 +384,17 @@ impl NimbusController {
         }
     }
 
+    /// The pacing multiplier a probing µ estimator wants right now.  Probe
+    /// epochs only run in delay mode: there the flow is self-limited and a
+    /// max filter can never see past its own pace, while in competitive
+    /// mode the inner TCP already probes the link by design.
+    fn probe_gain(&self, now_s: f64) -> f64 {
+        match self.mode {
+            Mode::Delay => self.estimator.pace_gain(now_s),
+            Mode::Competitive => 1.0,
+        }
+    }
+
     fn switch_mode(&mut self, new_mode: Mode) {
         if new_mode == self.mode {
             return;
@@ -414,7 +445,12 @@ impl CongestionControl for NimbusController {
 
     fn on_report(&mut self, report: &Report) {
         self.now_s = report.now_s;
-        // 1. Feed the measurement pipeline.
+        // 1. Feed the measurement pipeline.  Probe epochs only pace in delay
+        // mode (`probe_gain`), so the estimator's ẑ sample-and-hold must
+        // follow the same gate — in competitive mode there is no probe burst
+        // to blank out, and holding anyway would starve the detector of the
+        // very samples that tell it the competition went away.
+        self.estimator.set_probing_paced(self.mode == Mode::Delay);
         let sample = self.estimator.on_report(report);
         if let (Some(s), DelayCtl::Basic(bd)) = (sample, &mut self.delay) {
             bd.set_cross_traffic_estimate(s.z_bps);
@@ -474,10 +510,29 @@ impl CongestionControl for NimbusController {
         // learned at runtime): a configured value of 0 means "automatic",
         // i.e. the f_p oscillation in ẑ must reach ~2% of µ peak-to-peak
         // before the cross traffic can be called elastic.
+        let z_series = self.estimator.z_series_conditioned(window_s);
+        // The adaptive ẑ-conditioning stage raises the detection bars (η
+        // threshold and minimum peak) with the µ̂ uncertainty: when µ̂ is off
+        // by a fraction u, the flow's own pulse leaks into ẑ with amplitude
+        // ∝ u·0.25·µ̂ and η values in exactly the genuine-elasticity range.
+        // The leak can only masquerade as cross traffic when there is not
+        // much *actual* cross traffic — a real competitor fills ẑ itself —
+        // so the scaling is damped to nothing as mean ẑ approaches 25% of
+        // µ̂.  Without the damping a competitor that squeezes the flow also
+        // widens the recv-rate spread, the raised bar suppresses the
+        // genuine verdict, and the starvation becomes self-reinforcing.
+        let bar_scale = match self.cfg.z_filter {
+            ZFilterConfig::Adaptive { k } if mu > 0.0 && !z_series.is_empty() => {
+                let mean_z = z_series.iter().sum::<f64>() / z_series.len() as f64;
+                let damp = (1.0 - mean_z / (0.25 * mu)).clamp(0.0, 1.0);
+                1.0 + k * self.estimator.mu_uncertainty() * damp
+            }
+            _ => 1.0,
+        };
         if self.cfg.elasticity.min_peak_bps == 0.0 && mu > 0.0 {
-            self.detector.set_min_peak_bps(0.01 * mu);
+            self.detector.set_min_peak_bps(0.01 * mu * bar_scale);
         }
-        let z_series = self.estimator.z_series(window_s);
+        self.detector.set_eta_scale(bar_scale);
         if let Some(verdict) = self.detector.evaluate(report.now_s, &z_series) {
             self.last_verdict = Some(verdict);
             // Multi-pulser conflict check: compare the pulse-frequency content
@@ -533,9 +588,28 @@ impl CongestionControl for NimbusController {
             Mode::Delay => self.delay.as_cc().cwnd_packets(),
         };
         let rtt = if self.srtt_s > 0.0 { self.srtt_s } else { 0.1 };
-        let peak_rate = self.base_rate_bps(Time::from_secs_f64(self.now_s)) + self.pulse.amplitude;
+        // A probe-up epoch must fit through the window as well as the pulse:
+        // the estimator's pace gain scales the headroom exactly as it scales
+        // the paced rate (gain is 1.0 outside probing estimators).
+        let gain = self.probe_gain(self.now_s);
+        let peak_rate =
+            (self.base_rate_bps(Time::from_secs_f64(self.now_s)) + self.pulse.amplitude) * gain;
         let pulse_headroom = 2.0 * peak_rate * rtt / (8.0 * self.cfg.mss as f64);
-        inner.max(pulse_headroom)
+        let cwnd = inner.max(pulse_headroom);
+        // A probing estimator's delivery cap bounds the *window* as well as
+        // the pace: retransmissions are never paced (only cwnd-gated), so
+        // after a timeout an inner controller whose rate has rebounded off
+        // the nominal µ would flood the whole go-back-N queue into a faded
+        // link and wedge it again.  Two delivery-BDPs of window keep
+        // recovery ACK-clocked at the rate the link actually carries (the
+        // same 2× that BBR's cwnd gain uses, covering the probe epochs too).
+        match (self.mode, self.estimator.pace_cap_bps()) {
+            (Mode::Delay, Some(cap_bps)) => {
+                let cap_window = 2.0 * cap_bps * rtt / (8.0 * self.cfg.mss as f64);
+                cwnd.min(cap_window.max(4.0))
+            }
+            _ => cwnd,
+        }
     }
 
     fn pacing_rate_bps(&self, now: Time) -> Option<f64> {
@@ -547,7 +621,20 @@ impl CongestionControl for NimbusController {
         } else {
             self.pulse.modulate(base, now.as_secs_f64())
         };
-        Some(shaped.max(self.cfg.mss as f64 * 8.0 / 0.1))
+        // A probing estimator's delivery-informed cap bounds the cruise rate
+        // in delay mode: a rate-based inner controller chasing a nominal or
+        // crest-riding µ paces straight into a rate fade, melts the queue
+        // down and wedges the transport in RTO backoff (the ROADMAP cellular
+        // deadlock's other half).  Probe epochs then multiply *after* both
+        // the cap and the pacing floor, so probing remains the one way to
+        // pace above recent delivery — and the floor (the exact fixed point
+        // µ̂ deadlocks at) can never mask the escape mechanism.
+        let shaped = match (self.mode, self.estimator.pace_cap_bps()) {
+            (Mode::Delay, Some(cap)) => shaped.min(cap),
+            _ => shaped,
+        };
+        let gain = self.probe_gain(now.as_secs_f64());
+        Some(shaped.max(self.cfg.mss as f64 * 8.0 / 0.1) * gain)
     }
 
     fn reinitialize(&mut self, rate_bps: f64, rtt_s: f64, mss: u32) {

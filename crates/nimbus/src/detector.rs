@@ -94,6 +94,12 @@ pub struct DetectorVerdict {
 pub struct ElasticityDetector {
     cfg: ElasticityConfig,
     fft_plan: Fft,
+    /// Multiplier on the η threshold (and the controller scales the
+    /// minimum-peak guard by the same factor): the µ-error-aware
+    /// ẑ-conditioning stage raises the detection bar when the µ estimate is
+    /// uncertain.  `1.0` (the default) reproduces the paper's fixed
+    /// threshold exactly.
+    eta_scale: f64,
     /// Log of every verdict, for experiment post-processing.
     verdicts: Vec<DetectorVerdict>,
 }
@@ -105,6 +111,7 @@ impl ElasticityDetector {
         ElasticityDetector {
             cfg,
             fft_plan: Fft::new(n),
+            eta_scale: 1.0,
             verdicts: Vec::new(),
         }
     }
@@ -124,6 +131,13 @@ impl ElasticityDetector {
     /// fraction of its µ estimate, which may itself be learned at runtime).
     pub fn set_min_peak_bps(&mut self, min_peak_bps: f64) {
         self.cfg.min_peak_bps = min_peak_bps;
+    }
+
+    /// Scale the η threshold (µ-error-aware ẑ conditioning,
+    /// [`crate::estimator::ZFilterConfig::Adaptive`]).  `1.0` restores the
+    /// configured threshold exactly.
+    pub fn set_eta_scale(&mut self, scale: f64) {
+        self.eta_scale = scale;
     }
 
     /// Compute the elasticity metric η for a ẑ series sampled at the
@@ -158,7 +172,8 @@ impl ElasticityDetector {
         let verdict = DetectorVerdict {
             t_s,
             eta,
-            elastic: eta >= self.cfg.eta_threshold && peak >= self.cfg.min_peak_bps,
+            elastic: eta >= self.cfg.eta_threshold * self.eta_scale
+                && peak >= self.cfg.min_peak_bps,
             peak_at_fp: peak,
             band_max: band,
         };

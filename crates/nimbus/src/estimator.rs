@@ -1,4 +1,7 @@
-//! Cross-traffic rate estimation (Eq. 1 of the paper).
+//! Cross-traffic rate estimation (Eq. 1 of the paper) and the pluggable
+//! µ-estimation strategy API.
+//!
+//! # The estimate
 //!
 //! With a known bottleneck rate `µ`, a busy bottleneck queue and FIFO
 //! service, the share of the link a flow receives equals its share of the
@@ -11,11 +14,43 @@
 //! where `S` and `R` are the flow's send and receive rates measured over the
 //! *same* window of packets (Eq. 2; the sender machinery provides them via
 //! the CCP-style [`Report`]).  The estimator also keeps the sampled history
-//! of `ẑ` (and of `R`) that the elasticity detector's FFT consumes, and a
-//! max-filter estimate of `µ` for deployments where the link rate is not
-//! supplied (§4.2).
+//! of `ẑ` (and of `R`) that the elasticity detector's FFT consumes.
+//!
+//! # The strategy API
+//!
+//! Everything above is only as good as the µ estimate.  §4.2 of the paper
+//! sketches *one* way to obtain µ when it is not configured — a BBR-style
+//! windowed max filter over the receive rate — but that strategy has known
+//! failure modes (see the table below), so the source of µ̂ is a pluggable
+//! [`MuEstimator`] strategy selected by [`MuEstimatorConfig`]:
+//!
+//! | strategy | spec grammar | behaviour |
+//! |---|---|---|
+//! | [`ConfiguredMu`] | `mu=configured` | trust the provisioned link rate |
+//! | [`MaxFilterMu`] | `mu=learned` | §4.2 windowed max of `R` (byte-identical to the pre-API estimator) |
+//! | [`ProbingMu`] | `mu=learned(probe=…)` | max filter + periodic probe-up epochs + loss-informed µ̂ floor |
+//!
+//! **Which estimator when?**
+//!
+//! * `configured` — the link rate is known and stable (the paper's main
+//!   evaluation).  Exact ẑ, no failure modes; wrong µ by ±25% degrades the
+//!   detector gracefully (§4.2, Fig. 21).
+//! * `learned` — unknown but *stable* links.  On strongly-varying links the
+//!   filter rides the upper envelope of µ(t), and the µ̂ error feeds the
+//!   flow's own pulse back into ẑ (pair it with a [`ZFilterConfig`]); after
+//!   a deep rate fade the filter can deadlock at the pacing floor (µ̂ ≈
+//!   recv rate ≈ pace, nothing ever probes above it).
+//! * `learned(probe=…)` — unknown *and* varying links (cellular).  The probe
+//!   epochs break the µ̂/pace/recv-rate fixed point the way BBR's
+//!   PROBE_BW cycle does, and the loss floor keeps µ̂ from collapsing when a
+//!   fade empties the max-filter window.
+//!
+//! The ẑ-conditioning stage ([`ZFilterConfig`]) is the estimation layer's
+//! other half: it filters or re-thresholds the ẑ series the detector
+//! consumes, compensating for *known* µ̂ error structure (a notch at the
+//! link's variation frequency, or an uncertainty-scaled η threshold).
 
-use nimbus_dsp::WindowedMax;
+use nimbus_dsp::{Biquad, WindowedMax, WindowedMin};
 use nimbus_transport::Report;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -42,13 +77,515 @@ pub struct ZSample {
 /// CCP tick).
 const MU_GROWTH_CAP: f64 = 1.25;
 
-/// Cross-traffic rate estimator with sample history.
+/// Default length of the learned-µ max-filter window, seconds (§4.2).
+pub const DEFAULT_MU_WINDOW_S: f64 = 10.0;
+
+// ---------------------------------------------------------------------------
+// Strategy configuration
+// ---------------------------------------------------------------------------
+
+/// Parameters of the probing µ estimator ([`ProbingMu`]): the §4.2 max
+/// filter augmented with BBR-style probe-up epochs and a loss-informed µ̂
+/// floor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbingConfig {
+    /// Max-filter window over the receive rate, seconds.
+    pub window_s: f64,
+    /// Seconds between probe-up epochs.
+    pub probe_interval_s: f64,
+    /// Length of each probe-up epoch, seconds.
+    pub probe_duration_s: f64,
+    /// Pacing-rate multiplier applied during a probe epoch (> 1).
+    pub probe_gain: f64,
+    /// Multiplicative decay applied to the loss floor when losses are
+    /// reported (at most once per `backoff_interval_s`).
+    pub loss_backoff: f64,
+    /// Minimum spacing between loss-floor decays, seconds (a single loss
+    /// episode spans many 10 ms report ticks; decaying per tick would erase
+    /// the floor in under a second).
+    pub backoff_interval_s: f64,
+    /// Window of the short delivery filter behind the pace cap, seconds.
+    pub recent_window_s: f64,
+    /// Cruise pace cap as a multiple of the recent delivery rate: outside
+    /// probe epochs the controller may not pace further above what the link
+    /// recently delivered (BBR's cruise/probe separation).
+    pub cap_margin: f64,
+}
+
+impl Default for ProbingConfig {
+    /// Probe for 0.25 s every second at 2× pace (a BBR-like cadence — on the
+    /// cellular deep-fade trace this recovers ~14 Mbit/s where 3-second
+    /// epochs leave half of every fade's aftermath unprobed), 10 s
+    /// max-filter window, loss floor backing off by 0.7 at most twice per
+    /// second, pace cap at 1.25× the delivery seen in the last 1.5 s.
+    fn default() -> Self {
+        ProbingConfig {
+            window_s: DEFAULT_MU_WINDOW_S,
+            probe_interval_s: 1.0,
+            probe_duration_s: 0.25,
+            probe_gain: 2.0,
+            loss_backoff: 0.7,
+            backoff_interval_s: 0.5,
+            recent_window_s: 1.5,
+            cap_margin: 1.25,
+        }
+    }
+}
+
+/// How µ is *learned* when it is not configured: the strategy axis of
+/// `mu=learned(...)` specs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LearnedMuConfig {
+    /// The §4.2 windowed max filter over the receive rate (`mu=learned`).
+    MaxFilter {
+        /// Filter window, seconds (10 by default).
+        window_s: f64,
+    },
+    /// Max filter + probe-up epochs + loss floor (`mu=learned(probe=…)`).
+    Probing(ProbingConfig),
+}
+
+impl Default for LearnedMuConfig {
+    fn default() -> Self {
+        LearnedMuConfig::MaxFilter {
+            window_s: DEFAULT_MU_WINDOW_S,
+        }
+    }
+}
+
+impl LearnedMuConfig {
+    /// The max-filter window this configuration uses.
+    pub fn window_s(&self) -> f64 {
+        match self {
+            LearnedMuConfig::MaxFilter { window_s } => *window_s,
+            LearnedMuConfig::Probing(p) => p.window_s,
+        }
+    }
+}
+
+/// Where the estimator's µ comes from: the full strategy configuration
+/// carried by `NimbusConfig`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MuEstimatorConfig {
+    /// µ is provisioned up front (`mu=configured`, the paper's default).
+    Configured {
+        /// The configured bottleneck rate, bits/s.
+        mu_bps: f64,
+    },
+    /// µ is learned at runtime (§4.2 and extensions).
+    Learned(LearnedMuConfig),
+}
+
+impl MuEstimatorConfig {
+    /// The classic learned-µ configuration (`mu=learned`).
+    pub fn learned() -> Self {
+        MuEstimatorConfig::Learned(LearnedMuConfig::default())
+    }
+
+    /// The configured rate, if this is a configured-µ strategy.
+    pub fn configured_mu_bps(&self) -> Option<f64> {
+        match self {
+            MuEstimatorConfig::Configured { mu_bps } => Some(*mu_bps),
+            MuEstimatorConfig::Learned(_) => None,
+        }
+    }
+
+    /// Whether µ is learned at runtime.
+    pub fn is_learned(&self) -> bool {
+        matches!(self, MuEstimatorConfig::Learned(_))
+    }
+
+    /// Instantiate the strategy.
+    pub fn build(&self) -> Box<dyn MuEstimator> {
+        match self {
+            MuEstimatorConfig::Configured { mu_bps } => Box::new(ConfiguredMu::new(*mu_bps)),
+            MuEstimatorConfig::Learned(LearnedMuConfig::MaxFilter { window_s }) => {
+                Box::new(MaxFilterMu::new(*window_s))
+            }
+            MuEstimatorConfig::Learned(LearnedMuConfig::Probing(cfg)) => {
+                Box::new(ProbingMu::new(*cfg))
+            }
+        }
+    }
+}
+
+/// ẑ conditioning between the estimator and the detector: compensates for
+/// *known* structure in the µ̂ error instead of letting it masquerade as
+/// cross traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ZFilterConfig {
+    /// Hand the raw ẑ series to the detector (the paper's pipeline).
+    #[default]
+    None,
+    /// Notch-filter ẑ at the link's known rate-variation frequency before
+    /// the FFT, removing the µ̂-error swing (and its spectral leakage) that a
+    /// time-varying bottleneck injects.
+    Notch {
+        /// Centre frequency of the notch — the link's variation frequency, Hz.
+        freq_hz: f64,
+        /// Quality factor (−3 dB bandwidth is `freq_hz / q`).
+        q: f64,
+    },
+    /// Scale the detector's η threshold and minimum-peak guard by
+    /// `1 + k·u`, where `u` is the µ estimator's reported relative
+    /// uncertainty: when µ̂ is shaky, the flow's own pulse leaks into ẑ with
+    /// amplitude proportional to the µ̂ error, and the detection bar must
+    /// rise with it.
+    Adaptive {
+        /// Gain on the uncertainty (how aggressively the bar rises).
+        k: f64,
+    },
+}
+
+impl ZFilterConfig {
+    /// The default notch (`q = 0.7`) at the given link-variation frequency.
+    pub fn notch(freq_hz: f64) -> Self {
+        ZFilterConfig::Notch { freq_hz, q: 0.7 }
+    }
+
+    /// The default adaptive thresholding (`k = 8`).
+    pub fn adaptive() -> Self {
+        ZFilterConfig::Adaptive { k: 8.0 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The strategy trait and its implementations
+// ---------------------------------------------------------------------------
+
+/// A µ-estimation strategy: one deterministic object that ingests every
+/// measurement report and answers "what is the bottleneck rate right now".
+///
+/// Implementations must be deterministic (simulation fingerprints are pinned
+/// across refactors) and cheap per report (called on every 10 ms CCP tick).
+/// `Send` because the testkit runs whole simulations — controllers included —
+/// across worker threads.
+pub trait MuEstimator: std::fmt::Debug + Send {
+    /// Clone into a box (strategies are held as trait objects).
+    fn clone_box(&self) -> Box<dyn MuEstimator>;
+
+    /// Ingest one measurement report.
+    fn on_report(&mut self, report: &Report);
+
+    /// The current µ estimate, bits/s (`0.0` until one exists).
+    fn mu_bps(&self) -> f64;
+
+    /// Whether µ is learned at runtime (and a µ̂ history is worth recording).
+    fn is_learned(&self) -> bool;
+
+    /// Pacing-rate multiplier the controller should apply right now (> 1
+    /// during a probe-up epoch, 1 otherwise).  This is the estimator's lever
+    /// for breaking µ̂/pace/recv-rate fixed points: a max filter can only
+    /// ever confirm the rate the pacer already allows.
+    fn pace_gain(&self, now_s: f64) -> f64 {
+        let _ = now_s;
+        1.0
+    }
+
+    /// Relative uncertainty of µ̂ in `[0, 1]`: roughly "by what fraction has
+    /// the observed receive rate strayed below µ̂ over the filter window".
+    /// `0.0` when µ is exact.  Consumed by [`ZFilterConfig::Adaptive`].
+    fn mu_uncertainty(&self) -> f64 {
+        0.0
+    }
+
+    /// Whether the ẑ stream should be sample-and-held at `now_s` instead of
+    /// recorded.  A probe-up epoch doubles the send rate for half a second;
+    /// Eq. 1 turns that into a square pulse in ẑ whose broadband spectrum
+    /// floods the detector's comparison band and blinds it to genuine
+    /// elasticity, so probing strategies blank ẑ for the epoch (plus a
+    /// drain interval).
+    fn suppress_z_at(&self, now_s: f64) -> bool {
+        let _ = now_s;
+        false
+    }
+
+    /// An upper bound on the cruise pacing rate, bits/s (`None` = no cap).
+    /// A rate-based delay controller driven by a stale or nominal µ paces
+    /// straight into a rate fade, melts the queue down and wedges the
+    /// transport in RTO backoff; a delivery-informed cap bounds the
+    /// overdrive to what the link recently proved it can carry, leaving the
+    /// probe epochs as the one sanctioned way to pace above it.
+    fn pace_cap_bps(&self) -> Option<f64> {
+        None
+    }
+}
+
+impl Clone for Box<dyn MuEstimator> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// `mu=configured`: trust the provisioned link rate.
+#[derive(Debug, Clone)]
+pub struct ConfiguredMu {
+    mu_bps: f64,
+}
+
+impl ConfiguredMu {
+    /// A configured-µ strategy.
+    ///
+    /// # Panics
+    /// Panics unless `mu_bps > 0`.
+    pub fn new(mu_bps: f64) -> Self {
+        assert!(mu_bps > 0.0, "µ must be positive");
+        ConfiguredMu { mu_bps }
+    }
+}
+
+impl MuEstimator for ConfiguredMu {
+    fn clone_box(&self) -> Box<dyn MuEstimator> {
+        Box::new(self.clone())
+    }
+    fn on_report(&mut self, _report: &Report) {}
+    fn mu_bps(&self) -> f64 {
+        self.mu_bps
+    }
+    fn is_learned(&self) -> bool {
+        false
+    }
+}
+
+/// `mu=learned`: the §4.2 windowed max filter over the receive rate, with
+/// the per-report growth cap.  Byte-identical to the pre-API hardwired
+/// estimator (pinned by `tests/estimator_api.rs`).
+#[derive(Debug, Clone)]
+pub struct MaxFilterMu {
+    filter: WindowedMax,
+    /// Windowed min over the same capped inputs; feeds [`MuEstimator::
+    /// mu_uncertainty`] only and never touches µ̂ itself.
+    min_tracker: WindowedMin,
+}
+
+impl MaxFilterMu {
+    /// A max-filter strategy with the given window (seconds).
+    pub fn new(window_s: f64) -> Self {
+        MaxFilterMu {
+            filter: WindowedMax::new(window_s),
+            min_tracker: WindowedMin::new(window_s),
+        }
+    }
+
+    /// The capped filter input for this report, shared with [`ProbingMu`]:
+    /// the receive rate clamped to 25% above the current estimate (or above
+    /// the send rate when no estimate exists yet — over the same packet
+    /// window R can only exceed S through bounded queue-drain compression,
+    /// so a first sample several times S is the same ACK-compression
+    /// artifact the growth cap rejects).
+    fn capped_input(current: f64, report: &Report) -> f64 {
+        let cap = if current > 0.0 {
+            current * MU_GROWTH_CAP
+        } else if report.send_rate_bps > 0.0 {
+            report.send_rate_bps * MU_GROWTH_CAP
+        } else {
+            f64::INFINITY
+        };
+        report.recv_rate_bps.min(cap)
+    }
+}
+
+impl MuEstimator for MaxFilterMu {
+    fn clone_box(&self) -> Box<dyn MuEstimator> {
+        Box::new(self.clone())
+    }
+
+    fn on_report(&mut self, report: &Report) {
+        if report.recv_rate_bps <= 0.0 {
+            return;
+        }
+        let current = self.filter.max().unwrap_or(0.0);
+        let input = Self::capped_input(current, report);
+        self.filter.update(report.now_s, input);
+        self.min_tracker.update(report.now_s, input);
+    }
+
+    fn mu_bps(&self) -> f64 {
+        self.filter.max().unwrap_or(0.0)
+    }
+
+    fn is_learned(&self) -> bool {
+        true
+    }
+
+    fn mu_uncertainty(&self) -> f64 {
+        let mu = self.mu_bps();
+        match self.min_tracker.min() {
+            Some(min) if mu > 0.0 => ((mu - min) / mu).clamp(0.0, 1.0),
+            _ => 0.0,
+        }
+    }
+}
+
+/// `mu=learned(probe=…)`: the max filter augmented with two mechanisms from
+/// the BBR/loss-fallback playbook (see the ROADMAP's cellular deep-fade
+/// finding for the failure they fix):
+///
+/// * **Probe-up epochs** — every `probe_interval_s` the strategy asks the
+///   controller (via [`MuEstimator::pace_gain`]) to pace at `probe_gain`×
+///   for `probe_duration_s`.  A pure max filter can never observe a rate
+///   above what the pacer already sends, so after µ̂ collapses the system
+///   sits at a fixed point (µ̂ ≈ recv rate ≈ pace); the epoch breaks it
+///   exactly the way BBR's PROBE_BW up-phase does.
+/// * **Loss-informed µ̂ floor** — the highest receive rate observed on a
+///   loss-free report, decayed multiplicatively (at most once per
+///   `backoff_interval_s`) while losses are being reported.  A deep fade
+///   empties the 10-second max window of every pre-fade sample; the floor
+///   remembers what the link recently sustained *without* loss so µ̂
+///   re-expands from megabits, not from the pacing floor.
+#[derive(Debug, Clone)]
+pub struct ProbingMu {
+    cfg: ProbingConfig,
+    filter: WindowedMax,
+    min_tracker: WindowedMin,
+    /// Short-window max over the raw receive rate: the "what did the link
+    /// deliver lately" evidence behind [`MuEstimator::pace_cap_bps`].
+    recent: WindowedMax,
+    /// Highest loss-free receive rate, decayed on loss (bits/s).
+    loss_floor_bps: f64,
+    /// Time of the last loss-floor decay, seconds.
+    last_backoff_s: f64,
+}
+
+impl ProbingMu {
+    /// A probing strategy with the given parameters.
+    pub fn new(cfg: ProbingConfig) -> Self {
+        assert!(cfg.window_s > 0.0, "filter window must be positive");
+        assert!(
+            cfg.probe_interval_s > 2.0 * cfg.probe_duration_s && cfg.probe_duration_s > 0.0,
+            "a probe epoch plus its drain interval (2x the epoch, during which ẑ is \
+             sample-and-held) must fit inside the probe interval — otherwise the hold \
+             never releases and the detector's input freezes"
+        );
+        assert!(cfg.probe_gain > 1.0, "a probe must pace above 1x");
+        assert!(
+            cfg.loss_backoff > 0.0 && cfg.loss_backoff < 1.0,
+            "loss backoff must be a decay factor in (0, 1)"
+        );
+        assert!(
+            cfg.recent_window_s > 0.0 && cfg.cap_margin >= 1.0,
+            "the pace cap needs a positive window and a margin of at least 1"
+        );
+        ProbingMu {
+            cfg,
+            filter: WindowedMax::new(cfg.window_s),
+            min_tracker: WindowedMin::new(cfg.window_s),
+            recent: WindowedMax::new(cfg.recent_window_s),
+            loss_floor_bps: 0.0,
+            last_backoff_s: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The probing parameters in use.
+    pub fn config(&self) -> &ProbingConfig {
+        &self.cfg
+    }
+
+    /// The current loss-informed floor (bits/s).
+    pub fn loss_floor_bps(&self) -> f64 {
+        self.loss_floor_bps
+    }
+
+    /// Whether a probe-up epoch is active at `now_s`.  The schedule is a
+    /// deterministic function of simulation time: the first epoch starts at
+    /// `probe_interval_s` (never in the FFT warm-up) and one runs every
+    /// interval after that.
+    pub fn probing_at(&self, now_s: f64) -> bool {
+        now_s >= self.cfg.probe_interval_s
+            && now_s % self.cfg.probe_interval_s < self.cfg.probe_duration_s
+    }
+
+    /// Whether `now_s` falls in a probe epoch *or* its drain interval (one
+    /// extra epoch length for the queue the probe built to empty).
+    pub fn settling_at(&self, now_s: f64) -> bool {
+        now_s >= self.cfg.probe_interval_s
+            && now_s % self.cfg.probe_interval_s < 2.0 * self.cfg.probe_duration_s
+    }
+}
+
+impl MuEstimator for ProbingMu {
+    fn clone_box(&self) -> Box<dyn MuEstimator> {
+        Box::new(self.clone())
+    }
+
+    fn on_report(&mut self, report: &Report) {
+        if report.lost_packets > 0 {
+            if report.now_s - self.last_backoff_s >= self.cfg.backoff_interval_s {
+                self.loss_floor_bps *= self.cfg.loss_backoff;
+                self.last_backoff_s = report.now_s;
+            }
+            // Losses mean the link stopped carrying what it recently did:
+            // drop the delivery evidence behind the pace cap on the spot, so
+            // the cruise rate falls to *current* delivery within a report
+            // instead of riding `recent_window_s`-old crest samples into the
+            // fade (the overshoot that drops whole flights and wedges the
+            // transport in RTO backoff).  The max filter and the loss floor
+            // keep their slow dynamics — only the cap reacts instantly.
+            // Re-seeding with this report's delivery keeps the filter
+            // non-empty: an *empty* filter would return no cap at all
+            // (`pace_cap_bps` → `None`), un-capping the pace at the exact
+            // moment the link is faltering.
+            self.recent.reset();
+            self.recent
+                .update(report.now_s, report.recv_rate_bps.max(0.0));
+        }
+        if report.recv_rate_bps <= 0.0 {
+            return;
+        }
+        let current = self.filter.max().unwrap_or(0.0);
+        let input = MaxFilterMu::capped_input(current, report);
+        self.filter.update(report.now_s, input);
+        self.min_tracker.update(report.now_s, input);
+        self.recent.update(report.now_s, report.recv_rate_bps);
+        if report.lost_packets == 0 {
+            self.loss_floor_bps = self.loss_floor_bps.max(input);
+        }
+    }
+
+    fn mu_bps(&self) -> f64 {
+        self.filter.max().unwrap_or(0.0).max(self.loss_floor_bps)
+    }
+
+    fn is_learned(&self) -> bool {
+        true
+    }
+
+    fn pace_gain(&self, now_s: f64) -> f64 {
+        if self.probing_at(now_s) {
+            self.cfg.probe_gain
+        } else {
+            1.0
+        }
+    }
+
+    fn mu_uncertainty(&self) -> f64 {
+        let mu = self.mu_bps();
+        match self.min_tracker.min() {
+            Some(min) if mu > 0.0 => ((mu - min) / mu).clamp(0.0, 1.0),
+            _ => 0.0,
+        }
+    }
+
+    fn suppress_z_at(&self, now_s: f64) -> bool {
+        self.settling_at(now_s)
+    }
+
+    fn pace_cap_bps(&self) -> Option<f64> {
+        self.recent.max().map(|r| r * self.cfg.cap_margin)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The estimator pipeline
+// ---------------------------------------------------------------------------
+
+/// Cross-traffic rate estimator with sample history: Eq. 1 evaluated on
+/// every report with µ̂ supplied by a pluggable [`MuEstimator`] strategy,
+/// plus the optional streaming ẑ pre-filter of [`ZFilterConfig::Notch`].
 #[derive(Debug, Clone)]
 pub struct CrossTrafficEstimator {
-    /// Known bottleneck rate, bits/s (`None` ⇒ estimate from max receive rate).
-    configured_mu: Option<f64>,
-    /// Max-filter over the receive rate used when `µ` is not supplied.
-    mu_filter: WindowedMax,
+    /// The µ-estimation strategy.
+    strategy: Box<dyn MuEstimator>,
     /// History of samples, bounded to `history_window_s`.
     samples: VecDeque<ZSample>,
     history_window_s: f64,
@@ -57,41 +594,90 @@ pub struct CrossTrafficEstimator {
     /// `(t_s, µ̂_bps)` per report while µ is being learned (empty when µ is
     /// configured) — the series varying-link experiments score µ-tracking on.
     mu_history: Vec<(f64, f64)>,
+    /// Streaming notch over the ẑ samples (None = raw ẑ to the detector).
+    z_prefilter: Option<Biquad>,
+    /// `(t_s, filtered ẑ)` history, maintained only when a pre-filter is set.
+    filtered: VecDeque<(f64, f64)>,
+    /// Whether the strategy's probe epochs are actually being paced right
+    /// now (the controller pauses probing outside delay mode).  Gates the
+    /// ẑ sample-and-hold: holding samples for epochs that never ran would
+    /// blank half the detector's input for nothing.
+    probing_paced: bool,
 }
 
 impl CrossTrafficEstimator {
     /// An estimator with a known (configured) bottleneck rate.
     pub fn with_known_mu(mu_bps: f64, history_window_s: f64) -> Self {
-        assert!(mu_bps > 0.0, "µ must be positive");
-        CrossTrafficEstimator {
-            configured_mu: Some(mu_bps),
-            mu_filter: WindowedMax::new(10.0),
-            samples: VecDeque::new(),
-            history_window_s,
-            last: None,
-            mu_history: Vec::new(),
-        }
+        Self::with_strategy(Box::new(ConfiguredMu::new(mu_bps)), history_window_s)
     }
 
     /// An estimator that learns `µ` as the maximum observed receive rate
     /// over a 10-second window (the BBR-style approach of §4.2).
     pub fn with_estimated_mu(history_window_s: f64) -> Self {
+        Self::with_strategy(
+            Box::new(MaxFilterMu::new(DEFAULT_MU_WINDOW_S)),
+            history_window_s,
+        )
+    }
+
+    /// An estimator over an arbitrary µ strategy.
+    pub fn with_strategy(strategy: Box<dyn MuEstimator>, history_window_s: f64) -> Self {
         CrossTrafficEstimator {
-            configured_mu: None,
-            mu_filter: WindowedMax::new(10.0),
+            strategy,
             samples: VecDeque::new(),
             history_window_s,
             last: None,
             mu_history: Vec::new(),
+            z_prefilter: None,
+            filtered: VecDeque::new(),
+            probing_paced: true,
         }
+    }
+
+    /// An estimator built from a strategy configuration.
+    pub fn from_config(cfg: &MuEstimatorConfig, history_window_s: f64) -> Self {
+        Self::with_strategy(cfg.build(), history_window_s)
+    }
+
+    /// Install (or remove) the streaming ẑ pre-filter consulted by the
+    /// detector.  Must be set before samples arrive: the filter's state is
+    /// continuous across the whole run.
+    pub fn set_z_prefilter(&mut self, filter: Option<Biquad>) {
+        self.z_prefilter = filter;
+        self.filtered.clear();
+    }
+
+    /// The µ-estimation strategy in use.
+    pub fn strategy(&self) -> &dyn MuEstimator {
+        self.strategy.as_ref()
     }
 
     /// The bottleneck rate currently in use.
     pub fn mu_bps(&self) -> f64 {
-        match self.configured_mu {
-            Some(mu) => mu,
-            None => self.mu_filter.max().unwrap_or(0.0),
-        }
+        self.strategy.mu_bps()
+    }
+
+    /// The pacing multiplier the strategy wants at `now_s` (probe epochs).
+    pub fn pace_gain(&self, now_s: f64) -> f64 {
+        self.strategy.pace_gain(now_s)
+    }
+
+    /// The strategy's delivery-informed cruise pace cap, if it keeps one.
+    pub fn pace_cap_bps(&self) -> Option<f64> {
+        self.strategy.pace_cap_bps()
+    }
+
+    /// Tell the estimator whether the strategy's probe epochs are actually
+    /// reaching the pacer (the controller pauses probing outside delay
+    /// mode).  While paused, ẑ samples are recorded normally — there is no
+    /// self-inflicted burst to blank out.
+    pub fn set_probing_paced(&mut self, paced: bool) {
+        self.probing_paced = paced;
+    }
+
+    /// The strategy's current relative µ̂ uncertainty in `[0, 1]`.
+    pub fn mu_uncertainty(&self) -> f64 {
+        self.strategy.mu_uncertainty()
     }
 
     /// Estimate ẑ from send and receive rates (Eq. 1), clamped to `[0, µ]`.
@@ -104,33 +690,41 @@ impl CrossTrafficEstimator {
         Some(z.clamp(0.0, mu))
     }
 
-    /// Ingest a measurement report; returns the new sample if one was produced.
+    /// Ingest a measurement report; returns the new sample if one was
+    /// produced.  The returned sample carries the *raw* Eq. 1 estimate (what
+    /// a rate controller consuming ẑ should see); the stored history that
+    /// the detector reads is sample-and-held through probe epochs (the
+    /// epoch's pacing burst is self-inflicted, not cross traffic, and its
+    /// square edge floods the detector's comparison band).
     pub fn on_report(&mut self, report: &Report) -> Option<ZSample> {
-        if self.configured_mu.is_none() && report.recv_rate_bps > 0.0 {
-            let current = self.mu_filter.max().unwrap_or(0.0);
-            // With no estimate yet, cap against the send rate instead: over
-            // the same packet window R can only exceed S through bounded
-            // queue-drain compression, so a first sample several times S is
-            // the same ACK-compression artifact the growth cap rejects.
-            let cap = if current > 0.0 {
-                current * MU_GROWTH_CAP
-            } else if report.send_rate_bps > 0.0 {
-                report.send_rate_bps * MU_GROWTH_CAP
-            } else {
-                f64::INFINITY
-            };
-            self.mu_filter
-                .update(report.now_s, report.recv_rate_bps.min(cap));
+        self.strategy.on_report(report);
+        if self.strategy.is_learned() && report.recv_rate_bps > 0.0 {
             self.mu_history.push((report.now_s, self.mu_bps()));
         }
-        let z = self.estimate(report.send_rate_bps, report.recv_rate_bps)?;
+        let raw_z = self.estimate(report.send_rate_bps, report.recv_rate_bps)?;
+        let held_z = if self.probing_paced && self.strategy.suppress_z_at(report.now_s) {
+            self.last.map(|s| s.z_bps).unwrap_or(raw_z)
+        } else {
+            raw_z
+        };
         let sample = ZSample {
             t_s: report.now_s,
-            z_bps: z,
+            z_bps: held_z,
             recv_rate_bps: report.recv_rate_bps,
             send_rate_bps: report.send_rate_bps,
         };
         self.samples.push_back(sample);
+        if let Some(filter) = &mut self.z_prefilter {
+            self.filtered
+                .push_back((report.now_s, filter.process(held_z)));
+            while let Some(&(t, _)) = self.filtered.front() {
+                if report.now_s - t > self.history_window_s {
+                    self.filtered.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
         while let Some(front) = self.samples.front() {
             if report.now_s - front.t_s > self.history_window_s {
                 self.samples.pop_front();
@@ -139,7 +733,10 @@ impl CrossTrafficEstimator {
             }
         }
         self.last = Some(sample);
-        Some(sample)
+        Some(ZSample {
+            z_bps: raw_z,
+            ..sample
+        })
     }
 
     /// The most recent sample.
@@ -164,6 +761,24 @@ impl CrossTrafficEstimator {
             .iter()
             .filter(|s| latest - s.t_s <= window_s)
             .map(|s| s.z_bps)
+            .collect()
+    }
+
+    /// The ẑ series the *detector* should consume: the pre-filtered history
+    /// when a [`ZFilterConfig::Notch`] stage is installed, the raw series
+    /// otherwise.
+    pub fn z_series_conditioned(&self, window_s: f64) -> Vec<f64> {
+        if self.z_prefilter.is_none() {
+            return self.z_series(window_s);
+        }
+        let latest = match self.filtered.back() {
+            Some(&(t, _)) => t,
+            None => return Vec::new(),
+        };
+        self.filtered
+            .iter()
+            .filter(|(t, _)| latest - t <= window_s)
+            .map(|&(_, z)| z)
             .collect()
     }
 
@@ -206,6 +821,13 @@ mod tests {
             rtt_s: 0.05,
             min_rtt_s: 0.05,
             window_acks: 50,
+        }
+    }
+
+    fn lossy_report(now_s: f64, s_bps: f64, r_bps: f64, lost: u64) -> Report {
+        Report {
+            lost_packets: lost,
+            ..report(now_s, s_bps, r_bps)
         }
     }
 
@@ -322,5 +944,133 @@ mod tests {
         let rs = est.recv_rate_series(5.0);
         assert_eq!(rs.len(), est.len());
         assert!(rs.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    // ---- strategy API ----------------------------------------------------
+
+    #[test]
+    fn config_builds_the_matching_strategy() {
+        let c = MuEstimatorConfig::Configured { mu_bps: 48e6 };
+        assert!(!c.build().is_learned());
+        assert_eq!(c.configured_mu_bps(), Some(48e6));
+        let l = MuEstimatorConfig::learned();
+        assert!(l.build().is_learned());
+        assert!(l.is_learned());
+        assert_eq!(l.configured_mu_bps(), None);
+        let p = MuEstimatorConfig::Learned(LearnedMuConfig::Probing(ProbingConfig::default()));
+        let strat = p.build();
+        assert!(strat.is_learned());
+        // The probing strategy is the only one with a non-unit pace gain.
+        assert_eq!(c.build().pace_gain(3.1), 1.0);
+        assert_eq!(l.build().pace_gain(3.1), 1.0);
+        assert!(strat.pace_gain(3.1) > 1.0);
+    }
+
+    #[test]
+    fn probing_schedule_is_deterministic_and_shaped() {
+        let p = ProbingMu::new(ProbingConfig::default());
+        // No probe before the first interval.
+        assert!(!p.probing_at(0.0));
+        assert!(!p.probing_at(0.9));
+        // Epochs of `probe_duration_s` every `probe_interval_s` (1 s).
+        assert!(p.probing_at(1.0));
+        assert!(p.probing_at(1.24));
+        assert!(!p.probing_at(1.26));
+        assert!(p.probing_at(2.2));
+        assert_eq!(p.pace_gain(1.1), ProbingConfig::default().probe_gain);
+        assert_eq!(p.pace_gain(1.5), 1.0);
+        // ẑ is held for the epoch plus one drain interval.
+        assert!(p.settling_at(1.4));
+        assert!(!p.settling_at(1.6));
+    }
+
+    #[test]
+    fn probing_floor_remembers_loss_free_rate_and_decays_on_loss() {
+        let mut p = ProbingMu::new(ProbingConfig::default());
+        for i in 0..100 {
+            p.on_report(&report(i as f64 * 0.01, 44e6, 46e6));
+        }
+        let mu_before = p.mu_bps();
+        assert!((p.loss_floor_bps() - 46e6).abs() < 1e3);
+        // A fade: tiny receive rate with losses.  The max filter's window
+        // (10 s) still holds the old samples, but the floor starts decaying
+        // (at most once per backoff interval).
+        for i in 0..200 {
+            p.on_report(&lossy_report(1.0 + i as f64 * 0.01, 2e6, 1e6, 3));
+        }
+        // 2 s of losses at 0.5 s backoff interval = 4 decays of 0.7.
+        let expect = 46e6 * 0.7f64.powi(4);
+        assert!(
+            (p.loss_floor_bps() - expect).abs() / expect < 0.05,
+            "floor {} vs {expect}",
+            p.loss_floor_bps()
+        );
+        assert!(p.mu_bps() <= mu_before);
+        // Long after the fade the max-filter window is empty of pre-fade
+        // samples; the floor (not the pacing floor) is what µ̂ rests on.
+        for i in 0..100 {
+            p.on_report(&report(20.0 + i as f64 * 0.01, 1e6, 1e6));
+        }
+        assert!(
+            p.mu_bps() >= expect * 0.99,
+            "µ̂ {} collapsed below the loss floor {expect}",
+            p.mu_bps()
+        );
+    }
+
+    #[test]
+    fn uncertainty_tracks_the_spread_of_the_filter_inputs() {
+        let mut m = MaxFilterMu::new(10.0);
+        assert_eq!(m.mu_uncertainty(), 0.0);
+        for i in 0..100 {
+            m.on_report(&report(i as f64 * 0.01, 44e6, 48e6));
+        }
+        // Steady input: no spread.
+        assert!(m.mu_uncertainty() < 0.01, "{}", m.mu_uncertainty());
+        // A dip to half rate: uncertainty rises toward 0.5.
+        for i in 0..100 {
+            m.on_report(&report(1.0 + i as f64 * 0.01, 24e6, 24e6));
+        }
+        assert!(
+            m.mu_uncertainty() > 0.4,
+            "uncertainty {} after a 50% dip",
+            m.mu_uncertainty()
+        );
+        // Configured µ is always certain.
+        let c = ConfiguredMu::new(48e6);
+        assert_eq!(c.mu_uncertainty(), 0.0);
+    }
+
+    #[test]
+    fn notch_prefilter_conditions_the_detector_series_only() {
+        use std::f64::consts::TAU;
+        let mut est = CrossTrafficEstimator::with_known_mu(96e6, 20.0);
+        est.set_z_prefilter(Some(Biquad::notch(0.5, 0.7, 100.0)));
+        // ẑ oscillating at 0.5 Hz (a link-variation artifact): S constant,
+        // R modulated so the Eq. 1 output swings.
+        for i in 0..4000 {
+            let t = i as f64 * 0.01;
+            let z_true = 30e6 + 20e6 * (TAU * 0.5 * t).sin();
+            let s = 40e6;
+            let r = 96e6 * s / (s + z_true);
+            est.on_report(&report(t, s, r));
+        }
+        let raw = est.z_series(5.0);
+        let conditioned = est.z_series_conditioned(5.0);
+        assert_eq!(raw.len(), conditioned.len());
+        let swing = |xs: &[f64]| {
+            xs.iter().cloned().fold(f64::MIN, f64::max)
+                - xs.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        assert!(
+            swing(&conditioned) < 0.2 * swing(&raw),
+            "notch left swing {} of {}",
+            swing(&conditioned),
+            swing(&raw)
+        );
+        // Without a pre-filter the conditioned series IS the raw series.
+        let mut plain = CrossTrafficEstimator::with_known_mu(96e6, 20.0);
+        plain.on_report(&report(0.0, 40e6, 60e6));
+        assert_eq!(plain.z_series(5.0), plain.z_series_conditioned(5.0));
     }
 }

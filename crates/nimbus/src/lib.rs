@@ -39,5 +39,8 @@ pub mod multiflow;
 pub use basic_delay::{BasicDelay, BasicDelayConfig};
 pub use controller::{DelayScheme, Mode, NimbusConfig, NimbusController, TcpScheme};
 pub use detector::{DetectorVerdict, ElasticityConfig, ElasticityDetector};
-pub use estimator::CrossTrafficEstimator;
+pub use estimator::{
+    ConfiguredMu, CrossTrafficEstimator, LearnedMuConfig, MaxFilterMu, MuEstimator,
+    MuEstimatorConfig, ProbingConfig, ProbingMu, ZFilterConfig,
+};
 pub use multiflow::{MultiflowConfig, Role};
