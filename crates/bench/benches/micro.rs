@@ -1,10 +1,11 @@
 //! Micro-benchmarks of the hot building blocks: the FFT, the elasticity
-//! metric, the cross-traffic estimator and the raw simulator event loop.
+//! metric, the cross-traffic estimator, the event queue and the raw
+//! simulator event loop.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nimbus_core::{CrossTrafficEstimator, ElasticityConfig, ElasticityDetector};
 use nimbus_dsp::{fft_real, Fft, PulseGenerator, Spectrum};
-use nimbus_netsim::{FlowConfig, Network, SimConfig, Time};
+use nimbus_netsim::{CalendarQueue, FlowConfig, Network, SimConfig, Time};
 use nimbus_transport::{BackloggedSource, CcKind, Sender, SenderConfig};
 
 fn bench_fft(c: &mut Criterion) {
@@ -39,6 +40,68 @@ fn bench_detector(c: &mut Criterion) {
     });
 }
 
+fn bench_eventq(c: &mut Criterion) {
+    // The engine's push pattern: events land a serialization-or-RTT ahead of
+    // `now` (tens of µs to tens of ms), so pushes stay inside the wheel
+    // horizon and pops advance monotonically.  The LCG is the same cheap
+    // mixer the queue's own unit tests use; jitter snaps to a grid so
+    // same-timestamp ties occur.
+    let schedule: Vec<(u64, u64)> = {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        (0..4096)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let jitter = (x >> 33) % 40_000_000; // 0..40 ms
+                (jitter / 7 * 7, x)
+            })
+            .collect()
+    };
+    c.bench_function("eventq_push_pop_4096", |b| {
+        b.iter(|| {
+            let mut q: CalendarQueue<u64> = CalendarQueue::new();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            for &(jitter, payload) in &schedule {
+                seq += 1;
+                q.push(Time(now + jitter), seq, payload);
+                // Interleave: pop every other push, like the run loop.
+                if seq.is_multiple_of(2) {
+                    let (at, _, p) = q.pop().expect("queue non-empty");
+                    now = at.0;
+                    black_box(p);
+                }
+            }
+            while let Some((_, _, p)) = q.pop() {
+                black_box(p);
+            }
+        })
+    });
+    // Reschedule pattern: a timer is "moved" by pushing a replacement and
+    // letting the stale entry pop through (generation-tag skip), so one
+    // logical reschedule costs two pushes and two pops.
+    c.bench_function("eventq_reschedule_4096", |b| {
+        b.iter(|| {
+            let mut q: CalendarQueue<u64> = CalendarQueue::new();
+            let mut now = 0u64;
+            let mut seq = 0u64;
+            for &(jitter, payload) in &schedule {
+                seq += 1;
+                q.push(Time(now + jitter), seq, payload);
+                seq += 1;
+                q.push(Time(now + jitter + 700_000), seq, payload ^ 1);
+                let (at, _, p) = q.pop().expect("queue non-empty");
+                now = at.0;
+                black_box(p);
+            }
+            while let Some((_, _, p)) = q.pop() {
+                black_box(p);
+            }
+        })
+    });
+}
+
 fn bench_simulator(c: &mut Criterion) {
     c.bench_function("simulate_cubic_10s_48mbps", |b| {
         b.iter(|| {
@@ -60,6 +123,6 @@ fn bench_simulator(c: &mut Criterion) {
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(10);
-    targets = bench_fft, bench_detector, bench_simulator
+    targets = bench_fft, bench_detector, bench_eventq, bench_simulator
 }
 criterion_main!(micro);

@@ -90,6 +90,11 @@ pub fn varying_mu(quick: bool) -> ExperimentResult {
 
 /// Detector stability: Nimbus alone on an oscillating link must not mistake
 /// the link's own rate variation for elastic cross traffic.
+///
+/// The ±25% rows carry the PR 2 finding (plain Nimbus loses delay mode when
+/// the link itself swings that hard); the `amp25_adaptive*` rows re-measure
+/// that regime under the PR 5 µ-error-aware adaptive thresholds, with both
+/// configured and learned µ.
 pub fn varying_detector(quick: bool) -> ExperimentResult {
     let duration = if quick { 40.0 } else { 90.0 };
     let mut result = ExperimentResult::new(
@@ -97,7 +102,16 @@ pub fn varying_detector(quick: bool) -> ExperimentResult {
         "Detector stability alone on a ±25% oscillating bottleneck",
         quick,
     );
-    for &(amplitude, tag) in &[(0.1, "amp10"), (0.25, "amp25")] {
+    for (spec_text, amplitude, tag) in [
+        ("nimbus", 0.1, "amp10"),
+        ("nimbus", 0.25, "amp25"),
+        ("nimbus(zfilter=adaptive)", 0.25, "amp25_adaptive"),
+        (
+            "nimbus(mu=learned,zfilter=adaptive)",
+            0.25,
+            "amp25_adaptive_learned",
+        ),
+    ] {
         let spec = ScenarioSpec {
             link_rate_bps: 48e6,
             schedule: LinkScheduleSpec::Sinusoid {
@@ -108,7 +122,8 @@ pub fn varying_detector(quick: bool) -> ExperimentResult {
             seed: 32,
             ..ScenarioSpec::default_96mbps(duration)
         };
-        let out = run_scheme_vs_cross(&spec, SchemeSpec::nimbus(), None, Vec::new(), 10.0);
+        let scheme: SchemeSpec = spec_text.parse().expect("detector spec parses");
+        let out = run_scheme_vs_cross(&spec, scheme, None, Vec::new(), 10.0);
         let m = &out.flows[0];
         result.row(&format!("delay_mode_fraction_{tag}"), m.delay_mode_fraction);
         result.row(&format!("throughput_mbps_{tag}"), m.mean_throughput_mbps);

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! nimbus-experiments <experiment|all|list> [--quick] [--out DIR]
-//! nimbus-experiments sweep [--quick] [--threads N] [--out PATH] [--scheme SPEC]...
+//! nimbus-experiments sweep [--quick] [--threads N] [--out PATH] [--timings PATH] [--scheme SPEC]...
 //! nimbus-experiments sweep-check --baseline PATH --current PATH [--threshold FRAC]
 //! ```
 //!
@@ -49,6 +49,17 @@ fn run_sweep_command(args: &[String]) -> ! {
             }
         }
     }
+    // Optional per-cell wall-time dump in flamegraph folded-stack format.
+    let timings_path = match args.iter().position(|a| a == "--timings") {
+        Some(i) => match args.get(i + 1) {
+            Some(p) => Some(PathBuf::from(p)),
+            None => {
+                eprintln!("--timings requires a path");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     // Repeated `--scheme SPEC` flags replace the matrix's scheme axis.
     let mut schemes: Vec<SchemeSpec> = Vec::new();
     for (i, arg) in args.iter().enumerate() {
@@ -75,6 +86,22 @@ fn run_sweep_command(args: &[String]) -> ! {
         Ok(report) => {
             println!("{}", nimbus_experiments::sweep::report_table(&report));
             println!("wrote {}", cfg.out.display());
+            if let Some(path) = timings_path {
+                let folded = nimbus_experiments::sweep::folded_timings(&report);
+                if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+                    if let Err(e) = std::fs::create_dir_all(parent) {
+                        eprintln!("cannot create {}: {e}", parent.display());
+                        std::process::exit(1);
+                    }
+                }
+                match std::fs::write(&path, folded) {
+                    Ok(()) => println!("wrote {}", path.display()),
+                    Err(e) => {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        std::process::exit(1);
+                    }
+                }
+            }
             std::process::exit(0);
         }
         Err(e) => {
@@ -123,6 +150,12 @@ fn run_sweep_check_command(args: &[String]) -> ! {
     };
     let baseline = read(&baseline_path);
     let current = read(&current_path);
+    // Always show the full comparison, worst cell first: when a regression
+    // does appear later, the trail starts in this CI log, not in the JSON.
+    print!(
+        "{}",
+        nimbus_experiments::sweep::ratio_table(&baseline, &current)
+    );
     let regressions = nimbus_experiments::sweep::perf_regressions(&baseline, &current, threshold);
     if regressions.is_empty() {
         println!(
@@ -154,7 +187,7 @@ fn main() {
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         eprintln!("usage: nimbus-experiments <experiment|all|list> [--quick] [--out DIR]");
         eprintln!(
-            "       nimbus-experiments sweep [--quick] [--threads N] [--out PATH] [--scheme SPEC]..."
+            "       nimbus-experiments sweep [--quick] [--threads N] [--out PATH] [--timings PATH] [--scheme SPEC]..."
         );
         eprintln!(
             "       nimbus-experiments sweep-check --baseline PATH --current PATH [--threshold FRAC]"

@@ -328,6 +328,22 @@ pub fn run_sweep(cfg: &SweepConfig) -> std::io::Result<SweepReport> {
     Ok(report)
 }
 
+/// Per-cell wall time in flamegraph folded-stack format, one line per cell:
+/// `sweep;<cell name> <wall µs>`.  Feed the file straight to `flamegraph.pl`
+/// (or any folded-stack viewer) to get a width-proportional picture of where
+/// the sweep's wall clock went, without rerunning anything.
+pub fn folded_timings(report: &SweepReport) -> String {
+    let mut out = String::new();
+    for cell in &report.cells {
+        out.push_str(&format!(
+            "sweep;{} {}\n",
+            cell.name,
+            (cell.wall_s * 1e6).round() as u64
+        ));
+    }
+    out
+}
+
 /// Serialize a report to `path` as pretty-printed JSON.
 pub fn write_report(report: &SweepReport, path: &Path) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
@@ -392,6 +408,73 @@ pub fn perf_regressions(
         }
     }
     regressions
+}
+
+/// Render the per-cell current/baseline events-per-second comparison as an
+/// aligned table sorted worst-first (lowest ratio at the top), with the
+/// matrix median as the reference line.  `sweep-check` prints this
+/// unconditionally, pass or fail: the next anomalous cell should be visible
+/// in CI logs directly, not buried in two JSON files.  Cells present on only
+/// one side (matrix changes) are listed after the shared cells.
+pub fn ratio_table(baseline: &SweepReport, current: &SweepReport) -> String {
+    let base: std::collections::HashMap<&str, &SweepCellResult> = baseline
+        .cells
+        .iter()
+        .map(|c| (c.name.as_str(), c))
+        .collect();
+    let mut shared: Vec<(&SweepCellResult, &SweepCellResult, f64)> = current
+        .cells
+        .iter()
+        .filter_map(|cell| {
+            let b = base.get(cell.name.as_str())?;
+            (b.events_per_sec > 0.0).then(|| (cell, *b, cell.events_per_sec / b.events_per_sec))
+        })
+        .collect();
+    shared.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("ratios are finite"));
+    let mut out = String::new();
+    if shared.is_empty() {
+        out.push_str("no cells shared between baseline and current report\n");
+    } else {
+        let mut ratios: Vec<f64> = shared.iter().map(|&(_, _, r)| r).collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+        let median = ratios[ratios.len() / 2];
+        out.push_str(&format!(
+            "== per-cell current/baseline events-per-second, worst first (median {:.0}%) ==\n",
+            median * 100.0
+        ));
+        out.push_str(&format!(
+            "{:55} {:>12} {:>12} {:>8}\n",
+            "cell", "current", "baseline", "ratio"
+        ));
+        for (cur, b, ratio) in &shared {
+            out.push_str(&format!(
+                "{:55} {:>12.0} {:>12.0} {:>7.0}%\n",
+                cur.name,
+                cur.events_per_sec,
+                b.events_per_sec,
+                ratio * 100.0
+            ));
+        }
+    }
+    let current_names: std::collections::HashSet<&str> =
+        current.cells.iter().map(|c| c.name.as_str()).collect();
+    for cell in &current.cells {
+        if !base.contains_key(cell.name.as_str()) {
+            out.push_str(&format!(
+                "{:55} {:>12.0} {:>12} {:>8}\n",
+                cell.name, cell.events_per_sec, "-", "new"
+            ));
+        }
+    }
+    for cell in &baseline.cells {
+        if !current_names.contains(cell.name.as_str()) {
+            out.push_str(&format!(
+                "{:55} {:>12} {:>12.0} {:>8}\n",
+                cell.name, "-", cell.events_per_sec, "gone"
+            ));
+        }
+    }
+    out
 }
 
 /// Read a sweep report back from disk.
@@ -537,6 +620,88 @@ mod tests {
         assert!(regs[0].starts_with("d:"), "{}", regs[0]);
         // A loose-enough threshold clears it.
         assert!(perf_regressions(&baseline, &one_bad_cell, 0.7).is_empty());
+    }
+
+    #[test]
+    fn ratio_table_sorts_worst_first_and_marks_matrix_changes() {
+        let cell = |name: &str, eps: f64| SweepCellResult {
+            name: name.to_string(),
+            sim_s: 15.0,
+            wall_s: 1.0,
+            events: 1000,
+            events_per_sec: eps,
+            sim_speedup: 15.0,
+            mean_throughput_mbps: 40.0,
+        };
+        let report = |cells: Vec<SweepCellResult>| SweepReport {
+            schema: "nimbus-sweep-v1".to_string(),
+            quick: true,
+            threads: 1,
+            cell_count: cells.len(),
+            total_wall_s: 1.0,
+            total_events: 1000,
+            aggregate_events_per_sec: 1000.0,
+            cells,
+        };
+        let baseline = report(vec![
+            cell("fast", 1000.0),
+            cell("slow", 1000.0),
+            cell("gone", 800.0),
+        ]);
+        let current = report(vec![
+            cell("fast", 2000.0),
+            cell("slow", 250.0),
+            cell("new", 500.0),
+        ]);
+        let table = ratio_table(&baseline, &current);
+        // Worst ratio (25%) sorts above the best (200%).
+        let slow_pos = table.find("slow").expect("slow cell listed");
+        let fast_pos = table.find("fast").expect("fast cell listed");
+        assert!(slow_pos < fast_pos, "worst cell must come first:\n{table}");
+        assert!(table.contains("25%"), "{table}");
+        assert!(table.contains("200%"), "{table}");
+        // Cells on only one side are marked, not silently dropped.
+        assert!(table.contains("new"), "{table}");
+        assert!(table.contains("gone"), "{table}");
+    }
+
+    #[test]
+    fn folded_timings_is_one_stack_line_per_cell_in_microseconds() {
+        let report = SweepReport {
+            schema: "nimbus-sweep-v1".to_string(),
+            quick: true,
+            threads: 1,
+            cell_count: 2,
+            total_wall_s: 1.75,
+            total_events: 3000,
+            aggregate_events_per_sec: 1714.0,
+            cells: vec![
+                SweepCellResult {
+                    name: "cubic@48M-vs-alone-seed1".to_string(),
+                    sim_s: 15.0,
+                    wall_s: 0.5,
+                    events: 1000,
+                    events_per_sec: 2000.0,
+                    sim_speedup: 30.0,
+                    mean_throughput_mbps: 45.0,
+                },
+                SweepCellResult {
+                    name: "nimbus@48M-step50@7-vs-cbr50-seed1".to_string(),
+                    sim_s: 15.0,
+                    wall_s: 1.25,
+                    events: 2000,
+                    events_per_sec: 1600.0,
+                    sim_speedup: 12.0,
+                    mean_throughput_mbps: 40.0,
+                },
+            ],
+        };
+        let folded = folded_timings(&report);
+        assert_eq!(
+            folded,
+            "sweep;cubic@48M-vs-alone-seed1 500000\n\
+             sweep;nimbus@48M-step50@7-vs-cbr50-seed1 1250000\n"
+        );
     }
 
     #[test]

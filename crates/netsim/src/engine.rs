@@ -35,6 +35,7 @@
 //! * `Sample` — the recorder's sampling interval elapsed.
 
 use crate::endpoint::{AckInfo, FlowEndpoint, SendAction};
+use crate::eventq::CalendarQueue;
 use crate::loss::{LossModel, LossProcess, Policer};
 use crate::packet::{AckPacket, FlowId, Packet};
 use crate::queue::{
@@ -43,9 +44,9 @@ use crate::queue::{
 };
 use crate::recorder::{Recorder, RecorderConfig};
 use crate::schedule::RateSchedule;
+use crate::slab::Slab;
 use crate::time::Time;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 /// Which queue discipline the bottleneck uses.
 #[derive(Debug, Clone)]
@@ -255,6 +256,11 @@ impl FlowConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FlowHandle(pub FlowId);
 
+/// Pending-event descriptor.  Packet and ACK payloads live in the engine's
+/// slabs for the duration of their propagation; events carry only the 4-byte
+/// slab ticket, which keeps every queue entry small (two words) no matter the
+/// payload — the queue's push/pop traffic is dominated by the payload-free
+/// `LinkDone`/`PollSend` kinds.
 #[derive(Debug)]
 enum EventKind {
     FlowStart(FlowId),
@@ -268,10 +274,13 @@ enum EventKind {
         gen: u64,
     },
     /// A data packet propagated from one hop's output to the next hop's
-    /// queue (the packet's `hop` field names the destination hop).
-    HopArrival(Packet),
-    ReceiverArrival(Packet),
-    AckArrival(AckPacket),
+    /// queue (the packet's `hop` field names the destination hop); the
+    /// ticket indexes the engine's packet slab.
+    HopArrival(u32),
+    /// A data packet reached its receiver (packet-slab ticket).
+    ReceiverArrival(u32),
+    /// An ACK reached its sender (ACK-slab ticket).
+    AckArrival(u32),
     /// Hop `hop`'s rate schedule reaches its next transition: advance the
     /// in-flight packet's byte progress under the outgoing rate and
     /// reschedule its completion under the incoming one.
@@ -280,29 +289,6 @@ enum EventKind {
     },
     Tick,
     Sample,
-}
-
-struct EventEntry {
-    at: Time,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for EventEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for EventEntry {}
-impl PartialOrd for EventEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for EventEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 struct FlowState {
@@ -351,11 +337,18 @@ struct LinkState {
 pub struct Network {
     cfg: SimConfig,
     now: Time,
-    events: BinaryHeap<Reverse<EventEntry>>,
+    events: CalendarQueue<EventKind>,
     event_seq: u64,
+    /// Data packets mid-propagation (inside a scheduled `HopArrival` /
+    /// `ReceiverArrival` event).
+    pkt_slab: Slab<Packet>,
+    /// ACKs mid-propagation (inside a scheduled `AckArrival` event).
+    ack_slab: Slab<AckPacket>,
     links: Vec<LinkState>,
     flows: Vec<FlowState>,
     recorder: Recorder,
+    /// Reusable per-hop occupancy buffer for recorder samples.
+    occupancy_buf: Vec<u64>,
     /// Bytes admitted into the path at each flow's entry hop.
     total_enqueued_bytes: u64,
     /// Bytes delivered in order to receivers.
@@ -432,11 +425,14 @@ impl Network {
         Network {
             cfg,
             now: Time::ZERO,
-            events: BinaryHeap::new(),
+            events: CalendarQueue::new(),
             event_seq: 0,
+            pkt_slab: Slab::new(),
+            ack_slab: Slab::new(),
             links,
             flows: Vec::new(),
             recorder,
+            occupancy_buf: Vec::new(),
             total_enqueued_bytes: 0,
             total_delivered_bytes: 0,
             total_received_bytes: 0,
@@ -542,14 +538,14 @@ impl Network {
                 self.schedule(at, EventKind::RateChange { hop });
             }
         }
-        while let Some(Reverse(entry)) = self.events.pop() {
-            if entry.at > self.cfg.duration {
+        while let Some((at, _seq, kind)) = self.events.pop() {
+            if at > self.cfg.duration {
                 break;
             }
-            debug_assert!(entry.at >= self.now, "time went backwards");
-            self.now = entry.at;
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
             self.events_processed += 1;
-            self.dispatch(entry.kind);
+            self.dispatch(kind);
         }
         // Advance the clock to the configured end of the run: the loop above
         // leaves `now` at the last event at or before `duration`, which would
@@ -561,12 +557,15 @@ impl Network {
             self.now = self.cfg.duration;
         }
         // Close the final recorder interval.
-        let occupancy = self.hop_occupancy();
-        self.recorder.sample(self.now, &occupancy);
+        self.take_sample();
     }
 
-    fn hop_occupancy(&self) -> Vec<u64> {
-        self.links.iter().map(|l| l.queue.len_bytes()).collect()
+    /// Refresh the reusable occupancy buffer and close a recorder interval.
+    fn take_sample(&mut self) {
+        self.occupancy_buf.clear();
+        self.occupancy_buf
+            .extend(self.links.iter().map(|l| l.queue.len_bytes()));
+        self.recorder.sample(self.now, &self.occupancy_buf);
     }
 
     /// Consume the network, returning the recorder (results) and the flow
@@ -630,11 +629,7 @@ impl Network {
     fn schedule(&mut self, at: Time, kind: EventKind) {
         let at = at.max(self.now);
         self.event_seq += 1;
-        self.events.push(Reverse(EventEntry {
-            at,
-            seq: self.event_seq,
-            kind,
-        }));
+        self.events.push(at, self.event_seq, kind);
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -662,9 +657,18 @@ impl Network {
                 self.poll_flow(id)
             }
             EventKind::LinkDone { hop, gen } => self.on_link_done(hop, gen),
-            EventKind::HopArrival(pkt) => self.on_hop_arrival(pkt),
-            EventKind::ReceiverArrival(pkt) => self.on_receiver_arrival(pkt),
-            EventKind::AckArrival(ack) => self.on_ack_arrival(ack),
+            EventKind::HopArrival(ticket) => {
+                let pkt = self.pkt_slab.take(ticket);
+                self.on_hop_arrival(pkt);
+            }
+            EventKind::ReceiverArrival(ticket) => {
+                let pkt = self.pkt_slab.take(ticket);
+                self.on_receiver_arrival(pkt);
+            }
+            EventKind::AckArrival(ticket) => {
+                let ack = self.ack_slab.take(ticket);
+                self.on_ack_arrival(ack);
+            }
             EventKind::RateChange { hop } => self.on_rate_change(hop),
             EventKind::Tick => {
                 let now = self.now;
@@ -677,8 +681,7 @@ impl Network {
                 self.schedule(now + self.cfg.tick_interval, EventKind::Tick);
             }
             EventKind::Sample => {
-                let occupancy = self.hop_occupancy();
-                self.recorder.sample(self.now, &occupancy);
+                self.take_sample();
                 let next = self.now + self.cfg.recorder.sample_interval;
                 self.schedule(next, EventKind::Sample);
             }
@@ -866,13 +869,15 @@ impl Network {
                 // Last hop for this flow: propagate to the receiver over the
                 // data half of the configured RTT.
                 let prop = Time::from_nanos(self.flows[pkt.flow].cfg.prop_rtt.as_nanos() / 2);
-                self.schedule(self.now + prop, EventKind::ReceiverArrival(pkt));
+                let ticket = self.pkt_slab.insert(pkt);
+                self.schedule(self.now + prop, EventKind::ReceiverArrival(ticket));
             } else {
                 // Interior hop: propagate into the next hop's queue over
                 // that hop's configured inbound delay.
                 let delay = self.cfg.path[hop + 1].prop_delay;
                 pkt.hop = hop + 1;
-                self.schedule(self.now + delay, EventKind::HopArrival(pkt));
+                let ticket = self.pkt_slab.insert(pkt);
+                self.schedule(self.now + delay, EventKind::HopArrival(ticket));
             }
         }
         self.maybe_start_transmission(hop);
@@ -908,7 +913,8 @@ impl Network {
             total_delivered_bytes: flow.delivered_bytes,
         };
         let ack_delay = Time::from_nanos(flow.cfg.prop_rtt.as_nanos() / 2);
-        self.schedule(self.now + ack_delay, EventKind::AckArrival(ack));
+        let ticket = self.ack_slab.insert(ack);
+        self.schedule(self.now + ack_delay, EventKind::AckArrival(ticket));
     }
 
     fn on_ack_arrival(&mut self, ack: AckPacket) {

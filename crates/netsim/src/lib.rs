@@ -35,15 +35,18 @@
 
 pub mod endpoint;
 pub mod engine;
+pub mod eventq;
 pub mod loss;
 pub mod packet;
 pub mod queue;
 pub mod recorder;
 pub mod schedule;
+pub mod slab;
 pub mod time;
 
 pub use endpoint::{AckInfo, FlowEndpoint, SendAction};
 pub use engine::{FlowConfig, FlowHandle, LinkConfig, Network, QueueKind, SimConfig};
+pub use eventq::CalendarQueue;
 pub use loss::{LossModel, Policer};
 pub use packet::{FlowId, Packet};
 pub use queue::{CoDelQueue, DropTailQueue, PieQueue, QueueDiscipline, RedQueue};

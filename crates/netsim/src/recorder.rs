@@ -96,14 +96,38 @@ impl Default for RecorderConfig {
     }
 }
 
-/// Per-flow accumulation for the current sampling interval.
-#[derive(Debug, Clone, Default)]
-struct FlowInterval {
-    received_bytes: u64,
-    rtt_sum_s: f64,
-    rtt_count: u64,
-    qdelay_sum_s: f64,
-    qdelay_count: u64,
+/// Per-monitored-flow accumulators for the current sampling interval, laid
+/// out as parallel arrays indexed by monitored slot.  The per-packet hooks
+/// (`on_arrival`, `on_rtt_sample`, `on_dequeue`) each touch exactly one
+/// array, and the per-interval flush walks each array linearly — no per-flow
+/// struct is moved or cloned on the hot path.
+#[derive(Debug, Default)]
+struct IntervalBuf {
+    received_bytes: Vec<u64>,
+    rtt_sum_ms: Vec<f64>,
+    rtt_count: Vec<u64>,
+    qdelay_sum_ms: Vec<f64>,
+    qdelay_count: Vec<u64>,
+}
+
+impl IntervalBuf {
+    /// Add a zeroed slot for a newly registered monitored flow.
+    fn push_slot(&mut self) {
+        self.received_bytes.push(0);
+        self.rtt_sum_ms.push(0.0);
+        self.rtt_count.push(0);
+        self.qdelay_sum_ms.push(0.0);
+        self.qdelay_count.push(0);
+    }
+
+    /// Zero `slot`'s accumulators for the next interval.
+    fn reset(&mut self, slot: usize) {
+        self.received_bytes[slot] = 0;
+        self.rtt_sum_ms[slot] = 0.0;
+        self.rtt_count[slot] = 0;
+        self.qdelay_sum_ms[slot] = 0.0;
+        self.qdelay_count[slot] = 0;
+    }
 }
 
 /// Summary of a finished (or still running) flow.
@@ -192,7 +216,7 @@ pub struct Recorder {
 
     monitored: Vec<FlowId>,
     monitored_index: Vec<Option<usize>>,
-    intervals: Vec<FlowInterval>,
+    intervals: IntervalBuf,
     cross_elastic_bytes: u64,
     cross_inelastic_bytes: u64,
     last_sample: Time,
@@ -217,7 +241,7 @@ impl Recorder {
             flows: Vec::new(),
             monitored: Vec::new(),
             monitored_index: Vec::new(),
-            intervals: Vec::new(),
+            intervals: IntervalBuf::default(),
             cross_elastic_bytes: 0,
             cross_inelastic_bytes: 0,
             last_sample: Time::ZERO,
@@ -264,7 +288,7 @@ impl Recorder {
             self.rtt_ms.push(TimeSeries::default());
             self.queue_delay_ms.push(TimeSeries::default());
             self.packet_delay_samples_ms.push(Vec::new());
-            self.intervals.push(FlowInterval::default());
+            self.intervals.push_slot();
         } else {
             self.monitored_index.push(None);
         }
@@ -300,8 +324,8 @@ impl Recorder {
     pub fn on_dequeue(&mut self, flow: FlowId, delay: Time) {
         if let Some(slot) = self.monitored_slot(flow) {
             let ms = delay.as_millis_f64();
-            self.intervals[slot].qdelay_sum_s += ms;
-            self.intervals[slot].qdelay_count += 1;
+            self.intervals.qdelay_sum_ms[slot] += ms;
+            self.intervals.qdelay_count[slot] += 1;
             if self.cfg.record_packet_delays {
                 self.packet_delay_samples_ms[slot].push(ms);
             }
@@ -313,7 +337,7 @@ impl Recorder {
     pub fn on_arrival(&mut self, flow: FlowId, bytes: u64) {
         self.flows[flow].received_bytes += bytes;
         if let Some(slot) = self.monitored_slot(flow) {
-            self.intervals[slot].received_bytes += bytes;
+            self.intervals.received_bytes[slot] += bytes;
         }
     }
 
@@ -326,8 +350,8 @@ impl Recorder {
     /// An RTT sample was observed for `flow`.
     pub fn on_rtt_sample(&mut self, flow: FlowId, rtt: Time) {
         if let Some(slot) = self.monitored_slot(flow) {
-            self.intervals[slot].rtt_sum_s += rtt.as_millis_f64();
-            self.intervals[slot].rtt_count += 1;
+            self.intervals.rtt_sum_ms[slot] += rtt.as_millis_f64();
+            self.intervals.rtt_count[slot] += 1;
         }
     }
 
@@ -370,26 +394,26 @@ impl Recorder {
         self.cross_elastic_bytes = 0;
         self.cross_inelastic_bytes = 0;
 
-        for (slot, _id) in self.monitored.clone().iter().enumerate() {
-            let iv = std::mem::take(&mut self.intervals[slot]);
+        for slot in 0..self.monitored.len() {
             let tput = if dt > 0.0 {
-                iv.received_bytes as f64 * 8.0 / dt / 1e6
+                self.intervals.received_bytes[slot] as f64 * 8.0 / dt / 1e6
             } else {
                 0.0
             };
             self.throughput_mbps[slot].push(t, tput);
-            let rtt = if iv.rtt_count > 0 {
-                iv.rtt_sum_s / iv.rtt_count as f64
+            let rtt = if self.intervals.rtt_count[slot] > 0 {
+                self.intervals.rtt_sum_ms[slot] / self.intervals.rtt_count[slot] as f64
             } else {
                 f64::NAN
             };
             self.rtt_ms[slot].push(t, rtt);
-            let qd = if iv.qdelay_count > 0 {
-                iv.qdelay_sum_s / iv.qdelay_count as f64
+            let qd = if self.intervals.qdelay_count[slot] > 0 {
+                self.intervals.qdelay_sum_ms[slot] / self.intervals.qdelay_count[slot] as f64
             } else {
                 f64::NAN
             };
             self.queue_delay_ms[slot].push(t, qd);
+            self.intervals.reset(slot);
         }
     }
 

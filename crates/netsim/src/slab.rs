@@ -1,0 +1,96 @@
+//! A minimal slab allocator for in-flight event payloads.
+//!
+//! Data packets and ACKs spend their propagation delay inside scheduled
+//! events.  Storing them inline in the event enum made every queue entry as
+//! large as the largest payload (~9 words for an ACK), so each push/pop of
+//! *any* event — including payload-free `LinkDone` and `PollSend`, the two
+//! most common kinds — moved that much memory through the event queue.  The
+//! engine instead parks payloads here and threads a 4-byte ticket through the
+//! event queue.
+//!
+//! Tickets are freed on `take`, so the slab's high-water mark is the number
+//! of packets simultaneously mid-propagation, not the run's packet total.
+
+/// A vec-backed free-list slab handing out `u32` tickets.
+#[derive(Debug, Default)]
+pub struct Slab<T> {
+    items: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Slab {
+            items: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Store `value`, returning its ticket.
+    pub fn insert(&mut self, value: T) -> u32 {
+        match self.free.pop() {
+            Some(idx) => {
+                debug_assert!(self.items[idx as usize].is_none());
+                self.items[idx as usize] = Some(value);
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.items.len()).expect("slab ticket overflow");
+                self.items.push(Some(value));
+                idx
+            }
+        }
+    }
+
+    /// Remove and return the value behind `ticket`.
+    ///
+    /// Panics if the ticket was never issued or was already taken — either
+    /// would mean an event was dispatched twice.
+    pub fn take(&mut self, ticket: u32) -> T {
+        let value = self.items[ticket as usize]
+            .take()
+            .expect("slab ticket taken twice");
+        self.free.push(ticket);
+        value
+    }
+
+    /// Number of live (inserted, not yet taken) values.
+    pub fn len(&self) -> usize {
+        self.items.len() - self.free.len()
+    }
+
+    /// True when no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_round_trip_and_recycle() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.take(a), "a");
+        // Freed ticket is reused before the vec grows.
+        let c = slab.insert("c");
+        assert_eq!(c, a);
+        assert_eq!(slab.take(b), "b");
+        assert_eq!(slab.take(c), "c");
+        assert!(slab.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn double_take_panics() {
+        let mut slab = Slab::new();
+        let t = slab.insert(1u32);
+        slab.take(t);
+        slab.take(t);
+    }
+}

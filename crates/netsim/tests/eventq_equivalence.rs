@@ -1,0 +1,134 @@
+//! Equivalence proof-by-property for the calendar event queue.
+//!
+//! `Network` replaced its `BinaryHeap<Reverse<EventEntry>>` with
+//! [`CalendarQueue`].  The simulator's fingerprints are byte-identical only
+//! if the new queue pops events in *exactly* the old order — `(at, seq)`
+//! ascending, i.e. timestamp then insertion order — for every schedule the
+//! engine can produce.  The engine's schedules are *monotone*: `schedule()`
+//! clamps `at` to `max(at, now)`, so no push is ever earlier than the last
+//! pop.  This test drives both queues through random monotone schedules and
+//! asserts identical pop sequences, covering the hard cases explicitly:
+//!
+//! * same-timestamp ties (timestamps snapped to a coarse grid so collisions
+//!   are common — insertion order must break them);
+//! * pushes beyond the wheel horizon (the overflow heap path);
+//! * cancel/reschedule via generation tags, the engine's idiom for moving a
+//!   timer: the stale entry stays queued and is skipped on pop, so both
+//!   queues must agree on the *full* sequence including stale entries.
+
+use nimbus_netsim::CalendarQueue;
+use nimbus_netsim::Time;
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Payload: (timer id, generation tag). A reschedule bumps the current
+/// generation for the id and pushes a fresh entry; entries bearing an older
+/// generation are "cancelled" and skipped by the consumer on pop.
+type Tag = (u32, u32);
+
+/// Reference implementation: the engine's old queue. `(at, seq)` is unique
+/// (seq strictly increases), so ordering by the full tuple equals ordering
+/// by `(at, seq)` — the payload never influences the order.
+#[derive(Default)]
+struct HeapRef {
+    heap: BinaryHeap<Reverse<(u64, u64, Tag)>>,
+}
+
+impl HeapRef {
+    fn push(&mut self, at: Time, seq: u64, item: Tag) {
+        self.heap.push(Reverse((at.0, seq, item)));
+    }
+    fn pop(&mut self) -> Option<(Time, u64, Tag)> {
+        self.heap
+            .pop()
+            .map(|Reverse((at, seq, item))| (Time(at), seq, item))
+    }
+}
+
+/// Snap to a coarse grid so distinct draws collide on the same timestamp and
+/// the insertion-order tiebreak actually gets exercised.
+const TICK: u64 = 700_000; // 0.7 ms — several entries per calendar bucket
+
+proptest! {
+    // Random monotone schedules with ties, overflow-horizon pushes and
+    // generation-tagged reschedules: both queues must emit identical
+    // (at, seq, payload) streams, and the post-filter "live" streams
+    // (stale generations dropped) must also match.
+    #[test]
+    fn calendar_queue_matches_binary_heap_pop_for_pop(
+        ops in collection::vec((0u8..10, 0u64..400, 0u32..16), 1..800),
+    ) {
+        let mut cal: CalendarQueue<Tag> = CalendarQueue::new();
+        let mut heap = HeapRef::default();
+        let mut gen = [0u32; 16]; // current generation per timer id
+        let mut seq = 0u64;
+        let mut now = 0u64; // ns, time of the last pop
+        let mut pops = 0u64;
+        let mut live_pops: Vec<(u64, u64, Tag)> = Vec::new();
+
+        // `delta` spans 0..400 ticks = 0..280 ms: the wheel horizon is
+        // ~268 ms, so the top of the range lands in the overflow heap.
+        for (op, delta, id) in ops {
+            match op {
+                0..=5 => {
+                    // Plain push at or after `now` (monotone, tie-prone).
+                    let at = Time(now + delta * TICK);
+                    seq += 1;
+                    cal.push(at, seq, (id, gen[id as usize]));
+                    heap.push(at, seq, (id, gen[id as usize]));
+                }
+                6..=7 => {
+                    // Pop once from both; sequences must agree exactly.
+                    let got = cal.pop();
+                    let want = heap.pop();
+                    prop_assert_eq!(got, want);
+                    if let Some((at, s, tag)) = got {
+                        prop_assert!(at.0 >= now, "pop went backwards in time");
+                        now = at.0;
+                        pops += 1;
+                        if tag.1 == gen[tag.0 as usize] {
+                            live_pops.push((at.0, s, tag));
+                        }
+                    }
+                }
+                _ => {
+                    // Reschedule timer `id`: cancel by bumping the
+                    // generation, then push the replacement at a new time.
+                    // The stale entry stays in both queues.
+                    gen[id as usize] += 1;
+                    let at = Time(now + delta * TICK);
+                    seq += 1;
+                    cal.push(at, seq, (id, gen[id as usize]));
+                    heap.push(at, seq, (id, gen[id as usize]));
+                }
+            }
+        }
+
+        // Drain both to empty — tails must agree too.
+        loop {
+            let got = cal.pop();
+            let want = heap.pop();
+            prop_assert_eq!(got, want);
+            match got {
+                Some((at, s, tag)) => {
+                    prop_assert!(at.0 >= now);
+                    now = at.0;
+                    pops += 1;
+                    if tag.1 == gen[tag.0 as usize] {
+                        live_pops.push((at.0, s, tag));
+                    }
+                }
+                None => break,
+            }
+        }
+        prop_assert!(cal.is_empty());
+
+        // Every push was popped exactly once (no loss, no duplication), and
+        // the live stream is itself (at, seq)-sorted.
+        prop_assert_eq!(pops, seq);
+        for w in live_pops.windows(2) {
+            prop_assert!((w[0].0, w[0].1) < (w[1].0, w[1].1));
+        }
+    }
+}

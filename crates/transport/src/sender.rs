@@ -93,6 +93,16 @@ pub struct Sender {
     rtx_pending: BTreeSet<u64>,
     /// Fast-recovery state: recovery ends when cum_acked passes this point.
     recovery_point: Option<u64>,
+    /// Loss-inference resume point: every hole below this sequence has
+    /// already been queued for retransmission (it sits in `rtx_pending` for
+    /// the rest of the episode) or was SACKed, so [`Sender::infer_losses`]
+    /// can resume its scoreboard walk here instead of rescanning from
+    /// `cum_acked` on every ACK.  Reset whenever `rtx_pending` is cleared
+    /// (a new recovery episode or a timeout).
+    scan_frontier: u64,
+    /// Scoreboard positions examined by loss inference (scan-cost statistic;
+    /// see [`Sender::scoreboard_scan_steps`]).
+    scan_steps: u64,
     /// RTO state.
     rtt: RttEstimator,
     rto_deadline: Time,
@@ -123,6 +133,8 @@ impl Sender {
             rtx_queue: VecDeque::new(),
             rtx_pending: BTreeSet::new(),
             recovery_point: None,
+            scan_frontier: 0,
+            scan_steps: 0,
             rtt: RttEstimator::default(),
             rto_deadline: Time::MAX,
             rto_backoff: 0,
@@ -181,6 +193,18 @@ impl Sender {
         self.fast_retransmits
     }
 
+    /// Scoreboard positions (SACK entries and hole candidates) examined by
+    /// SACK loss inference over the flow's lifetime.  This is the sender's
+    /// dominant per-ACK cost under sustained loss; it must stay proportional
+    /// to the number of ACKs plus the number of distinct holes, *not*
+    /// ACKs × scoreboard size.  The `step50-vs-cbr50` sweep cell regressed to
+    /// the latter (a 5× per-event slowdown) when every ACK of a permanently
+    /// recovering flow re-walked a ~2000-entry scoreboard; the regression
+    /// test in `tests/` pins this counter so the pathology cannot return.
+    pub fn scoreboard_scan_steps(&self) -> u64 {
+        self.scan_steps
+    }
+
     /// The RTT estimator (for inspection).
     pub fn rtt(&self) -> &RttEstimator {
         &self.rtt
@@ -233,6 +257,7 @@ impl Sender {
         // bookkeeping and go back to the first unacknowledged segment.
         self.rtx_queue.clear();
         self.rtx_pending.clear();
+        self.scan_frontier = self.cum_acked;
         if self.next_seq > self.cum_acked {
             self.queue_retransmit(self.cum_acked);
         }
@@ -268,6 +293,19 @@ impl Sender {
     /// SACK-style loss inference: while in recovery, any unsacked segment
     /// with at least `dupthresh` sacked segments above it is considered lost
     /// and queued for retransmission (once per recovery episode).
+    ///
+    /// The walk is incremental.  A hole qualifies exactly when it lies below
+    /// the DUPTHRESH-th-highest sacked segment, and within one recovery
+    /// episode that bound only moves up (the scoreboard grows at the top;
+    /// cumulative-ACK progress removes entries only from the bottom).  Every
+    /// hole queued here stays in `rtx_pending` for the rest of the episode,
+    /// so once a region of the scoreboard has been scanned its verdict never
+    /// changes and `scan_frontier` lets the next ACK resume where this one
+    /// stopped.  Without the frontier this rescanned the whole scoreboard on
+    /// every ACK — O(ACKs × window) — which is precisely what ground the
+    /// `step50-vs-cbr50` sweep cells to 5× per-event cost: after the rate
+    /// step, the CBR cross flow saturates the halved link, never exits
+    /// recovery, and holds a ~2000-entry scoreboard for the rest of the run.
     fn infer_losses(&mut self) {
         if self.recovery_point.is_none() {
             return;
@@ -276,33 +314,39 @@ impl Sender {
         if self.sacked.len() < DUPTHRESH {
             return;
         }
-        // Walk the sacked scoreboard front-to-back: the gaps between
-        // consecutive sacked segments (and below the lowest sacked segment)
-        // are holes.  A hole is declared lost once at least DUPTHRESH sacked
-        // segments lie above it — the standard SACK dup-threshold rule.  This
-        // runs on every ACK during recovery; the walk is O(|sacked|), which
-        // the receiver window (`SenderConfig::max_window_packets`) keeps
-        // bounded.
-        const MAX_HOLES: usize = 2048;
-        let total = self.sacked.len();
-        let mut holes: Vec<u64> = Vec::new();
-        let mut expected = self.cum_acked;
-        for (i, &s) in self.sacked.iter().enumerate() {
-            let sacked_at_or_above = total - i;
-            if sacked_at_or_above >= DUPTHRESH && s > expected {
-                let mut seq = expected;
-                while seq < s && holes.len() < MAX_HOLES {
-                    if !self.rtx_pending.contains(&seq) {
-                        holes.push(seq);
-                    }
-                    seq += 1;
-                }
-            }
-            expected = expected.max(s + 1);
-            if holes.len() >= MAX_HOLES {
-                break;
-            }
+        // Holes strictly below `bound` have >= DUPTHRESH sacked segments
+        // above them — the standard SACK dup-threshold rule.
+        let bound = *self
+            .sacked
+            .iter()
+            .nth_back(DUPTHRESH - 1)
+            .expect("len checked above");
+        let mut expected = self.scan_frontier.max(self.cum_acked);
+        if expected >= bound {
+            return;
         }
+        const MAX_HOLES: usize = 2048;
+        let mut holes: Vec<u64> = Vec::new();
+        'walk: for &s in self.sacked.range(expected..=bound) {
+            self.scan_steps += 1;
+            let mut seq = expected;
+            while seq < s {
+                if holes.len() >= MAX_HOLES {
+                    // Budget spent: remember where we stopped and resume on
+                    // the next ACK (everything queued below is in
+                    // `rtx_pending`, so the invariant holds up to `seq`).
+                    expected = seq;
+                    break 'walk;
+                }
+                self.scan_steps += 1;
+                if !self.rtx_pending.contains(&seq) {
+                    holes.push(seq);
+                }
+                seq += 1;
+            }
+            expected = s + 1;
+        }
+        self.scan_frontier = expected;
         for h in holes {
             self.queue_retransmit(h);
         }
@@ -401,6 +445,7 @@ impl FlowEndpoint for Sender {
                 self.fast_retransmits += 1;
                 self.recovery_point = Some(self.next_seq);
                 self.rtx_pending.clear();
+                self.scan_frontier = self.cum_acked;
                 self.queue_retransmit(self.cum_acked);
                 self.infer_losses();
                 self.cc.on_loss(now, self.in_flight_packets());

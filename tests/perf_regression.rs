@@ -1,0 +1,121 @@
+//! Regression tests for the `step50-vs-cbr50` event-loop pathology.
+//!
+//! The committed BENCH_sweep.json baseline once carried
+//! `nimbus@48M-step50@7-vs-cbr50-seed1` at 666k events/s while every
+//! neighboring cell ran 3.2–3.9M — a 5× per-event slowdown the median-
+//! normalized sweep gate could not see because it was baked into the
+//! baseline itself.  Root cause: after the rate step halves µ, the CBR cross
+//! flow offers exactly the new link rate, never exits SACK recovery, and
+//! `Sender::infer_losses` re-walked its entire ~2000-entry scoreboard on
+//! every ACK — O(ACKs × window) scoreboard work dominating the event loop.
+//!
+//! Two guards, one per failure dimension:
+//!
+//! * a *deterministic* unit-level test pinning the sender's scoreboard scan
+//!   cost to O(ACKs + holes) via the [`Sender::scoreboard_scan_steps`]
+//!   counter (no timing, cannot flake);
+//! * a *wall-clock* test asserting the pathological sweep cell's events/sec
+//!   within 2× of the plain `vs-cbr50` cell on the same machine, so any new
+//!   per-event pathology in that cell fails loudly instead of silently
+//!   re-baselining.
+
+use nimbus_experiments::sweep::sweep_matrix;
+use nimbus_netsim::endpoint::{AckInfo, FlowEndpoint, SendAction};
+use nimbus_netsim::Time;
+use nimbus_transport::{BackloggedSource, CcKind, Sender, SenderConfig};
+
+/// Drive a sender into permanent SACK recovery with a large scoreboard —
+/// every even segment lost, every odd segment SACKed — and count the
+/// scoreboard positions loss inference visits.
+#[test]
+fn sack_scan_cost_is_linear_in_acks_plus_holes() {
+    let mut sender = Sender::new(
+        SenderConfig::labelled("cbr-like"),
+        CcKind::Unlimited.build(1500),
+        Box::new(BackloggedSource),
+    );
+    sender.on_start(Time::ZERO);
+
+    // Fill the window: transmit as many segments as the sender will emit.
+    let mut sent = 0u64;
+    let now = Time::from_millis(1);
+    while sent < 4096 {
+        match sender.poll_send(now) {
+            SendAction::Transmit { .. } => sent += 1,
+            _ => break,
+        }
+    }
+    assert!(sent >= 2000, "expected a deep flight, got {sent}");
+
+    // ACK storm: cum_ack pinned at 0 (segment 0 lost), each odd segment
+    // SACKed in order.  From the third duplicate onwards the sender is in
+    // recovery and runs loss inference on every ACK, with the scoreboard
+    // growing by one entry per ACK — the permanently-recovering CBR shape.
+    let acks: u64 = 1500;
+    let mut t = 2_000_000u64; // ns
+    for k in 0..acks {
+        let seq = 2 * k + 1;
+        t += 10_000;
+        sender.on_ack(&AckInfo {
+            now: Time(t),
+            cum_ack: 0,
+            triggering_seq: seq,
+            triggering_bytes: 1500,
+            data_sent_at: Time::from_millis(1),
+            rtt_sample: Time::from_millis(20),
+            is_duplicate: true,
+            newly_delivered_bytes: 0,
+            total_delivered_bytes: 0,
+        });
+    }
+
+    let steps = sender.scoreboard_scan_steps();
+    // Linear budget: each ACK appends one scoreboard entry and uncovers at
+    // most one new hole, so a frontier-based scan does O(1) amortized work
+    // per ACK — comfortably under 8 positions each.  The quadratic rescan
+    // this regression pins against would visit ~acks²/2 ≈ 1.1M positions.
+    let budget = 8 * acks;
+    assert!(
+        steps <= budget,
+        "scoreboard scan cost regressed to superlinear: {steps} positions \
+         for {acks} ACKs (budget {budget}); infer_losses is rescanning the \
+         scoreboard instead of resuming from its frontier"
+    );
+    // And the scan must actually have happened (the counter is live).
+    assert!(steps > 0, "loss inference never ran — test setup broken");
+}
+
+/// The sweep cell that regressed must stay within 2× of its plain-schedule
+/// neighbor.  Both cells run the same schemes, cross traffic, rate and seed;
+/// only the rate step differs — their per-event cost should be comparable.
+#[test]
+fn step50_vs_cbr50_cell_runs_within_2x_of_plain_vs_cbr50() {
+    let cells = sweep_matrix(true);
+    let find = |name: &str| {
+        cells
+            .iter()
+            .find(|c| c.name() == name)
+            .unwrap_or_else(|| panic!("quick sweep matrix no longer contains {name}"))
+    };
+    let step_cell = find("nimbus@48M-step50@7-vs-cbr50-seed1");
+    let plain_cell = find("nimbus@48M-vs-cbr50-seed1");
+
+    // Best-of-two wall clocks damp scheduler noise on shared runners; the
+    // pre-fix gap (5×) is far outside the 2× bar plus any plausible jitter.
+    let events_per_sec = |cell: &nimbus_experiments::Cell| -> f64 {
+        (0..2)
+            .map(|_| {
+                let started = std::time::Instant::now();
+                let outcome = cell.run();
+                outcome.events as f64 / started.elapsed().as_secs_f64().max(1e-9)
+            })
+            .fold(0.0f64, f64::max)
+    };
+    let step_eps = events_per_sec(step_cell);
+    let plain_eps = events_per_sec(plain_cell);
+    assert!(
+        step_eps * 2.0 >= plain_eps,
+        "step50-vs-cbr50 pathology is back: {step_eps:.0} ev/s vs {plain_eps:.0} ev/s \
+         on the plain vs-cbr50 cell (allowed within 2×)"
+    );
+}
