@@ -6,7 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use nimbus_core::{CrossTrafficEstimator, ElasticityConfig, ElasticityDetector};
 use nimbus_dsp::{fft_real, Fft, PulseGenerator, Spectrum};
 use nimbus_netsim::{CalendarQueue, FlowConfig, Network, SimConfig, Time};
-use nimbus_transport::{BackloggedSource, CcKind, Sender, SenderConfig};
+use nimbus_transport::{BackloggedSource, CcKind, PathInfo, Sender, SenderConfig};
 
 fn bench_fft(c: &mut Criterion) {
     let signal: Vec<f64> = (0..500)
@@ -110,7 +110,7 @@ fn bench_simulator(c: &mut Criterion) {
                 FlowConfig::primary("cubic", Time::from_millis(50)),
                 Box::new(Sender::new(
                     SenderConfig::labelled("cubic"),
-                    CcKind::Cubic.build(1500),
+                    CcKind::Cubic.build(&PathInfo::new(1500)),
                     Box::new(BackloggedSource),
                 )),
             );

@@ -1,0 +1,72 @@
+//! Human-friendly bit-rate strings.
+//!
+//! Scheme specs, CLI flags and result tables all quote link and pacing rates
+//! as short strings like `48M` or `1200k`; these two functions are the single
+//! parser/printer pair behind all of them, kept exactly inverse of each other.
+
+/// Parse a bit-rate string: a plain number is bits/s, and a trailing
+/// `k`/`M`/`G` (case-insensitive) scales by 10³/10⁶/10⁹ — `48M`, `2.5M`,
+/// `1200k`, `96000000` are all valid.
+pub fn parse_rate_bps(s: &str) -> Result<f64, String> {
+    let s = s.trim();
+    let (digits, multiplier) = match s.chars().last() {
+        Some('k') | Some('K') => (&s[..s.len() - 1], 1e3),
+        Some('m') | Some('M') => (&s[..s.len() - 1], 1e6),
+        Some('g') | Some('G') => (&s[..s.len() - 1], 1e9),
+        _ => (s, 1.0),
+    };
+    let value: f64 = digits.trim().parse().map_err(|_| {
+        format!("invalid rate `{s}`: expected a number with optional k/M/G suffix, e.g. `48M`")
+    })?;
+    if !value.is_finite() || value <= 0.0 {
+        return Err(format!("invalid rate `{s}`: must be positive and finite"));
+    }
+    Ok(value * multiplier)
+}
+
+/// Render a bit-rate the way [`parse_rate_bps`] reads it, preferring the
+/// shortest exact form (`48M`, `1200k`, `2.5M`, …).  The fallback is the
+/// shortest decimal that round-trips through `f64`.
+pub fn format_rate_bps(bps: f64) -> String {
+    for (div, suffix) in [(1e9, "G"), (1e6, "M"), (1e3, "k")] {
+        let scaled = bps / div;
+        // `{}` on f64 prints the shortest decimal that round-trips, and the
+        // guard re-applies the parser's own multiplication, so the printed
+        // form always parses back to exactly `bps`.
+        if scaled >= 1.0 && scaled * div == bps {
+            return format!("{scaled}{suffix}");
+        }
+    }
+    if bps.fract() == 0.0 && bps < 1e15 {
+        format!("{}", bps as u64)
+    } else {
+        format!("{bps:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_parse_and_format_exactly() {
+        assert_eq!(parse_rate_bps("48M").unwrap(), 48e6);
+        assert_eq!(parse_rate_bps("1200k").unwrap(), 1.2e6);
+        assert_eq!(parse_rate_bps("2.5M").unwrap(), 2.5e6);
+        assert_eq!(parse_rate_bps("1G").unwrap(), 1e9);
+        assert_eq!(parse_rate_bps(" 96000000 ").unwrap(), 96e6);
+        assert!(parse_rate_bps("fast").is_err());
+        assert!(parse_rate_bps("-3M").is_err());
+        assert!(parse_rate_bps("").is_err());
+
+        assert_eq!(format_rate_bps(48e6), "48M");
+        assert_eq!(format_rate_bps(2.5e6), "2.5M");
+        assert_eq!(format_rate_bps(1e9), "1G");
+        assert_eq!(format_rate_bps(999.0), "999");
+        // Round-trip exactness for awkward values.
+        for bps in [4e5, 1.23e6, 7.0, 123456789.0, 2.5e3, 48e6 / 7.0] {
+            let text = format_rate_bps(bps);
+            assert_eq!(parse_rate_bps(&text).unwrap(), bps, "via `{text}`");
+        }
+    }
+}

@@ -7,7 +7,7 @@ use crate::scheme::SchemeSpec;
 use nimbus_dsp::Cdf;
 use nimbus_netsim::{FlowConfig, FlowEndpoint, Time};
 use nimbus_traffic::{PhaseSchedule, VideoQuality, VideoSource, WanWorkload, WanWorkloadConfig};
-use nimbus_transport::{CcKind, Sender, SenderConfig};
+use nimbus_transport::{CcKind, PathInfo, Sender, SenderConfig};
 
 /// Fig. 8: the nine-phase scripted scenario on a 96 Mbit/s link, comparing
 /// the mode-switching protocols against every baseline.
@@ -49,7 +49,7 @@ pub fn fig08(quick: bool) -> ExperimentResult {
             FlowConfig::cross("poisson-phases", Time::from_millis(50), false),
             Box::new(Sender::new(
                 SenderConfig::labelled("poisson-phases"),
-                CcKind::Unlimited.build(1500),
+                CcKind::Unlimited.build(&PathInfo::new(1500)),
                 Box::new(nimbus_transport::ScriptedSource::scheduled(scripted)),
             )),
         ));
@@ -241,7 +241,7 @@ pub fn fig11(quick: bool) -> ExperimentResult {
                 ),
                 Box::new(Sender::new(
                     SenderConfig::labelled("video"),
-                    CcKind::Cubic.build(1500),
+                    CcKind::Cubic.build(&PathInfo::new(1500)),
                     Box::new(VideoSource::new(quality, duration)),
                 )),
             );
@@ -329,7 +329,7 @@ pub fn fig13(quick: bool) -> ExperimentResult {
                 .with_pulse_amplitude(pulse);
             let h = net.add_flow(
                 FlowConfig::primary("nimbus", Time::from_secs_f64(spec.prop_rtt_s)),
-                Box::new(nimbus_core::controller::nimbus_flow(cfg, "nimbus")),
+                Box::new(nimbus_sim::nimbus_flow(cfg, "nimbus")),
             );
             for (fc, ep) in cross {
                 net.add_flow(fc, ep);

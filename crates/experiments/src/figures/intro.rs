@@ -167,7 +167,7 @@ fn z_series_against(
         .nimbus_config(spec.link_rate_bps, seed)
         .unwrap();
     scheme_cfg.elasticity.pulse_freq_hz = pulse_freq_hz;
-    let endpoint = Box::new(nimbus_core::controller::nimbus_flow(scheme_cfg, "nimbus"));
+    let endpoint = Box::new(nimbus_sim::nimbus_flow(scheme_cfg, "nimbus"));
     let mut net = spec.build_network();
     let h = net.add_flow(
         nimbus_netsim::FlowConfig::primary("nimbus", nimbus_netsim::Time::from_secs_f64(0.05)),

@@ -11,7 +11,9 @@ pub mod varying;
 use crate::runner::CrossFlowSpec;
 use crate::scheme::SchemeSpec;
 use nimbus_netsim::{FlowConfig, FlowEndpoint, Time};
-use nimbus_transport::{CcKind, PoissonSource, ScriptedSource, Sender, SenderConfig, Source};
+use nimbus_transport::{
+    CcKind, PathInfo, PoissonSource, ScriptedSource, Sender, SenderConfig, Source,
+};
 
 /// A backlogged elastic cross-flow using the given loss-based scheme.
 /// `stop_s` terminates the flow at that time (the application goes away).
@@ -74,7 +76,7 @@ pub fn poisson_cross_flow(
         .starting_at(Time::from_secs_f64(start_s));
     let ep: Box<dyn FlowEndpoint> = Box::new(Sender::new(
         sender_cfg,
-        CcKind::Unlimited.build(1500),
+        CcKind::Unlimited.build(&PathInfo::new(1500)),
         Box::new(source),
     ));
     (cfg, ep)
@@ -100,7 +102,7 @@ pub fn cbr_cross_flow(
         .starting_at(Time::from_secs_f64(start_s));
     let ep: Box<dyn FlowEndpoint> = Box::new(Sender::new(
         sender_cfg,
-        CcKind::Unlimited.build(1500),
+        CcKind::Unlimited.build(&PathInfo::new(1500)),
         source,
     ));
     (cfg, ep)

@@ -33,10 +33,7 @@ pub fn fig16(quick: bool) -> ExperimentResult {
             .nimbus_config(spec.link_rate_bps, 160 + i as u64)
             .unwrap()
             .with_multiflow(MultiflowConfig::enabled());
-        let endpoint = Box::new(nimbus_core::controller::nimbus_flow(
-            cfg,
-            &format!("nimbus-{i}"),
-        ));
+        let endpoint = Box::new(nimbus_sim::nimbus_flow(cfg, &format!("nimbus-{i}")));
         let h = net.add_flow(
             FlowConfig::primary(&format!("nimbus-{i}"), Time::from_millis(50))
                 .starting_at(Time::from_secs_f64(start)),
@@ -112,10 +109,7 @@ pub fn fig17(quick: bool) -> ExperimentResult {
             .nimbus_config(spec.link_rate_bps, 170 + i as u64)
             .unwrap()
             .with_multiflow(MultiflowConfig::enabled());
-        let endpoint = Box::new(nimbus_core::controller::nimbus_flow(
-            cfg,
-            &format!("nimbus-{i}"),
-        ));
+        let endpoint = Box::new(nimbus_sim::nimbus_flow(cfg, &format!("nimbus-{i}")));
         let h = net.add_flow(
             FlowConfig::primary(&format!("nimbus-{i}"), Time::from_millis(50)),
             endpoint,

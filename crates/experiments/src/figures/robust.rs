@@ -339,7 +339,7 @@ pub fn fig25(quick: bool) -> ExperimentResult {
                     .with_pulse_amplitude(pulse);
                 let h = net.add_flow(
                     FlowConfig::primary("nimbus", Time::from_secs_f64(spec.prop_rtt_s)),
-                    Box::new(nimbus_core::controller::nimbus_flow(cfg, "nimbus")),
+                    Box::new(nimbus_sim::nimbus_flow(cfg, "nimbus")),
                 );
                 for (fc, ep) in cross {
                     net.add_flow(fc, ep);
@@ -383,7 +383,7 @@ pub fn fig26(quick: bool) -> ExperimentResult {
         let mut net = spec.build_network();
         let h = net.add_flow(
             FlowConfig::primary("nimbus", Time::from_secs_f64(spec.prop_rtt_s)),
-            Box::new(nimbus_core::controller::nimbus_flow(cfg, "nimbus")),
+            Box::new(nimbus_sim::nimbus_flow(cfg, "nimbus")),
         );
         let cross = elastic_cross_flow("vivace", CcKind::Vivace, 0.05, 0.0, None);
         net.add_flow(cross.0, cross.1);

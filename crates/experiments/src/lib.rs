@@ -34,8 +34,6 @@ pub use output::ExperimentResult;
 pub use runner::{
     CrossFlowSpec, HopSpec, LinkScheduleSpec, PathSpec, ScenarioSpec, SingleFlowMetrics,
 };
-#[allow(deprecated)]
-pub use scheme::Scheme;
 pub use scheme::{MuSpec, NimbusSpec, ParseSchemeError, SchemeSpec, SwitchSpec};
 pub use sweep::{run_sweep, sweep_matrix, sweep_matrix_with, SweepConfig, SweepReport};
 pub use testkit::{

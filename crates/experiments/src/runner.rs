@@ -684,7 +684,7 @@ pub fn run_scheme_vs_cross(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nimbus_transport::{CcKind, FixedSizeSource, SenderConfig};
+    use nimbus_transport::{CcKind, FixedSizeSource, PathInfo, SenderConfig};
 
     #[test]
     fn spec_builders_and_quick_scaling() {
@@ -741,7 +741,7 @@ mod tests {
             FlowConfig::cross("short", Time::from_millis(50), true).with_size(2_000_000),
             Box::new(Sender::new(
                 SenderConfig::labelled("short"),
-                CcKind::Cubic.build(1500),
+                CcKind::Cubic.build(&PathInfo::new(1500)),
                 Box::new(FixedSizeSource::new(2_000_000)),
             )),
         )];

@@ -37,11 +37,11 @@
 //! ([`nimbus_core::estimator`]); see that module for the strategy catalogue
 //! and a worked "which estimator when" table.
 //!
-//! Result labels ([`SchemeSpec::label`]) are derived from the spec, and the
-//! legacy [`Scheme`] enum variants survive as deprecated aliases — both as
-//! Rust values (`Scheme::NimbusCubicCopa.spec()`) and as parse strings
-//! (`"NimbusCubicCopa"`, `"nimbus-copa"`) — that map onto specs producing
-//! byte-identical simulations (pinned by `tests/scheme_spec.rs`).
+//! Result labels ([`SchemeSpec::label`]) are derived from the spec.  The
+//! variant names of the long-gone pre-redesign `Scheme` enum survive as
+//! parse-string aliases (`"NimbusCubicCopa"`, `"nimbus-copa"`, …) that map
+//! onto specs producing byte-identical simulations (pinned by
+//! `tests/scheme_spec.rs`), so pre-redesign serialized data still loads.
 
 use nimbus_core::estimator::DEFAULT_MU_WINDOW_S;
 use nimbus_core::{
@@ -50,7 +50,8 @@ use nimbus_core::{
 };
 use nimbus_netsim::FlowEndpoint;
 use nimbus_transport::{
-    format_rate_bps, BackloggedSource, CcKind, CongestionControl, Sender, SenderConfig, Source,
+    format_rate_bps, BackloggedSource, CcKind, CongestionControl, PathInfo, Sender, SenderConfig,
+    Source,
 };
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
@@ -277,6 +278,19 @@ impl SchemeSpec {
         self.map_nimbus(|n| n.mu = MuSpec::probing())
     }
 
+    /// Learn µ with probe-up epochs that auto-quiesce below the given
+    /// uncertainty floor (`mu=learned(probe=<interval>,quiesce=<floor>)`).
+    ///
+    /// # Panics
+    /// Panics on a bare (non-Nimbus) spec.
+    pub fn with_quiesced_probing_mu(self, interval_s: f64, floor: f64) -> Self {
+        self.with_mu_strategy(LearnedMuConfig::Probing(ProbingConfig {
+            probe_interval_s: interval_s,
+            quiesce_uncertainty_floor: floor,
+            ..ProbingConfig::default()
+        }))
+    }
+
     /// Install a ẑ-conditioning stage (`zfilter=…`).
     ///
     /// # Panics
@@ -408,7 +422,7 @@ impl SchemeSpec {
                 }
                 Box::new(NimbusController::new(cfg))
             }
-            SchemeSpec::Bare(kind) => kind.build(1500),
+            SchemeSpec::Bare(kind) => kind.build(&PathInfo::new(1500)),
         }
     }
 
@@ -493,6 +507,9 @@ fn learned_mu_label(lc: &LearnedMuConfig) -> String {
             if p.cap_margin != d.cap_margin {
                 s.push_str(&format!("c{}", p.cap_margin));
             }
+            if p.quiesce_uncertainty_floor != d.quiesce_uncertainty_floor {
+                s.push_str(&format!("q{}", p.quiesce_uncertainty_floor));
+            }
             s
         }
     }
@@ -530,6 +547,9 @@ fn mu_option(lc: &LearnedMuConfig) -> String {
             }
             if p.cap_margin != d.cap_margin {
                 args.push(format!("cap={}", p.cap_margin));
+            }
+            if p.quiesce_uncertainty_floor != d.quiesce_uncertainty_floor {
+                args.push(format!("quiesce={}", p.quiesce_uncertainty_floor));
             }
         }
     }
@@ -640,7 +660,8 @@ fn parse_positive(key: &str, value: &str, what: &str) -> Result<f64, ParseScheme
 }
 
 /// Parse the value of `mu=`: `configured`, `learned`, or a parameterised
-/// `learned(probe=…, gain=…, dur=…, window=…, loss=…, lossint=…)` strategy.
+/// `learned(probe=…, gain=…, dur=…, window=…, loss=…, lossint=…, recent=…,
+/// cap=…, quiesce=…)` strategy.
 fn parse_mu_value(value: &str) -> Result<MuSpec, ParseSchemeError> {
     let (head, inner) = split_call(value)?;
     match (head.trim(), inner) {
@@ -655,6 +676,7 @@ fn parse_mu_value(value: &str) -> Result<MuSpec, ParseSchemeError> {
             let mut lossint: Option<f64> = None;
             let mut recent: Option<f64> = None;
             let mut cap: Option<f64> = None;
+            let mut quiesce: Option<f64> = None;
             for pair in args.split(',') {
                 let pair = pair.trim();
                 if pair.is_empty() {
@@ -664,7 +686,7 @@ fn parse_mu_value(value: &str) -> Result<MuSpec, ParseSchemeError> {
                     return Err(ParseSchemeError(format!(
                         "mu=learned option `{pair}` is not of the form key=value \
                          (expected probe=, gain=, dur=, window=, loss=, lossint=, \
-                         recent=, or cap=)"
+                         recent=, cap=, or quiesce=)"
                     )));
                 };
                 let slot = match key.trim() {
@@ -676,11 +698,12 @@ fn parse_mu_value(value: &str) -> Result<MuSpec, ParseSchemeError> {
                     "lossint" => &mut lossint,
                     "recent" => &mut recent,
                     "cap" => &mut cap,
+                    "quiesce" => &mut quiesce,
                     k => {
                         return Err(ParseSchemeError(format!(
                             "unknown mu=learned option `{k}` (expected probe=<s>, gain=<x>, \
                              dur=<s>, window=<s>, loss=<frac>, lossint=<s>, recent=<s>, \
-                             cap=<x>)"
+                             cap=<x>, quiesce=<frac>)"
                         )))
                     }
                 };
@@ -692,7 +715,8 @@ fn parse_mu_value(value: &str) -> Result<MuSpec, ParseSchemeError> {
                     || loss.is_some()
                     || lossint.is_some()
                     || recent.is_some()
-                    || cap.is_some())
+                    || cap.is_some()
+                    || quiesce.is_some())
             {
                 return Err(ParseSchemeError(
                     "mu=learned probing parameters (gain/dur/loss/lossint) require probe=<interval>"
@@ -714,6 +738,7 @@ fn parse_mu_value(value: &str) -> Result<MuSpec, ParseSchemeError> {
                         backoff_interval_s: lossint.unwrap_or(d.backoff_interval_s),
                         recent_window_s: recent.unwrap_or(d.recent_window_s),
                         cap_margin: cap.unwrap_or(d.cap_margin),
+                        quiesce_uncertainty_floor: quiesce.unwrap_or(d.quiesce_uncertainty_floor),
                     };
                     if 2.0 * cfg.probe_duration_s >= cfg.probe_interval_s {
                         return Err(ParseSchemeError(format!(
@@ -733,6 +758,13 @@ fn parse_mu_value(value: &str) -> Result<MuSpec, ParseSchemeError> {
                         return Err(ParseSchemeError(format!(
                             "loss backoff {} must be a decay factor below 1",
                             cfg.loss_backoff
+                        )));
+                    }
+                    if cfg.quiesce_uncertainty_floor >= 1.0 {
+                        return Err(ParseSchemeError(format!(
+                            "quiesce floor {} is compared against the µ̂ uncertainty in \
+                             [0, 1) — 1 or above would quiesce probing unconditionally",
+                            cfg.quiesce_uncertainty_floor
                         )));
                     }
                     Ok(MuSpec::Learned(LearnedMuConfig::Probing(cfg)))
@@ -867,7 +899,7 @@ impl FromStr for SchemeSpec {
     type Err = ParseSchemeError;
 
     /// Parse a spec string.  Accepts the canonical grammar (see the
-    /// [module docs](self)), the legacy [`Scheme`] variant names
+    /// [module docs](self)), the legacy `Scheme` enum variant names
     /// (`NimbusCubicCopa`, `Vivace`, …) and the legacy labels
     /// (`nimbus-copa`, `nimbus-estmu`, `pcc-vivace`, …) as aliases.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
@@ -939,70 +971,6 @@ impl Deserialize for SchemeSpec {
             other => Err(serde::Error(format!(
                 "expected scheme spec string, got {other:?}"
             ))),
-        }
-    }
-}
-
-// ---- deprecated enum aliases ----------------------------------------------
-
-/// The pre-redesign closed scheme enum.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the compositional `SchemeSpec` algebra instead; every variant maps \
-            onto a spec via `From<Scheme>`"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scheme {
-    /// `nimbus` — Cubic-competitive + BasicDelay.
-    NimbusCubicBasicDelay,
-    /// `nimbus(delay=copa)`.
-    NimbusCubicCopa,
-    /// `nimbus(delay=vegas)`.
-    NimbusCubicVegas,
-    /// `nimbus(switch=never)` — delay control only.
-    NimbusDelayOnly,
-    /// `nimbus(mu=learned)` — µ learned at runtime (§4.2).
-    NimbusEstimatedMu,
-    /// Bare TCP Cubic.
-    Cubic,
-    /// Bare TCP NewReno.
-    NewReno,
-    /// Bare TCP Vegas.
-    Vegas,
-    /// Bare Copa.
-    Copa,
-    /// Bare BBR.
-    Bbr,
-    /// Bare PCC-Vivace.
-    Vivace,
-    /// Bare Compound TCP.
-    Compound,
-}
-
-#[allow(deprecated)]
-impl Scheme {
-    /// The equivalent compositional spec.
-    pub fn spec(self) -> SchemeSpec {
-        self.into()
-    }
-}
-
-#[allow(deprecated)]
-impl From<Scheme> for SchemeSpec {
-    fn from(scheme: Scheme) -> SchemeSpec {
-        match scheme {
-            Scheme::NimbusCubicBasicDelay => SchemeSpec::nimbus(),
-            Scheme::NimbusCubicCopa => SchemeSpec::nimbus_copa(),
-            Scheme::NimbusCubicVegas => SchemeSpec::nimbus_vegas(),
-            Scheme::NimbusDelayOnly => SchemeSpec::nimbus_delay_only(),
-            Scheme::NimbusEstimatedMu => SchemeSpec::nimbus_estmu(),
-            Scheme::Cubic => SchemeSpec::cubic(),
-            Scheme::NewReno => SchemeSpec::newreno(),
-            Scheme::Vegas => SchemeSpec::vegas(),
-            Scheme::Copa => SchemeSpec::copa(),
-            Scheme::Bbr => SchemeSpec::bbr(),
-            Scheme::Vivace => SchemeSpec::vivace(),
-            Scheme::Compound => SchemeSpec::compound(),
         }
     }
 }
@@ -1170,14 +1138,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_enum_variants_convert() {
-        assert_eq!(Scheme::NimbusCubicBasicDelay.spec(), SchemeSpec::nimbus());
-        assert_eq!(
-            Scheme::NimbusDelayOnly.spec(),
-            SchemeSpec::nimbus_delay_only()
-        );
-        assert_eq!(Scheme::Vivace.spec(), SchemeSpec::vivace());
+    fn legacy_enum_variant_names_still_parse() {
+        // The `Scheme` enum is gone, but its serde strings must keep
+        // loading: pre-redesign result files encode schemes by variant name.
+        let aliases = [
+            ("NimbusCubicBasicDelay", SchemeSpec::nimbus()),
+            ("NimbusCubicCopa", SchemeSpec::nimbus_copa()),
+            ("NimbusCubicVegas", SchemeSpec::nimbus_vegas()),
+            ("NimbusDelayOnly", SchemeSpec::nimbus_delay_only()),
+            ("NimbusEstimatedMu", SchemeSpec::nimbus_estmu()),
+            ("Cubic", SchemeSpec::cubic()),
+            ("NewReno", SchemeSpec::newreno()),
+            ("Vegas", SchemeSpec::vegas()),
+            ("Copa", SchemeSpec::copa()),
+            ("Bbr", SchemeSpec::bbr()),
+            ("Vivace", SchemeSpec::vivace()),
+            ("Compound", SchemeSpec::compound()),
+        ];
+        for (name, want) in aliases {
+            assert_eq!(name.parse::<SchemeSpec>().unwrap(), want, "{name}");
+        }
     }
 
     #[test]

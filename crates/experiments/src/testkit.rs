@@ -561,6 +561,68 @@ pub fn estimator_cells() -> Vec<Cell> {
                 ..Invariants::default()
             },
         },
+        // The probing-estimator residual, quantified: on a *stable* link the
+        // 2× probe epochs repeatedly refill the bottleneck queue, so the
+        // always-probing estimator pays ~73 ms of steady queueing delay
+        // where plain `mu=learned` pays ~13 — delay mode's low-delay
+        // objective is the price of a probe schedule the converged filter no
+        // longer needs.  This cell pins that cost so the residual stays
+        // visible.
+        Cell {
+            scheme: SchemeSpec::nimbus().with_probing_mu(),
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 45,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(40.0),
+                min_queue_delay_ms: Some(40.0),
+                min_delay_mode_fraction: Some(0.9),
+                ..Invariants::default()
+            },
+        },
+        // …and recovered: with the auto-quiesce floor the probes stop once
+        // the max filter converges (µ̂ uncertainty under 0.4), so on the same
+        // stable link the delay cost collapses back to ~15 ms, while against
+        // a genuinely elastic Cubic competitor the uncertainty stays high
+        // enough that detection still works — the flow must switch to
+        // competitive mode and hold a fair share (un-quiesced probe=1 never
+        // switches at all: the held ẑ blanks the detector's input).
+        Cell {
+            scheme: SchemeSpec::nimbus().with_quiesced_probing_mu(1.0, 0.4),
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 45,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(40.0),
+                max_queue_delay_ms: Some(20.0),
+                min_delay_mode_fraction: Some(0.9),
+                ..Invariants::default()
+            },
+        },
+        Cell {
+            scheme: SchemeSpec::nimbus().with_quiesced_probing_mu(1.0, 0.4),
+            cross: CrossTraffic::elastic_cubic(),
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 45,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(12.0),
+                max_delay_mode_fraction: Some(0.9),
+                must_enter_competitive: true,
+                ..Invariants::default()
+            },
+        },
     ]
 }
 

@@ -15,9 +15,9 @@
 //!
 //! The paper's WAN experiments use `α = 0.8`, `β = 0.5`, `d_t = 12.5 ms`.
 
-use nimbus_netsim::Time;
-use nimbus_transport::cc::{AckEvent, CongestionControl};
-use nimbus_transport::Report;
+use crate::cc::{AckEvent, CongestionControl, CongestionEvent, LossEvent};
+use crate::ccp::Report;
+use nimbus_core_types::Time;
 use serde::{Deserialize, Serialize};
 
 /// BasicDelay parameters.
@@ -110,18 +110,18 @@ impl BasicDelay {
 }
 
 impl CongestionControl for BasicDelay {
-    fn on_ack(&mut self, ack: &AckEvent) {
+    fn on_packet_acked(&mut self, ack: &AckEvent) {
         let rtt = ack.rtt.as_secs_f64();
         self.last_rtt_s = rtt;
         self.min_rtt_s = self.min_rtt_s.min(rtt);
     }
 
-    fn on_loss(&mut self, _now: Time, _in_flight_packets: u64) {
+    fn on_packets_lost(&mut self, _loss: &LossEvent) {
         // Delay is the primary signal; on loss just ease off multiplicatively.
         self.rate_bps = (self.rate_bps * 0.9).max(self.cfg.min_rate_bps);
     }
 
-    fn on_timeout(&mut self, _now: Time) {
+    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
         self.rate_bps = self.cfg.min_rate_bps;
     }
 
@@ -199,7 +199,7 @@ mod tests {
     #[test]
     fn rate_climbs_towards_spare_capacity() {
         let mut cc = BasicDelay::new(BasicDelayConfig::paper_defaults(96e6));
-        cc.on_ack(&ack(50.0));
+        cc.on_packet_acked(&ack(50.0));
         // No cross traffic, RTT at the minimum: the rate should converge to ~µ.
         let mut s = cc.current_rate_bps();
         for i in 0..200 {
@@ -212,7 +212,7 @@ mod tests {
     #[test]
     fn rate_leaves_room_for_cross_traffic() {
         let mut cc = BasicDelay::new(BasicDelayConfig::paper_defaults(96e6));
-        cc.on_ack(&ack(50.0));
+        cc.on_packet_acked(&ack(50.0));
         cc.set_cross_traffic_estimate(48e6);
         // Hold the RTT exactly at x_min + d_t so the delay term vanishes and
         // the spare-capacity term alone sets the equilibrium: rate → µ − z.
@@ -227,7 +227,7 @@ mod tests {
     #[test]
     fn high_delay_pushes_the_rate_down() {
         let mut cc = BasicDelay::new(BasicDelayConfig::paper_defaults(96e6));
-        cc.on_ack(&ack(50.0));
+        cc.on_packet_acked(&ack(50.0));
         cc.set_rate(90e6);
         // RTT far above min + target: strong negative correction.
         cc.on_report(&report(0.0, 90e6, 0.120));
@@ -240,7 +240,7 @@ mod tests {
         // the correction is positive (keep the queue from emptying).
         let cfg = BasicDelayConfig::paper_defaults(96e6);
         let mut cc = BasicDelay::new(cfg);
-        cc.on_ack(&ack(50.0));
+        cc.on_packet_acked(&ack(50.0));
         cc.set_cross_traffic_estimate(96e6 - 40e6); // spare ≈ 0 when S = 40M
         cc.on_report(&report(0.0, 40e6, 0.050)); // queue empty: x == x_min
         assert!(
@@ -253,9 +253,13 @@ mod tests {
     fn loss_and_timeout_back_off() {
         let mut cc = BasicDelay::new(BasicDelayConfig::paper_defaults(48e6));
         cc.set_rate(40e6);
-        cc.on_loss(Time::ZERO, 10);
+        cc.on_packets_lost(&LossEvent {
+            now: Time::ZERO,
+            lost_packets: 1,
+            in_flight_packets: 10,
+        });
         assert!(cc.current_rate_bps() < 40e6);
-        cc.on_timeout(Time::ZERO);
+        cc.on_congestion_event(&CongestionEvent::Rto { now: Time::ZERO });
         assert!(cc.current_rate_bps() <= 48e6 / 50.0 + 1.0);
     }
 
@@ -263,7 +267,7 @@ mod tests {
     fn rate_is_always_within_physical_bounds() {
         let cfg = BasicDelayConfig::paper_defaults(96e6);
         let mut cc = BasicDelay::new(cfg);
-        cc.on_ack(&ack(50.0));
+        cc.on_packet_acked(&ack(50.0));
         cc.set_cross_traffic_estimate(200e6); // absurd estimate
         cc.on_report(&report(0.0, 96e6, 0.3));
         assert!(cc.current_rate_bps() >= cfg.min_rate_bps);

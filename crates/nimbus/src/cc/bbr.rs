@@ -10,10 +10,10 @@
 //! size (Table 1, Appendix C): with deep buffers its in-flight cap makes it
 //! ACK-clocked (elastic), with shallow buffers it is rate-limited (inelastic).
 
-use super::{AckEvent, CongestionControl};
+use super::{AckEvent, CongestionControl, CongestionEvent, LossEvent};
 use crate::ccp::Report;
+use nimbus_core_types::Time;
 use nimbus_dsp::{WindowedMax, WindowedMin};
-use nimbus_netsim::Time;
 
 /// BBR's operating state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,7 +121,7 @@ impl Bbr {
 }
 
 impl CongestionControl for Bbr {
-    fn on_ack(&mut self, ack: &AckEvent) {
+    fn on_packet_acked(&mut self, ack: &AckEvent) {
         let now = ack.now;
         self.min_rtt
             .update(now.as_secs_f64(), ack.rtt.as_secs_f64());
@@ -166,11 +166,11 @@ impl CongestionControl for Bbr {
         }
     }
 
-    fn on_loss(&mut self, _now: Time, _in_flight_packets: u64) {
+    fn on_packets_lost(&mut self, _loss: &LossEvent) {
         // BBR v1 largely ignores individual losses (no multiplicative decrease).
     }
 
-    fn on_timeout(&mut self, _now: Time) {
+    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
         // Conservative: restart the bandwidth estimate.
         self.full_bw = 0.0;
         self.full_bw_count = 0;
@@ -252,7 +252,7 @@ mod tests {
         // Bandwidth stops growing at 48 Mbit/s.
         for i in 0..20 {
             bbr.on_report(&report(i as f64 * 0.05, 48e6));
-            bbr.on_ack(&ack(i * 50, 50, 100));
+            bbr.on_packet_acked(&ack(i * 50, 50, 100));
         }
         assert_ne!(bbr.state_name(), "startup");
     }
@@ -262,17 +262,17 @@ mod tests {
         let mut bbr = Bbr::new(1500);
         for i in 0..10 {
             bbr.on_report(&report(i as f64 * 0.05, 48e6));
-            bbr.on_ack(&ack(i * 50, 50, 300));
+            bbr.on_packet_acked(&ack(i * 50, 50, 300));
         }
         // Drain: in-flight drops to BDP (= 48e6*0.05/8/1500 = 200 pkts).
         for i in 10..20 {
-            bbr.on_ack(&ack(i * 50, 50, 150));
+            bbr.on_packet_acked(&ack(i * 50, 50, 150));
         }
         assert_eq!(bbr.state_name(), "probe_bw");
         // Collect distinct pacing gains over several cycles.
         let mut gains = std::collections::BTreeSet::new();
         for i in 20..120 {
-            bbr.on_ack(&ack(i * 50, 50, 150));
+            bbr.on_packet_acked(&ack(i * 50, 50, 150));
             gains.insert((bbr.pacing_gain * 100.0) as i64);
         }
         assert!(gains.contains(&125), "should probe up, gains: {gains:?}");
@@ -284,7 +284,7 @@ mod tests {
     fn pacing_rate_tracks_bandwidth_estimate() {
         let mut bbr = Bbr::new(1500);
         bbr.on_report(&report(0.0, 96e6));
-        bbr.on_ack(&ack(50, 50, 10));
+        bbr.on_packet_acked(&ack(50, 50, 10));
         let rate = bbr.pacing_rate_bps(Time::from_millis(50)).unwrap();
         assert!(rate > 96e6, "startup gain should exceed the estimate");
     }
@@ -293,7 +293,7 @@ mod tests {
     fn cwnd_caps_at_twice_bdp() {
         let mut bbr = Bbr::new(1500);
         bbr.on_report(&report(0.0, 96e6));
-        bbr.on_ack(&ack(50, 50, 10));
+        bbr.on_packet_acked(&ack(50, 50, 10));
         // BDP = 96e6 * 0.05 / 8 / 1500 = 400 packets.
         assert!(
             (bbr.cwnd_packets() - 800.0).abs() < 10.0,
@@ -306,9 +306,13 @@ mod tests {
     fn loss_does_not_reduce_rate() {
         let mut bbr = Bbr::new(1500);
         bbr.on_report(&report(0.0, 50e6));
-        bbr.on_ack(&ack(50, 50, 10));
+        bbr.on_packet_acked(&ack(50, 50, 10));
         let before = bbr.pacing_rate_bps(Time::from_millis(60));
-        bbr.on_loss(Time::from_millis(60), 100);
+        bbr.on_packets_lost(&LossEvent {
+            now: Time::from_millis(60),
+            lost_packets: 1,
+            in_flight_packets: 100,
+        });
         let after = bbr.pacing_rate_bps(Time::from_millis(60));
         assert_eq!(before, after);
     }
@@ -318,9 +322,11 @@ mod tests {
         let mut bbr = Bbr::new(1500);
         for i in 0..20 {
             bbr.on_report(&report(i as f64 * 0.05, 48e6));
-            bbr.on_ack(&ack(i * 50, 50, 100));
+            bbr.on_packet_acked(&ack(i * 50, 50, 100));
         }
-        bbr.on_timeout(Time::from_secs_f64(2.0));
+        bbr.on_congestion_event(&CongestionEvent::Rto {
+            now: Time::from_secs_f64(2.0),
+        });
         assert_eq!(bbr.state_name(), "startup");
     }
 }

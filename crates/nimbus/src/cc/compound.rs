@@ -8,8 +8,7 @@
 //! "ramps up its rate quickly when it detects low delays, but behaves like
 //! TCP Reno otherwise" (Fig. 8) and therefore still bufferbloats.
 
-use super::{AckEvent, CongestionControl};
-use nimbus_netsim::Time;
+use super::{AckEvent, CongestionControl, CongestionEvent, LossEvent};
 
 /// Compound's delay threshold γ in packets.
 const GAMMA: f64 = 30.0;
@@ -57,7 +56,7 @@ impl Default for Compound {
 }
 
 impl CongestionControl for Compound {
-    fn on_ack(&mut self, ack: &AckEvent) {
+    fn on_packet_acked(&mut self, ack: &AckEvent) {
         let acked = ack.newly_acked_packets as f64;
         let total = self.cwnd + self.dwnd;
         // Reno component.
@@ -84,14 +83,14 @@ impl CongestionControl for Compound {
         }
     }
 
-    fn on_loss(&mut self, _now: Time, _in_flight_packets: u64) {
+    fn on_packets_lost(&mut self, _loss: &LossEvent) {
         let total = self.cwnd + self.dwnd;
         self.ssthresh = (total / 2.0).max(2.0);
         self.cwnd = (self.cwnd / 2.0).max(2.0);
         self.dwnd = (total * (1.0 - ETA) - self.cwnd).max(0.0);
     }
 
-    fn on_timeout(&mut self, _now: Time) {
+    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
         self.ssthresh = ((self.cwnd + self.dwnd) / 2.0).max(2.0);
         self.cwnd = 2.0;
         self.dwnd = 0.0;
@@ -109,6 +108,7 @@ impl CongestionControl for Compound {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nimbus_core_types::Time;
 
     fn ack(now_ms: u64, rtt_ms: u64, min_rtt_ms: u64) -> AckEvent {
         AckEvent {
@@ -129,7 +129,7 @@ mod tests {
         let mut now = 0;
         for _ in 0..500 {
             now += 5;
-            cc.on_ack(&ack(now, 50, 50));
+            cc.on_packet_acked(&ack(now, 50, 50));
         }
         assert!(cc.delay_window() > 5.0, "dwnd {}", cc.delay_window());
         // Total window grows noticeably faster than pure Reno would
@@ -147,7 +147,7 @@ mod tests {
         // Heavy queueing: RTT at 3x the base.
         for _ in 0..200 {
             now += 5;
-            cc.on_ack(&ack(now, 150, 50));
+            cc.on_packet_acked(&ack(now, 150, 50));
         }
         assert!(cc.delay_window() < 1.0, "dwnd {}", cc.delay_window());
         // But the loss window keeps it TCP-like (still grows slowly).
@@ -159,7 +159,11 @@ mod tests {
         let mut cc = Compound::new();
         cc.cwnd = 40.0;
         cc.dwnd = 40.0;
-        cc.on_loss(Time::ZERO, 80);
+        cc.on_packets_lost(&LossEvent {
+            now: Time::ZERO,
+            lost_packets: 1,
+            in_flight_packets: 80,
+        });
         let total = cc.cwnd_packets();
         assert!((total - 40.0).abs() < 2.0, "total {total}");
     }
@@ -169,7 +173,7 @@ mod tests {
         let mut cc = Compound::new();
         cc.cwnd = 40.0;
         cc.dwnd = 40.0;
-        cc.on_timeout(Time::ZERO);
+        cc.on_congestion_event(&CongestionEvent::Rto { now: Time::ZERO });
         assert!(cc.cwnd_packets() <= 2.0);
         assert_eq!(cc.delay_window(), 0.0);
     }

@@ -7,14 +7,14 @@
 //!   what the network does;
 //! * **Poisson packet arrivals / application-limited flows** — the
 //!   [`Unlimited`] controller simply sends whenever the application has data
-//!   (the [`PoissonSource`](crate::source::PoissonSource) or
-//!   [`ScriptedSource`](crate::source::ScriptedSource) provides the shaping).
+//!   (a host-side source — the simulator's `PoissonSource` or
+//!   `ScriptedSource` in `nimbus-transport` — provides the shaping).
 //!
 //! Neither reacts to ACK timing, loss or delay, which is precisely what makes
 //! them inelastic.
 
-use super::{AckEvent, CongestionControl};
-use nimbus_netsim::Time;
+use super::{AckEvent, CongestionControl, CongestionEvent, LossEvent};
+use nimbus_core_types::Time;
 
 /// Fixed-rate pacing with an effectively unlimited window.
 #[derive(Debug, Clone)]
@@ -37,9 +37,9 @@ impl ConstantRate {
 }
 
 impl CongestionControl for ConstantRate {
-    fn on_ack(&mut self, _ack: &AckEvent) {}
-    fn on_loss(&mut self, _now: Time, _in_flight_packets: u64) {}
-    fn on_timeout(&mut self, _now: Time) {}
+    fn on_packet_acked(&mut self, _ack: &AckEvent) {}
+    fn on_packets_lost(&mut self, _loss: &LossEvent) {}
+    fn on_congestion_event(&mut self, _event: &CongestionEvent) {}
 
     fn cwnd_packets(&self) -> f64 {
         1e9
@@ -56,7 +56,8 @@ impl CongestionControl for ConstantRate {
 
 /// No congestion control: transmit whenever the application has data.
 ///
-/// Combined with a rate-shaped [`Source`](crate::source::Source) this models
+/// Combined with a rate-shaped host source (`nimbus_transport::Source`
+/// in the simulator) this models
 /// application-limited traffic (short flows, video below its fair share,
 /// Poisson aggregates).
 #[derive(Debug, Clone, Default)]
@@ -70,9 +71,9 @@ impl Unlimited {
 }
 
 impl CongestionControl for Unlimited {
-    fn on_ack(&mut self, _ack: &AckEvent) {}
-    fn on_loss(&mut self, _now: Time, _in_flight_packets: u64) {}
-    fn on_timeout(&mut self, _now: Time) {}
+    fn on_packet_acked(&mut self, _ack: &AckEvent) {}
+    fn on_packets_lost(&mut self, _loss: &LossEvent) {}
+    fn on_congestion_event(&mut self, _event: &CongestionEvent) {}
 
     fn cwnd_packets(&self) -> f64 {
         1e9
@@ -103,9 +104,13 @@ mod tests {
     fn constant_rate_ignores_every_signal() {
         let mut cc = ConstantRate::new(24e6);
         let before = cc.pacing_rate_bps(Time::ZERO);
-        cc.on_ack(&ack());
-        cc.on_loss(Time::ZERO, 100);
-        cc.on_timeout(Time::ZERO);
+        cc.on_packet_acked(&ack());
+        cc.on_packets_lost(&LossEvent {
+            now: Time::ZERO,
+            lost_packets: 1,
+            in_flight_packets: 100,
+        });
+        cc.on_congestion_event(&CongestionEvent::Rto { now: Time::ZERO });
         assert_eq!(cc.pacing_rate_bps(Time::from_secs_f64(10.0)), before);
         assert_eq!(before, Some(24e6));
         assert!(cc.cwnd_packets() > 1e6);
@@ -127,8 +132,12 @@ mod tests {
     #[test]
     fn unlimited_has_no_pacing_and_huge_window() {
         let mut cc = Unlimited::new();
-        cc.on_ack(&ack());
-        cc.on_loss(Time::ZERO, 5);
+        cc.on_packet_acked(&ack());
+        cc.on_packets_lost(&LossEvent {
+            now: Time::ZERO,
+            lost_packets: 1,
+            in_flight_packets: 5,
+        });
         assert!(cc.pacing_rate_bps(Time::ZERO).is_none());
         assert!(cc.cwnd_packets() > 1e6);
         assert_eq!(cc.name(), "unlimited");

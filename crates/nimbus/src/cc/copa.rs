@@ -13,8 +13,8 @@
 //! that detector so its failure modes (high inelastic load, high-RTT elastic
 //! competitors — Figs. 23/24) can be reproduced.
 
-use super::{AckEvent, CongestionControl};
-use nimbus_netsim::Time;
+use super::{AckEvent, CongestionControl, CongestionEvent, LossEvent};
+use nimbus_core_types::Time;
 use std::collections::VecDeque;
 
 /// Which mode Copa is currently operating in.
@@ -148,7 +148,7 @@ impl Default for Copa {
 }
 
 impl CongestionControl for Copa {
-    fn on_ack(&mut self, ack: &AckEvent) {
+    fn on_packet_acked(&mut self, ack: &AckEvent) {
         let now = ack.now;
         self.min_rtt = self.min_rtt.min(ack.rtt);
         self.rtt_samples.push_back((now, ack.rtt));
@@ -221,7 +221,7 @@ impl CongestionControl for Copa {
         }
     }
 
-    fn on_loss(&mut self, _now: Time, _in_flight_packets: u64) {
+    fn on_packets_lost(&mut self, _loss: &LossEvent) {
         // Copa reacts to loss only mildly in default mode (delay carries the
         // signal); in competitive mode δ doubles (the AIMD decrease on 1/δ).
         self.update_competitive_delta(true);
@@ -230,7 +230,7 @@ impl CongestionControl for Copa {
         self.velocity = 1.0;
     }
 
-    fn on_timeout(&mut self, _now: Time) {
+    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
         self.cwnd = 2.0;
         self.velocity = 1.0;
         self.in_slow_start = true;
@@ -275,7 +275,7 @@ mod tests {
         // Queue nearly empty all the time (rtt ≈ min rtt).
         for _ in 0..2000 {
             now += 5.0;
-            cc.on_ack(&ack(now, 51.0, 50.0));
+            cc.on_packet_acked(&ack(now, 51.0, 50.0));
         }
         assert_eq!(cc.mode(), CopaMode::Default);
     }
@@ -284,12 +284,12 @@ mod tests {
     fn persistent_queue_triggers_competitive_mode() {
         let mut cc = Copa::new();
         // Establish the min RTT first.
-        cc.on_ack(&ack(1.0, 50.0, 50.0));
+        cc.on_packet_acked(&ack(1.0, 50.0, 50.0));
         let mut now = 1.0;
         // Queueing delay stuck at 60 ms (never nearly empty).
         for _ in 0..2000 {
             now += 5.0;
-            cc.on_ack(&ack(now, 110.0, 50.0));
+            cc.on_packet_acked(&ack(now, 110.0, 50.0));
         }
         assert_eq!(cc.mode(), CopaMode::Competitive);
         assert!(!cc.mode_log().is_empty());
@@ -298,17 +298,17 @@ mod tests {
     #[test]
     fn competitive_mode_reverts_when_queue_drains_again() {
         let mut cc = Copa::new();
-        cc.on_ack(&ack(1.0, 50.0, 50.0));
+        cc.on_packet_acked(&ack(1.0, 50.0, 50.0));
         let mut now = 1.0;
         for _ in 0..2000 {
             now += 5.0;
-            cc.on_ack(&ack(now, 120.0, 50.0));
+            cc.on_packet_acked(&ack(now, 120.0, 50.0));
         }
         assert_eq!(cc.mode(), CopaMode::Competitive);
         // Queue drains periodically again.
         for _ in 0..2000 {
             now += 5.0;
-            cc.on_ack(&ack(now, 52.0, 50.0));
+            cc.on_packet_acked(&ack(now, 52.0, 50.0));
         }
         assert_eq!(cc.mode(), CopaMode::Default);
     }
@@ -327,7 +327,7 @@ mod tests {
         // legitimately flip Copa into competitive mode.
         for _ in 0..40 {
             now += 5.0;
-            cc.on_ack(&ack(now, 150.0, 50.0));
+            cc.on_packet_acked(&ack(now, 150.0, 50.0));
         }
         assert!(cc.cwnd_packets() < 100.0, "cwnd {}", cc.cwnd_packets());
         assert!(cc.direction < 0, "Copa should be moving the window down");
@@ -342,7 +342,7 @@ mod tests {
         let mut now = 0.0;
         for _ in 0..500 {
             now += 5.0;
-            cc.on_ack(&ack(now, 50.5, 50.0));
+            cc.on_packet_acked(&ack(now, 50.5, 50.0));
         }
         assert!(cc.cwnd_packets() > 20.0, "cwnd {}", cc.cwnd_packets());
     }
@@ -361,7 +361,7 @@ mod tests {
         let mut max_velocity: f64 = 0.0;
         for _ in 0..150 {
             now += 10.0;
-            cc.on_ack(&ack(now, 50.5, 50.0));
+            cc.on_packet_acked(&ack(now, 50.5, 50.0));
             max_velocity = max_velocity.max(cc.velocity);
         }
         assert!(max_velocity > 1.0, "max velocity {max_velocity}");
@@ -372,9 +372,13 @@ mod tests {
     fn loss_and_timeout_behave_sanely() {
         let mut cc = Copa::new();
         cc.cwnd = 60.0;
-        cc.on_loss(Time::ZERO, 60);
+        cc.on_packets_lost(&LossEvent {
+            now: Time::ZERO,
+            lost_packets: 1,
+            in_flight_packets: 60,
+        });
         assert!(cc.cwnd_packets() < 60.0);
-        cc.on_timeout(Time::ZERO);
+        cc.on_congestion_event(&CongestionEvent::Rto { now: Time::ZERO });
         assert!(cc.cwnd_packets() <= 2.0);
     }
 }

@@ -5,8 +5,8 @@
 //! `W(t) = C·(t − K)³ + W_max` after a loss, with the TCP-friendly region
 //! ensuring it is never slower than Reno.
 
-use super::{AckEvent, CongestionControl};
-use nimbus_netsim::Time;
+use super::{AckEvent, CongestionControl, CongestionEvent, LossEvent};
+use nimbus_core_types::Time;
 
 /// Cubic's scaling constant (RFC 8312).
 const C: f64 = 0.4;
@@ -71,7 +71,7 @@ impl Default for Cubic {
 }
 
 impl CongestionControl for Cubic {
-    fn on_ack(&mut self, ack: &AckEvent) {
+    fn on_packet_acked(&mut self, ack: &AckEvent) {
         let acked = ack.newly_acked_packets as f64;
         if self.in_slow_start() {
             self.cwnd += acked;
@@ -103,14 +103,14 @@ impl CongestionControl for Cubic {
         }
     }
 
-    fn on_loss(&mut self, _now: Time, _in_flight_packets: u64) {
+    fn on_packets_lost(&mut self, _loss: &LossEvent) {
         self.w_max = self.cwnd;
         self.ssthresh = (self.cwnd * BETA).max(2.0);
         self.cwnd = self.ssthresh;
         self.epoch_start = None;
     }
 
-    fn on_timeout(&mut self, _now: Time) {
+    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
         self.w_max = self.cwnd;
         self.ssthresh = (self.cwnd * BETA).max(2.0);
         self.cwnd = self.initial_cwnd.min(self.ssthresh).max(1.0);
@@ -155,7 +155,7 @@ mod tests {
         let mut cc = Cubic::new();
         let w0 = cc.cwnd_packets();
         for i in 0..10 {
-            cc.on_ack(&ack_at(i * 5, 50));
+            cc.on_packet_acked(&ack_at(i * 5, 50));
         }
         assert!(cc.cwnd_packets() >= w0 + 10.0 - 1e-9);
     }
@@ -165,7 +165,11 @@ mod tests {
         let mut cc = Cubic::new();
         cc.cwnd = 100.0;
         cc.ssthresh = 50.0;
-        cc.on_loss(Time::from_millis(100), 100);
+        cc.on_packets_lost(&LossEvent {
+            now: Time::from_millis(100),
+            lost_packets: 1,
+            in_flight_packets: 100,
+        });
         assert!((cc.cwnd_packets() - 70.0).abs() < 1e-9);
     }
 
@@ -174,13 +178,17 @@ mod tests {
         let mut cc = Cubic::new();
         cc.cwnd = 100.0;
         cc.ssthresh = 50.0;
-        cc.on_loss(Time::from_millis(0), 100);
+        cc.on_packets_lost(&LossEvent {
+            now: Time::from_millis(0),
+            lost_packets: 1,
+            in_flight_packets: 100,
+        });
         let after_loss = cc.cwnd_packets();
         // Feed ACKs steadily for 20 simulated seconds.
         let mut now_ms = 0;
         for _ in 0..4000 {
             now_ms += 5;
-            cc.on_ack(&ack_at(now_ms, 50));
+            cc.on_packet_acked(&ack_at(now_ms, 50));
         }
         // Window should have recovered past w_max (concave then convex growth).
         assert!(cc.cwnd_packets() > after_loss);
@@ -195,13 +203,17 @@ mod tests {
         let mut cc = Cubic::new();
         cc.cwnd = 200.0;
         cc.ssthresh = 100.0;
-        cc.on_loss(Time::ZERO, 200);
+        cc.on_packets_lost(&LossEvent {
+            now: Time::ZERO,
+            lost_packets: 1,
+            in_flight_packets: 200,
+        });
         // After the loss cwnd = 140, w_max = 200, so K = ((200-140)/0.4)^(1/3) ≈ 5.3 s.
         let mut now_ms: u64 = 0;
         let mut cwnd_at = std::collections::BTreeMap::new();
         for _ in 0..2000 {
             now_ms += 5;
-            cc.on_ack(&ack_at(now_ms, 50));
+            cc.on_packet_acked(&ack_at(now_ms, 50));
             cwnd_at.insert(now_ms, cc.cwnd_packets());
         }
         let growth = |from_ms: u64, to_ms: u64| cwnd_at[&to_ms] - cwnd_at[&from_ms];
@@ -218,7 +230,7 @@ mod tests {
         let mut cc = Cubic::new();
         cc.cwnd = 80.0;
         cc.ssthresh = 40.0;
-        cc.on_timeout(Time::ZERO);
+        cc.on_congestion_event(&CongestionEvent::Rto { now: Time::ZERO });
         assert!(cc.cwnd_packets() <= 10.0);
     }
 
@@ -226,8 +238,12 @@ mod tests {
     fn window_never_below_one() {
         let mut cc = Cubic::new();
         for _ in 0..50 {
-            cc.on_timeout(Time::ZERO);
-            cc.on_loss(Time::ZERO, 1);
+            cc.on_congestion_event(&CongestionEvent::Rto { now: Time::ZERO });
+            cc.on_packets_lost(&LossEvent {
+                now: Time::ZERO,
+                lost_packets: 1,
+                in_flight_packets: 1,
+            });
         }
         assert!(cc.cwnd_packets() >= 1.0);
     }

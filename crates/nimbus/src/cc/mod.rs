@@ -1,8 +1,10 @@
 //! Congestion-control algorithms.
 //!
 //! Every scheme the paper evaluates or uses as a building block is
-//! implemented here against one small trait, [`CongestionControl`], which the
-//! [`Sender`](crate::sender::Sender) machinery drives:
+//! implemented here against one small host-abstraction trait,
+//! [`CongestionControl`], which any host — the simulator's
+//! `nimbus_transport::Sender`, a real datapath, or a test harness — drives
+//! through ack/loss/congestion/report callbacks:
 //!
 //! | Module       | Scheme          | Role in the paper                                   |
 //! |--------------|-----------------|------------------------------------------------------|
@@ -14,10 +16,12 @@
 //! | [`vivace`]   | PCC-Vivace      | baseline; rate-based (non-ACK-clocked) elastic flow   |
 //! | [`compound`] | Compound TCP    | baseline                                              |
 //! | [`constant`] | CBR / unlimited | inelastic cross traffic                                |
-//! | `basic_delay` | BasicDelay   | the paper's Eq. 4 delay controller (used by Nimbus)   |
+//! | [`BasicDelay`](crate::BasicDelay) | BasicDelay | the paper's Eq. 4 delay controller (used by Nimbus) |
 //!
-//! `BasicDelay` needs the cross-traffic estimate, so it lives in
-//! `nimbus-core`; everything else is here.
+//! `BasicDelay` needs the cross-traffic estimate, so it lives one level up
+//! in this crate's root alongside the estimator; everything else is here.
+//! All of it is simulator-free: hosts construct schemes through
+//! [`CcKind::build`] with a [`PathInfo`] describing the path.
 
 pub mod bbr;
 pub mod compound;
@@ -29,7 +33,7 @@ pub mod vegas;
 pub mod vivace;
 
 use crate::ccp::Report;
-use nimbus_netsim::Time;
+use nimbus_core_types::Time;
 
 /// Everything a congestion controller learns from one (new, non-duplicate) ACK.
 #[derive(Debug, Clone, Copy)]
@@ -50,9 +54,78 @@ pub struct AckEvent {
     pub mss: u32,
 }
 
-/// A congestion-control algorithm.
+/// Everything a congestion controller learns from one loss detection
+/// (duplicate-ACK fast retransmit).
+#[derive(Debug, Clone, Copy)]
+pub struct LossEvent {
+    /// Time the loss was detected.
+    pub now: Time,
+    /// Segments newly declared lost by this detection.
+    pub lost_packets: u64,
+    /// Segments in flight when the loss was detected.
+    pub in_flight_packets: u64,
+}
+
+/// A non-ACK congestion signal from the host.
 ///
-/// The controller exposes a congestion window (in packets) and, optionally, a
+/// Today the only variant is the retransmission timeout; an ECN/CE-mark
+/// variant slots in here when the ROADMAP's Prague work lands, without
+/// touching the trait again.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub enum CongestionEvent {
+    /// A retransmission timeout fired: all in-flight data is presumed lost.
+    Rto {
+        /// Time the timeout fired.
+        now: Time,
+    },
+}
+
+/// Path and connection parameters a host hands to [`CcKind::build`] when
+/// instantiating a controller (the s2n-quic `PathInfo` shape): everything a
+/// scheme may want for initialization, independent of any simulator.
+#[derive(Debug, Clone, Copy)]
+pub struct PathInfo {
+    /// The flow's maximum segment size in bytes.
+    pub mss: u32,
+    /// The host's initial RTT estimate, before any sample arrives.
+    pub initial_rtt: Time,
+    /// Nominal bottleneck rate µ in bits/s, when the host knows it
+    /// (configured-µ Nimbus does; most schemes ignore it).
+    pub nominal_mu_bps: Option<f64>,
+}
+
+impl PathInfo {
+    /// Path info with the given MSS, a 100 ms initial RTT estimate and no
+    /// nominal µ — the defaults every experiment used before `PathInfo`
+    /// existed.
+    pub fn new(mss: u32) -> Self {
+        PathInfo {
+            mss,
+            initial_rtt: Time::from_millis(100),
+            nominal_mu_bps: None,
+        }
+    }
+
+    /// Replace the initial RTT estimate.
+    pub fn with_initial_rtt(mut self, rtt: Time) -> Self {
+        self.initial_rtt = rtt;
+        self
+    }
+
+    /// Record the nominal bottleneck rate µ in bits/s.
+    pub fn with_nominal_mu(mut self, mu_bps: f64) -> Self {
+        self.nominal_mu_bps = Some(mu_bps);
+        self
+    }
+}
+
+/// A congestion-control algorithm, driven by its host through callbacks.
+///
+/// The host — the simulator's sender machinery, a real transport stack, or a
+/// fuzz harness — owns the clock, the packets and the pacing wheel; the
+/// controller only turns events ([`AckEvent`], [`LossEvent`],
+/// [`CongestionEvent`], [`Report`]) into a congestion window and an optional
 /// pacing rate.  Window-only schemes (Reno, Cubic, Vegas, …) return `None`
 /// from [`CongestionControl::pacing_rate_bps`] and are therefore purely
 /// ACK-clocked — which is what makes them *elastic* in the paper's sense.
@@ -60,13 +133,13 @@ pub struct AckEvent {
 /// window then acts only as a safety cap.
 pub trait CongestionControl: Send {
     /// Process a new (non-duplicate) ACK.
-    fn on_ack(&mut self, ack: &AckEvent);
+    fn on_packet_acked(&mut self, ack: &AckEvent);
 
-    /// A loss was detected by duplicate ACKs (fast retransmit).
-    fn on_loss(&mut self, now: Time, in_flight_packets: u64);
+    /// Losses were detected by duplicate ACKs (fast retransmit).
+    fn on_packets_lost(&mut self, loss: &LossEvent);
 
-    /// A retransmission timeout fired.
-    fn on_timeout(&mut self, now: Time);
+    /// A non-ACK congestion signal (today: the retransmission timeout).
+    fn on_congestion_event(&mut self, event: &CongestionEvent);
 
     /// A periodic (10 ms) CCP-style measurement report.
     fn on_report(&mut self, _report: &Report) {}
@@ -119,16 +192,17 @@ pub enum CcKind {
 }
 
 impl CcKind {
-    /// Instantiate the scheme.  `mss` and the flow's propagation RTT estimate
-    /// are needed by some controllers for initialization.
-    pub fn build(self, mss: u32) -> Box<dyn CongestionControl> {
+    /// Instantiate the scheme for the path described by `path` (the MSS and
+    /// the initial RTT estimate are needed by some controllers for
+    /// initialization).
+    pub fn build(self, path: &PathInfo) -> Box<dyn CongestionControl> {
         match self {
             CcKind::NewReno => Box::new(reno::NewReno::new()),
             CcKind::Cubic => Box::new(cubic::Cubic::new()),
             CcKind::Vegas => Box::new(vegas::Vegas::new()),
             CcKind::Copa => Box::new(copa::Copa::new()),
-            CcKind::Bbr => Box::new(bbr::Bbr::new(mss)),
-            CcKind::Vivace => Box::new(vivace::Vivace::new(mss)),
+            CcKind::Bbr => Box::new(bbr::Bbr::new(path.mss)),
+            CcKind::Vivace => Box::new(vivace::Vivace::new(path.mss)),
             CcKind::Compound => Box::new(compound::Compound::new()),
             CcKind::ConstantRate(bps) => Box::new(constant::ConstantRate::new(bps)),
             CcKind::Unlimited => Box::new(constant::Unlimited::new()),
@@ -165,45 +239,10 @@ impl CcKind {
     }
 }
 
-/// Parse a bit-rate string: a plain number is bits/s, and a trailing
-/// `k`/`M`/`G` (case-insensitive) scales by 10³/10⁶/10⁹ — `48M`, `2.5M`,
-/// `1200k`, `96000000` are all valid.
-pub fn parse_rate_bps(s: &str) -> Result<f64, String> {
-    let s = s.trim();
-    let (digits, multiplier) = match s.chars().last() {
-        Some('k') | Some('K') => (&s[..s.len() - 1], 1e3),
-        Some('m') | Some('M') => (&s[..s.len() - 1], 1e6),
-        Some('g') | Some('G') => (&s[..s.len() - 1], 1e9),
-        _ => (s, 1.0),
-    };
-    let value: f64 = digits.trim().parse().map_err(|_| {
-        format!("invalid rate `{s}`: expected a number with optional k/M/G suffix, e.g. `48M`")
-    })?;
-    if !value.is_finite() || value <= 0.0 {
-        return Err(format!("invalid rate `{s}`: must be positive and finite"));
-    }
-    Ok(value * multiplier)
-}
-
-/// Render a bit-rate the way [`parse_rate_bps`] reads it, preferring the
-/// shortest exact form (`48M`, `1200k`, `2.5M`, …).  The fallback is the
-/// shortest decimal that round-trips through `f64`.
-pub fn format_rate_bps(bps: f64) -> String {
-    for (div, suffix) in [(1e9, "G"), (1e6, "M"), (1e3, "k")] {
-        let scaled = bps / div;
-        // `{}` on f64 prints the shortest decimal that round-trips, and the
-        // guard re-applies the parser's own multiplication, so the printed
-        // form always parses back to exactly `bps`.
-        if scaled >= 1.0 && scaled * div == bps {
-            return format!("{scaled}{suffix}");
-        }
-    }
-    if bps.fract() == 0.0 && bps < 1e15 {
-        format!("{}", bps as u64)
-    } else {
-        format!("{bps:?}")
-    }
-}
+// The rate-string parser/printer moved to the dependency-free types crate
+// with `Time`; re-exported here because every scheme-spec parser reaches for
+// them through this module.
+pub use nimbus_core_types::{format_rate_bps, parse_rate_bps};
 
 impl std::fmt::Display for CcKind {
     /// The canonical spec-string form, re-parseable by the `FromStr` impl:
@@ -270,35 +309,13 @@ mod tests {
             CcKind::ConstantRate(10e6),
             CcKind::Unlimited,
         ] {
-            let cc = kind.build(1500);
+            let cc = kind.build(&PathInfo::new(1500));
             assert!(!cc.name().is_empty());
             assert!(
                 cc.cwnd_packets() > 0.0,
                 "{} must start with a window",
                 cc.name()
             );
-        }
-    }
-
-    #[test]
-    fn rates_parse_and_format_exactly() {
-        assert_eq!(parse_rate_bps("48M").unwrap(), 48e6);
-        assert_eq!(parse_rate_bps("1200k").unwrap(), 1.2e6);
-        assert_eq!(parse_rate_bps("2.5M").unwrap(), 2.5e6);
-        assert_eq!(parse_rate_bps("1G").unwrap(), 1e9);
-        assert_eq!(parse_rate_bps(" 96000000 ").unwrap(), 96e6);
-        assert!(parse_rate_bps("fast").is_err());
-        assert!(parse_rate_bps("-3M").is_err());
-        assert!(parse_rate_bps("").is_err());
-
-        assert_eq!(format_rate_bps(48e6), "48M");
-        assert_eq!(format_rate_bps(2.5e6), "2.5M");
-        assert_eq!(format_rate_bps(1e9), "1G");
-        assert_eq!(format_rate_bps(999.0), "999");
-        // Round-trip exactness for awkward values.
-        for bps in [4e5, 1.23e6, 7.0, 123456789.0, 2.5e3, 48e6 / 7.0] {
-            let text = format_rate_bps(bps);
-            assert_eq!(parse_rate_bps(&text).unwrap(), bps, "via `{text}`");
         }
     }
 

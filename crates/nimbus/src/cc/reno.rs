@@ -6,8 +6,7 @@
 //! the paper's TCP-competitive-mode options and the elastic cross traffic of
 //! several robustness experiments (Fig. 14 right, Fig. 24).
 
-use super::{AckEvent, CongestionControl};
-use nimbus_netsim::Time;
+use super::{AckEvent, CongestionControl, CongestionEvent, LossEvent};
 
 /// TCP NewReno.
 #[derive(Debug, Clone)]
@@ -45,7 +44,7 @@ impl Default for NewReno {
 }
 
 impl CongestionControl for NewReno {
-    fn on_ack(&mut self, ack: &AckEvent) {
+    fn on_packet_acked(&mut self, ack: &AckEvent) {
         let acked = ack.newly_acked_packets as f64;
         if self.in_slow_start() {
             self.cwnd += acked;
@@ -58,12 +57,12 @@ impl CongestionControl for NewReno {
         }
     }
 
-    fn on_loss(&mut self, _now: Time, _in_flight_packets: u64) {
+    fn on_packets_lost(&mut self, _loss: &LossEvent) {
         self.ssthresh = (self.cwnd / 2.0).max(2.0);
         self.cwnd = self.ssthresh;
     }
 
-    fn on_timeout(&mut self, _now: Time) {
+    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
         self.ssthresh = (self.cwnd / 2.0).max(2.0);
         self.cwnd = self.initial_cwnd.min(self.ssthresh).max(1.0);
     }
@@ -86,6 +85,7 @@ impl CongestionControl for NewReno {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nimbus_core_types::Time;
 
     fn ack(n: u64, cwnd: f64) -> AckEvent {
         AckEvent {
@@ -106,7 +106,7 @@ mod tests {
         let start = cc.cwnd_packets();
         // One window's worth of ACKs (each acking 1 packet) doubles cwnd.
         for _ in 0..(start as u64) {
-            cc.on_ack(&ack(1, start));
+            cc.on_packet_acked(&ack(1, start));
         }
         assert!((cc.cwnd_packets() - start * 2.0).abs() < 1e-9);
     }
@@ -117,7 +117,7 @@ mod tests {
         cc.ssthresh = 10.0; // force CA at cwnd = 10
         let w = cc.cwnd_packets();
         for _ in 0..(w as u64) {
-            cc.on_ack(&ack(1, w));
+            cc.on_packet_acked(&ack(1, w));
         }
         assert!((cc.cwnd_packets() - (w + 1.0)).abs() < 0.1);
     }
@@ -127,10 +127,14 @@ mod tests {
         let mut cc = NewReno::new();
         cc.cwnd = 64.0;
         cc.ssthresh = 32.0;
-        cc.on_loss(Time::ZERO, 64);
+        cc.on_packets_lost(&LossEvent {
+            now: Time::ZERO,
+            lost_packets: 1,
+            in_flight_packets: 64,
+        });
         assert!((cc.cwnd_packets() - 32.0).abs() < 1e-9);
         assert!((cc.ssthresh() - 32.0).abs() < 1e-9);
-        cc.on_timeout(Time::ZERO);
+        cc.on_congestion_event(&CongestionEvent::Rto { now: Time::ZERO });
         assert!(cc.cwnd_packets() <= 10.0);
     }
 
@@ -138,8 +142,12 @@ mod tests {
     fn cwnd_never_below_one() {
         let mut cc = NewReno::new();
         for _ in 0..20 {
-            cc.on_loss(Time::ZERO, 2);
-            cc.on_timeout(Time::ZERO);
+            cc.on_packets_lost(&LossEvent {
+                now: Time::ZERO,
+                lost_packets: 1,
+                in_flight_packets: 2,
+            });
+            cc.on_congestion_event(&CongestionEvent::Rto { now: Time::ZERO });
         }
         assert!(cc.cwnd_packets() >= 1.0);
     }

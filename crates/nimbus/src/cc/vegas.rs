@@ -6,8 +6,8 @@
 //! canonical example of a scheme that is starved by loss-based cross traffic
 //! (Figs. 8, 9, 11).
 
-use super::{AckEvent, CongestionControl};
-use nimbus_netsim::Time;
+use super::{AckEvent, CongestionControl, CongestionEvent, LossEvent};
+use nimbus_core_types::Time;
 
 /// TCP Vegas.
 #[derive(Debug, Clone)]
@@ -62,7 +62,7 @@ impl Default for Vegas {
 }
 
 impl CongestionControl for Vegas {
-    fn on_ack(&mut self, ack: &AckEvent) {
+    fn on_packet_acked(&mut self, ack: &AckEvent) {
         let rtt = ack.rtt.as_secs_f64();
         let base = ack.min_rtt.as_secs_f64();
         self.rtt_min_in_round = self.rtt_min_in_round.min(rtt);
@@ -116,12 +116,12 @@ impl CongestionControl for Vegas {
         self.cwnd = self.cwnd.max(2.0);
     }
 
-    fn on_loss(&mut self, _now: Time, _in_flight_packets: u64) {
+    fn on_packets_lost(&mut self, _loss: &LossEvent) {
         self.ssthresh = (self.cwnd * 0.75).max(2.0);
         self.cwnd = self.ssthresh;
     }
 
-    fn on_timeout(&mut self, _now: Time) {
+    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
         self.ssthresh = (self.cwnd / 2.0).max(2.0);
         self.cwnd = 2.0;
     }
@@ -160,7 +160,7 @@ mod tests {
         let mut now = 0;
         for _ in 0..10 {
             now += 60;
-            cc.on_ack(&ack(now, 50, 50));
+            cc.on_packet_acked(&ack(now, 50, 50));
         }
         assert!(cc.cwnd_packets() > w0 + 5.0);
     }
@@ -174,7 +174,7 @@ mod tests {
         let mut now = 0;
         for _ in 0..10 {
             now += 110;
-            cc.on_ack(&ack(now, 100, 50));
+            cc.on_packet_acked(&ack(now, 100, 50));
         }
         assert!(cc.cwnd_packets() < 50.0);
     }
@@ -188,7 +188,7 @@ mod tests {
         let mut now = 0;
         for _ in 0..20 {
             now += 60;
-            cc.on_ack(&ack(now, 56, 50));
+            cc.on_packet_acked(&ack(now, 56, 50));
         }
         assert!((cc.cwnd_packets() - 30.0).abs() <= 2.0);
     }
@@ -201,7 +201,7 @@ mod tests {
         // Growing queue: rtt 80 vs base 50 -> diff grows past 1 quickly.
         for _ in 0..10 {
             now += 90;
-            cc.on_ack(&ack(now, 80, 50));
+            cc.on_packet_acked(&ack(now, 80, 50));
         }
         assert!(cc.ssthresh.is_finite(), "Vegas should have left slow start");
     }
@@ -210,9 +210,13 @@ mod tests {
     fn loss_and_timeout_reduce_window() {
         let mut cc = Vegas::new();
         cc.cwnd = 40.0;
-        cc.on_loss(Time::ZERO, 40);
+        cc.on_packets_lost(&LossEvent {
+            now: Time::ZERO,
+            lost_packets: 1,
+            in_flight_packets: 40,
+        });
         assert!((cc.cwnd_packets() - 30.0).abs() < 1e-9);
-        cc.on_timeout(Time::ZERO);
+        cc.on_congestion_event(&CongestionEvent::Rto { now: Time::ZERO });
         assert!(cc.cwnd_packets() <= 2.0);
     }
 }

@@ -13,9 +13,9 @@
 //! ACK-clocked; the detector classifies it inelastic at the default 5 Hz
 //! pulse and elastic at 2 Hz (Table 1, Appendix F).
 
-use super::{AckEvent, CongestionControl};
+use super::{AckEvent, CongestionControl, CongestionEvent, LossEvent};
 use crate::ccp::Report;
-use nimbus_netsim::Time;
+use nimbus_core_types::Time;
 
 /// Utility-function coefficients (Vivace-latency defaults).
 const EXPONENT: f64 = 0.9;
@@ -156,7 +156,7 @@ impl Vivace {
 }
 
 impl CongestionControl for Vivace {
-    fn on_ack(&mut self, ack: &AckEvent) {
+    fn on_packet_acked(&mut self, ack: &AckEvent) {
         self.mi_acked_bytes += ack.newly_acked_bytes;
         let rtt = ack.rtt.as_secs_f64();
         if self.mi_rtt_first.is_none() {
@@ -168,11 +168,11 @@ impl CongestionControl for Vivace {
         self.mi_length = Time::from_secs_f64(rtt.clamp(0.05, 0.5));
     }
 
-    fn on_loss(&mut self, _now: Time, _in_flight_packets: u64) {
+    fn on_packets_lost(&mut self, _loss: &LossEvent) {
         self.mi_lost_packets += 1;
     }
 
-    fn on_timeout(&mut self, _now: Time) {
+    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
         self.rate_bps = (self.rate_bps * 0.5).max(0.1e6);
         self.in_starting_phase = false;
     }
@@ -229,7 +229,7 @@ mod tests {
             t_ms += 10;
             // Deliver at the offered rate.
             let bytes = (vivace.current_rate_bps() * 0.01 / 8.0) as u64;
-            vivace.on_ack(&ack(t_ms, 50, bytes.max(1500)));
+            vivace.on_packet_acked(&ack(t_ms, 50, bytes.max(1500)));
             vivace.on_report(&report(t_ms as f64 / 1000.0));
         }
         vivace.current_rate_bps()
@@ -252,10 +252,14 @@ mod tests {
         while t_ms < 5000 {
             t_ms += 10;
             let bytes = (lossy.current_rate_bps() * 0.01 / 8.0) as u64;
-            lossy.on_ack(&ack(t_ms, 50, (bytes / 2).max(1500)));
+            lossy.on_packet_acked(&ack(t_ms, 50, (bytes / 2).max(1500)));
             // Many losses per MI.
             for _ in 0..5 {
-                lossy.on_loss(Time::from_millis(t_ms), 10);
+                lossy.on_packets_lost(&LossEvent {
+                    now: Time::from_millis(t_ms),
+                    lost_packets: 1,
+                    in_flight_packets: 10,
+                });
             }
             lossy.on_report(&report(t_ms as f64 / 1000.0));
         }
@@ -278,7 +282,7 @@ mod tests {
             t_ms += 10;
             rtt += 0.5; // steadily climbing RTT => negative latency gradient term
             let bytes = (v.current_rate_bps() * 0.01 / 8.0) as u64;
-            v.on_ack(&ack(t_ms, rtt as u64, bytes.max(1500)));
+            v.on_packet_acked(&ack(t_ms, rtt as u64, bytes.max(1500)));
             v.on_report(&report(t_ms as f64 / 1000.0));
         }
         let mut clean = Vivace::new(1500);
@@ -293,7 +297,7 @@ mod tests {
         v.in_starting_phase = false;
         let before = v.current_rate_bps();
         for i in 0..100 {
-            v.on_ack(&ack(i, 50, 1500));
+            v.on_packet_acked(&ack(i, 50, 1500));
         }
         assert_eq!(v.current_rate_bps(), before);
         // After enough time passes and a report arrives, the rate may change.
@@ -312,7 +316,7 @@ mod tests {
     fn timeout_halves_rate() {
         let mut v = Vivace::new(1500);
         v.rate_bps = 40e6;
-        v.on_timeout(Time::ZERO);
+        v.on_congestion_event(&CongestionEvent::Rto { now: Time::ZERO });
         assert!((v.current_rate_bps() - 20e6).abs() < 1.0);
     }
 }

@@ -11,7 +11,7 @@
 //! `measurement_window` (one RTT by default, per §3.4: "we measure rates over
 //! an RTT because sub-RTT measurements are confounded by burstiness").
 
-use nimbus_netsim::Time;
+use nimbus_core_types::Time;
 use std::collections::VecDeque;
 
 /// One per-ACK record kept by the aggregator.

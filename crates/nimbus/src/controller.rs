@@ -24,14 +24,14 @@
 //!   it is `f_pd` (6 Hz), so watcher flows can follow the pulser's mode (§6).
 
 use crate::basic_delay::{BasicDelay, BasicDelayConfig};
+use crate::cc::{AckEvent, CcKind, CongestionControl, CongestionEvent, LossEvent, PathInfo};
+use crate::ccp::Report;
 use crate::detector::{DetectorVerdict, ElasticityConfig, ElasticityDetector};
 use crate::estimator::{CrossTrafficEstimator, MuEstimatorConfig, ZFilterConfig};
 use crate::multiflow::{Multiflow, MultiflowConfig, Role};
+use nimbus_core_types::Time;
 use nimbus_dsp::Biquad;
 use nimbus_dsp::PulseGenerator;
-use nimbus_netsim::Time;
-use nimbus_transport::cc::{AckEvent, CongestionControl};
-use nimbus_transport::{CcKind, Report};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -175,6 +175,25 @@ impl NimbusConfig {
 /// A `(time, mode)` entry in the mode log.
 pub type ModeLogEntry = (f64, Mode);
 
+/// Observer hook for the controller's internal telemetry (the s2n-quic
+/// "publisher" shape): a host installs one with
+/// [`NimbusController::set_publisher`] to stream mode transitions, µ̂/ẑ
+/// estimates and detector verdicts without polling the logs.  Every method
+/// has an empty default, so implementors subscribe only to what they need;
+/// with no publisher installed the controller's behaviour is bit-for-bit
+/// what it was before the hook existed.
+pub trait Publisher: Send {
+    /// The controller switched operating mode at `now_s`.
+    fn on_mode_change(&mut self, _now_s: f64, _mode: Mode) {}
+
+    /// A new estimator sample: the current µ̂ and cross-traffic estimate ẑ
+    /// (both bits/s).
+    fn on_estimate(&mut self, _now_s: f64, _mu_bps: f64, _z_bps: f64) {}
+
+    /// The elasticity detector issued a verdict.
+    fn on_verdict(&mut self, _now_s: f64, _verdict: &DetectorVerdict) {}
+}
+
 /// The concrete delay-mode controller (an enum rather than a trait object so
 /// Nimbus can hand the cross-traffic estimate to BasicDelay, which needs it).
 enum DelayCtl {
@@ -198,7 +217,7 @@ impl DelayCtl {
 }
 
 /// The Nimbus controller.  Implements [`CongestionControl`], so it plugs into
-/// the generic [`Sender`](nimbus_transport::Sender).
+/// any host sender machinery (in the simulator: `nimbus_transport::Sender`).
 pub struct NimbusController {
     cfg: NimbusConfig,
     mode: Mode,
@@ -224,19 +243,25 @@ pub struct NimbusController {
     last_verdict: Option<DetectorVerdict>,
     /// EWMA-smoothed rate used while this flow is a watcher.
     watcher_rate_bps: Option<f64>,
+    /// Telemetry observer, if the host installed one.
+    publisher: Option<Box<dyn Publisher>>,
 }
 
 impl NimbusController {
     /// Create a Nimbus controller.
     pub fn new(cfg: NimbusConfig) -> Self {
+        let path = match cfg.mu.configured_mu_bps() {
+            Some(mu) => PathInfo::new(cfg.mss).with_nominal_mu(mu),
+            None => PathInfo::new(cfg.mss),
+        };
         let competitive: Box<dyn CongestionControl> = match cfg.tcp_scheme {
-            TcpScheme::Cubic => CcKind::Cubic.build(cfg.mss),
-            TcpScheme::NewReno => CcKind::NewReno.build(cfg.mss),
+            TcpScheme::Cubic => CcKind::Cubic.build(&path),
+            TcpScheme::NewReno => CcKind::NewReno.build(&path),
         };
         let delay: DelayCtl = match cfg.delay_scheme {
             DelayScheme::BasicDelay => DelayCtl::Basic(BasicDelay::new(cfg.basic_delay)),
-            DelayScheme::Vegas => DelayCtl::Other(CcKind::Vegas.build(cfg.mss)),
-            DelayScheme::CopaDefault => DelayCtl::Other(CcKind::Copa.build(cfg.mss)),
+            DelayScheme::Vegas => DelayCtl::Other(CcKind::Vegas.build(&path)),
+            DelayScheme::CopaDefault => DelayCtl::Other(CcKind::Copa.build(&path)),
         };
         let mut estimator =
             CrossTrafficEstimator::from_config(&cfg.mu, cfg.elasticity.fft_duration_s * 2.0);
@@ -271,9 +296,17 @@ impl NimbusController {
             last_elastic_s: f64::NEG_INFINITY,
             last_verdict: None,
             watcher_rate_bps: None,
+            publisher: None,
         };
         controller.mode_log.push((0.0, Mode::Delay));
         controller
+    }
+
+    /// Install a telemetry observer (see [`Publisher`]); replaces any
+    /// previous one.  The publisher only *observes* — installing one cannot
+    /// change the controller's decisions.
+    pub fn set_publisher(&mut self, publisher: Box<dyn Publisher>) {
+        self.publisher = Some(publisher);
     }
 
     /// The current operating mode.
@@ -416,11 +449,14 @@ impl NimbusController {
         }
         self.mode = new_mode;
         self.mode_log.push((self.now_s, new_mode));
+        if let Some(p) = &mut self.publisher {
+            p.on_mode_change(self.now_s, new_mode);
+        }
     }
 }
 
 impl CongestionControl for NimbusController {
-    fn on_ack(&mut self, ack: &AckEvent) {
+    fn on_packet_acked(&mut self, ack: &AckEvent) {
         let rtt = ack.rtt.as_secs_f64();
         self.srtt_s = if self.srtt_s == 0.0 {
             rtt
@@ -429,18 +465,18 @@ impl CongestionControl for NimbusController {
         };
         // Both inner controllers observe every ACK so that whichever is
         // activated next starts from sane state.
-        self.competitive.on_ack(ack);
-        self.delay.as_cc_mut().on_ack(ack);
+        self.competitive.on_packet_acked(ack);
+        self.delay.as_cc_mut().on_packet_acked(ack);
     }
 
-    fn on_loss(&mut self, now: Time, in_flight_packets: u64) {
-        self.competitive.on_loss(now, in_flight_packets);
-        self.delay.as_cc_mut().on_loss(now, in_flight_packets);
+    fn on_packets_lost(&mut self, loss: &LossEvent) {
+        self.competitive.on_packets_lost(loss);
+        self.delay.as_cc_mut().on_packets_lost(loss);
     }
 
-    fn on_timeout(&mut self, now: Time) {
-        self.competitive.on_timeout(now);
-        self.delay.as_cc_mut().on_timeout(now);
+    fn on_congestion_event(&mut self, event: &CongestionEvent) {
+        self.competitive.on_congestion_event(event);
+        self.delay.as_cc_mut().on_congestion_event(event);
     }
 
     fn on_report(&mut self, report: &Report) {
@@ -452,8 +488,13 @@ impl CongestionControl for NimbusController {
         // very samples that tell it the competition went away.
         self.estimator.set_probing_paced(self.mode == Mode::Delay);
         let sample = self.estimator.on_report(report);
-        if let (Some(s), DelayCtl::Basic(bd)) = (sample, &mut self.delay) {
-            bd.set_cross_traffic_estimate(s.z_bps);
+        if let Some(s) = sample {
+            if let Some(p) = &mut self.publisher {
+                p.on_estimate(report.now_s, self.estimator.mu_bps(), s.z_bps);
+            }
+            if let DelayCtl::Basic(bd) = &mut self.delay {
+                bd.set_cross_traffic_estimate(s.z_bps);
+            }
         }
         // 2. Let both inner controllers see the report.
         self.competitive.on_report(report);
@@ -535,6 +576,9 @@ impl CongestionControl for NimbusController {
         self.detector.set_eta_scale(bar_scale);
         if let Some(verdict) = self.detector.evaluate(report.now_s, &z_series) {
             self.last_verdict = Some(verdict);
+            if let Some(p) = &mut self.publisher {
+                p.on_verdict(report.now_s, &verdict);
+            }
             // Multi-pulser conflict check: compare the pulse-frequency content
             // of ẑ against our own receive rate.
             if self.cfg.multiflow.enabled {
@@ -651,22 +695,9 @@ impl CongestionControl for NimbusController {
     }
 }
 
-/// Convenience: build a complete Nimbus flow endpoint (sender machinery +
-/// Nimbus controller + backlogged source) ready to be added to a
-/// [`Network`](nimbus_netsim::Network).
-pub fn nimbus_flow(cfg: NimbusConfig, label: &str) -> nimbus_transport::Sender {
-    nimbus_transport::Sender::new(
-        nimbus_transport::SenderConfig::labelled(label),
-        Box::new(NimbusController::new(cfg)),
-        Box::new(nimbus_transport::BackloggedSource),
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nimbus_netsim::{FlowConfig, Network, SimConfig};
-    use nimbus_transport::{BackloggedSource, CcKind, Sender, SenderConfig};
 
     fn report(now_s: f64, s_bps: f64, r_bps: f64, rtt_s: f64) -> Report {
         Report {
@@ -705,7 +736,7 @@ mod tests {
     #[test]
     fn pacing_rate_is_pulsed_around_the_base_rate() {
         let mut ctl = NimbusController::new(NimbusConfig::default_for_link(96e6));
-        ctl.on_ack(&ack(0.0, 50.0));
+        ctl.on_packet_acked(&ack(0.0, 50.0));
         // Collect the pacing rate over one pulse period and check it swings.
         let mut rates = Vec::new();
         for i in 0..200 {
@@ -726,12 +757,12 @@ mod tests {
     fn drive_with_cross_traffic(elastic: bool, secs: f64) -> NimbusController {
         let mu = 96e6;
         let mut ctl = NimbusController::new(NimbusConfig::default_for_link(mu));
-        ctl.on_ack(&ack(0.0, 60.0));
+        ctl.on_packet_acked(&ack(0.0, 60.0));
         let pulse_probe = PulseGenerator::asymmetric(5.0, 0.25 * mu);
         let mut t = 0.0;
         while t < secs {
             t += 0.01;
-            ctl.on_ack(&ack(t, 60.0));
+            ctl.on_packet_acked(&ack(t, 60.0));
             // Our own send rate follows the pulsed pacing rate.
             let s = ctl.pacing_rate_bps(Time::from_secs_f64(t)).unwrap().min(mu);
             // Cross traffic: 48 Mbit/s that either reacts inversely to the
@@ -776,12 +807,12 @@ mod tests {
         // (5-seconds-ago) rate rather than the depressed current one.
         let mu = 96e6;
         let mut ctl = NimbusController::new(NimbusConfig::default_for_link(mu));
-        ctl.on_ack(&ack(0.0, 50.0));
+        ctl.on_packet_acked(&ack(0.0, 50.0));
         let pulse_probe = PulseGenerator::asymmetric(5.0, 0.25 * mu);
         let mut t = 0.0;
         while t < 11.0 {
             t += 0.01;
-            ctl.on_ack(&ack(t, 55.0));
+            ctl.on_packet_acked(&ack(t, 55.0));
             // Delay-mode base rate: pretend the flow sent 60 Mbit/s early,
             // 20 Mbit/s late (as if an elastic competitor was squeezing it).
             let s = if t < 6.0 { 60e6 } else { 20e6 };
@@ -812,59 +843,53 @@ mod tests {
     }
 
     #[test]
-    fn end_to_end_low_delay_against_inelastic_cross_traffic() {
-        // Full simulator run: Nimbus vs 24 Mbit/s Poisson cross traffic on a
-        // 48 Mbit/s link.  Expect near-fair throughput with low queueing delay
-        // (this is the right half of Fig. 1c).
-        let mu = 48e6;
-        let mut net = Network::new(SimConfig::new(mu, 0.1, 40.0));
-        let h = net.add_flow(
-            FlowConfig::primary("nimbus", Time::from_millis(50)),
-            Box::new(nimbus_flow(NimbusConfig::default_for_link(mu), "nimbus")),
-        );
-        net.add_flow(
-            FlowConfig::cross("poisson", Time::from_millis(50), false),
-            Box::new(Sender::new(
-                SenderConfig::labelled("poisson"),
-                CcKind::Unlimited.build(1500),
-                Box::new(nimbus_transport::PoissonSource::new(24e6, 1500, 3)),
-            )),
-        );
-        net.run();
-        let (rec, _) = net.finish();
-        let slot = rec.monitored_slot(h.0).unwrap();
-        let tput = rec.throughput_mbps[slot].mean_in_range(10.0, 40.0);
-        let qd = rec.queue_delay_ms[slot].mean_in_range(10.0, 40.0);
-        assert!(tput > 18.0, "nimbus throughput {tput}");
-        assert!(qd < 40.0, "nimbus queueing delay {qd}");
-    }
+    fn publisher_sees_mode_changes_and_estimates() {
+        use std::sync::{Arc, Mutex};
 
-    #[test]
-    fn end_to_end_competes_with_cubic_cross_traffic() {
-        // Full simulator run: Nimbus vs one backlogged Cubic flow on a
-        // 48 Mbit/s link (the left half of Fig. 1c).  Expect a roughly fair
-        // share (well above what a pure delay controller would get).
-        let mu = 48e6;
-        let mut net = Network::new(SimConfig::new(mu, 0.1, 60.0));
-        let h = net.add_flow(
-            FlowConfig::primary("nimbus", Time::from_millis(50)),
-            Box::new(nimbus_flow(NimbusConfig::default_for_link(mu), "nimbus")),
-        );
-        net.add_flow(
-            FlowConfig::cross("cubic", Time::from_millis(50), true),
-            Box::new(Sender::new(
-                SenderConfig::labelled("cubic"),
-                CcKind::Cubic.build(1500),
-                Box::new(BackloggedSource),
-            )),
-        );
-        net.run();
-        let (rec, _) = net.finish();
-        let slot = rec.monitored_slot(h.0).unwrap();
-        let tput = rec.throughput_mbps[slot].mean_in_range(20.0, 60.0);
-        assert!(
-            tput > 12.0,
-            "nimbus should hold a reasonable share against cubic, got {tput} Mbit/s"
-        );
+        #[derive(Default)]
+        struct Log {
+            modes: Vec<(f64, Mode)>,
+            estimates: usize,
+            verdicts: usize,
+        }
+        struct Recorder(Arc<Mutex<Log>>);
+        impl Publisher for Recorder {
+            fn on_mode_change(&mut self, now_s: f64, mode: Mode) {
+                self.0.lock().unwrap().modes.push((now_s, mode));
+            }
+            fn on_estimate(&mut self, _now_s: f64, mu_bps: f64, z_bps: f64) {
+                assert!(mu_bps.is_finite() && z_bps.is_finite());
+                self.0.lock().unwrap().estimates += 1;
+            }
+            fn on_verdict(&mut self, _now_s: f64, verdict: &DetectorVerdict) {
+                assert!(
+                    verdict.eta.is_finite() || verdict.eta.is_nan() || verdict.eta.is_infinite()
+                );
+                self.0.lock().unwrap().verdicts += 1;
+            }
+        }
+
+        let log = Arc::new(Mutex::new(Log::default()));
+        let mu = 96e6;
+        let mut ctl = NimbusController::new(NimbusConfig::default_for_link(mu));
+        ctl.set_publisher(Box::new(Recorder(Arc::clone(&log))));
+        ctl.on_packet_acked(&ack(0.0, 60.0));
+        let pulse_probe = PulseGenerator::asymmetric(5.0, 0.25 * mu);
+        let mut t = 0.0;
+        while t < 12.0 {
+            t += 0.01;
+            ctl.on_packet_acked(&ack(t, 60.0));
+            let s = ctl.pacing_rate_bps(Time::from_secs_f64(t)).unwrap().min(mu);
+            let z = 48e6 - 0.4 * pulse_probe.offset_at(t - 0.05);
+            let r = mu * s / (s + z);
+            ctl.on_report(&report(t, s, r, 0.06));
+        }
+        let log = log.lock().unwrap();
+        // The publisher saw the same switches the mode log recorded (minus
+        // the constructor's initial delay-mode entry).
+        assert_eq!(ctl.mode_log().len(), log.modes.len() + 1);
+        assert!(log.modes.iter().any(|&(_, m)| m == Mode::Competitive));
+        assert!(log.estimates > 100, "estimates {}", log.estimates);
+        assert!(log.verdicts > 0);
     }
 }

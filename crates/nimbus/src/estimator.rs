@@ -28,7 +28,7 @@
 //! |---|---|---|
 //! | [`ConfiguredMu`] | `mu=configured` | trust the provisioned link rate |
 //! | [`MaxFilterMu`] | `mu=learned` | §4.2 windowed max of `R` (byte-identical to the pre-API estimator) |
-//! | [`ProbingMu`] | `mu=learned(probe=…)` | max filter + periodic probe-up epochs + loss-informed µ̂ floor |
+//! | [`ProbingMu`] | `mu=learned(probe=…)` | max filter + periodic probe-up epochs (optionally auto-quiesced via `quiesce=`) + loss-informed µ̂ floor |
 //!
 //! **Which estimator when?**
 //!
@@ -50,8 +50,8 @@
 //! consumes, compensating for *known* µ̂ error structure (a notch at the
 //! link's variation frequency, or an uncertainty-scaled η threshold).
 
+use crate::ccp::Report;
 use nimbus_dsp::{Biquad, WindowedMax, WindowedMin};
-use nimbus_transport::Report;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -110,6 +110,15 @@ pub struct ProbingConfig {
     /// probe epochs the controller may not pace further above what the link
     /// recently delivered (BBR's cruise/probe separation).
     pub cap_margin: f64,
+    /// Probe auto-quiesce: skip probe-up epochs (and their ẑ
+    /// sample-and-hold) while [`MuEstimator::mu_uncertainty`] sits below
+    /// this floor.  On a stable link the max filter converges and every
+    /// probe after that point only perturbs ẑ for nothing; quiescing hands
+    /// the detector an uninterrupted signal until the uncertainty rises
+    /// again (a fade re-widens the filter spread and probing resumes).
+    /// `0.0` — the default — disables quiescing: probes run on schedule
+    /// forever, preserving the pre-quiesce behaviour bit for bit.
+    pub quiesce_uncertainty_floor: f64,
 }
 
 impl Default for ProbingConfig {
@@ -128,6 +137,7 @@ impl Default for ProbingConfig {
             backoff_interval_s: 0.5,
             recent_window_s: 1.5,
             cap_margin: 1.25,
+            quiesce_uncertainty_floor: 0.0,
         }
     }
 }
@@ -466,6 +476,11 @@ impl ProbingMu {
             cfg.recent_window_s > 0.0 && cfg.cap_margin >= 1.0,
             "the pace cap needs a positive window and a margin of at least 1"
         );
+        assert!(
+            (0.0..1.0).contains(&cfg.quiesce_uncertainty_floor),
+            "the quiesce floor is compared against mu_uncertainty in [0, 1); \
+             1 or above would quiesce probing unconditionally"
+        );
         ProbingMu {
             cfg,
             filter: WindowedMax::new(cfg.window_s),
@@ -500,6 +515,15 @@ impl ProbingMu {
     pub fn settling_at(&self, now_s: f64) -> bool {
         now_s >= self.cfg.probe_interval_s
             && now_s % self.cfg.probe_interval_s < 2.0 * self.cfg.probe_duration_s
+    }
+
+    /// Whether probing is auto-quiesced right now: a non-zero floor is
+    /// configured and the current µ̂ uncertainty sits below it.  Evaluated
+    /// fresh on every call, so probing resumes by itself the moment the
+    /// filter spread re-widens (e.g. after a fade).
+    pub fn quiesced(&self) -> bool {
+        self.cfg.quiesce_uncertainty_floor > 0.0
+            && self.mu_uncertainty() < self.cfg.quiesce_uncertainty_floor
     }
 }
 
@@ -551,7 +575,7 @@ impl MuEstimator for ProbingMu {
     }
 
     fn pace_gain(&self, now_s: f64) -> f64 {
-        if self.probing_at(now_s) {
+        if !self.quiesced() && self.probing_at(now_s) {
             self.cfg.probe_gain
         } else {
             1.0
@@ -567,7 +591,10 @@ impl MuEstimator for ProbingMu {
     }
 
     fn suppress_z_at(&self, now_s: f64) -> bool {
-        self.settling_at(now_s)
+        // A quiesced epoch never paced above 1x, so there is nothing to
+        // hold ẑ over — suppressing anyway would blank the detector's input
+        // on the exact schedule quiescing exists to protect.
+        !self.quiesced() && self.settling_at(now_s)
     }
 
     fn pace_cap_bps(&self) -> Option<f64> {
@@ -982,6 +1009,48 @@ mod tests {
         // ẑ is held for the epoch plus one drain interval.
         assert!(p.settling_at(1.4));
         assert!(!p.settling_at(1.6));
+    }
+
+    #[test]
+    fn probing_quiesces_below_the_uncertainty_floor_and_resumes_on_spread() {
+        let cfg = ProbingConfig {
+            quiesce_uncertainty_floor: 0.3,
+            ..ProbingConfig::default()
+        };
+        let mut p = ProbingMu::new(cfg);
+        // No samples yet: uncertainty is 0, so a configured floor quiesces
+        // immediately (nothing to probe above until the filter has content).
+        assert!(p.quiesced());
+        // A steady link: min ≈ max in the window, uncertainty ≈ 0 → probes
+        // stay off and ẑ is never held.
+        for i in 0..200 {
+            p.on_report(&report(i as f64 * 0.01, 44e6, 46e6));
+        }
+        assert!(p.quiesced());
+        assert_eq!(p.pace_gain(1.1), 1.0, "probe epoch must be skipped");
+        assert!(!p.suppress_z_at(1.1), "no probe ran, nothing to hold over");
+        // A fade re-widens the filter spread (min drops while the 10 s max
+        // window still holds pre-fade samples) → probing resumes by itself.
+        for i in 0..100 {
+            p.on_report(&report(2.0 + i as f64 * 0.01, 10e6, 10e6));
+        }
+        assert!(p.mu_uncertainty() > 0.3, "fade must raise the uncertainty");
+        assert!(!p.quiesced());
+        assert_eq!(p.pace_gain(4.1), ProbingConfig::default().probe_gain);
+        assert!(p.suppress_z_at(4.1));
+    }
+
+    #[test]
+    fn zero_floor_disables_quiescing_entirely() {
+        // The default floor of 0 must leave the pre-quiesce schedule intact:
+        // uncertainty 0 on a steady link, probes still run.
+        let mut p = ProbingMu::new(ProbingConfig::default());
+        for i in 0..200 {
+            p.on_report(&report(i as f64 * 0.01, 44e6, 46e6));
+        }
+        assert!(!p.quiesced());
+        assert_eq!(p.pace_gain(1.1), ProbingConfig::default().probe_gain);
+        assert!(p.suppress_z_at(1.1));
     }
 
     #[test]

@@ -23,24 +23,47 @@
 //! 5. With several Nimbus flows on one bottleneck, [`multiflow`] implements
 //!    the pulser/watcher protocol and the randomized pulser election of §6.
 //!
-//! Everything is deterministic and simulator-agnostic: the controller is a
-//! [`nimbus_transport::CongestionControl`], so it plugs into the same sender
-//! machinery as every baseline.
+//! Everything is deterministic and **simulator-free**: this crate depends
+//! only on the DSP library and the tiny `nimbus-core-types` crate (`Time`,
+//! rate strings), never on `nimbus-netsim`.  A host — the simulator's sender
+//! machinery in `nimbus-transport`, a real stack, or a fuzz harness — drives
+//! any of the controllers here through the [`cc::CongestionControl`]
+//! callbacks (`on_packet_acked` / `on_packets_lost` / `on_congestion_event`
+//! / `on_report`) and reads back a window and a pacing rate.  Alongside the
+//! Nimbus pipeline this crate therefore also hosts:
+//!
+//! * [`cc`] — the host-abstraction trait, [`cc::PathInfo`], and every
+//!   baseline congestion-control algorithm the paper evaluates;
+//! * [`ccp`] — the CCP-style measurement-report aggregator (§4.2) that
+//!   produces the [`ccp::Report`]s the `on_report` callback consumes;
+//! * [`rtt`] — SRTT/RTTVAR/RTO estimation (RFC 6298) and min-RTT tracking.
+//!
+//! See `examples/embed_core.rs` at the workspace root for a complete mock
+//! host driving this crate with no simulator anywhere.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod basic_delay;
+pub mod cc;
+pub mod ccp;
 pub mod controller;
 pub mod detector;
 pub mod estimator;
 pub mod multiflow;
+pub mod rtt;
 
 pub use basic_delay::{BasicDelay, BasicDelayConfig};
-pub use controller::{DelayScheme, Mode, NimbusConfig, NimbusController, TcpScheme};
+pub use cc::{
+    format_rate_bps, parse_rate_bps, AckEvent, CcKind, CongestionControl, CongestionEvent,
+    LossEvent, PathInfo,
+};
+pub use ccp::{Report, ReportAggregator};
+pub use controller::{DelayScheme, Mode, NimbusConfig, NimbusController, Publisher, TcpScheme};
 pub use detector::{DetectorVerdict, ElasticityConfig, ElasticityDetector};
 pub use estimator::{
     ConfiguredMu, CrossTrafficEstimator, LearnedMuConfig, MaxFilterMu, MuEstimator,
     MuEstimatorConfig, ProbingConfig, ProbingMu, ZFilterConfig,
 };
 pub use multiflow::{MultiflowConfig, Role};
+pub use rtt::RttEstimator;

@@ -4,8 +4,8 @@
 //! minimum used as the propagation-delay estimate by the delay-based
 //! controllers (Vegas, Copa, BasicDelay) and by Nimbus.
 
+use nimbus_core_types::Time;
 use nimbus_dsp::WindowedMin;
-use nimbus_netsim::Time;
 
 /// SRTT / RTTVAR / RTO estimator plus min-RTT tracking.
 #[derive(Debug, Clone)]

@@ -1,0 +1,317 @@
+//! Adversarial host-callback fuzzing for the Nimbus controller.
+//!
+//! `nimbus-core` is now embeddable: any host — not just the in-repo
+//! simulator — may drive [`NimbusController`] through the
+//! [`CongestionControl`] callbacks.  A real host delivers ACKs out of order,
+//! compresses them into bursts, reports zero-byte cumulative-ACK advances,
+//! measures nonsense RTTs during clock steps, and sends loss/timeout events
+//! at the worst possible moments.  The simulator never does any of that, so
+//! this harness generates the abuse synthetically:
+//!
+//! * every µ strategy × ẑ-filter combination (3 × 3 = 9 combos);
+//! * ≥ 256 randomized callback sequences per combo, mixing reordered and
+//!   timestamp-compressed ACKs, zero-byte ACKs, zero/near-zero RTTs,
+//!   zero-rate and extreme-rate reports, loss storms and RTO events;
+//! * after **every** callback the controller must report a finite, positive
+//!   cwnd and a finite, positive pacing rate (when one is given);
+//! * after every sequence the mode log must respect the §4.1 asymmetric
+//!   hysteresis: a Competitive→Delay switch may happen no earlier than
+//!   `fft_duration_s` after the preceding Delay→Competitive switch (the
+//!   detector holds competitive mode for at least one full FFT window after
+//!   the last elastic verdict).
+//!
+//! Everything is seeded — a failure reproduces by rerunning the test.
+
+use nimbus_core::cc::{AckEvent, CongestionControl, CongestionEvent, LossEvent};
+use nimbus_core::ccp::Report;
+use nimbus_core::{
+    LearnedMuConfig, Mode, MuEstimatorConfig, NimbusConfig, NimbusController, ProbingConfig,
+    ZFilterConfig,
+};
+use nimbus_core_types::Time;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SEQUENCES_PER_COMBO: usize = 256;
+const EVENTS_PER_SEQUENCE: usize = 120;
+const MU: f64 = 48e6;
+
+fn mu_configs() -> Vec<(&'static str, MuEstimatorConfig)> {
+    vec![
+        ("configured", MuEstimatorConfig::Configured { mu_bps: MU }),
+        ("learned", MuEstimatorConfig::learned()),
+        (
+            "probing",
+            MuEstimatorConfig::Learned(LearnedMuConfig::Probing(ProbingConfig::default())),
+        ),
+    ]
+}
+
+fn z_filters() -> Vec<(&'static str, ZFilterConfig)> {
+    vec![
+        ("raw", ZFilterConfig::None),
+        ("notch", ZFilterConfig::notch(0.1)),
+        ("adaptive", ZFilterConfig::adaptive()),
+    ]
+}
+
+/// One adversarial callback, with the wall-clock it claims to occur at.
+#[derive(Debug)]
+enum Event {
+    Ack(AckEvent),
+    Loss(LossEvent),
+    Rto(Time),
+    Report(Report),
+}
+
+/// Push `ticks` coherent 10 ms CCP reports in which ẑ = µ·S/R − S traces a
+/// sinusoid of amplitude `z_amp_frac·µ` at `freq_hz` — the frequency the
+/// detector listens at.  With amplitude well above the 1%-of-µ minimum peak
+/// this reads as elastic cross traffic; with zero amplitude, inelastic.
+fn push_coherent_reports(
+    events: &mut Vec<Event>,
+    now_s: &mut f64,
+    ticks: usize,
+    freq_hz: f64,
+    z_amp_frac: f64,
+) {
+    for _ in 0..ticks {
+        *now_s += 0.01;
+        let send = MU * 0.5;
+        let z = MU * 0.25 + MU * z_amp_frac * (2.0 * std::f64::consts::PI * freq_hz * *now_s).sin();
+        let recv = MU * send / (send + z);
+        events.push(Event::Report(Report {
+            now_s: *now_s,
+            send_rate_bps: send,
+            recv_rate_bps: recv,
+            acked_bytes: 12_000,
+            lost_packets: 0,
+            rtt_s: 0.05,
+            min_rtt_s: 0.05,
+            window_acks: 40,
+        }));
+    }
+}
+
+/// Generate one randomized sequence.  Report time advances (sometimes by
+/// zero — compressed ticks); ACK timestamps jitter around it, including
+/// *backwards* (reordering).  Magnitudes span zero, sane, and absurd.
+///
+/// Half the sequences open with a coherent elastic warmup (ẑ oscillating at
+/// the pulse frequency) so the chaos attacks a controller that has actually
+/// switched to competitive mode, and half of *those* close with a quiet
+/// inelastic tail long enough to force the Competitive→Delay edge through
+/// the §4.1 hysteresis — without these phases the mode log stays empty and
+/// the hysteresis assertion is vacuous.
+fn generate_sequence(rng: &mut StdRng, pulse_freq_hz: f64) -> Vec<Event> {
+    let mut events = Vec::with_capacity(EVENTS_PER_SEQUENCE);
+    let mut now_s: f64 = 0.0;
+    let warmup = rng.gen_bool(0.5);
+    if warmup {
+        // One full FFT window (500 samples) plus slack to cross the verdict.
+        let ticks = rng.gen_range(520usize..650);
+        push_coherent_reports(&mut events, &mut now_s, ticks, pulse_freq_hz, 0.2);
+    }
+    for _ in 0..EVENTS_PER_SEQUENCE {
+        // Mostly 10 ms CCP ticks, sometimes compressed to nothing,
+        // sometimes a multi-second stall.
+        now_s += match rng.gen_range(0u32..10) {
+            0 => 0.0,
+            1..=7 => 0.01,
+            8 => rng.gen::<f64>() * 0.1,
+            _ => rng.gen::<f64>() * 3.0,
+        };
+        let kind = rng.gen_range(0u32..10);
+        match kind {
+            // ACKs (the most frequent callback in any host).
+            0..=3 => {
+                // Reordered: the claimed arrival may lag the report clock.
+                let ack_now = (now_s - rng.gen::<f64>() * 0.2).max(0.0);
+                // Zero-RTT-adjacent: clock steps make hosts measure 0.
+                let rtt_s = match rng.gen_range(0u32..5) {
+                    0 => 0.0,
+                    1 => 1e-9,
+                    _ => 0.01 + rng.gen::<f64>() * 0.2,
+                };
+                let newly_acked_packets = rng.gen_range(0u64..4);
+                events.push(Event::Ack(AckEvent {
+                    now: Time::from_secs_f64(ack_now),
+                    newly_acked_packets,
+                    // Zero-byte ACKs: pure-SACK or window-update segments.
+                    newly_acked_bytes: newly_acked_packets * rng.gen_range(0u64..1501),
+                    rtt: Time::from_secs_f64(rtt_s),
+                    min_rtt: Time::from_secs_f64(rtt_s.min(0.05)),
+                    in_flight_packets: rng.gen_range(0u64..10_000),
+                    mss: 1500,
+                }));
+            }
+            4 => {
+                events.push(Event::Loss(LossEvent {
+                    now: Time::from_secs_f64(now_s),
+                    // Loss storms: a whole flight gone in one callback.
+                    lost_packets: rng.gen_range(0u64..2_000),
+                    in_flight_packets: rng.gen_range(0u64..10_000),
+                }));
+            }
+            5 => {
+                events.push(Event::Rto(Time::from_secs_f64(now_s)));
+            }
+            // Reports: the estimator/detector path.
+            _ => {
+                let scale = match rng.gen_range(0u32..6) {
+                    0 => 0.0,                    // dead interval
+                    1 => 1e-6,                   // near-zero rates
+                    2 => 1e4,                    // 1000× the link rate
+                    _ => rng.gen::<f64>() * 2.0, // sane-ish
+                };
+                let send = MU * scale * rng.gen::<f64>();
+                let recv = MU * scale * rng.gen::<f64>();
+                let rtt_s = match rng.gen_range(0u32..5) {
+                    0 => 0.0,
+                    _ => 0.01 + rng.gen::<f64>() * 0.3,
+                };
+                events.push(Event::Report(Report {
+                    now_s,
+                    send_rate_bps: send,
+                    recv_rate_bps: recv,
+                    acked_bytes: rng.gen_range(0u64..100_000),
+                    lost_packets: if rng.gen_bool(0.2) {
+                        rng.gen_range(0u64..100)
+                    } else {
+                        0
+                    },
+                    rtt_s,
+                    min_rtt_s: rtt_s.min(0.05),
+                    window_acks: rng.gen_range(0usize..200),
+                }));
+            }
+        }
+    }
+    if warmup && rng.gen_bool(0.5) {
+        // Quiet tail: > one FFT window of inelastic reports, so a controller
+        // still in competitive mode must take the hysteresis-gated exit.
+        let ticks = rng.gen_range(520usize..600);
+        push_coherent_reports(&mut events, &mut now_s, ticks, pulse_freq_hz, 0.0);
+    }
+    events
+}
+
+/// The invariant checked after every single callback.
+fn assert_sane(ctl: &NimbusController, now: Time, combo: &str, seq: usize, step: usize) {
+    let cwnd = ctl.cwnd_packets();
+    assert!(
+        cwnd.is_finite() && cwnd > 0.0,
+        "[{combo} seq {seq} step {step}] cwnd {cwnd} is not finite-positive"
+    );
+    if let Some(rate) = ctl.pacing_rate_bps(now) {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "[{combo} seq {seq} step {step}] pacing rate {rate} is not finite-positive"
+        );
+    }
+}
+
+/// §4.1 asymmetric hysteresis over the mode log: Competitive→Delay no
+/// earlier than `fft_duration_s` after the preceding Delay→Competitive.
+fn assert_hysteresis(ctl: &NimbusController, fft_duration_s: f64, combo: &str, seq: usize) {
+    let log = ctl.mode_log();
+    for pair in log.windows(2) {
+        let ((t_enter, mode_enter), (t_exit, mode_exit)) = (pair[0], pair[1]);
+        if mode_enter == Mode::Competitive && mode_exit == Mode::Delay {
+            assert!(
+                t_exit - t_enter >= fft_duration_s - 1e-9,
+                "[{combo} seq {seq}] mode flap: entered competitive at {t_enter:.3}s, \
+                 back to delay at {t_exit:.3}s — under the {fft_duration_s}s hysteresis window"
+            );
+        }
+    }
+}
+
+/// Fuzz every sequence of one (µ strategy, ẑ filter) combo; returns how many
+/// sequences actually exercised a mode switch, so the caller can assert the
+/// hysteresis check is not vacuous.
+fn fuzz_combo(mu_label: &str, mu: &MuEstimatorConfig, z_label: &str, zf: &ZFilterConfig) -> usize {
+    let combo = format!("mu={mu_label},zfilter={z_label}");
+    let mut switched = 0;
+    for seq in 0..SEQUENCES_PER_COMBO {
+        // A distinct, reproducible stream per (combo, sequence).
+        let seed = (mu_label.len() as u64) << 32 ^ (z_label.len() as u64) << 16 ^ seq as u64;
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut cfg = NimbusConfig::default_for_link(MU);
+        cfg.mu = *mu;
+        cfg.z_filter = *zf;
+        cfg.seed = seq as u64 + 1;
+        let fft_duration_s = cfg.elasticity.fft_duration_s;
+        let pulse_freq_hz = cfg.elasticity.pulse_freq_hz;
+        let mut ctl = NimbusController::new(cfg);
+        let mut last_now = Time::ZERO;
+        for (step, event) in generate_sequence(&mut rng, pulse_freq_hz)
+            .into_iter()
+            .enumerate()
+        {
+            match event {
+                Event::Ack(ack) => {
+                    last_now = last_now.max(ack.now);
+                    ctl.on_packet_acked(&ack);
+                }
+                Event::Loss(loss) => {
+                    last_now = last_now.max(loss.now);
+                    ctl.on_packets_lost(&loss);
+                }
+                Event::Rto(now) => {
+                    last_now = last_now.max(now);
+                    ctl.on_congestion_event(&CongestionEvent::Rto { now });
+                }
+                Event::Report(report) => {
+                    last_now = last_now.max(Time::from_secs_f64(report.now_s));
+                    ctl.on_report(&report);
+                }
+            }
+            assert_sane(&ctl, last_now, &combo, seq, step);
+        }
+        assert_hysteresis(&ctl, fft_duration_s, &combo, seq);
+        if ctl.mode_log().len() > 1 {
+            switched += 1;
+        }
+    }
+    switched
+}
+
+// One test per µ strategy so the nine combos run on three threads and a
+// failure names its strategy in the test name, not just the panic message.
+
+#[test]
+fn fuzz_callbacks_configured_mu() {
+    let (label, mu) = &mu_configs()[0];
+    let mut switched = 0;
+    for (z_label, zf) in &z_filters() {
+        switched += fuzz_combo(label, mu, z_label, zf);
+    }
+    // The warmup phase must actually drive mode switches somewhere in this
+    // strategy's combos, or the hysteresis assertion above checked nothing.
+    assert!(switched > 0, "mu={label}: no sequence ever switched mode");
+}
+
+#[test]
+fn fuzz_callbacks_learned_mu() {
+    let (label, mu) = &mu_configs()[1];
+    let mut switched = 0;
+    for (z_label, zf) in &z_filters() {
+        switched += fuzz_combo(label, mu, z_label, zf);
+    }
+    // The warmup phase must actually drive mode switches somewhere in this
+    // strategy's combos, or the hysteresis assertion above checked nothing.
+    assert!(switched > 0, "mu={label}: no sequence ever switched mode");
+}
+
+#[test]
+fn fuzz_callbacks_probing_mu() {
+    let (label, mu) = &mu_configs()[2];
+    let mut switched = 0;
+    for (z_label, zf) in &z_filters() {
+        switched += fuzz_combo(label, mu, z_label, zf);
+    }
+    // The warmup phase must actually drive mode switches somewhere in this
+    // strategy's combos, or the hysteresis assertion above checked nothing.
+    assert!(switched > 0, "mu={label}: no sequence ever switched mode");
+}

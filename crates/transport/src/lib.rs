@@ -1,7 +1,8 @@
 //! # nimbus-transport
 //!
-//! The transport substrate of the Nimbus reproduction: everything between the
-//! raw packet simulator ([`nimbus_netsim`]) and the congestion-control brains.
+//! The transport substrate of the Nimbus reproduction: the host-side glue
+//! between the raw packet simulator ([`nimbus_netsim`]) and the
+//! simulator-free congestion-control algorithms in `nimbus-core`.
 //!
 //! * [`sender`] — the sender machinery implementing
 //!   [`nimbus_netsim::FlowEndpoint`]: sequence tracking, windowing, pacing,
@@ -9,28 +10,26 @@
 //!   over a [`cc::CongestionControl`] implementation, mirroring how the
 //!   paper's system layers congestion-control "programs" on top of a CCP
 //!   datapath.
-//! * [`ccp`] — the CCP-style measurement report (§4.2): aggregated send rate,
-//!   receive rate, RTT and loss counts delivered to the controller every
-//!   10 ms, exactly the quantities Nimbus's estimator consumes.
 //! * [`source`] — application models: backlogged, fixed-size, scripted-rate
 //!   and Poisson sources deciding *when data exists to send* (elastic vs.
 //!   application-limited behaviour starts here).
-//! * [`cc`] — from-scratch implementations of every congestion-control
-//!   algorithm the paper evaluates or uses as a component: NewReno, Cubic,
-//!   Vegas, Copa (default + competitive modes), BBR, PCC-Vivace, Compound,
-//!   plus constant-rate (CBR) and Poisson inelastic senders.
-//! * [`rtt`] — SRTT/RTTVAR/RTO estimation (RFC 6298) and min-RTT tracking.
+//!
+//! The congestion-control algorithms themselves ([`cc`]), the CCP-style
+//! measurement reports ([`ccp`], §4.2) and the RFC 6298 RTT estimator
+//! ([`rtt`]) live in the host-independent `nimbus-core` crate; this crate
+//! re-exports them under their historical paths so existing code keeps
+//! compiling unchanged.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod cc;
-pub mod ccp;
-pub mod rtt;
+pub use nimbus_core::cc;
+pub use nimbus_core::ccp;
+pub use nimbus_core::rtt;
 pub mod sender;
 pub mod source;
 
-pub use cc::{format_rate_bps, parse_rate_bps, CcKind, CongestionControl};
+pub use cc::{format_rate_bps, parse_rate_bps, CcKind, CongestionControl, PathInfo};
 pub use ccp::{Report, ReportAggregator};
 pub use rtt::RttEstimator;
 pub use sender::{Sender, SenderConfig};

@@ -9,7 +9,7 @@
 //! [`Report`](crate::ccp::Report)s, and only ever answers with a window and
 //! an optional pacing rate.
 
-use crate::cc::{AckEvent, CongestionControl};
+use crate::cc::{AckEvent, CongestionControl, CongestionEvent, LossEvent};
 use crate::ccp::ReportAggregator;
 use crate::rtt::RttEstimator;
 use crate::source::Source;
@@ -279,7 +279,7 @@ impl Sender {
         }
         self.dup_acks = 0;
         self.recovery_point = None;
-        self.cc.on_timeout(now);
+        self.cc.on_congestion_event(&CongestionEvent::Rto { now });
         self.reports.on_loss(1);
         self.arm_rto(now);
     }
@@ -431,7 +431,7 @@ impl FlowEndpoint for Sender {
                 in_flight_packets: self.in_flight_packets(),
                 mss: self.cfg.mss,
             };
-            self.cc.on_ack(&event);
+            self.cc.on_packet_acked(&event);
             if self.next_seq > self.cum_acked {
                 self.arm_rto(now);
             } else {
@@ -448,7 +448,11 @@ impl FlowEndpoint for Sender {
                 self.scan_frontier = self.cum_acked;
                 self.queue_retransmit(self.cum_acked);
                 self.infer_losses();
-                self.cc.on_loss(now, self.in_flight_packets());
+                self.cc.on_packets_lost(&LossEvent {
+                    now,
+                    lost_packets: 1,
+                    in_flight_packets: self.in_flight_packets(),
+                });
                 self.reports.on_loss(1);
             } else if self.recovery_point.is_some() {
                 // Keep discovering holes as more SACK information arrives.
@@ -606,14 +610,14 @@ impl FlowEndpoint for Sender {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cc::CcKind;
+    use crate::cc::{CcKind, PathInfo};
     use crate::source::{BackloggedSource, FixedSizeSource, PoissonSource, ScriptedSource};
     use nimbus_netsim::{FlowConfig, Network, SimConfig};
 
     fn sender(kind: CcKind, source: Box<dyn Source>) -> Box<Sender> {
         Box::new(Sender::new(
             SenderConfig::labelled(kind.name()),
-            kind.build(1500),
+            kind.build(&PathInfo::new(1500)),
             source,
         ))
     }
@@ -829,7 +833,7 @@ mod tests {
         // retransmit and no timeout.
         let mut s = Sender::new(
             SenderConfig::labelled("manual"),
-            CcKind::NewReno.build(1500),
+            CcKind::NewReno.build(&PathInfo::new(1500)),
             Box::new(BackloggedSource),
         );
         s.on_start(Time::ZERO);
@@ -878,7 +882,7 @@ mod tests {
     fn timeout_fires_when_no_acks_return() {
         let mut s = Sender::new(
             SenderConfig::labelled("timeout"),
-            CcKind::NewReno.build(1500),
+            CcKind::NewReno.build(&PathInfo::new(1500)),
             Box::new(BackloggedSource),
         );
         s.on_start(Time::ZERO);

@@ -10,9 +10,11 @@
 
 use nimbus_repro::experiments::runner::nimbus_of;
 use nimbus_repro::netsim::{FlowConfig, Network, SimConfig, Time};
-use nimbus_repro::nimbus::controller::nimbus_flow;
 use nimbus_repro::nimbus::NimbusConfig;
-use nimbus_repro::transport::{BackloggedSource, CcKind, PoissonSource, Sender, SenderConfig};
+use nimbus_repro::sim::nimbus_flow;
+use nimbus_repro::transport::{
+    BackloggedSource, CcKind, PathInfo, PoissonSource, Sender, SenderConfig,
+};
 
 fn main() {
     let kind = std::env::args().nth(1).unwrap_or_else(|| "elastic".into());
@@ -28,7 +30,7 @@ fn main() {
                 FlowConfig::cross("poisson", Time::from_millis(50), false),
                 Box::new(Sender::new(
                     SenderConfig::labelled("poisson"),
-                    CcKind::Unlimited.build(1500),
+                    CcKind::Unlimited.build(&PathInfo::new(1500)),
                     Box::new(PoissonSource::new(48e6, 1500, 3)),
                 )),
             );
@@ -38,7 +40,7 @@ fn main() {
                 FlowConfig::cross("cubic", Time::from_millis(50), true),
                 Box::new(Sender::new(
                     SenderConfig::labelled("cubic"),
-                    CcKind::Cubic.build(1500),
+                    CcKind::Cubic.build(&PathInfo::new(1500)),
                     Box::new(BackloggedSource),
                 )),
             );

@@ -10,8 +10,8 @@ use nimbus_repro::experiments::runner::ScenarioSpec;
 use nimbus_repro::experiments::runner::{nimbus_of, run_and_collect};
 use nimbus_repro::experiments::SchemeSpec;
 use nimbus_repro::netsim::{FlowConfig, Time};
-use nimbus_repro::nimbus::controller::nimbus_flow;
 use nimbus_repro::nimbus::MultiflowConfig;
+use nimbus_repro::sim::nimbus_flow;
 
 fn main() {
     let spec = ScenarioSpec {

@@ -8,21 +8,28 @@
 //!
 //! This facade crate re-exports the workspace members under short names:
 //!
+//! * [`core_types`] — dependency-free primitives ([`core_types::Time`],
+//!   rate parsing/formatting) shared by every layer.
 //! * [`dsp`] — FFT, pulse shapes, filters, statistics.
 //! * [`netsim`] — the discrete-event dumbbell simulator (Mahimahi stand-in).
-//! * [`transport`] — sender machinery, CCP-style reports, Cubic/Reno/Vegas/
-//!   Copa/BBR/Vivace/Compound and the inelastic senders.
+//! * [`transport`] — sender machinery plus re-exports of the
+//!   simulator-free congestion controllers under their historical paths.
 //! * [`traffic`] — WAN, video and scripted-phase cross-traffic generators.
-//! * [`nimbus`] — the paper's contribution: estimator, detector, BasicDelay,
-//!   the Nimbus controller and the multi-flow pulser/watcher protocol.
+//! * [`nimbus`] — the paper's contribution, simulator-free: estimator,
+//!   detector, BasicDelay, the Nimbus controller, the multi-flow
+//!   pulser/watcher protocol and every baseline congestion controller.
+//! * [`sim`] — the adapter wiring `nimbus` into the simulator
+//!   ([`sim::nimbus_flow`]).
 //! * [`experiments`] — the harness regenerating every table and figure.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the system inventory and the per-experiment reproduction record.
 
 pub use nimbus_core as nimbus;
+pub use nimbus_core_types as core_types;
 pub use nimbus_dsp as dsp;
 pub use nimbus_experiments as experiments;
 pub use nimbus_netsim as netsim;
+pub use nimbus_sim as sim;
 pub use nimbus_traffic as traffic;
 pub use nimbus_transport as transport;

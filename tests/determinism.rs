@@ -2,7 +2,9 @@
 //! must produce byte-identical recorder output; different seeds must not.
 
 use nimbus_repro::netsim::{FlowConfig, LossModel, Network, SimConfig, Time};
-use nimbus_repro::transport::{BackloggedSource, CcKind, PoissonSource, Sender, SenderConfig};
+use nimbus_repro::transport::{
+    BackloggedSource, CcKind, PathInfo, PoissonSource, Sender, SenderConfig,
+};
 
 /// A stochastic scenario: random bottleneck loss plus Poisson cross traffic,
 /// so any seed-wiring mistake shows up immediately.
@@ -15,7 +17,7 @@ fn run_snapshot(seed: u64) -> String {
         FlowConfig::primary("cubic", Time::from_millis(50)),
         Box::new(Sender::new(
             SenderConfig::labelled("cubic"),
-            CcKind::Cubic.build(1500),
+            CcKind::Cubic.build(&PathInfo::new(1500)),
             Box::new(BackloggedSource),
         )),
     );
@@ -23,7 +25,7 @@ fn run_snapshot(seed: u64) -> String {
         FlowConfig::cross("poisson", Time::from_millis(50), false),
         Box::new(Sender::new(
             SenderConfig::labelled("poisson"),
-            CcKind::Unlimited.build(1500),
+            CcKind::Unlimited.build(&PathInfo::new(1500)),
             Box::new(PoissonSource::new(12e6, 1500, seed.wrapping_add(17))),
         )),
     );

@@ -252,6 +252,18 @@ fn canonical_estimator_spec_strings() {
     );
     assert_eq!(
         SchemeSpec::nimbus()
+            .with_quiesced_probing_mu(1.0, 0.4)
+            .to_string(),
+        "nimbus(mu=learned(probe=1,quiesce=0.4))"
+    );
+    assert_eq!(
+        "nimbus(mu=learned(probe=1,quiesce=0.4))"
+            .parse::<SchemeSpec>()
+            .unwrap(),
+        SchemeSpec::nimbus().with_quiesced_probing_mu(1.0, 0.4)
+    );
+    assert_eq!(
+        SchemeSpec::nimbus()
             .with_learned_mu()
             .with_z_filter(ZFilterConfig::adaptive())
             .to_string(),
@@ -309,6 +321,11 @@ fn malformed_estimator_specs_fail_with_actionable_messages() {
         ("nimbus(mu=learned(probe=1,gain=0.5))", "exceed 1"),
         ("nimbus(mu=learned(probe=1,dur=2))", "shorter than"),
         ("nimbus(mu=learned(probe=1,loss=1.5))", "below 1"),
+        ("nimbus(mu=learned(quiesce=0.3))", "require probe="),
+        (
+            "nimbus(mu=learned(probe=1,quiesce=1.5))",
+            "quiesce probing unconditionally",
+        ),
         ("nimbus(mu=learned(probe=3)", "closing"),
         ("nimbus(mu=guessed)", "unknown mu mode"),
         ("nimbus(zfilter=fft)", "unknown zfilter"),

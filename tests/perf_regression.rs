@@ -22,7 +22,7 @@
 use nimbus_experiments::sweep::sweep_matrix;
 use nimbus_netsim::endpoint::{AckInfo, FlowEndpoint, SendAction};
 use nimbus_netsim::Time;
-use nimbus_transport::{BackloggedSource, CcKind, Sender, SenderConfig};
+use nimbus_transport::{BackloggedSource, CcKind, PathInfo, Sender, SenderConfig};
 
 /// Drive a sender into permanent SACK recovery with a large scoreboard —
 /// every even segment lost, every odd segment SACKed — and count the
@@ -31,7 +31,7 @@ use nimbus_transport::{BackloggedSource, CcKind, Sender, SenderConfig};
 fn sack_scan_cost_is_linear_in_acks_plus_holes() {
     let mut sender = Sender::new(
         SenderConfig::labelled("cbr-like"),
-        CcKind::Unlimited.build(1500),
+        CcKind::Unlimited.build(&PathInfo::new(1500)),
         Box::new(BackloggedSource),
     );
     sender.on_start(Time::ZERO);

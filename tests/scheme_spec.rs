@@ -143,14 +143,13 @@ fn every_legacy_variant_reproduces_its_pre_redesign_fingerprint() {
 }
 
 #[test]
-fn builder_enum_and_string_paths_agree() {
-    // Three routes to the same spec: the deprecated enum, the canonical
-    // string, and the builder — all must be the same value.
-    #[allow(deprecated)]
-    let from_enum: SchemeSpec = nimbus_repro::experiments::Scheme::NimbusCubicCopa.into();
+fn builder_alias_and_string_paths_agree() {
+    // Three routes to the same spec: the legacy enum-variant alias string,
+    // the canonical string, and the builder — all must be the same value.
+    let from_alias: SchemeSpec = "NimbusCubicCopa".parse().unwrap();
     let from_string: SchemeSpec = "nimbus(delay=copa)".parse().unwrap();
     let from_builder = SchemeSpec::nimbus().with_delay(DelayScheme::CopaDefault);
-    assert_eq!(from_enum, from_string);
+    assert_eq!(from_alias, from_string);
     assert_eq!(from_string, from_builder);
 }
 
