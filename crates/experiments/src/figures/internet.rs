@@ -80,6 +80,7 @@ fn run_path(
         loss_probability: path.loss,
         path: crate::runner::PathSpec::single(),
         cross_flows: Vec::new(),
+        fleet: None,
     };
     let wl = WanWorkload::generate(WanWorkloadConfig {
         base_rtt_s: path.rtt_s,

@@ -1,6 +1,7 @@
 //! One module per group of figures, plus shared cross-traffic builders.
 
 pub mod eval;
+pub mod fleet;
 pub mod internet;
 pub mod intro;
 pub mod multiflow;

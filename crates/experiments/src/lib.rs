@@ -32,13 +32,14 @@ pub mod testkit;
 
 pub use output::ExperimentResult;
 pub use runner::{
-    CrossFlowSpec, HopSpec, LinkScheduleSpec, PathSpec, ScenarioSpec, SingleFlowMetrics,
+    CrossFlowSpec, FleetSpec, HopSpec, LinkScheduleSpec, PathSpec, ScenarioSpec, SingleFlowMetrics,
 };
 pub use scheme::{MuSpec, NimbusSpec, ParseSchemeError, SchemeSpec, SwitchSpec};
 pub use sweep::{run_sweep, sweep_matrix, sweep_matrix_with, SweepConfig, SweepReport};
 pub use testkit::{
-    estimator_cells, legacy_single_bottleneck_cells, multihop_cells, paper_invariant_matrix,
-    parallel_map, run_matrix, spec_combination_cells, Cell, CellOutcome, CrossTraffic, Invariants,
+    estimator_cells, fleet_cells, legacy_single_bottleneck_cells, multihop_cells,
+    paper_invariant_matrix, parallel_map, run_matrix, spec_combination_cells, Cell, CellOutcome,
+    CrossTraffic, Invariants,
 };
 
 /// Names of every experiment the harness can regenerate, in paper order.
@@ -78,6 +79,9 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "multihop_secondary",
     "multihop_moving",
     "multihop_midpath",
+    "fleet_churn",
+    "fleet_fct",
+    "fleet_multiflow",
 ];
 
 /// Run one experiment by name.  Returns the structured result.
@@ -118,6 +122,9 @@ pub fn run_experiment(name: &str, quick: bool) -> Option<ExperimentResult> {
         "multihop_secondary" => figures::multihop::multihop_secondary(quick),
         "multihop_moving" => figures::multihop::multihop_moving(quick),
         "multihop_midpath" => figures::multihop::multihop_midpath(quick),
+        "fleet_churn" => figures::fleet::fleet_churn(quick),
+        "fleet_fct" => figures::fleet::fleet_fct(quick),
+        "fleet_multiflow" => figures::fleet::fleet_multiflow(quick),
         _ => return None,
     };
     Some(result)
@@ -132,7 +139,7 @@ mod tests {
         // Only check dispatch (not execution) for the expensive ones: an
         // unknown name must return None, known names are all in the list.
         assert!(run_experiment("nonexistent", true).is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 35);
+        assert_eq!(ALL_EXPERIMENTS.len(), 38);
     }
 
     #[test]

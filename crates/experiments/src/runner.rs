@@ -1,13 +1,18 @@
 //! Scenario construction and post-run metric extraction shared by every figure.
 
-use crate::scheme::SchemeSpec;
+use crate::scheme::{ParseSchemeError, SchemeSpec};
 use nimbus_core::{Mode, MultiflowConfig, NimbusController};
 use nimbus_netsim::{
     FlowConfig, FlowEndpoint, FlowHandle, LinkConfig, LossModel, Network, QueueKind, RateSchedule,
     Recorder, SimConfig, Time,
 };
+use nimbus_traffic::fleet::{ArrivalProcess, FleetSpawner, FleetWorkloadConfig};
+use nimbus_traffic::wan::CcKindSerde;
+use nimbus_traffic::FlowSizeDistribution;
 use nimbus_transport::{BackloggedSource, Sender, SenderConfig};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
 
 /// How the bottleneck rate moves over a scenario, expressed relative to the
 /// scenario's base `link_rate_bps` so the same shape can be swept across
@@ -376,6 +381,258 @@ impl CrossFlowSpec {
     }
 }
 
+/// An open-loop fleet workload riding on a scenario: a churning population
+/// of finite flows (Poisson or bursty arrivals × heavy-tailed sizes) offered
+/// at a fraction of the base link rate.  This is the `arrivals=`/`load=`
+/// axis of the scenario grammar:
+///
+/// ```text
+/// fleet(arrivals=poisson,load=0.5)
+/// fleet(arrivals=bursty(alpha=1.5),load=0.3,mean=50k,cc=reno)
+/// ```
+///
+/// Materialized into a [`FleetSpawner`] at network-build time; flows spawn
+/// at their arrival instants and retire on completion, so the run only pays
+/// for the concurrently active population.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Interarrival process (`arrivals=poisson|bursty|bursty(alpha=…)`).
+    pub arrivals: ArrivalProcess,
+    /// Offered load as a fraction of the scenario's base link rate (`load=`).
+    pub load: f64,
+    /// Override the size distribution's mean flow size in bytes (`mean=`);
+    /// `None` keeps the default CAIDA-like mixture (~100 kB mean).
+    pub mean_flow_bytes: Option<f64>,
+    /// Congestion control run by the fleet flows (`cc=cubic|reno`).
+    pub cc: CcKindSerde,
+}
+
+impl FleetSpec {
+    /// A Poisson fleet at the given offered-load fraction, default sizes,
+    /// Cubic flows.
+    pub fn poisson(load: f64) -> Self {
+        FleetSpec {
+            arrivals: ArrivalProcess::Poisson,
+            load,
+            mean_flow_bytes: None,
+            cc: CcKindSerde::Cubic,
+        }
+    }
+
+    /// A bursty (Pareto-interarrival) fleet at the given offered-load
+    /// fraction, default shape.
+    pub fn bursty(load: f64) -> Self {
+        FleetSpec {
+            arrivals: ArrivalProcess::Bursty {
+                alpha: nimbus_traffic::fleet::DEFAULT_BURSTY_ALPHA,
+            },
+            load,
+            mean_flow_bytes: None,
+            cc: CcKindSerde::Cubic,
+        }
+    }
+
+    /// Override the mean flow size (builder style).
+    pub fn with_mean_flow_bytes(mut self, bytes: f64) -> Self {
+        self.mean_flow_bytes = Some(bytes);
+        self
+    }
+
+    /// Run the fleet over NewReno instead of Cubic (builder style).
+    pub fn with_reno(mut self) -> Self {
+        self.cc = CcKindSerde::NewReno;
+        self
+    }
+
+    /// The size distribution this fleet samples from: the default mixture,
+    /// linearly rescaled when `mean_flow_bytes` overrides the mean.
+    pub fn size_distribution(&self) -> FlowSizeDistribution {
+        let mut sizes = FlowSizeDistribution::default();
+        if let Some(target_mean) = self.mean_flow_bytes {
+            // Scaling every byte-dimensioned parameter by the same factor
+            // scales the analytic mean exactly linearly.
+            let factor = target_mean / sizes.mean_bytes();
+            sizes.body_median_bytes *= factor;
+            sizes.tail_min_bytes *= factor;
+            sizes.max_bytes *= factor;
+        }
+        sizes
+    }
+
+    /// A short slug for cell names: `fleet-poisson-l50`, `fleet-bursty-l30-reno`.
+    pub fn label(&self) -> String {
+        let arrivals = match self.arrivals {
+            ArrivalProcess::Poisson => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+        };
+        let mut s = format!("fleet-{arrivals}-l{:.0}", self.load * 100.0);
+        if let Some(mean) = self.mean_flow_bytes {
+            s.push_str(&format!("-m{:.0}k", mean / 1000.0));
+        }
+        if self.cc == CcKindSerde::NewReno {
+            s.push_str("-reno");
+        }
+        s
+    }
+
+    /// Materialize the fleet against a scenario: arrivals over the whole run,
+    /// offered load relative to `link_rate_bps`, workload seed derived from
+    /// the scenario seed (distinct from the cross-flow controller seeds).
+    pub fn build_spawner(&self, link_rate_bps: f64, duration_s: f64, seed: u64) -> FleetSpawner {
+        FleetSpawner::new(FleetWorkloadConfig {
+            offered_load_bps: self.load * link_rate_bps,
+            arrivals: self.arrivals,
+            sizes: self.size_distribution(),
+            start_s: 0.0,
+            stop_s: duration_s,
+            base_rtt_s: 0.05,
+            jitter_rtt: true,
+            cc: self.cc,
+            seed: seed.wrapping_mul(131).wrapping_add(29),
+            elastic_threshold_bytes: 15_000,
+        })
+    }
+}
+
+impl fmt::Display for FleetSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fleet(arrivals=")?;
+        match self.arrivals {
+            ArrivalProcess::Poisson => write!(f, "poisson")?,
+            ArrivalProcess::Bursty { alpha } => write!(f, "bursty(alpha={alpha})")?,
+        }
+        write!(f, ",load={}", self.load)?;
+        if let Some(mean) = self.mean_flow_bytes {
+            write!(f, ",mean={mean}")?;
+        }
+        if self.cc == CcKindSerde::NewReno {
+            write!(f, ",cc=reno")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Parse a byte count with an optional `k`/`M` suffix (`50k` = 50 000).
+fn parse_size_bytes(value: &str) -> Result<f64, ParseSchemeError> {
+    let v = value.trim();
+    let (digits, mult) = match v.strip_suffix(['k', 'K']) {
+        Some(d) => (d, 1e3),
+        None => match v.strip_suffix('M') {
+            Some(d) => (d, 1e6),
+            None => (v, 1.0),
+        },
+    };
+    let n: f64 = digits
+        .parse()
+        .map_err(|_| ParseSchemeError(format!("invalid size `{value}`: not a number")))?;
+    if !(n > 0.0 && n.is_finite()) {
+        return Err(ParseSchemeError(format!(
+            "invalid size `{value}`: must be positive"
+        )));
+    }
+    Ok(n * mult)
+}
+
+impl FromStr for FleetSpec {
+    type Err = ParseSchemeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let inner = s
+            .strip_prefix("fleet(")
+            .and_then(|rest| rest.strip_suffix(')'))
+            .ok_or_else(|| {
+                ParseSchemeError(format!(
+                    "`{s}` is not a fleet spec: expected fleet(arrivals=…,load=…)"
+                ))
+            })?;
+        let mut spec = FleetSpec::poisson(0.5);
+        // Split on commas outside parentheses so `bursty(alpha=1.5)` survives.
+        let mut depth = 0usize;
+        let mut start = 0usize;
+        let mut parts = Vec::new();
+        for (i, c) in inner.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    parts.push(&inner[start..i]);
+                    start = i + 1;
+                }
+                _ => {}
+            }
+        }
+        parts.push(&inner[start..]);
+        for part in parts {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (key, value) = part.split_once('=').ok_or_else(|| {
+                ParseSchemeError(format!("fleet parameter `{part}` is not key=value"))
+            })?;
+            match key.trim() {
+                "arrivals" => {
+                    let v = value.trim();
+                    spec.arrivals = if v == "poisson" {
+                        ArrivalProcess::Poisson
+                    } else if v == "bursty" {
+                        ArrivalProcess::Bursty {
+                            alpha: nimbus_traffic::fleet::DEFAULT_BURSTY_ALPHA,
+                        }
+                    } else if let Some(alpha) = v
+                        .strip_prefix("bursty(alpha=")
+                        .and_then(|r| r.strip_suffix(')'))
+                    {
+                        let a: f64 = alpha.trim().parse().map_err(|_| {
+                            ParseSchemeError(format!("invalid bursty alpha `{alpha}`"))
+                        })?;
+                        if !(a > 1.0 && a.is_finite()) {
+                            return Err(ParseSchemeError(format!(
+                                "bursty alpha must exceed 1 (finite mean), got `{alpha}`"
+                            )));
+                        }
+                        ArrivalProcess::Bursty { alpha: a }
+                    } else {
+                        return Err(ParseSchemeError(format!(
+                            "unknown arrivals `{v}` (expected poisson, bursty or bursty(alpha=…))"
+                        )));
+                    };
+                }
+                "load" => {
+                    let l: f64 = value.trim().parse().map_err(|_| {
+                        ParseSchemeError(format!("invalid load `{value}`: not a number"))
+                    })?;
+                    if !(l > 0.0 && l <= 2.0) {
+                        return Err(ParseSchemeError(format!(
+                            "load `{value}` out of range (0, 2]: it is a fraction of link rate"
+                        )));
+                    }
+                    spec.load = l;
+                }
+                "mean" => spec.mean_flow_bytes = Some(parse_size_bytes(value)?),
+                "cc" => {
+                    spec.cc = match value.trim() {
+                        "cubic" => CcKindSerde::Cubic,
+                        "reno" | "newreno" => CcKindSerde::NewReno,
+                        other => {
+                            return Err(ParseSchemeError(format!(
+                                "unknown fleet cc `{other}` (expected cubic or reno)"
+                            )))
+                        }
+                    };
+                }
+                other => {
+                    return Err(ParseSchemeError(format!(
+                        "unknown fleet parameter `{other}` (expected arrivals, load, mean, cc)"
+                    )));
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
 /// A bottleneck + experiment-duration specification.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioSpec {
@@ -401,6 +658,9 @@ pub struct ScenarioSpec {
     /// Spec-described cross flows, each carrying its own [`SchemeSpec`]
     /// (added to the network after any imperatively built cross traffic).
     pub cross_flows: Vec<CrossFlowSpec>,
+    /// Optional open-loop fleet workload churning alongside the monitored
+    /// flow (installed as a spawner after every static flow).
+    pub fleet: Option<FleetSpec>,
 }
 
 impl ScenarioSpec {
@@ -417,6 +677,7 @@ impl ScenarioSpec {
             loss_probability: 0.0,
             path: PathSpec::single(),
             cross_flows: Vec::new(),
+            fleet: None,
         }
     }
 
@@ -678,6 +939,13 @@ pub fn run_scheme_vs_cross(
         let (cfg, ep) = cf.build(i, mu, spec.seed);
         net.add_flow(cfg, ep);
     }
+    if let Some(fleet) = &spec.fleet {
+        net.add_spawner(Box::new(fleet.build_spawner(
+            spec.link_rate_bps,
+            spec.duration_s,
+            spec.seed,
+        )));
+    }
     run_and_collect(net, &[(handle, scheme)], steady_start_s)
 }
 
@@ -821,6 +1089,91 @@ mod tests {
             "cubic got {} Mbit/s against a 24 Mbit/s CBR competitor",
             m.mean_throughput_mbps
         );
+    }
+
+    #[test]
+    fn fleet_spec_grammar_round_trips() {
+        let cases = [
+            "fleet(arrivals=poisson,load=0.5)",
+            "fleet(arrivals=bursty(alpha=1.5),load=0.3)",
+            "fleet(arrivals=poisson,load=0.6,mean=50000,cc=reno)",
+        ];
+        for text in cases {
+            let spec: FleetSpec = text.parse().unwrap();
+            let display = spec.to_string();
+            let again: FleetSpec = display.parse().unwrap();
+            assert_eq!(spec, again, "{text} → {display}");
+        }
+        // Suffix sizes and bare bursty.
+        let spec: FleetSpec = "fleet(arrivals=bursty,load=0.4,mean=50k)".parse().unwrap();
+        assert_eq!(spec.mean_flow_bytes, Some(50_000.0));
+        assert!(matches!(spec.arrivals, ArrivalProcess::Bursty { .. }));
+        let spec: FleetSpec = "fleet(load=0.8,mean=2M)".parse().unwrap();
+        assert_eq!(spec.arrivals, ArrivalProcess::Poisson);
+        assert_eq!(spec.mean_flow_bytes, Some(2e6));
+    }
+
+    #[test]
+    fn fleet_spec_grammar_rejects_nonsense() {
+        for bad in [
+            "fleet(load=0)",
+            "fleet(load=5)",
+            "fleet(arrivals=uniform,load=0.5)",
+            "fleet(arrivals=bursty(alpha=0.9),load=0.5)",
+            "fleet(speed=0.5)",
+            "fleet(load=0.5",
+            "poisson(load=0.5)",
+            "fleet(mean=-3,load=0.5)",
+        ] {
+            assert!(
+                bad.parse::<FleetSpec>().is_err(),
+                "`{bad}` should not parse"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_spec_labels_and_scaled_sizes() {
+        assert_eq!(FleetSpec::poisson(0.5).label(), "fleet-poisson-l50");
+        assert_eq!(
+            FleetSpec::bursty(0.3)
+                .with_mean_flow_bytes(50_000.0)
+                .with_reno()
+                .label(),
+            "fleet-bursty-l30-m50k-reno"
+        );
+        let sizes = FleetSpec::poisson(0.5)
+            .with_mean_flow_bytes(50_000.0)
+            .size_distribution();
+        assert!(
+            (sizes.mean_bytes() - 50_000.0).abs() < 1.0,
+            "rescaled mean {}",
+            sizes.mean_bytes()
+        );
+    }
+
+    #[test]
+    fn scenario_with_fleet_churns_and_retires() {
+        let spec = ScenarioSpec {
+            duration_s: 15.0,
+            fleet: Some(FleetSpec::poisson(0.3)),
+            ..ScenarioSpec::fig1_48mbps(15.0)
+        };
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::cubic(), None, Vec::new(), 5.0);
+        // The fleet actually ran: many finite flows completed...
+        let fcts = out.recorder.fct_stream();
+        assert!(fcts.len() > 30, "only {} fleet completions", fcts.len());
+        // ...and the monitored flow still got a usable share.
+        let m = &out.flows[0];
+        assert!(
+            m.mean_throughput_mbps > 10.0,
+            "cubic got {} Mbit/s under 30% churn",
+            m.mean_throughput_mbps
+        );
+        let summary = out.recorder.fct_summary();
+        assert_eq!(summary.all.count as usize, fcts.len());
+        assert!(summary.mice.count > 0, "churn must include mice");
+        assert!(summary.all.p50_s > 0.0);
     }
 
     #[test]

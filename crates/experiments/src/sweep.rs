@@ -282,6 +282,24 @@ pub fn sweep_matrix_with(quick: bool, scheme_axis: Option<&[SchemeSpec]>) -> Vec
                 invariants: Invariants::default(),
             });
         }
+        // Population-scale churn in the per-PR perf gate: a 1 Gbit/s
+        // bottleneck with an open-loop Poisson fleet at 50% load spawns and
+        // retires ~550 flows/s, so this one cell churns through thousands of
+        // flow lifetimes — the spawner/retirement hot path regresses here
+        // long before it would show in the static-flow cells.
+        cells.push(Cell {
+            scheme: SchemeSpec::nimbus(),
+            cross: CrossTraffic::Fleet {
+                spec: crate::runner::FleetSpec::poisson(0.5),
+            },
+            link_rate_bps: 1e9,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 1,
+            duration_s,
+            steady_start_s: duration_s * 0.25,
+            invariants: Invariants::default(),
+        });
     }
     cells
 }
@@ -556,6 +574,13 @@ mod tests {
         // The estimator axis rides in the perf gate too.
         assert!(names.iter().any(|n| n.starts_with("nimbus-estmu-probe1@")));
         assert!(names.iter().any(|n| n.starts_with("nimbus-estmu-zadapt@")));
+        // And the population-scale fleet churn cell (1 Gbit/s spawner path).
+        assert!(
+            names
+                .iter()
+                .any(|n| n.contains("@1000M") && n.contains("-vs-fleet-poisson-l50-")),
+            "{names:?}"
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@
 
 use crate::figures::{cbr_cross_flow, poisson_cross_flow, scheme_cross_flow};
 use crate::runner::{
-    run_scheme_vs_cross, LinkScheduleSpec, PathSpec, ScenarioSpec, SingleFlowMetrics,
+    run_scheme_vs_cross, FleetSpec, LinkScheduleSpec, PathSpec, ScenarioSpec, SingleFlowMetrics,
 };
 use crate::scheme::SchemeSpec;
 use nimbus_core::TcpScheme;
@@ -73,6 +73,14 @@ pub enum CrossTraffic {
         /// Last hop the competitor traverses (inclusive).
         exit_hop: usize,
     },
+    /// An open-loop churning fleet of finite flows ([`FleetSpec`]): flows
+    /// arrive Poisson/bursty, run to completion and retire.  Installed as a
+    /// spawner on the scenario rather than as static flows, so it
+    /// contributes no static cross-flow entries.
+    Fleet {
+        /// The fleet workload riding on the cell's scenario.
+        spec: FleetSpec,
+    },
 }
 
 impl CrossTraffic {
@@ -97,6 +105,9 @@ impl CrossTraffic {
         let cross_seed = seed.wrapping_mul(67).wrapping_add(11);
         match self {
             CrossTraffic::None => Vec::new(),
+            // The fleet is installed as a spawner on the scenario spec
+            // (see `Cell::run`), not as a static flow list.
+            CrossTraffic::Fleet { .. } => Vec::new(),
             CrossTraffic::Cbr { fraction_of_mu } => vec![cbr_cross_flow(
                 "cbr-cross",
                 fraction_of_mu * link_rate_bps,
@@ -174,6 +185,7 @@ impl CrossTraffic {
             CrossTraffic::ElasticAtHops {
                 spec, enter_hop, ..
             } => format!("{}-hop{enter_hop}", spec.label()),
+            CrossTraffic::Fleet { spec } => spec.label(),
         }
     }
 }
@@ -248,12 +260,17 @@ impl Cell {
 
     /// Run this cell to completion and evaluate its invariants.
     pub fn run(&self) -> CellOutcome {
+        let fleet = match &self.cross {
+            CrossTraffic::Fleet { spec } => Some(spec.clone()),
+            _ => None,
+        };
         let spec = ScenarioSpec {
             link_rate_bps: self.link_rate_bps,
             schedule: self.schedule.clone(),
             duration_s: self.duration_s,
             seed: self.seed,
             path: self.path.clone(),
+            fleet,
             ..ScenarioSpec::default_96mbps(self.duration_s)
         };
         let scheme_mu = match &self.cross {
@@ -474,17 +491,128 @@ pub fn matrix_report(outcomes: &[CellOutcome]) -> String {
 /// tracking the path minimum, doubly-saturated hops, elastic traffic on the
 /// non-bottleneck hop), five spec-combination cells
 /// ([`spec_combination_cells`]) exercising wrapper compositions the closed
-/// enum could not express, and three estimator-strategy cells
+/// enum could not express, the estimator-strategy cells
 /// ([`estimator_cells`]) gating the regimes the pluggable µ-estimation API
-/// recovers.  Kept short enough (~30 simulated seconds per cell) that the
-/// whole matrix runs in well under two minutes of wall clock under
-/// `cargo test`.
+/// recovers, and the fleet-churn cells ([`fleet_cells`]) gating detector
+/// stability and fairness under open-loop flow churn.  Kept short enough
+/// (~30 simulated seconds per cell) that the whole matrix runs in well
+/// under two minutes of wall clock under `cargo test`.
 pub fn paper_invariant_matrix() -> Vec<Cell> {
     let mut cells = legacy_single_bottleneck_cells();
     cells.extend(multihop_cells());
     cells.extend(spec_combination_cells());
     cells.extend(estimator_cells());
+    cells.extend(fleet_cells());
     cells
+}
+
+/// Matrix cells gating behaviour under open-loop fleet churn (§8.1 at
+/// population scale): a long-lived monitored flow shares the bottleneck
+/// with a [`FleetSpec`] population that arrives, transfers and retires
+/// continuously.
+///
+/// The headline question — does constant arrival/departure churn *read as
+/// elastic* to a long-lived Nimbus flow?  Measured answer: **no**, across
+/// every mixture tried (loads 0.4–0.7, mean sizes 20 kB–2 MB, Poisson and
+/// bursty arrivals, several seeds the delay-mode fraction stays 1.00).
+/// Individual elephants are elastic while they last, but arrivals and
+/// departures reshuffle the aggregate's share faster than the detector's
+/// decision window, so the cross-correlation signature of a backlogged
+/// competitor never accumulates — exactly the paper's premise that typical
+/// WAN cross traffic should be treated as inelastic (§2).  These cells pin
+/// that stability as an invariant.
+pub fn fleet_cells() -> Vec<Cell> {
+    vec![
+        // Detector stability: pure-mice churn (mean 20 kB — flows last a few
+        // RTTs each) at 40% offered load.  Nothing in the population is
+        // durably ACK-clocked, so Nimbus must hold delay mode and keep the
+        // queue short while taking roughly the residual capacity.
+        Cell {
+            scheme: SchemeSpec::nimbus(),
+            cross: CrossTraffic::Fleet {
+                spec: FleetSpec::poisson(0.4).with_mean_flow_bytes(20_000.0),
+            },
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 51,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(15.0),
+                max_queue_delay_ms: Some(40.0),
+                min_delay_mode_fraction: Some(0.8),
+                ..Invariants::default()
+            },
+        },
+        // The same churn through bursty (Pareto) arrivals: batches of
+        // simultaneous mice still must not read as a backlogged competitor.
+        Cell {
+            scheme: SchemeSpec::nimbus(),
+            cross: CrossTraffic::Fleet {
+                spec: FleetSpec::bursty(0.4).with_mean_flow_bytes(20_000.0),
+            },
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 51,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(15.0),
+                max_queue_delay_ms: Some(40.0),
+                min_delay_mode_fraction: Some(0.8),
+                ..Invariants::default()
+            },
+        },
+        // Heavy-tailed churn (default CAIDA-like mixture, 50% load): even
+        // with elephants regularly in flight the detector must NOT latch
+        // onto any single one — the population churns underneath it, so the
+        // long-lived flow holds delay mode (measured 1.00) and keeps its
+        // residual share at low delay.
+        Cell {
+            scheme: SchemeSpec::nimbus(),
+            cross: CrossTraffic::Fleet {
+                spec: FleetSpec::poisson(0.5),
+            },
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 52,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(15.0),
+                max_queue_delay_ms: Some(40.0),
+                min_delay_mode_fraction: Some(0.9),
+                ..Invariants::default()
+            },
+        },
+        // The FCT-comparison partner cell: the same heavy-tailed churn
+        // against a long-lived Cubic.  Churn loss keeps Cubic's window —
+        // and the standing queue — far below its solo bufferbloat (measured
+        // ~16 ms vs ~50+ alone), and its loss-based probing takes *less*
+        // of the link than Nimbus's delay mode does under identical churn
+        // (12.7 vs 23.5 Mbit/s).  `fleet_fct` quantifies the same pairing
+        // from the fleet's side as FCT distributions.
+        Cell {
+            scheme: SchemeSpec::cubic(),
+            cross: CrossTraffic::Fleet {
+                spec: FleetSpec::poisson(0.5),
+            },
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 52,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(8.0),
+                max_queue_delay_ms: Some(40.0),
+                ..Invariants::default()
+            },
+        },
+    ]
 }
 
 /// Matrix cells gating the µ-estimation strategy API: the two ROADMAP
@@ -620,6 +748,34 @@ pub fn estimator_cells() -> Vec<Cell> {
                 min_throughput_mbps: Some(12.0),
                 max_delay_mode_fraction: Some(0.9),
                 must_enter_competitive: true,
+                ..Invariants::default()
+            },
+        },
+        // The flip side of that recovery, pinned as an invariant (ROADMAP
+        // residual 3): what does *un*-quiesced `mu=learned(probe=1)` give
+        // up against the same elastic Cubic competitor?  Detection itself.
+        // The probe epochs hold ẑ at its pre-probe value, blanking the
+        // detector's input, so the wrapper never classifies the competitor
+        // as elastic — it reports delay mode the whole run (fraction 1.00,
+        // never a switch).  It doesn't starve: the endless 2× probe epochs
+        // overdrive µ̂ and the pace until the flow bulldozes Cubic off the
+        // link (measured 47.7 of 48 Mbit/s) behind a ~73 ms standing queue
+        // — "delay mode" in name only, with neither the low-delay objective
+        // nor honest competition.  Same seed/link as the quiesce pair above,
+        // so the cells differ only in the quiesce floor.
+        Cell {
+            scheme: SchemeSpec::nimbus().with_probing_mu(),
+            cross: CrossTraffic::elastic_cubic(),
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 45,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            invariants: Invariants {
+                min_throughput_mbps: Some(40.0),
+                min_queue_delay_ms: Some(40.0),
+                min_delay_mode_fraction: Some(0.95),
                 ..Invariants::default()
             },
         },
@@ -1177,6 +1333,23 @@ mod tests {
             ..Invariants::default()
         };
         assert!(ok.check(SchemeSpec::cubic(), &m).is_empty());
+    }
+
+    #[test]
+    #[ignore = "calibration helper, not a regression test"]
+    fn calibrate_new_cells() {
+        let mut cells = fleet_cells();
+        cells.push(estimator_cells().pop().unwrap());
+        let outcomes = run_matrix(&cells);
+        println!("{}", matrix_report(&outcomes));
+        for o in &outcomes {
+            println!(
+                "{}: competitive={} events={}",
+                o.name,
+                o.metrics.mode_log.iter().any(|(_, m)| m == "competitive"),
+                o.events
+            );
+        }
     }
 
     #[test]

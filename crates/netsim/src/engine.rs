@@ -189,6 +189,12 @@ pub struct FlowConfig {
     /// Last path hop this flow traverses, inclusive (`None` = the path's
     /// final hop).  Cross traffic that exits mid-path leaves earlier.
     pub exit_hop: Option<usize>,
+    /// Retire the flow when its endpoint reports `Finished`: drop the boxed
+    /// endpoint (sender windows, SACK scoreboard, controller state) and the
+    /// receiver's reassembly map, replacing the endpoint with an inert stub.
+    /// Essential for fleet workloads where thousands of short flows churn
+    /// through one run; meaningless for endpoints callers inspect afterwards.
+    pub retire_on_finish: bool,
 }
 
 impl FlowConfig {
@@ -203,6 +209,7 @@ impl FlowConfig {
             size_bytes: None,
             entry_hop: 0,
             exit_hop: None,
+            retire_on_finish: false,
         }
     }
 
@@ -217,6 +224,7 @@ impl FlowConfig {
             size_bytes: None,
             entry_hop: 0,
             exit_hop: None,
+            retire_on_finish: false,
         }
     }
 
@@ -248,6 +256,36 @@ impl FlowConfig {
     pub fn monitored(mut self, yes: bool) -> Self {
         self.monitored = yes;
         self
+    }
+
+    /// Free the flow's endpoint and receiver state when it finishes.
+    pub fn retiring(mut self) -> Self {
+        self.retire_on_finish = true;
+        self
+    }
+}
+
+/// A source of dynamically arriving flows: the engine asks it for the next
+/// `(arrival time, config, endpoint)` triple and schedules the flow's
+/// creation at that time, so an open-loop workload of thousands of flows
+/// costs nothing until each one actually arrives.  Return `None` when the
+/// process is exhausted.  Arrival times must be non-decreasing.
+pub trait FlowSpawner: Send {
+    /// The next flow to arrive, or `None` when no more flows will.
+    fn next_flow(&mut self) -> Option<(Time, FlowConfig, Box<dyn FlowEndpoint>)>;
+}
+
+/// An inert endpoint installed in place of a retired flow's real one; any
+/// straggler event for the flow (late ACK, in-flight drop) hits a no-op.
+struct RetiredEndpoint;
+
+impl FlowEndpoint for RetiredEndpoint {
+    fn on_ack(&mut self, _ack: &AckInfo) {}
+    fn poll_send(&mut self, _now: Time) -> SendAction {
+        SendAction::Finished
+    }
+    fn label(&self) -> &str {
+        "retired"
     }
 }
 
@@ -287,8 +325,19 @@ enum EventKind {
     RateChange {
         hop: usize,
     },
+    /// Spawner `idx`'s next pending flow arrives now: add it, fetch the
+    /// following arrival and reschedule.
+    Spawn(usize),
     Tick,
     Sample,
+}
+
+/// A registered [`FlowSpawner`] plus its pre-fetched next arrival (fetched
+/// eagerly so the arrival *time* is known and schedulable before the flow
+/// itself needs to exist).
+struct SpawnerState {
+    spawner: Box<dyn FlowSpawner>,
+    pending: Option<(Time, FlowConfig, Box<dyn FlowEndpoint>)>,
 }
 
 struct FlowState {
@@ -346,6 +395,14 @@ pub struct Network {
     ack_slab: Slab<AckPacket>,
     links: Vec<LinkState>,
     flows: Vec<FlowState>,
+    /// Registered flow spawners (`None` only transiently during dispatch).
+    spawners: Vec<Option<SpawnerState>>,
+    /// Flow ids that have started and not yet finished, ascending.  The
+    /// per-tick walk visits only these, so a fleet run's cost per tick tracks
+    /// the *concurrent* population, not the total number of flows ever
+    /// created.  Ascending order keeps the tick's endpoint-call order
+    /// identical to the historical `0..flows.len()` scan.
+    active_flows: Vec<FlowId>,
     recorder: Recorder,
     /// Reusable per-hop occupancy buffer for recorder samples.
     occupancy_buf: Vec<u64>,
@@ -431,6 +488,8 @@ impl Network {
             ack_slab: Slab::new(),
             links,
             flows: Vec::new(),
+            spawners: Vec::new(),
+            active_flows: Vec::new(),
             recorder,
             occupancy_buf: Vec::new(),
             total_enqueued_bytes: 0,
@@ -524,6 +583,46 @@ impl Network {
             next_scheduled_poll: Time::MAX,
         });
         FlowHandle(id)
+    }
+
+    /// Register an open-loop flow source.  Its first arrival is fetched and
+    /// scheduled immediately; each arrival event adds the pending flow and
+    /// fetches the next, so at most one un-created flow per spawner is ever
+    /// held in memory.
+    pub fn add_spawner(&mut self, spawner: Box<dyn FlowSpawner>) {
+        let mut state = SpawnerState {
+            spawner,
+            pending: None,
+        };
+        if let Some(next) = state.spawner.next_flow() {
+            let at = next.0;
+            state.pending = Some(next);
+            let idx = self.spawners.len();
+            self.schedule(at, EventKind::Spawn(idx));
+        }
+        self.spawners.push(Some(state));
+    }
+
+    /// Total number of flows ever created (static adds plus spawned).
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Flows currently started and not finished.  (The internal active list
+    /// is compacted lazily at each tick, so filter here for an exact count.)
+    pub fn active_flow_count(&self) -> usize {
+        self.active_flows
+            .iter()
+            .filter(|&&id| !self.flows[id].finished)
+            .count()
+    }
+
+    /// Flows that finished and had their endpoint/receiver state retired.
+    pub fn retired_flow_count(&self) -> usize {
+        self.flows
+            .iter()
+            .filter(|f| f.finished && f.cfg.retire_on_finish)
+            .count()
     }
 
     /// Run the simulation to completion (until `duration`).
@@ -637,6 +736,8 @@ impl Network {
             EventKind::FlowStart(id) => {
                 if !self.flows[id].started {
                     self.flows[id].started = true;
+                    let pos = self.active_flows.binary_search(&id).unwrap_or_else(|p| p);
+                    self.active_flows.insert(pos, id);
                     self.recorder.on_flow_start(id);
                     let now = self.now;
                     self.flows[id].endpoint.on_start(now);
@@ -670,14 +771,39 @@ impl Network {
                 self.on_ack_arrival(ack);
             }
             EventKind::RateChange { hop } => self.on_rate_change(hop),
+            EventKind::Spawn(idx) => {
+                // Take the state out so `add_flow` can borrow `self` freely.
+                if let Some(mut state) = self.spawners[idx].take() {
+                    if let Some((at, cfg, endpoint)) = state.pending.take() {
+                        debug_assert!(at <= self.now, "spawn fired before its arrival time");
+                        // The flow's `FlowStart` lands at the same instant but
+                        // a later event sequence number, so it fires right
+                        // after this event — deterministically.
+                        self.add_flow(cfg, endpoint);
+                    }
+                    if let Some(next) = state.spawner.next_flow() {
+                        let at = next.0;
+                        state.pending = Some(next);
+                        self.schedule(at, EventKind::Spawn(idx));
+                    }
+                    self.spawners[idx] = Some(state);
+                }
+            }
             EventKind::Tick => {
                 let now = self.now;
-                for id in 0..self.flows.len() {
-                    if self.flows[id].started && !self.flows[id].finished {
+                // Walk by index (not iterator) because `poll_flow` needs
+                // `&mut self`; the list only grows at `FlowStart`, never
+                // during a tick, so the bound is stable.
+                let mut i = 0;
+                while i < self.active_flows.len() {
+                    let id = self.active_flows[i];
+                    if !self.flows[id].finished {
                         self.flows[id].endpoint.on_tick(now);
                         self.poll_flow(id);
                     }
+                    i += 1;
                 }
+                self.active_flows.retain(|&id| !self.flows[id].finished);
                 self.schedule(now + self.cfg.tick_interval, EventKind::Tick);
             }
             EventKind::Sample => {
@@ -727,10 +853,24 @@ impl Network {
                 SendAction::Finished => {
                     self.flows[id].finished = true;
                     self.recorder.on_finish(id, self.now);
+                    if self.flows[id].cfg.retire_on_finish {
+                        self.retire_flow(id);
+                    }
                     break;
                 }
             }
         }
+    }
+
+    /// Free a finished flow's heavyweight state: the boxed endpoint (sender
+    /// window, SACK scoreboard, congestion controller) and the receiver's
+    /// reassembly map.  Straggler events — an ACK still propagating, a packet
+    /// dropped in transit — find a no-op endpoint and a `finished` flag that
+    /// short-circuits the ACK path, so late arrivals are harmless.
+    fn retire_flow(&mut self, id: FlowId) {
+        let flow = &mut self.flows[id];
+        flow.endpoint = Box::new(RetiredEndpoint);
+        flow.out_of_order = BTreeMap::new();
     }
 
     /// The last hop flow `id` traverses.
@@ -1239,6 +1379,96 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    /// A fixed-count open-loop spawner: `count` retiring 15 kB flows, one
+    /// every `interval`, starting at t = 0.5 s.
+    struct BurstSpawner {
+        interval_s: f64,
+        emitted: u64,
+        count: u64,
+    }
+
+    impl FlowSpawner for BurstSpawner {
+        fn next_flow(&mut self) -> Option<(Time, FlowConfig, Box<dyn FlowEndpoint>)> {
+            if self.emitted >= self.count {
+                return None;
+            }
+            let i = self.emitted;
+            self.emitted += 1;
+            let at = Time::from_secs_f64(0.5 + i as f64 * self.interval_s);
+            let cfg = FlowConfig::cross(&format!("spawn-{i}"), Time::from_millis(20), false)
+                .starting_at(at)
+                .with_size(15_000)
+                .retiring();
+            let ep: Box<dyn FlowEndpoint> = Box::new(PacedCbr::new(6e6).with_limit(10));
+            Some((at, cfg, ep))
+        }
+    }
+
+    #[test]
+    fn spawner_creates_finishes_and_retires_flows() {
+        let mut net = Network::new(base_config(96e6, 10.0));
+        net.add_spawner(Box::new(BurstSpawner {
+            interval_s: 0.2,
+            emitted: 0,
+            count: 20,
+        }));
+        net.run();
+        assert_eq!(net.flow_count(), 20);
+        assert_eq!(net.active_flow_count(), 0, "all spawned flows complete");
+        assert_eq!(net.retired_flow_count(), 20);
+        let (rec, endpoints) = net.finish();
+        for (i, stats) in rec.flows.iter().enumerate() {
+            assert!(stats.started, "flow {i} started");
+            assert!(stats.finish.is_some(), "flow {i} finished");
+            assert_eq!(stats.delivered_bytes, 15_000, "flow {i} delivered");
+            assert!(stats.fct().unwrap() > Time::ZERO);
+        }
+        // Retirement swapped every endpoint for the inert stub.
+        for ep in &endpoints {
+            assert_eq!(ep.label(), "retired");
+        }
+    }
+
+    #[test]
+    fn spawned_runs_are_deterministic() {
+        let run = || {
+            let mut cfg = base_config(48e6, 8.0);
+            cfg.link_mut().loss = LossModel::Bernoulli { p: 0.005 };
+            cfg.seed = 7;
+            let mut net = Network::new(cfg);
+            net.add_flow(
+                FlowConfig::primary("long", Time::from_millis(40)),
+                Box::new(FixedWindow::new(200)),
+            );
+            net.add_spawner(Box::new(BurstSpawner {
+                interval_s: 0.1,
+                emitted: 0,
+                count: 50,
+            }));
+            net.run();
+            (
+                net.total_delivered_bytes(),
+                net.total_enqueued_bytes(),
+                net.events_processed(),
+                net.flow_count(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn unretired_finite_flows_keep_their_endpoints() {
+        let mut net = Network::new(base_config(96e6, 10.0));
+        let h = net.add_flow(
+            FlowConfig::cross("finite", Time::from_millis(20), false).with_size(15_000),
+            Box::new(PacedCbr::new(6e6).with_limit(10)),
+        );
+        net.run();
+        assert_eq!(net.retired_flow_count(), 0);
+        let (_, endpoints) = net.finish();
+        assert_eq!(endpoints[h.0].label(), "paced-cbr");
     }
 
     #[test]

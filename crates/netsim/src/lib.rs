@@ -45,12 +45,15 @@ pub mod slab;
 pub mod time;
 
 pub use endpoint::{AckInfo, FlowEndpoint, SendAction};
-pub use engine::{FlowConfig, FlowHandle, LinkConfig, Network, QueueKind, SimConfig};
+pub use engine::{FlowConfig, FlowHandle, FlowSpawner, LinkConfig, Network, QueueKind, SimConfig};
 pub use eventq::CalendarQueue;
 pub use loss::{LossModel, Policer};
 pub use packet::{FlowId, Packet};
 pub use queue::{CoDelQueue, DropTailQueue, PieQueue, QueueDiscipline, RedQueue};
-pub use recorder::{FlowStats, Recorder, RecorderConfig, TimeSeries};
+pub use recorder::{
+    FctBucket, FctSummary, FlowStats, Recorder, RecorderConfig, TimeSeries, ELEPHANT_MIN_BYTES,
+    MICE_MAX_BYTES,
+};
 pub use schedule::RateSchedule;
 pub use time::Time;
 

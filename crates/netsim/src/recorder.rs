@@ -183,6 +183,109 @@ impl FlowStats {
     }
 }
 
+/// Default upper size bound (bytes, inclusive) for a "mouse" flow when
+/// bucketing FCTs: roughly what fits in a few initial windows.
+pub const MICE_MAX_BYTES: u64 = 100_000;
+
+/// Default lower size bound (bytes, inclusive) for an "elephant" flow when
+/// bucketing FCTs.
+pub const ELEPHANT_MIN_BYTES: u64 = 1_000_000;
+
+/// Percentile statistics over the flow completion times of one size bucket.
+/// Empty buckets report `count == 0` and NaN statistics — absence of flows is
+/// not the same thing as instantaneous completion.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FctBucket {
+    /// Number of completed flows in the bucket.
+    pub count: u64,
+    /// Mean completion time, seconds.
+    pub mean_s: f64,
+    /// Median completion time, seconds.
+    pub p50_s: f64,
+    /// 95th-percentile completion time, seconds.
+    pub p95_s: f64,
+    /// 99th-percentile completion time, seconds.
+    pub p99_s: f64,
+}
+
+impl FctBucket {
+    fn from_fcts(mut fcts: Vec<f64>) -> Self {
+        if fcts.is_empty() {
+            return FctBucket {
+                count: 0,
+                mean_s: f64::NAN,
+                p50_s: f64::NAN,
+                p95_s: f64::NAN,
+                p99_s: f64::NAN,
+            };
+        }
+        fcts.sort_by(|a, b| a.partial_cmp(b).expect("FCTs are finite"));
+        let n = fcts.len();
+        // Nearest-rank percentile on the sorted sample.
+        let rank = |p: f64| -> f64 {
+            let idx = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n) - 1;
+            fcts[idx]
+        };
+        FctBucket {
+            count: n as u64,
+            mean_s: fcts.iter().sum::<f64>() / n as f64,
+            p50_s: rank(50.0),
+            p95_s: rank(95.0),
+            p99_s: rank(99.0),
+        }
+    }
+}
+
+/// Size-bucketed FCT percentile summary over a run's completed finite flows:
+/// the population-level view a fleet workload is judged by (mice should not
+/// starve behind elephants; tail percentiles expose queueing pathologies that
+/// means hide).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FctSummary {
+    /// Upper size bound (bytes, inclusive) of the mice bucket.
+    pub mice_max_bytes: u64,
+    /// Lower size bound (bytes, inclusive) of the elephant bucket.
+    pub elephant_min_bytes: u64,
+    /// All completed finite flows.
+    pub all: FctBucket,
+    /// Flows of at most `mice_max_bytes`.
+    pub mice: FctBucket,
+    /// Flows strictly between the mice and elephant bounds.
+    pub medium: FctBucket,
+    /// Flows of at least `elephant_min_bytes`.
+    pub elephant: FctBucket,
+}
+
+impl FctSummary {
+    /// Summarize `(size_bytes, fct_seconds)` pairs with the default
+    /// mice/elephant boundaries.
+    pub fn from_fcts(fcts: &[(u64, f64)]) -> Self {
+        Self::with_thresholds(fcts, MICE_MAX_BYTES, ELEPHANT_MIN_BYTES)
+    }
+
+    /// Summarize with explicit size boundaries (`mice_max < elephant_min`).
+    pub fn with_thresholds(fcts: &[(u64, f64)], mice_max: u64, elephant_min: u64) -> Self {
+        assert!(
+            mice_max < elephant_min,
+            "mice bound {mice_max} must lie below elephant bound {elephant_min}"
+        );
+        let select = |pred: &dyn Fn(u64) -> bool| -> Vec<f64> {
+            fcts.iter()
+                .filter(|(sz, _)| pred(*sz))
+                .map(|(_, f)| *f)
+                .collect()
+        };
+        FctSummary {
+            mice_max_bytes: mice_max,
+            elephant_min_bytes: elephant_min,
+            all: FctBucket::from_fcts(select(&|_| true)),
+            mice: FctBucket::from_fcts(select(&|sz| sz <= mice_max)),
+            medium: FctBucket::from_fcts(select(&|sz| sz > mice_max && sz < elephant_min)),
+            elephant: FctBucket::from_fcts(select(&|sz| sz >= elephant_min)),
+        }
+    }
+}
+
 /// The instrumentation sink for a simulation run.
 #[derive(Debug)]
 pub struct Recorder {
@@ -216,6 +319,11 @@ pub struct Recorder {
 
     monitored: Vec<FlowId>,
     monitored_index: Vec<Option<usize>>,
+    /// `(size_bytes, fct_seconds)` appended as finite flows finish — the
+    /// streaming view of completions, available mid-run and in completion
+    /// order (unlike [`Recorder::completed_fcts`], which rederives the same
+    /// pairs in flow-id order after the fact).
+    fct_stream: Vec<(u64, f64)>,
     intervals: IntervalBuf,
     cross_elastic_bytes: u64,
     cross_inelastic_bytes: u64,
@@ -241,6 +349,7 @@ impl Recorder {
             flows: Vec::new(),
             monitored: Vec::new(),
             monitored_index: Vec::new(),
+            fct_stream: Vec::new(),
             intervals: IntervalBuf::default(),
             cross_elastic_bytes: 0,
             cross_inelastic_bytes: 0,
@@ -363,6 +472,12 @@ impl Recorder {
     /// The flow finished (delivered all its data).
     pub fn on_finish(&mut self, flow: FlowId, now: Time) {
         self.flows[flow].finish = Some(now);
+        let f = &self.flows[flow];
+        if f.started {
+            if let (Some(sz), Some(fct)) = (f.size_bytes, f.fct()) {
+                self.fct_stream.push((sz, fct.as_secs_f64()));
+            }
+        }
     }
 
     /// Close the current sampling interval at time `now` with each hop's
@@ -473,6 +588,19 @@ impl Recorder {
                 _ => None,
             })
             .collect()
+    }
+
+    /// `(size_bytes, fct_seconds)` pairs in completion order, appended as
+    /// flows finish — usable mid-run without walking the whole flow table.
+    pub fn fct_stream(&self) -> &[(u64, f64)] {
+        &self.fct_stream
+    }
+
+    /// Size-bucketed p50/p95/p99 summary of every completed finite flow,
+    /// using the default mice/elephant boundaries.  Computed on demand; not
+    /// part of [`Recorder::snapshot`], so pinned fingerprints are unaffected.
+    pub fn fct_summary(&self) -> FctSummary {
+        FctSummary::from_fcts(&self.fct_stream)
     }
 
     /// Per-flow summaries restricted to flows that actually started during
@@ -618,6 +746,84 @@ mod tests {
         r.on_arrival(0, 100);
         r.sample(Time::from_millis(100), &[0]);
         assert!(r.throughput_mbps.is_empty());
+    }
+
+    #[test]
+    fn fct_bucket_percentiles_use_nearest_rank() {
+        let fcts: Vec<(u64, f64)> = (1..=100).map(|i| (1000, i as f64)).collect();
+        let s = FctSummary::from_fcts(&fcts);
+        assert_eq!(s.all.count, 100);
+        assert_eq!(s.all.p50_s, 50.0);
+        assert_eq!(s.all.p95_s, 95.0);
+        assert_eq!(s.all.p99_s, 99.0);
+        assert!((s.all.mean_s - 50.5).abs() < 1e-9);
+        // All flows are 1000 B: mice bucket holds everything.
+        assert_eq!(s.mice.count, 100);
+        assert_eq!(s.medium.count, 0);
+        assert!(s.medium.p50_s.is_nan());
+        assert_eq!(s.elephant.count, 0);
+    }
+
+    #[test]
+    fn fct_summary_buckets_split_by_size() {
+        let fcts = vec![
+            (50_000, 0.1),     // mouse
+            (100_000, 0.2),    // mouse (inclusive bound)
+            (500_000, 1.0),    // medium
+            (1_000_000, 5.0),  // elephant (inclusive bound)
+            (20_000_000, 9.0), // elephant
+        ];
+        let s = FctSummary::from_fcts(&fcts);
+        assert_eq!(s.all.count, 5);
+        assert_eq!(s.mice.count, 2);
+        assert_eq!(s.medium.count, 1);
+        assert_eq!(s.elephant.count, 2);
+        assert!((s.mice.p50_s - 0.1).abs() < 1e-9);
+        assert!((s.medium.p50_s - 1.0).abs() < 1e-9);
+        assert!((s.elephant.p99_s - 9.0).abs() < 1e-9);
+        // Custom thresholds shift the membership.
+        let s2 = FctSummary::with_thresholds(&fcts, 10_000, 2_000_000);
+        assert_eq!(s2.mice.count, 0);
+        assert_eq!(s2.medium.count, 4);
+        assert_eq!(s2.elephant.count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie below")]
+    fn fct_summary_rejects_inverted_thresholds() {
+        let _ = FctSummary::with_thresholds(&[], 1_000_000, 100_000);
+    }
+
+    #[test]
+    fn fct_stream_matches_derived_completions() {
+        let mut r = Recorder::new(RecorderConfig::default(), 1);
+        r.register_flow(0, "a".into(), Some(false), false, Time::ZERO, Some(1_000));
+        r.register_flow(
+            1,
+            "b".into(),
+            Some(false),
+            false,
+            Time::from_secs_f64(1.0),
+            Some(2_000),
+        );
+        // An infinite flow never contributes an FCT even if "finished".
+        r.register_flow(2, "inf".into(), None, true, Time::ZERO, None);
+        r.on_flow_start(0);
+        r.on_flow_start(1);
+        r.on_flow_start(2);
+        // Completion order b-then-a, opposite of id order.
+        r.on_finish(1, Time::from_secs_f64(3.0));
+        r.on_finish(0, Time::from_secs_f64(4.0));
+        r.on_finish(2, Time::from_secs_f64(5.0));
+        assert_eq!(r.fct_stream(), &[(2_000, 2.0), (1_000, 4.0)]);
+        let mut derived = r.completed_fcts();
+        derived.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut streamed = r.fct_stream().to_vec();
+        streamed.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(derived, streamed);
+        let s = r.fct_summary();
+        assert_eq!(s.all.count, 2);
+        assert!((s.all.p50_s - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -136,6 +136,29 @@ mod tests {
     }
 
     #[test]
+    fn tail_concentration_twenty_percent_of_flows_carry_sixty_percent_of_bytes() {
+        // The fleet workload's defining property: a small minority of flows
+        // (the elephants) must account for the bulk of the bytes, or churn
+        // would never produce elastic periods.  Pin it across several seeds
+        // so one lucky sample can't mask a regression.
+        let dist = FlowSizeDistribution::default();
+        for seed in [7, 11, 13] {
+            let mut sizes = dist.sample_many(100_000, seed);
+            sizes.sort_unstable();
+            let total: u128 = sizes.iter().map(|&s| s as u128).sum();
+            let top20: u128 = sizes[sizes.len() * 8 / 10..]
+                .iter()
+                .map(|&s| s as u128)
+                .sum();
+            let share = top20 as f64 / total as f64;
+            assert!(
+                share >= 0.6,
+                "seed {seed}: top-20% of flows carry only {share:.3} of bytes"
+            );
+        }
+    }
+
+    #[test]
     fn most_flows_are_larger_than_the_initial_window() {
         // Fig. 12 labels flows larger than 10 packets (15 kB) as elastic;
         // with the default mix a sizeable fraction of flows qualify.

@@ -10,6 +10,10 @@
 //!   arrivals form a Poisson process targeting a configurable offered load
 //!   (§8.1 "Throughput and delay with WAN cross-traffic").  The real trace is
 //!   proprietary; DESIGN.md documents the substitution.
+//! * [`fleet`] — the same size distribution driven open-loop at population
+//!   scale: flows are spawned at Poisson or bursty (Pareto) arrival instants
+//!   via the engine's `FlowSpawner` hook and retired on completion, so
+//!   1000+-flow churn runs only pay for the concurrently active population.
 //! * [`video`] — DASH-style adaptive video sources: a 4K ladder that exceeds
 //!   its fair share (network-limited, elastic) and a 1080p ladder that stays
 //!   below it (application-limited, inelastic), reproducing Fig. 11.
@@ -20,11 +24,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fleet;
 pub mod flow_sizes;
 pub mod phases;
 pub mod video;
 pub mod wan;
 
+pub use fleet::{ArrivalProcess, FleetSpawner, FleetWorkloadConfig};
 pub use flow_sizes::FlowSizeDistribution;
 pub use phases::{fair_share_mbps, Phase, PhaseSchedule};
 pub use video::{VideoQuality, VideoSource};
