@@ -7,7 +7,7 @@
 //! rationale.  Cross traffic on each path is a light WAN-like mix.
 
 use crate::output::ExperimentResult;
-use crate::runner::{run_scheme_vs_cross, ScenarioSpec};
+use crate::runner::{run_scheme_vs_cross, EcnSpec, ScenarioSpec};
 use crate::scheme::SchemeSpec;
 use nimbus_dsp::Cdf;
 use nimbus_traffic::{WanWorkload, WanWorkloadConfig};
@@ -81,6 +81,7 @@ fn run_path(
         path: crate::runner::PathSpec::single(),
         cross_flows: Vec::new(),
         fleet: None,
+        ecn: EcnSpec::Off,
     };
     let wl = WanWorkload::generate(WanWorkloadConfig {
         base_rtt_s: path.rtt_s,

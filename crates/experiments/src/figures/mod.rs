@@ -4,6 +4,7 @@ pub mod eval;
 pub mod fleet;
 pub mod internet;
 pub mod intro;
+pub mod l4s;
 pub mod multiflow;
 pub mod multihop;
 pub mod robust;

@@ -32,12 +32,13 @@ pub mod testkit;
 
 pub use output::ExperimentResult;
 pub use runner::{
-    CrossFlowSpec, FleetSpec, HopSpec, LinkScheduleSpec, PathSpec, ScenarioSpec, SingleFlowMetrics,
+    CrossFlowSpec, EcnSpec, FleetSpec, HopSpec, LinkScheduleSpec, PathSpec, ScenarioSpec,
+    SingleFlowMetrics,
 };
 pub use scheme::{MuSpec, NimbusSpec, ParseSchemeError, SchemeSpec, SwitchSpec};
 pub use sweep::{run_sweep, sweep_matrix, sweep_matrix_with, SweepConfig, SweepReport};
 pub use testkit::{
-    estimator_cells, fleet_cells, legacy_single_bottleneck_cells, multihop_cells,
+    ecn_cells, estimator_cells, fleet_cells, legacy_single_bottleneck_cells, multihop_cells,
     paper_invariant_matrix, parallel_map, run_matrix, spec_combination_cells, Cell, CellOutcome,
     CrossTraffic, Invariants,
 };
@@ -82,6 +83,9 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "fleet_churn",
     "fleet_fct",
     "fleet_multiflow",
+    "l4s_pulse",
+    "l4s_mark_validation",
+    "l4s_coexistence",
 ];
 
 /// Run one experiment by name.  Returns the structured result.
@@ -125,6 +129,9 @@ pub fn run_experiment(name: &str, quick: bool) -> Option<ExperimentResult> {
         "fleet_churn" => figures::fleet::fleet_churn(quick),
         "fleet_fct" => figures::fleet::fleet_fct(quick),
         "fleet_multiflow" => figures::fleet::fleet_multiflow(quick),
+        "l4s_pulse" => figures::l4s::l4s_pulse(quick),
+        "l4s_mark_validation" => figures::l4s::l4s_mark_validation(quick),
+        "l4s_coexistence" => figures::l4s::l4s_coexistence(quick),
         _ => return None,
     };
     Some(result)
@@ -139,7 +146,7 @@ mod tests {
         // Only check dispatch (not execution) for the expensive ones: an
         // unknown name must return None, known names are all in the list.
         assert!(run_experiment("nonexistent", true).is_none());
-        assert_eq!(ALL_EXPERIMENTS.len(), 38);
+        assert_eq!(ALL_EXPERIMENTS.len(), 41);
     }
 
     #[test]

@@ -2,15 +2,18 @@
 //! and for the parallel scenario-sweep benchmark.
 //!
 //! ```text
-//! nimbus-experiments <experiment|all|list> [--quick] [--out DIR]
-//! nimbus-experiments sweep [--quick] [--threads N] [--out PATH] [--timings PATH] [--scheme SPEC]...
+//! nimbus-experiments <experiment...|all|list> [--quick] [--out DIR]
+//! nimbus-experiments sweep [--quick] [--threads N] [--out PATH] [--timings PATH] [--scheme SPEC]... [--ecn SPEC]
 //! nimbus-experiments sweep-check --baseline PATH --current PATH [--threshold FRAC]
 //! ```
 //!
 //! `--scheme` takes a [`SchemeSpec`](nimbus_experiments::SchemeSpec) string
 //! — a bare CCA (`cubic`, `constant(24M)`) or a Nimbus wrapper composition
 //! (`nimbus(competitive=reno,delay=copa,mu=learned)`) — and may be repeated
-//! to replace the sweep's scheme axis.
+//! to replace the sweep's scheme axis.  `--ecn` takes an
+//! [`EcnSpec`](nimbus_experiments::EcnSpec) string (`off`, `classic`,
+//! `l4s`, `step(<duration>)`) and runs every cell with that marking
+//! profile on the primary bottleneck.
 //!
 //! `sweep-check` fails (exit 1) when any cell's events/sec regressed more
 //! than the threshold (default 0.3 = 30%) versus the baseline, unless the
@@ -18,7 +21,7 @@
 //! changes that re-baseline).
 
 use nimbus_experiments::{
-    run_experiment, ExperimentResult, SchemeSpec, SweepConfig, ALL_EXPERIMENTS,
+    run_experiment, EcnSpec, ExperimentResult, SchemeSpec, SweepConfig, ALL_EXPERIMENTS,
 };
 use std::path::PathBuf;
 
@@ -81,6 +84,19 @@ fn run_sweep_command(args: &[String]) -> ! {
     }
     if !schemes.is_empty() {
         cfg.schemes = Some(schemes);
+    }
+    if let Some(i) = args.iter().position(|a| a == "--ecn") {
+        match args.get(i + 1).map(|v| v.parse::<EcnSpec>()) {
+            Some(Ok(ecn)) => cfg.ecn = Some(ecn),
+            Some(Err(e)) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("--ecn requires a marking spec: off, classic, l4s, or step(<duration>)");
+                std::process::exit(2);
+            }
+        }
     }
     match nimbus_experiments::run_sweep(&cfg) {
         Ok(report) => {
@@ -185,9 +201,9 @@ fn run_sweep_check_command(args: &[String]) -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: nimbus-experiments <experiment|all|list> [--quick] [--out DIR]");
+        eprintln!("usage: nimbus-experiments <experiment...|all|list> [--quick] [--out DIR]");
         eprintln!(
-            "       nimbus-experiments sweep [--quick] [--threads N] [--out PATH] [--timings PATH] [--scheme SPEC]..."
+            "       nimbus-experiments sweep [--quick] [--threads N] [--out PATH] [--timings PATH] [--scheme SPEC]... [--ecn SPEC]"
         );
         eprintln!(
             "       nimbus-experiments sweep-check --baseline PATH --current PATH [--threshold FRAC]"
@@ -195,6 +211,7 @@ fn main() {
         eprintln!("scheme specs: bare CCAs (cubic, newreno, vegas, copa, bbr, vivace, compound,");
         eprintln!("  constant(<rate>)) or nimbus(competitive=cubic|reno, delay=basic|copa|vegas,");
         eprintln!("  mu=configured|learned, switch=auto|never)");
+        eprintln!("ecn specs: off, classic, l4s, step(<duration>) e.g. step(5ms)");
         eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
@@ -222,10 +239,29 @@ fn main() {
         return;
     }
 
-    let to_run: Vec<&str> = if name == "all" {
+    // Every leading non-flag argument is an experiment name, so one
+    // invocation can regenerate a family: `l4s_pulse l4s_coexistence --quick`.
+    let names: Vec<&str> = {
+        let mut names = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--quick" => {}
+                "--out" => i += 1,
+                a if a.starts_with("--") => {
+                    eprintln!("unknown flag: {a}");
+                    std::process::exit(2);
+                }
+                a => names.push(a),
+            }
+            i += 1;
+        }
+        names
+    };
+    let to_run: Vec<&str> = if names.contains(&"all") {
         ALL_EXPERIMENTS.to_vec()
     } else {
-        vec![name.as_str()]
+        names
     };
 
     let mut failed = false;

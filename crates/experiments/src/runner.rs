@@ -3,8 +3,8 @@
 use crate::scheme::{ParseSchemeError, SchemeSpec};
 use nimbus_core::{Mode, MultiflowConfig, NimbusController};
 use nimbus_netsim::{
-    FlowConfig, FlowEndpoint, FlowHandle, LinkConfig, LossModel, Network, QueueKind, RateSchedule,
-    Recorder, SimConfig, Time,
+    EcnMarking, FlowConfig, FlowEndpoint, FlowHandle, LinkConfig, LossModel, Network, QueueKind,
+    RateSchedule, Recorder, SimConfig, Time,
 };
 use nimbus_traffic::fleet::{ArrivalProcess, FleetSpawner, FleetWorkloadConfig};
 use nimbus_traffic::wan::CcKindSerde;
@@ -130,6 +130,138 @@ impl LinkScheduleSpec {
     }
 }
 
+/// The `ecn=` axis of the scenario grammar: whether — and how — a hop marks
+/// ECT packets instead of dropping them.
+///
+/// ```text
+/// ecn=off            no marking (the default; ECN-capable flows are inert)
+/// ecn=classic        RFC 3168-style marking at the AQM's drop points
+/// ecn=l4s            L4S step marking at a 1 ms sojourn threshold (RFC 9331)
+/// ecn=step(5ms)      step marking at an explicit sojourn threshold
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum EcnSpec {
+    /// No marking; ECT packets are treated exactly like NotEct ones.
+    #[default]
+    Off,
+    /// Classic ECN: mark ECT packets where the queue would have dropped.
+    Classic,
+    /// L4S-style step marking at a sojourn-time threshold (seconds).
+    Step {
+        /// Queue sojourn above which every ECT packet is marked, seconds.
+        threshold_s: f64,
+    },
+}
+
+impl EcnSpec {
+    /// The L4S profile: step marking at the RFC 9331-recommended 1 ms.
+    pub fn l4s() -> Self {
+        EcnSpec::Step { threshold_s: 0.001 }
+    }
+
+    /// Whether any marking is configured.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, EcnSpec::Off)
+    }
+
+    /// The netsim queue-level marking profile this spec materializes to.
+    pub fn to_marking(&self) -> EcnMarking {
+        match *self {
+            EcnSpec::Off => EcnMarking::None,
+            EcnSpec::Classic => EcnMarking::Classic,
+            EcnSpec::Step { threshold_s } => EcnMarking::Step { threshold_s },
+        }
+    }
+
+    /// A short slug for cell names: empty when off, `-ecn`, `-l4s`, or
+    /// `-step<ms>ms`.
+    pub fn label(&self) -> String {
+        match *self {
+            EcnSpec::Off => String::new(),
+            EcnSpec::Classic => "-ecn".to_string(),
+            EcnSpec::Step { threshold_s: 0.001 } => "-l4s".to_string(),
+            EcnSpec::Step { threshold_s } => format!("-step{}ms", threshold_s * 1000.0),
+        }
+    }
+}
+
+impl fmt::Display for EcnSpec {
+    /// Canonical re-parseable form: `off`, `classic`, `l4s` (the 1 ms step),
+    /// or `step(<ms>ms)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EcnSpec::Off => write!(f, "off"),
+            EcnSpec::Classic => write!(f, "classic"),
+            EcnSpec::Step { threshold_s: 0.001 } => write!(f, "l4s"),
+            EcnSpec::Step { threshold_s } => write!(f, "step({}ms)", threshold_s * 1000.0),
+        }
+    }
+}
+
+impl FromStr for EcnSpec {
+    type Err = ParseSchemeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim().to_ascii_lowercase();
+        match t.as_str() {
+            "off" | "none" => return Ok(EcnSpec::Off),
+            "classic" | "ecn" => return Ok(EcnSpec::Classic),
+            "l4s" => return Ok(EcnSpec::l4s()),
+            _ => {}
+        }
+        if let Some(rest) = t.strip_prefix("step(") {
+            let inner = rest
+                .strip_suffix(')')
+                .ok_or_else(|| ParseSchemeError(format!("`{s}` is missing the closing `)`")))?;
+            let inner = inner.trim();
+            let (num, scale) = if let Some(v) = inner.strip_suffix("ms") {
+                (v, 1e-3)
+            } else if let Some(v) = inner.strip_suffix('s') {
+                (v, 1.0)
+            } else {
+                (inner, 1.0)
+            };
+            let v: f64 = num.trim().parse().map_err(|_| {
+                ParseSchemeError(format!(
+                    "invalid step threshold `{inner}` (expected e.g. step(1ms) or step(0.005s))"
+                ))
+            })?;
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(ParseSchemeError(format!(
+                    "step threshold `{inner}` must be a positive duration"
+                )));
+            }
+            return Ok(EcnSpec::Step {
+                threshold_s: v * scale,
+            });
+        }
+        Err(ParseSchemeError(format!(
+            "unknown ecn mode `{s}` (expected off, classic, l4s, or step(<ms>ms))"
+        )))
+    }
+}
+
+impl Serialize for EcnSpec {
+    /// Serialized as the canonical `ecn=` string.
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for EcnSpec {
+    /// Deserialized from the canonical string; `null` (a field absent from
+    /// pre-ECN serialized scenarios) reads as `Off`.
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(EcnSpec::Off),
+            serde::Value::Str(s) => s.parse().map_err(|e: ParseSchemeError| serde::Error(e.0)),
+            other => Err(serde::Error(format!(
+                "expected ecn spec string, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// One additional hop appended after the scenario's primary (hop-0)
 /// bottleneck, described relative to the scenario's base `link_rate_bps` so
 /// the same path shape can be swept across link rates.
@@ -145,6 +277,8 @@ pub struct HopSpec {
     pub buffer_s: f64,
     /// Propagation delay from the previous hop's output to this hop, seconds.
     pub prop_delay_s: f64,
+    /// Whether this hop marks ECT packets instead of dropping (`ecn=` axis).
+    pub ecn: EcnSpec,
 }
 
 impl HopSpec {
@@ -156,12 +290,19 @@ impl HopSpec {
             schedule: LinkScheduleSpec::Constant,
             buffer_s: 0.1,
             prop_delay_s: 0.01,
+            ecn: EcnSpec::Off,
         }
     }
 
     /// Replace the hop's schedule (builder style).
     pub fn with_schedule(mut self, schedule: LinkScheduleSpec) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Mark instead of dropping on this hop (builder style).
+    pub fn with_ecn(mut self, ecn: EcnSpec) -> Self {
+        self.ecn = ecn;
         self
     }
 }
@@ -206,6 +347,7 @@ impl PathSpec {
                 },
                 buffer_s: 0.1,
                 prop_delay_s: 0.01,
+                ecn: EcnSpec::Off,
             }],
         }
     }
@@ -290,6 +432,11 @@ pub struct CrossFlowSpec {
     pub entry_hop: usize,
     /// The last hop this flow traverses (`None` = the path's tail).
     pub exit_hop: Option<usize>,
+    /// Whether this flow negotiates ECN (sets ECT on its packets).  `None`
+    /// means automatic: ECN-native schemes (`dctcp`,
+    /// `nimbus(competitive=dctcp)`) negotiate it, everything else follows
+    /// the scenario's `ecn=` axis.
+    pub ecn: Option<bool>,
 }
 
 impl CrossFlowSpec {
@@ -304,7 +451,14 @@ impl CrossFlowSpec {
             rtt_s: 0.05,
             entry_hop: 0,
             exit_hop: None,
+            ecn: None,
         }
+    }
+
+    /// Force ECN negotiation on or off for this flow (builder style).
+    pub fn with_ecn(mut self, ecn: bool) -> Self {
+        self.ecn = Some(ecn);
+        self
     }
 
     /// Set the start time (builder style).
@@ -367,6 +521,7 @@ impl CrossFlowSpec {
             Time::from_secs_f64(self.rtt_s),
             self.scheme.is_elastic(),
         )
+        .with_ecn(self.ecn.unwrap_or_else(|| self.scheme.uses_ecn()))
         .starting_at(Time::from_secs_f64(self.start_s))
         .entering_at(self.entry_hop);
         if let Some(exit) = self.exit_hop {
@@ -661,6 +816,9 @@ pub struct ScenarioSpec {
     /// Optional open-loop fleet workload churning alongside the monitored
     /// flow (installed as a spawner after every static flow).
     pub fleet: Option<FleetSpec>,
+    /// ECN marking on the primary (hop-0) bottleneck (`ecn=` axis).  When
+    /// enabled, every flow without an explicit override negotiates ECN.
+    pub ecn: EcnSpec,
 }
 
 impl ScenarioSpec {
@@ -678,7 +836,14 @@ impl ScenarioSpec {
             path: PathSpec::single(),
             cross_flows: Vec::new(),
             fleet: None,
+            ecn: EcnSpec::Off,
         }
+    }
+
+    /// Enable ECN marking on the primary bottleneck (builder style).
+    pub fn with_ecn(mut self, ecn: EcnSpec) -> Self {
+        self.ecn = ecn;
+        self
     }
 
     /// The Fig. 1 link: 48 Mbit/s, 50 ms RTT, 100 ms buffer.
@@ -720,11 +885,13 @@ impl ScenarioSpec {
                 p: self.loss_probability,
             };
         }
+        cfg.path[0].ecn = self.ecn.to_marking();
         for hop in &self.path.extra_hops {
             let base = hop.rate_factor * self.link_rate_bps;
             let link = LinkConfig::drop_tail(base, hop.buffer_s)
                 .with_schedule(hop.schedule.to_schedule(base))
-                .with_prop_delay(Time::from_secs_f64(hop.prop_delay_s));
+                .with_prop_delay(Time::from_secs_f64(hop.prop_delay_s))
+                .with_ecn(hop.ecn.to_marking());
             cfg.path.push(link);
         }
         Network::new(cfg)
@@ -923,11 +1090,24 @@ pub fn run_scheme_vs_cross(
 ) -> RunOutput {
     let mut net = spec.build_network();
     let endpoint = scheme.build_endpoint(spec.nominal_mu_bps(), spec.seed, multiflow);
+    // The primary flow is ECN-capable when its scheme wants marks or the
+    // scenario enables marking on the path (ECT on a non-marking queue is
+    // harmless: no marks ever arrive, so every reaction path stays inert).
+    let primary_ecn = scheme.uses_ecn() || spec.ecn.is_enabled();
     let handle = net.add_flow(
-        FlowConfig::primary(&scheme.label(), Time::from_secs_f64(spec.prop_rtt_s)),
+        FlowConfig::primary(&scheme.label(), Time::from_secs_f64(spec.prop_rtt_s))
+            .with_ecn(primary_ecn),
         endpoint,
     );
-    for (cfg, ep) in cross {
+    for (mut cfg, ep) in cross {
+        // Scenario-wide ECN makes explicitly-passed competitors ECT too:
+        // a non-ECT competitor on a classic-ECN queue would fill the buffer
+        // to the drop point while ECT flows back off at the (lower) marking
+        // threshold, starving them — a queue-configuration artifact, not a
+        // scheme property.
+        if spec.ecn.is_enabled() {
+            cfg = cfg.with_ecn(true);
+        }
         net.add_flow(cfg, ep);
     }
     for (i, cf) in spec.cross_flows.iter().enumerate() {
@@ -936,7 +1116,11 @@ pub fn run_scheme_vs_cross(
         let mu = spec
             .path
             .nominal_mu_over_hops(spec.link_rate_bps, cf.entry_hop, cf.exit_hop);
-        let (cfg, ep) = cf.build(i, mu, spec.seed);
+        let (mut cfg, ep) = cf.build(i, mu, spec.seed);
+        // Scenario-wide ECN sweeps every cross flow in, unless one opted out.
+        if cf.ecn.is_none() && spec.ecn.is_enabled() {
+            cfg = cfg.with_ecn(true);
+        }
         net.add_flow(cfg, ep);
     }
     if let Some(fleet) = &spec.fleet {
@@ -1174,6 +1358,79 @@ mod tests {
         assert_eq!(summary.all.count as usize, fcts.len());
         assert!(summary.mice.count > 0, "churn must include mice");
         assert!(summary.all.p50_s > 0.0);
+    }
+
+    #[test]
+    fn ecn_spec_round_trips_and_loads_legacy_null() {
+        let cases = [
+            (EcnSpec::Off, "off"),
+            (EcnSpec::Classic, "classic"),
+            (EcnSpec::l4s(), "l4s"),
+            (EcnSpec::Step { threshold_s: 0.005 }, "step(5ms)"),
+        ];
+        for (spec, text) in cases {
+            assert_eq!(spec.to_string(), text);
+            assert_eq!(text.parse::<EcnSpec>().unwrap(), spec, "{text}");
+            let v = spec.to_value();
+            assert_eq!(EcnSpec::from_value(&v).unwrap(), spec);
+        }
+        // Aliases and unit forms.
+        assert_eq!("none".parse::<EcnSpec>().unwrap(), EcnSpec::Off);
+        assert_eq!("ecn".parse::<EcnSpec>().unwrap(), EcnSpec::Classic);
+        assert_eq!(
+            "step(0.005s)".parse::<EcnSpec>().unwrap(),
+            EcnSpec::Step { threshold_s: 0.005 }
+        );
+        assert!("step(1ms".parse::<EcnSpec>().is_err());
+        assert!("step(-1ms)".parse::<EcnSpec>().is_err());
+        assert!("wide".parse::<EcnSpec>().is_err());
+        // A pre-ECN serialized scenario has no `ecn` field: Null loads Off.
+        assert_eq!(
+            EcnSpec::from_value(&serde::Value::Null).unwrap(),
+            EcnSpec::Off
+        );
+        // Scenario serde round-trip carries the axis.
+        let spec = ScenarioSpec {
+            ecn: EcnSpec::l4s(),
+            ..ScenarioSpec::default_96mbps(10.0)
+        };
+        let back = ScenarioSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back.ecn, EcnSpec::l4s());
+        assert_eq!(EcnSpec::l4s().label(), "-l4s");
+        assert_eq!(EcnSpec::Off.label(), "");
+    }
+
+    #[test]
+    fn l4s_scenario_marks_instead_of_dropping_for_dctcp() {
+        let spec = ScenarioSpec {
+            duration_s: 12.0,
+            ecn: EcnSpec::l4s(),
+            ..ScenarioSpec::fig1_48mbps(12.0)
+        };
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::dctcp(), None, Vec::new(), 3.0);
+        let marks: u64 = out.recorder.hop_marked_packets.iter().sum();
+        let drops: u64 = out.recorder.hop_dropped_packets.iter().sum();
+        assert!(marks > 100, "a 1 ms step marker should mark often: {marks}");
+        assert_eq!(
+            drops, 0,
+            "DCTCP on an L4S queue should see marks, not drops"
+        );
+        let m = &out.flows[0];
+        assert!(
+            m.mean_throughput_mbps > 35.0,
+            "dctcp should fill the 48 Mbit/s link, got {}",
+            m.mean_throughput_mbps
+        );
+    }
+
+    #[test]
+    fn ecn_off_scenario_is_mark_free_for_every_flow() {
+        let spec = ScenarioSpec {
+            duration_s: 10.0,
+            ..ScenarioSpec::fig1_48mbps(10.0)
+        };
+        let out = run_scheme_vs_cross(&spec, SchemeSpec::cubic(), None, Vec::new(), 3.0);
+        assert!(out.recorder.hop_marked_packets.iter().all(|&m| m == 0));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! constant(24M)                           CBR cross traffic at 24 Mbit/s
 //! nimbus                                  the paper's default wrapper
 //! nimbus(competitive=reno)                wrap NewReno instead of Cubic
+//! nimbus(competitive=dctcp)               DCTCP competitive mode (L4S paths)
 //! nimbus(delay=copa,mu=learned)           Copa delay mode, runtime-learned µ
 //! nimbus(mu=learned(probe=3))             learned µ with probe-up epochs
 //! nimbus(mu=learned(probe=3,gain=4))      ... pacing at 4x during probes
@@ -216,6 +217,11 @@ impl SchemeSpec {
         SchemeSpec::Bare(CcKind::Compound)
     }
 
+    /// Bare DCTCP (ECN mark-fraction reaction; negotiates ECN).
+    pub fn dctcp() -> Self {
+        SchemeSpec::Bare(CcKind::Dctcp)
+    }
+
     /// A constant-bit-rate (inelastic) sender at `rate_bps`.
     pub fn constant(rate_bps: f64) -> Self {
         SchemeSpec::Bare(CcKind::ConstantRate(rate_bps))
@@ -327,6 +333,17 @@ impl SchemeSpec {
         matches!(self, SchemeSpec::Nimbus(_))
     }
 
+    /// Whether flows running this spec negotiate ECN (set ECT on their data
+    /// packets so marking queues mark them instead of dropping): bare DCTCP,
+    /// and Nimbus wrappers whose competitive scheme is DCTCP.  Other flows
+    /// can still be forced onto ECN by the scenario's `ecn=` axis.
+    pub fn uses_ecn(&self) -> bool {
+        match self {
+            SchemeSpec::Bare(kind) => matches!(kind, CcKind::Dctcp),
+            SchemeSpec::Nimbus(n) => n.competitive == TcpScheme::Dctcp,
+        }
+    }
+
     /// Whether a backlogged flow running this spec reacts to competing
     /// traffic (CBR/unlimited senders do not; everything else does).
     pub fn is_elastic(&self) -> bool {
@@ -353,8 +370,10 @@ impl SchemeSpec {
                 if n.switch == SwitchSpec::Never {
                     label.push_str("-delay");
                 }
-                if n.competitive == TcpScheme::NewReno {
-                    label.push_str("-reno");
+                match n.competitive {
+                    TcpScheme::Cubic => {}
+                    TcpScheme::NewReno => label.push_str("-reno"),
+                    TcpScheme::Dctcp => label.push_str("-dctcp"),
                 }
                 match n.delay {
                     DelayScheme::BasicDelay => {}
@@ -582,8 +601,10 @@ impl fmt::Display for SchemeSpec {
             SchemeSpec::Bare(kind) => write!(f, "{kind}"),
             SchemeSpec::Nimbus(n) => {
                 let mut opts = Vec::new();
-                if n.competitive == TcpScheme::NewReno {
-                    opts.push("competitive=reno".to_string());
+                match n.competitive {
+                    TcpScheme::Cubic => {}
+                    TcpScheme::NewReno => opts.push("competitive=reno".to_string()),
+                    TcpScheme::Dctcp => opts.push("competitive=dctcp".to_string()),
                 }
                 match n.delay {
                     DelayScheme::BasicDelay => {}
@@ -860,9 +881,10 @@ fn parse_nimbus_options(args: &str) -> Result<NimbusSpec, ParseSchemeError> {
             ("competitive", "reno") | ("competitive", "newreno") => {
                 spec.competitive = TcpScheme::NewReno
             }
+            ("competitive", "dctcp") => spec.competitive = TcpScheme::Dctcp,
             ("competitive", v) => {
                 return Err(ParseSchemeError(format!(
-                    "unknown competitive scheme `{v}` (expected cubic or reno)"
+                    "unknown competitive scheme `{v}` (expected cubic, reno, or dctcp)"
                 )))
             }
             ("delay", "basic") | ("delay", "basicdelay") => spec.delay = DelayScheme::BasicDelay,
@@ -885,7 +907,7 @@ fn parse_nimbus_options(args: &str) -> Result<NimbusSpec, ParseSchemeError> {
             (k, _) => {
                 return Err(ParseSchemeError(format!(
                     "unknown nimbus option `{k}` \
-                     (expected competitive=cubic|reno, delay=basic|copa|vegas, \
+                     (expected competitive=cubic|reno|dctcp, delay=basic|copa|vegas, \
                      mu=configured|learned|learned(probe=...), \
                      zfilter=none|notch(freq=...)|adaptive, switch=auto|never)"
                 )))
@@ -1038,6 +1060,13 @@ mod tests {
             "nimbus-reno"
         );
         assert_eq!(
+            SchemeSpec::nimbus()
+                .with_competitive(TcpScheme::Dctcp)
+                .label(),
+            "nimbus-dctcp"
+        );
+        assert_eq!(SchemeSpec::dctcp().label(), "dctcp");
+        assert_eq!(
             SchemeSpec::nimbus_copa().with_learned_mu().label(),
             "nimbus-copa-estmu"
         );
@@ -1091,6 +1120,18 @@ mod tests {
             "constant(24M)".parse::<SchemeSpec>().unwrap(),
             SchemeSpec::constant(24e6)
         );
+        // The ECN family round-trips.
+        let prague = SchemeSpec::nimbus().with_competitive(TcpScheme::Dctcp);
+        assert_eq!(prague.to_string(), "nimbus(competitive=dctcp)");
+        assert_eq!(
+            "nimbus(competitive=dctcp)".parse::<SchemeSpec>().unwrap(),
+            prague
+        );
+        assert_eq!("dctcp".parse::<SchemeSpec>().unwrap(), SchemeSpec::dctcp());
+        assert!(prague.uses_ecn());
+        assert!(SchemeSpec::dctcp().uses_ecn());
+        assert!(!SchemeSpec::nimbus().uses_ecn());
+        assert!(!SchemeSpec::cubic().uses_ecn());
     }
 
     #[test]

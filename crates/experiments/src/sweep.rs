@@ -13,7 +13,7 @@
 //! replace the default axis, benchmarking exactly those schemes across the
 //! cross-traffic/rate/schedule dimensions.
 
-use crate::runner::{LinkScheduleSpec, PathSpec};
+use crate::runner::{EcnSpec, LinkScheduleSpec, PathSpec};
 use crate::scheme::SchemeSpec;
 use crate::testkit::{parallel_map, Cell, CrossTraffic, Invariants};
 use nimbus_core::TcpScheme;
@@ -33,6 +33,9 @@ pub struct SweepConfig {
     /// Override the matrix's scheme axis (`--scheme` on the CLI, repeatable,
     /// each value a [`SchemeSpec`] string).  `None` runs the default axis.
     pub schemes: Option<Vec<SchemeSpec>>,
+    /// Run every cell with this marking profile on the primary bottleneck
+    /// (`--ecn` on the CLI).  `None` keeps each cell's own setting.
+    pub ecn: Option<EcnSpec>,
 }
 
 impl Default for SweepConfig {
@@ -42,6 +45,7 @@ impl Default for SweepConfig {
             threads: None,
             out: PathBuf::from("BENCH_sweep.json"),
             schemes: None,
+            ecn: None,
         }
     }
 }
@@ -162,6 +166,7 @@ pub fn sweep_matrix_with(quick: bool, scheme_axis: Option<&[SchemeSpec]>) -> Vec
                             seed,
                             duration_s,
                             steady_start_s: duration_s * 0.25,
+                            ecn: EcnSpec::Off,
                             // The sweep benchmarks; it does not assert.
                             invariants: Invariants::default(),
                         });
@@ -207,6 +212,7 @@ pub fn sweep_matrix_with(quick: bool, scheme_axis: Option<&[SchemeSpec]>) -> Vec
                     seed: 1,
                     duration_s,
                     steady_start_s: duration_s * 0.25,
+                    ecn: EcnSpec::Off,
                     invariants: Invariants::default(),
                 });
             }
@@ -279,6 +285,35 @@ pub fn sweep_matrix_with(quick: bool, scheme_axis: Option<&[SchemeSpec]>) -> Vec
                 seed: 1,
                 duration_s,
                 steady_start_s: duration_s * 0.25,
+                ecn: EcnSpec::Off,
+                invariants: Invariants::default(),
+            });
+        }
+        // ECN cells in the per-PR perf gate: the marking hot path (per-
+        // enqueue threshold checks + CE echo + the mark recorder series)
+        // and the DCTCP reaction are exercised under the three marking
+        // profiles, so a regression in the mark path shows up here rather
+        // than only in the gated matrix.
+        let ecn_combos: Vec<(SchemeSpec, CrossTraffic, EcnSpec)> = vec![
+            (SchemeSpec::dctcp(), CrossTraffic::None, EcnSpec::l4s()),
+            (SchemeSpec::cubic(), CrossTraffic::None, EcnSpec::Classic),
+            (
+                SchemeSpec::nimbus(),
+                CrossTraffic::elastic_cubic(),
+                EcnSpec::Classic,
+            ),
+        ];
+        for (scheme, cross, ecn) in ecn_combos {
+            cells.push(Cell {
+                scheme,
+                cross,
+                link_rate_bps: 48e6,
+                schedule: LinkScheduleSpec::Constant,
+                path: PathSpec::single(),
+                seed: 1,
+                duration_s,
+                steady_start_s: duration_s * 0.25,
+                ecn,
                 invariants: Invariants::default(),
             });
         }
@@ -298,6 +333,7 @@ pub fn sweep_matrix_with(quick: bool, scheme_axis: Option<&[SchemeSpec]>) -> Vec
             seed: 1,
             duration_s,
             steady_start_s: duration_s * 0.25,
+            ecn: EcnSpec::Off,
             invariants: Invariants::default(),
         });
     }
@@ -306,7 +342,12 @@ pub fn sweep_matrix_with(quick: bool, scheme_axis: Option<&[SchemeSpec]>) -> Vec
 
 /// Run the sweep matrix in parallel, timing each cell, and write the report.
 pub fn run_sweep(cfg: &SweepConfig) -> std::io::Result<SweepReport> {
-    let cells = sweep_matrix_with(cfg.quick, cfg.schemes.as_deref());
+    let mut cells = sweep_matrix_with(cfg.quick, cfg.schemes.as_deref());
+    if let Some(ecn) = cfg.ecn {
+        for cell in &mut cells {
+            cell.ecn = ecn;
+        }
+    }
     let threads = cfg
         .threads
         .unwrap_or_else(|| {

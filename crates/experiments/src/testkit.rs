@@ -25,7 +25,8 @@
 
 use crate::figures::{cbr_cross_flow, poisson_cross_flow, scheme_cross_flow};
 use crate::runner::{
-    run_scheme_vs_cross, FleetSpec, LinkScheduleSpec, PathSpec, ScenarioSpec, SingleFlowMetrics,
+    run_scheme_vs_cross, EcnSpec, FleetSpec, LinkScheduleSpec, PathSpec, ScenarioSpec,
+    SingleFlowMetrics,
 };
 use crate::scheme::SchemeSpec;
 use nimbus_core::TcpScheme;
@@ -234,6 +235,9 @@ pub struct Cell {
     pub duration_s: f64,
     /// Start of the steady-state window used for the scalar metrics.
     pub steady_start_s: f64,
+    /// ECN marking on the primary bottleneck (`ecn=` axis;
+    /// [`EcnSpec::Off`] everywhere marking is not under test).
+    pub ecn: EcnSpec,
     /// The invariants this cell asserts.
     pub invariants: Invariants,
 }
@@ -248,11 +252,12 @@ impl Cell {
             format!("-{}", self.schedule.label())
         };
         format!(
-            "{}@{:.0}M{}{}-vs-{}-seed{}",
+            "{}@{:.0}M{}{}{}-vs-{}-seed{}",
             self.scheme.label(),
             self.link_rate_bps / 1e6,
             schedule,
             self.path.label(),
+            self.ecn.label(),
             self.cross.label(),
             self.seed
         )
@@ -271,6 +276,7 @@ impl Cell {
             seed: self.seed,
             path: self.path.clone(),
             fleet,
+            ecn: self.ecn,
             ..ScenarioSpec::default_96mbps(self.duration_s)
         };
         let scheme_mu = match &self.cross {
@@ -493,8 +499,9 @@ pub fn matrix_report(outcomes: &[CellOutcome]) -> String {
 /// ([`spec_combination_cells`]) exercising wrapper compositions the closed
 /// enum could not express, the estimator-strategy cells
 /// ([`estimator_cells`]) gating the regimes the pluggable µ-estimation API
-/// recovers, and the fleet-churn cells ([`fleet_cells`]) gating detector
-/// stability and fairness under open-loop flow churn.  Kept short enough
+/// recovers, the fleet-churn cells ([`fleet_cells`]) gating detector
+/// stability and fairness under open-loop flow churn, and the ECN cells
+/// ([`ecn_cells`]) gating marking queues, DCTCP and mark-driven detection.  Kept short enough
 /// (~30 simulated seconds per cell) that the whole matrix runs in well
 /// under two minutes of wall clock under `cargo test`.
 pub fn paper_invariant_matrix() -> Vec<Cell> {
@@ -503,7 +510,217 @@ pub fn paper_invariant_matrix() -> Vec<Cell> {
     cells.extend(spec_combination_cells());
     cells.extend(estimator_cells());
     cells.extend(fleet_cells());
+    cells.extend(ecn_cells());
     cells
+}
+
+/// Matrix cells gating the ECN subsystem end to end: marking queues
+/// (`ecn=classic` and the shallow `ecn=l4s` step profile), the DCTCP
+/// scalable reaction, and the Nimbus detector's behaviour when congestion
+/// is signalled by marks instead of drops or delay.
+///
+/// The three ROADMAP questions these answer:
+///
+/// 1. **Does the pulse survive a shallow-marking queue?**  Yes — under the
+///    1 ms L4S step marker the standing queue Nimbus's pulses ride on is
+///    tiny, but the pulses themselves live in the *rate* signal, so alone
+///    on an L4S hop the flow holds delay mode at full throughput.
+/// 2. **Can mark-rate cross-validate ẑ?**  Yes — against an elastic
+///    competitor on a classic-ECN queue, the persistent CE fraction agrees
+///    with ẑ and the controller flips to competitive well inside one FFT
+///    window (the `marks` cell asserts the switch; the timing assertion
+///    lives in `nimbus-core`'s controller tests).
+/// 3. **Does `nimbus(competitive=dctcp)` coexist on a classic-ECN queue?**
+///    Yes — against a DCTCP competitor it detects elasticity and takes a
+///    fair share using the same proportional law, instead of Cubic-style
+///    sawteeth against a mark-reactive peer.
+pub fn ecn_cells() -> Vec<Cell> {
+    vec![
+        // DCTCP alone on an L4S step-marking hop: the scalable reaction
+        // holds the queue near the 1 ms marking threshold — full link,
+        // milliseconds of delay, zero drops (the l4s runner test pins the
+        // zero-drop half).
+        Cell {
+            scheme: SchemeSpec::dctcp(),
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 61,
+            duration_s: 30.0,
+            steady_start_s: 8.0,
+            ecn: EcnSpec::l4s(),
+            invariants: Invariants {
+                min_throughput_mbps: Some(40.0),
+                max_queue_delay_ms: Some(8.0),
+                ..Invariants::default()
+            },
+        },
+        // The Prague-style fall-back: the same DCTCP flow on a plain drop
+        // queue (no marking anywhere) must still work — marks never arrive,
+        // so the Reno-like loss reaction governs and the flow fills the
+        // link behind a droptail standing queue.
+        Cell {
+            scheme: SchemeSpec::dctcp(),
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 61,
+            duration_s: 30.0,
+            steady_start_s: 8.0,
+            ecn: EcnSpec::Off,
+            invariants: Invariants {
+                min_throughput_mbps: Some(40.0),
+                min_queue_delay_ms: Some(20.0),
+                ..Invariants::default()
+            },
+        },
+        // Classic ECN (RFC 3168 semantics, marks at the AQM's drop point):
+        // Cubic keeps the link full but the once-per-window β cut now fires
+        // at half buffer instead of overflow, so the bloat sits at roughly
+        // half its droptail level.
+        Cell {
+            scheme: SchemeSpec::cubic(),
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 61,
+            duration_s: 30.0,
+            steady_start_s: 8.0,
+            ecn: EcnSpec::Classic,
+            invariants: Invariants {
+                min_throughput_mbps: Some(40.0),
+                min_queue_delay_ms: Some(20.0),
+                max_queue_delay_ms: Some(70.0),
+                ..Invariants::default()
+            },
+        },
+        // ROADMAP question 1 — pulse survival: Nimbus alone on the shallow
+        // L4S marker.  The 1 ms step cuts the queueing-delay headroom the
+        // pulses used to ride on by an order of magnitude; the detector
+        // must still read its own reflection as inelastic (hold delay
+        // mode) at full utilization.
+        Cell {
+            scheme: SchemeSpec::nimbus(),
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 62,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            ecn: EcnSpec::l4s(),
+            invariants: Invariants {
+                min_throughput_mbps: Some(40.0),
+                max_queue_delay_ms: Some(20.0),
+                min_delay_mode_fraction: Some(0.9),
+                ..Invariants::default()
+            },
+        },
+        // Documented finding — delay-mode Nimbus is not scalable-marking
+        // compliant.  Its delay target (~12 ms of queue) sits an order of
+        // magnitude above the L4S step threshold, so a DCTCP competitor
+        // sees CE on every packet, cuts to its floor, and Nimbus takes the
+        // link.  With the competitor crushed there is nothing elastic left
+        // to detect (ẑ ≈ 0), so staying in delay mode is the *correct*
+        // verdict — the unfairness is a compliance gap, not a detection
+        // bug.  Pinned so a future Prague-style sub-threshold delay target
+        // shows up as a deliberate threshold change.
+        Cell {
+            scheme: SchemeSpec::nimbus(),
+            cross: CrossTraffic::Elastic {
+                spec: SchemeSpec::dctcp(),
+            },
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 2,
+            duration_s: 45.0,
+            steady_start_s: 15.0,
+            ecn: EcnSpec::l4s(),
+            invariants: Invariants {
+                min_throughput_mbps: Some(40.0),
+                min_delay_mode_fraction: Some(0.95),
+                ..Invariants::default()
+            },
+        },
+        // ROADMAP questions 2 and 3 together — nimbus(competitive=dctcp)
+        // vs DCTCP on a classic-ECN queue.  DCTCP parks the queue at the
+        // marking threshold (~50 ms), far above Nimbus's delay target, so
+        // the rate law yields and the FFT goes sample-starved — but unlike
+        // the Cubic residual below, the marks here are *persistent*, and
+        // the windowed mark fraction (counted over ACKed packets, so ACK
+        // sparsity cannot masquerade as mark absence) cross-validates the
+        // starved flow's own ẑ ≈ µ reading to flip the controller
+        // competitive without a full FFT window.  Competitive
+        // mode then speaks DCTCP's own proportional mark language and the
+        // flows coexist.
+        Cell {
+            scheme: SchemeSpec::nimbus().with_competitive(TcpScheme::Dctcp),
+            cross: CrossTraffic::Elastic {
+                spec: SchemeSpec::dctcp(),
+            },
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 2,
+            duration_s: 45.0,
+            steady_start_s: 15.0,
+            ecn: EcnSpec::Classic,
+            invariants: Invariants {
+                min_throughput_mbps: Some(12.0),
+                max_delay_mode_fraction: Some(0.9),
+                must_enter_competitive: true,
+                ..Invariants::default()
+            },
+        },
+        // Documented residual: delay-mode Nimbus vs an ECT Cubic on a
+        // *classic* marking queue starves and never detects.  The marking
+        // point (half buffer) tames Cubic into a 35–50 ms sawtooth: deep
+        // enough to sit above delay mode's operating point (so the rate law
+        // yields), never deep enough for a sustained mark fraction, and the
+        // starved flow's ACK stream is too sparse to fill the detector's
+        // FFT window — the droptail escape hatch (the competitor's slow-
+        // start overflow losses) never happens, because marks absorb them.
+        // Pinned so the failure mode stays visible until detection under
+        // sample starvation is addressed.
+        Cell {
+            scheme: SchemeSpec::nimbus(),
+            cross: CrossTraffic::elastic_cubic(),
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 2,
+            duration_s: 45.0,
+            steady_start_s: 15.0,
+            ecn: EcnSpec::Classic,
+            invariants: Invariants {
+                max_throughput_mbps: Some(5.0),
+                min_delay_mode_fraction: Some(0.95),
+                ..Invariants::default()
+            },
+        },
+        // DCTCP coexisting with Cubic on one classic-ECN queue: both see
+        // the same marks, Cubic cuts by β while DCTCP cuts by α/2, and
+        // neither starves.
+        Cell {
+            scheme: SchemeSpec::dctcp(),
+            cross: CrossTraffic::elastic_cubic(),
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Constant,
+            path: PathSpec::single(),
+            seed: 65,
+            duration_s: 45.0,
+            steady_start_s: 15.0,
+            ecn: EcnSpec::Classic,
+            invariants: Invariants {
+                min_throughput_mbps: Some(15.0),
+                ..Invariants::default()
+            },
+        },
+    ]
 }
 
 /// Matrix cells gating behaviour under open-loop fleet churn (§8.1 at
@@ -538,6 +755,7 @@ pub fn fleet_cells() -> Vec<Cell> {
             seed: 51,
             duration_s: 40.0,
             steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(15.0),
                 max_queue_delay_ms: Some(40.0),
@@ -558,6 +776,7 @@ pub fn fleet_cells() -> Vec<Cell> {
             seed: 51,
             duration_s: 40.0,
             steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(15.0),
                 max_queue_delay_ms: Some(40.0),
@@ -581,6 +800,7 @@ pub fn fleet_cells() -> Vec<Cell> {
             seed: 52,
             duration_s: 40.0,
             steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(15.0),
                 max_queue_delay_ms: Some(40.0),
@@ -606,6 +826,7 @@ pub fn fleet_cells() -> Vec<Cell> {
             seed: 52,
             duration_s: 40.0,
             steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(8.0),
                 max_queue_delay_ms: Some(40.0),
@@ -637,6 +858,7 @@ pub fn estimator_cells() -> Vec<Cell> {
             seed: 44,
             duration_s: 40.0,
             steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(10.0),
                 ..Invariants::default()
@@ -661,6 +883,7 @@ pub fn estimator_cells() -> Vec<Cell> {
             seed: 43,
             duration_s: 40.0,
             steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(35.0),
                 min_delay_mode_fraction: Some(0.9),
@@ -682,6 +905,7 @@ pub fn estimator_cells() -> Vec<Cell> {
             seed: 42,
             duration_s: 45.0,
             steady_start_s: 15.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(12.0),
                 max_delay_mode_fraction: Some(0.9),
@@ -705,6 +929,7 @@ pub fn estimator_cells() -> Vec<Cell> {
             seed: 45,
             duration_s: 40.0,
             steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(40.0),
                 min_queue_delay_ms: Some(40.0),
@@ -728,6 +953,7 @@ pub fn estimator_cells() -> Vec<Cell> {
             seed: 45,
             duration_s: 40.0,
             steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(40.0),
                 max_queue_delay_ms: Some(20.0),
@@ -744,6 +970,7 @@ pub fn estimator_cells() -> Vec<Cell> {
             seed: 45,
             duration_s: 40.0,
             steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(12.0),
                 max_delay_mode_fraction: Some(0.9),
@@ -772,10 +999,42 @@ pub fn estimator_cells() -> Vec<Cell> {
             seed: 45,
             duration_s: 40.0,
             steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(40.0),
                 min_queue_delay_ms: Some(40.0),
                 min_delay_mode_fraction: Some(0.95),
+                ..Invariants::default()
+            },
+        },
+        // Documented residual: the adaptive ẑ-filter rescue of learned µ on
+        // the ±10% sinusoid (the second cell above) is *partial* when the
+        // delay half is Copa instead of basic-delay — Copa's own rate
+        // oscillation beats against the sinusoid and leaks through the
+        // µ̂-error-scaled bars, so `nimbus(delay=copa, mu=learned,
+        // zfilter=adaptive)` holds delay mode only ~0.74 of the run where
+        // the basic-delay wrapper holds ≥ 0.9.  Pinned as a band (not a
+        // floor) so the residual stays visible: an accidental fix would
+        // trip the ceiling and upgrade the threshold deliberately.
+        Cell {
+            scheme: SchemeSpec::nimbus_copa()
+                .with_learned_mu()
+                .with_z_filter(nimbus_core::ZFilterConfig::adaptive()),
+            cross: CrossTraffic::None,
+            link_rate_bps: 48e6,
+            schedule: LinkScheduleSpec::Sinusoid {
+                amplitude_frac: 0.1,
+                period_s: 10.0,
+            },
+            path: PathSpec::single(),
+            seed: 43,
+            duration_s: 40.0,
+            steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
+            invariants: Invariants {
+                min_throughput_mbps: Some(35.0),
+                min_delay_mode_fraction: Some(0.55),
+                max_delay_mode_fraction: Some(0.9),
                 ..Invariants::default()
             },
         },
@@ -801,6 +1060,7 @@ pub fn legacy_single_bottleneck_cells() -> Vec<Cell> {
             path: PathSpec::single(),
             duration_s: 30.0,
             steady_start_s: 8.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(40.0),
                 min_queue_delay_ms: Some(40.0),
@@ -820,6 +1080,7 @@ pub fn legacy_single_bottleneck_cells() -> Vec<Cell> {
             path: PathSpec::single(),
             duration_s: 30.0,
             steady_start_s: 8.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(40.0),
                 max_queue_delay_ms: Some(15.0),
@@ -839,6 +1100,7 @@ pub fn legacy_single_bottleneck_cells() -> Vec<Cell> {
             path: PathSpec::single(),
             duration_s: 40.0,
             steady_start_s: 15.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 max_throughput_mbps: Some(30.0),
                 ..Invariants::default()
@@ -859,6 +1121,7 @@ pub fn legacy_single_bottleneck_cells() -> Vec<Cell> {
             path: PathSpec::single(),
             duration_s: 40.0,
             steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(8.0),
                 max_queue_delay_ms: Some(40.0),
@@ -882,6 +1145,7 @@ pub fn legacy_single_bottleneck_cells() -> Vec<Cell> {
             path: PathSpec::single(),
             duration_s: 30.0,
             steady_start_s: 8.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(15.0),
                 max_queue_delay_ms: Some(40.0),
@@ -903,6 +1167,7 @@ pub fn legacy_single_bottleneck_cells() -> Vec<Cell> {
             path: PathSpec::single(),
             duration_s: 45.0,
             steady_start_s: 15.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(12.0),
                 max_delay_mode_fraction: Some(0.9),
@@ -924,6 +1189,7 @@ pub fn legacy_single_bottleneck_cells() -> Vec<Cell> {
             path: PathSpec::single(),
             duration_s: 30.0,
             steady_start_s: 8.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(30.0),
                 max_queue_delay_ms: Some(40.0),
@@ -949,6 +1215,7 @@ pub fn legacy_single_bottleneck_cells() -> Vec<Cell> {
         path: PathSpec::single(),
         duration_s: 40.0,
         steady_start_s: 15.0,
+        ecn: EcnSpec::Off,
         invariants: Invariants {
             min_throughput_mbps: Some(20.0),
             max_mu_error: Some(0.35),
@@ -973,6 +1240,7 @@ pub fn legacy_single_bottleneck_cells() -> Vec<Cell> {
         path: PathSpec::single(),
         duration_s: 40.0,
         steady_start_s: 10.0,
+        ecn: EcnSpec::Off,
         invariants: Invariants {
             min_throughput_mbps: Some(35.0),
             max_queue_delay_ms: Some(40.0),
@@ -996,6 +1264,7 @@ pub fn legacy_single_bottleneck_cells() -> Vec<Cell> {
             path: PathSpec::single(),
             duration_s: 40.0,
             steady_start_s: 22.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(35.0),
                 max_throughput_mbps: Some(50.0),
@@ -1027,6 +1296,7 @@ pub fn multihop_cells() -> Vec<Cell> {
         seed: 21,
         duration_s: 40.0,
         steady_start_s: 10.0,
+        ecn: EcnSpec::Off,
         invariants: Invariants {
             min_throughput_mbps: Some(20.0),
             max_throughput_mbps: Some(30.0),
@@ -1044,6 +1314,7 @@ pub fn multihop_cells() -> Vec<Cell> {
         seed: 21,
         duration_s: 40.0,
         steady_start_s: 10.0,
+        ecn: EcnSpec::Off,
         invariants: Invariants {
             min_throughput_mbps: Some(24.0),
             max_throughput_mbps: Some(30.0),
@@ -1072,6 +1343,7 @@ pub fn multihop_cells() -> Vec<Cell> {
             seed: 25,
             duration_s: 40.0,
             steady_start_s: 10.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(18.0),
                 max_throughput_mbps: Some(26.0),
@@ -1099,6 +1371,7 @@ pub fn multihop_cells() -> Vec<Cell> {
         seed: 27,
         duration_s: 40.0,
         steady_start_s: 15.0,
+        ecn: EcnSpec::Off,
         invariants: Invariants {
             min_throughput_mbps: Some(18.0),
             max_mu_error: Some(0.15),
@@ -1125,6 +1398,7 @@ pub fn multihop_cells() -> Vec<Cell> {
         seed: 29,
         duration_s: 45.0,
         steady_start_s: 15.0,
+        ecn: EcnSpec::Off,
         invariants: Invariants {
             min_throughput_mbps: Some(10.0),
             max_throughput_mbps: Some(26.0),
@@ -1151,6 +1425,7 @@ pub fn multihop_cells() -> Vec<Cell> {
         seed: 31,
         duration_s: 45.0,
         steady_start_s: 15.0,
+        ecn: EcnSpec::Off,
         invariants: Invariants {
             min_throughput_mbps: Some(10.0),
             max_throughput_mbps: Some(30.0),
@@ -1182,6 +1457,7 @@ pub fn spec_combination_cells() -> Vec<Cell> {
             seed: 35,
             duration_s: 45.0,
             steady_start_s: 15.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(10.0),
                 max_delay_mode_fraction: Some(0.9),
@@ -1203,6 +1479,7 @@ pub fn spec_combination_cells() -> Vec<Cell> {
             seed: 36,
             duration_s: 40.0,
             steady_start_s: 15.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(40.0),
                 max_queue_delay_ms: Some(20.0),
@@ -1225,6 +1502,7 @@ pub fn spec_combination_cells() -> Vec<Cell> {
             seed: 37,
             duration_s: 45.0,
             steady_start_s: 15.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(12.0),
                 must_enter_competitive: true,
@@ -1244,6 +1522,7 @@ pub fn spec_combination_cells() -> Vec<Cell> {
             seed: 38,
             duration_s: 30.0,
             steady_start_s: 8.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(25.0),
                 ..Invariants::default()
@@ -1263,6 +1542,7 @@ pub fn spec_combination_cells() -> Vec<Cell> {
             seed: 39,
             duration_s: 30.0,
             steady_start_s: 8.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants {
                 min_throughput_mbps: Some(15.0),
                 ..Invariants::default()

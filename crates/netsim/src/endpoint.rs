@@ -37,6 +37,10 @@ pub struct AckInfo {
     pub newly_delivered_bytes: u64,
     /// Total bytes delivered in order at the receiver so far.
     pub total_delivered_bytes: u64,
+    /// True when the triggering data segment arrived at the receiver
+    /// carrying a CE mark (the receiver's ECN echo; always false for flows
+    /// that did not negotiate ECN).
+    pub ce: bool,
 }
 
 /// What a flow wants to do next, in answer to a poll.
@@ -131,6 +135,7 @@ mod tests {
             is_duplicate: false,
             newly_delivered_bytes: 1500,
             total_delivered_bytes: 15_000,
+            ce: false,
         };
         let b = a;
         assert_eq!(a, b);

@@ -37,10 +37,10 @@
 use crate::endpoint::{AckInfo, FlowEndpoint, SendAction};
 use crate::eventq::CalendarQueue;
 use crate::loss::{LossModel, LossProcess, Policer};
-use crate::packet::{AckPacket, FlowId, Packet};
+use crate::packet::{AckPacket, EcnCodepoint, FlowId, Packet};
 use crate::queue::{
-    delay_capacity_bytes, CoDelQueue, DropTailQueue, EnqueueResult, PieQueue, QueueDiscipline,
-    RedQueue,
+    delay_capacity_bytes, CoDelQueue, DropTailQueue, EcnMarking, EnqueueResult, PieQueue,
+    QueueDiscipline, RedQueue,
 };
 use crate::recorder::{Recorder, RecorderConfig};
 use crate::schedule::RateSchedule;
@@ -86,6 +86,10 @@ pub struct LinkConfig {
     pub loss: LossModel,
     /// Optional token-bucket policer in front of the queue.
     pub policer: Option<(f64, f64)>,
+    /// ECN marking profile of the queue: [`EcnMarking::None`] keeps the pure
+    /// drop behaviour; `Classic` / `Step` convert the discipline's congestion
+    /// signal into CE marks for ECT packets (drops for everything else).
+    pub ecn: EcnMarking,
     /// Propagation delay from the *previous* hop's output into this link's
     /// queue.  Ignored on the first hop a flow traverses (senders inject
     /// directly); after a flow's last hop the packet instead travels the
@@ -101,6 +105,7 @@ impl LinkConfig {
             queue: QueueKind::DropTailDelay(buffer_s),
             loss: LossModel::None,
             policer: None,
+            ecn: EcnMarking::None,
             prop_delay: Time::ZERO,
         }
     }
@@ -114,6 +119,12 @@ impl LinkConfig {
     /// Set the inbound propagation delay (from the previous hop's output).
     pub fn with_prop_delay(mut self, delay: Time) -> Self {
         self.prop_delay = delay;
+        self
+    }
+
+    /// Enable an ECN marking profile on this hop's queue.
+    pub fn with_ecn(mut self, ecn: EcnMarking) -> Self {
+        self.ecn = ecn;
         self
     }
 
@@ -189,6 +200,10 @@ pub struct FlowConfig {
     /// Last path hop this flow traverses, inclusive (`None` = the path's
     /// final hop).  Cross traffic that exits mid-path leaves earlier.
     pub exit_hop: Option<usize>,
+    /// Whether this flow negotiated ECN: its data packets are sent as
+    /// [`EcnCodepoint::Ect`], marking queues may flip them to CE instead of
+    /// dropping, and the receiver echoes the mark on the ACK.
+    pub ecn: bool,
     /// Retire the flow when its endpoint reports `Finished`: drop the boxed
     /// endpoint (sender windows, SACK scoreboard, controller state) and the
     /// receiver's reassembly map, replacing the endpoint with an inert stub.
@@ -209,6 +224,7 @@ impl FlowConfig {
             size_bytes: None,
             entry_hop: 0,
             exit_hop: None,
+            ecn: false,
             retire_on_finish: false,
         }
     }
@@ -224,6 +240,7 @@ impl FlowConfig {
             size_bytes: None,
             entry_hop: 0,
             exit_hop: None,
+            ecn: false,
             retire_on_finish: false,
         }
     }
@@ -255,6 +272,13 @@ impl FlowConfig {
     /// Mark the flow as monitored (full time series recorded).
     pub fn monitored(mut self, yes: bool) -> Self {
         self.monitored = yes;
+        self
+    }
+
+    /// Negotiate ECN: send data packets as ECT so marking queues mark
+    /// instead of dropping.
+    pub fn with_ecn(mut self, yes: bool) -> Self {
+        self.ecn = yes;
         self
     }
 
@@ -406,6 +430,8 @@ pub struct Network {
     recorder: Recorder,
     /// Reusable per-hop occupancy buffer for recorder samples.
     occupancy_buf: Vec<u64>,
+    /// Reusable per-hop cumulative-mark buffer for recorder samples.
+    marks_buf: Vec<u64>,
     /// Bytes admitted into the path at each flow's entry hop.
     total_enqueued_bytes: u64,
     /// Bytes delivered in order to receivers.
@@ -465,6 +491,12 @@ impl Network {
                         Box::new(CoDelQueue::new(delay_capacity_bytes(rate, buffer_s)))
                     }
                 };
+                let mut queue = queue;
+                queue.set_ecn_marking(link.ecn);
+                // Step profiles measure depth in drain time; give every
+                // discipline the initial rate (PIE already has it, the
+                // others store it only for marking).
+                queue.set_drain_rate_bps(rate);
                 LinkState {
                     queue,
                     busy: false,
@@ -492,6 +524,7 @@ impl Network {
             active_flows: Vec::new(),
             recorder,
             occupancy_buf: Vec::new(),
+            marks_buf: Vec::new(),
             total_enqueued_bytes: 0,
             total_delivered_bytes: 0,
             total_received_bytes: 0,
@@ -665,6 +698,10 @@ impl Network {
         self.occupancy_buf
             .extend(self.links.iter().map(|l| l.queue.len_bytes()));
         self.recorder.sample(self.now, &self.occupancy_buf);
+        self.marks_buf.clear();
+        self.marks_buf
+            .extend(self.links.iter().map(|l| l.queue.marks()));
+        self.recorder.sample_marks(self.now, &self.marks_buf);
     }
 
     /// Consume the network, returning the recorder (results) and the flow
@@ -907,6 +944,9 @@ impl Network {
         let entry = self.flows[id].cfg.entry_hop;
         let mut pkt = Packet::new(id, seq, bytes, self.now, retransmit);
         pkt.hop = entry;
+        if self.flows[id].cfg.ecn {
+            pkt.ecn = EcnCodepoint::Ect;
+        }
         if self.offer_to_hop(entry, pkt) {
             self.total_enqueued_bytes += bytes as u64;
             self.recorder.on_enqueue(id, bytes);
@@ -1051,6 +1091,7 @@ impl Network {
             received_at: self.now,
             newly_delivered_bytes: newly_delivered,
             total_delivered_bytes: flow.delivered_bytes,
+            ce: pkt.ecn == EcnCodepoint::Ce,
         };
         let ack_delay = Time::from_nanos(flow.cfg.prop_rtt.as_nanos() / 2);
         let ticket = self.ack_slab.insert(ack);
@@ -1076,6 +1117,7 @@ impl Network {
             is_duplicate,
             newly_delivered_bytes: ack.newly_delivered_bytes,
             total_delivered_bytes: ack.total_delivered_bytes,
+            ce: ack.ce,
         };
         self.flows[id].endpoint.on_ack(&info);
         self.poll_flow(id);
@@ -1469,6 +1511,93 @@ mod tests {
         assert_eq!(net.retired_flow_count(), 0);
         let (_, endpoints) = net.finish();
         assert_eq!(endpoints[h.0].label(), "paced-cbr");
+    }
+
+    /// A fixed-window endpoint that counts CE echoes on its ACKs.
+    struct CeCountingWindow {
+        inner: FixedWindow,
+        ce_acks: u64,
+    }
+
+    impl FlowEndpoint for CeCountingWindow {
+        fn on_ack(&mut self, ack: &AckInfo) {
+            if ack.ce {
+                self.ce_acks += 1;
+            }
+            self.inner.on_ack(ack);
+        }
+        fn poll_send(&mut self, now: Time) -> SendAction {
+            self.inner.poll_send(now)
+        }
+        fn label(&self) -> &str {
+            "ce-counting"
+        }
+        fn as_any(&self) -> Option<&dyn std::any::Any> {
+            Some(self)
+        }
+    }
+
+    #[test]
+    fn step_marking_hop_echoes_ce_back_to_an_ecn_flow() {
+        // An over-buffered window on a 12 Mbit/s link with a 1 ms L4S step
+        // threshold: the standing queue far exceeds the threshold, so ECT
+        // packets are marked, the receiver echoes CE, and no packets drop
+        // (the 100 ms physical buffer is never reached by a 100-packet window).
+        let mut cfg = base_config(12e6, 10.0);
+        cfg.link_mut().ecn = EcnMarking::Step { threshold_s: 0.001 };
+        let mut net = Network::new(cfg);
+        let h = net.add_flow(
+            FlowConfig::primary("ecn-window", Time::from_millis(20)).with_ecn(true),
+            Box::new(CeCountingWindow {
+                inner: FixedWindow::new(100),
+                ce_acks: 0,
+            }),
+        );
+        net.run();
+        assert!(net.recorder().hop_marked_packets[0] > 100, "queue marked");
+        assert_eq!(net.recorder().flows[h.0].dropped_packets, 0, "no drops");
+        let marks = net.recorder().hop_marked_packets[0];
+        let mark_series_total: f64 = net.recorder().hop_mark_series[0].v.iter().sum();
+        assert_eq!(mark_series_total as u64, marks, "series sums to counter");
+        let (_, endpoints) = net.finish();
+        let ep = endpoints[h.0]
+            .as_any()
+            .and_then(|a| a.downcast_ref::<CeCountingWindow>())
+            .expect("endpoint downcasts");
+        assert!(
+            ep.ce_acks as f64 >= marks as f64 * 0.9,
+            "CE echoes ({}) should track queue marks ({marks})",
+            ep.ce_acks
+        );
+    }
+
+    #[test]
+    fn non_ecn_flows_see_identical_runs_when_marking_is_enabled() {
+        // ECN enabled on the hop but the flow never negotiates it: every
+        // observable outcome must match the marking-off run bit for bit.
+        let run = |ecn: EcnMarking| {
+            let mut cfg = base_config(12e6, 8.0);
+            cfg.link_mut().ecn = ecn;
+            cfg.seed = 17;
+            let mut net = Network::new(cfg);
+            net.add_flow(
+                FlowConfig::primary("plain", Time::from_millis(30)),
+                Box::new(FixedWindow::new(150)),
+            );
+            net.run();
+            let marks = net.recorder().hop_marked_packets[0];
+            (
+                net.total_delivered_bytes(),
+                net.total_enqueued_bytes(),
+                net.events_processed(),
+                marks,
+            )
+        };
+        let off = run(EcnMarking::None);
+        let on = run(EcnMarking::Step { threshold_s: 0.001 });
+        assert_eq!(off.3, 0);
+        assert_eq!(on.3, 0, "NotEct packets must never be marked");
+        assert_eq!(off, on);
     }
 
     #[test]

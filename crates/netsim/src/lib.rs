@@ -48,8 +48,8 @@ pub use endpoint::{AckInfo, FlowEndpoint, SendAction};
 pub use engine::{FlowConfig, FlowHandle, FlowSpawner, LinkConfig, Network, QueueKind, SimConfig};
 pub use eventq::CalendarQueue;
 pub use loss::{LossModel, Policer};
-pub use packet::{FlowId, Packet};
-pub use queue::{CoDelQueue, DropTailQueue, PieQueue, QueueDiscipline, RedQueue};
+pub use packet::{EcnCodepoint, FlowId, Packet};
+pub use queue::{CoDelQueue, DropTailQueue, EcnMarking, PieQueue, QueueDiscipline, RedQueue};
 pub use recorder::{
     FctBucket, FctSummary, FlowStats, Recorder, RecorderConfig, TimeSeries, ELEPHANT_MIN_BYTES,
     MICE_MAX_BYTES,

@@ -6,6 +6,29 @@ use serde::{Deserialize, Serialize};
 /// Identifier of a flow within one simulation.
 pub type FlowId = usize;
 
+/// The two-bit ECN codepoint a packet carries (RFC 3168 / RFC 9331).
+///
+/// Flows that negotiate ECN send their data packets as [`Ect`]
+/// (ECN-Capable Transport); a marking queue then flips the codepoint to
+/// [`Ce`] (Congestion Experienced) *instead of dropping*, and the receiver
+/// echoes the mark back to the sender on the ACK.  Non-ECN flows stay
+/// [`NotEct`] and always take the drop path, so enabling marking on a queue
+/// is invisible to them.
+///
+/// [`Ect`]: EcnCodepoint::Ect
+/// [`Ce`]: EcnCodepoint::Ce
+/// [`NotEct`]: EcnCodepoint::NotEct
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum EcnCodepoint {
+    /// Not ECN-capable: the queue must drop, never mark.
+    #[default]
+    NotEct,
+    /// ECN-capable transport: the queue may mark instead of dropping.
+    Ect,
+    /// Congestion experienced: an AQM has marked this packet.
+    Ce,
+}
+
 /// A data packet travelling from a sender towards its receiver.
 ///
 /// Sequence numbers count whole segments (not bytes): every congestion
@@ -32,6 +55,9 @@ pub struct Packet {
     /// Total queueing delay accumulated across every hop traversed so far —
     /// the end-to-end "self-inflicted" delay a path imposes on the packet.
     pub cum_queue_delay: Time,
+    /// The ECN codepoint the packet carries ([`EcnCodepoint::NotEct`] unless
+    /// the sending flow negotiated ECN; marking queues flip Ect → Ce).
+    pub ecn: EcnCodepoint,
 }
 
 impl Packet {
@@ -47,6 +73,7 @@ impl Packet {
             enqueued_at: sent_at,
             hop: 0,
             cum_queue_delay: Time::ZERO,
+            ecn: EcnCodepoint::NotEct,
         }
     }
 
@@ -84,6 +111,9 @@ pub struct AckPacket {
     pub newly_delivered_bytes: u64,
     /// Total bytes the receiver has delivered in order so far.
     pub total_delivered_bytes: u64,
+    /// Whether the triggering data segment arrived carrying
+    /// [`EcnCodepoint::Ce`] — the receiver's CE echo (ECE, in TCP terms).
+    pub ce: bool,
 }
 
 #[cfg(test)]

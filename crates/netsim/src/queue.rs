@@ -9,12 +9,65 @@
 //! [`QueueDiscipline::dequeue`] when the link is ready to transmit the next
 //! packet.  A discipline may drop on enqueue (drop-tail, RED, PIE) or on
 //! dequeue (CoDel).
+//!
+//! Every discipline also supports ECN marking ([`EcnMarking`]): with a
+//! marking profile installed, congestion signals aimed at ECN-capable (ECT)
+//! packets become CE marks instead of drops — classic RFC 3168 semantics
+//! under [`EcnMarking::Classic`], shallow L4S-style step marking under
+//! [`EcnMarking::Step`].  Non-ECT traffic and [`EcnMarking::None`] queues
+//! behave byte-for-byte as before, including the AQMs' RNG draw sequences.
 
-use crate::packet::Packet;
+use crate::packet::{EcnCodepoint, Packet};
 use crate::time::Time;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// How (and whether) a queue marks ECN-capable packets instead of dropping
+/// them.
+///
+/// Marking only ever applies to [`EcnCodepoint::Ect`] packets; non-ECT
+/// traffic always takes the original drop path, and physical buffer overflow
+/// always drops regardless of codepoint.  With marking enabled the AQMs
+/// (PIE, RED, CoDel) reuse the *same* drop decision — including the same RNG
+/// draw — and merely convert it to a mark for ECT packets, so enabling ECN
+/// is a provable no-op for every non-ECT flow sharing the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum EcnMarking {
+    /// No marking: every congestion signal is a drop (the default).
+    #[default]
+    None,
+    /// Classic ECN (RFC 3168): wherever the discipline would drop by AQM
+    /// decision, ECT packets are CE-marked and delivered instead.  On a
+    /// plain drop-tail queue — which has no AQM decision short of overflow —
+    /// this marks ECT packets once the backlog exceeds half the buffer.
+    Classic,
+    /// L4S-style step marking (RFC 9331): ECT packets are CE-marked as soon
+    /// as the queue's (projected or measured) sojourn time meets
+    /// `threshold_s` — typically ~1 ms, far below any drop threshold — while
+    /// the drop logic stays untouched.  AQM drop decisions on ECT packets
+    /// also convert to marks, as under [`EcnMarking::Classic`].
+    Step {
+        /// Sojourn-time marking threshold, seconds.
+        threshold_s: f64,
+    },
+}
+
+impl EcnMarking {
+    /// Whether any marking is enabled.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, EcnMarking::None)
+    }
+
+    /// The step-marking threshold, if this is the L4S profile.
+    pub fn step_threshold_s(&self) -> Option<f64> {
+        match self {
+            EcnMarking::Step { threshold_s } => Some(*threshold_s),
+            _ => None,
+        }
+    }
+}
 
 /// Byte capacity of a buffer specified as `buffer_secs` of line rate at
 /// `rate_bps` ("100 ms of buffering"), floored at one MSS so a tiny rate or
@@ -58,9 +111,19 @@ pub trait QueueDiscipline: std::fmt::Debug + Send {
     /// capacity are kept; only new enqueues see the new limit.
     fn set_capacity_bytes(&mut self, bytes: u64);
 
-    /// Inform the discipline of a new link drain rate (bits/s).  Only AQMs
-    /// that model the departure rate (PIE) care; the default is a no-op.
+    /// Inform the discipline of a new link drain rate (bits/s).  AQMs that
+    /// model the departure rate (PIE) and step-marking projections use it;
+    /// the default is a no-op.
     fn set_drain_rate_bps(&mut self, _rate_bps: f64) {}
+
+    /// Install an ECN marking profile.  The default discards it (no
+    /// marking); every built-in discipline stores and honours it.
+    fn set_ecn_marking(&mut self, _marking: EcnMarking) {}
+
+    /// Total ECT packets CE-marked by the discipline so far.
+    fn marks(&self) -> u64 {
+        0
+    }
 
     /// Bytes currently queued belonging to the given flow (used to measure
     /// the "self-inflicted delay" of Fig. 3).
@@ -74,6 +137,9 @@ pub struct DropTailQueue {
     capacity_bytes: u64,
     bytes: u64,
     drops: u64,
+    ecn: EcnMarking,
+    drain_rate_bps: f64,
+    marks: u64,
 }
 
 impl DropTailQueue {
@@ -85,6 +151,9 @@ impl DropTailQueue {
             capacity_bytes,
             bytes: 0,
             drops: 0,
+            ecn: EcnMarking::None,
+            drain_rate_bps: 0.0,
+            marks: 0,
         }
     }
 
@@ -92,6 +161,29 @@ impl DropTailQueue {
     /// (the "100 ms of buffering" style of specification used in the paper).
     pub fn with_delay_capacity(rate_bps: f64, buffer_secs: f64) -> Self {
         Self::new(delay_capacity_bytes(rate_bps, buffer_secs))
+    }
+
+    /// CE-mark `pkt` if it is ECT and the backlog (including `pkt` itself)
+    /// crosses the marking threshold: half the buffer under
+    /// [`EcnMarking::Classic`], the projected sojourn under
+    /// [`EcnMarking::Step`] (which needs a known drain rate).
+    fn maybe_mark(&mut self, pkt: &mut Packet) {
+        if pkt.ecn != EcnCodepoint::Ect {
+            return;
+        }
+        let backlog = self.bytes + pkt.size_bytes as u64;
+        let mark = match self.ecn {
+            EcnMarking::None => false,
+            EcnMarking::Classic => 2 * backlog >= self.capacity_bytes,
+            EcnMarking::Step { threshold_s } => {
+                self.drain_rate_bps > 0.0
+                    && (backlog * 8) as f64 / self.drain_rate_bps >= threshold_s
+            }
+        };
+        if mark {
+            pkt.ecn = EcnCodepoint::Ce;
+            self.marks += 1;
+        }
     }
 }
 
@@ -101,6 +193,7 @@ impl QueueDiscipline for DropTailQueue {
             self.drops += 1;
             return EnqueueResult::Dropped;
         }
+        self.maybe_mark(&mut pkt);
         pkt.enqueued_at = now;
         self.bytes += pkt.size_bytes as u64;
         self.queue.push_back(pkt);
@@ -131,6 +224,18 @@ impl QueueDiscipline for DropTailQueue {
 
     fn set_capacity_bytes(&mut self, bytes: u64) {
         self.capacity_bytes = bytes.max(1500);
+    }
+
+    fn set_drain_rate_bps(&mut self, rate_bps: f64) {
+        self.drain_rate_bps = rate_bps.max(0.0);
+    }
+
+    fn set_ecn_marking(&mut self, marking: EcnMarking) {
+        self.ecn = marking;
+    }
+
+    fn marks(&self) -> u64 {
+        self.marks
     }
 
     fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64 {
@@ -165,6 +270,8 @@ pub struct PieQueue {
     /// α and β gains from RFC 8033 (per-second units).
     alpha: f64,
     beta: f64,
+    ecn: EcnMarking,
+    marks: u64,
 }
 
 impl PieQueue {
@@ -183,6 +290,8 @@ impl PieQueue {
             drops: 0,
             alpha: 0.125,
             beta: 1.25,
+            ecn: EcnMarking::None,
+            marks: 0,
         }
     }
 
@@ -225,18 +334,46 @@ impl PieQueue {
 }
 
 impl QueueDiscipline for PieQueue {
-    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueResult {
+    fn enqueue(&mut self, mut pkt: Packet, now: Time) -> EnqueueResult {
         self.maybe_update(now);
         // Don't drop when the queue is nearly empty (burst allowance).
         let delay = self.current_delay();
         let protect = delay < Time::from_millis_f64(self.target_delay.as_millis_f64() / 2.0)
             && self.inner.len_packets() < 3;
+        // The probabilistic decision (and its RNG draw) is identical whether
+        // or not marking is enabled; only what happens to an ECT packet that
+        // loses the draw changes (CE-mark and keep vs drop).
+        let mut marked = false;
         if !protect && self.drop_prob > 0.0 && self.rng.gen::<f64>() < self.drop_prob {
-            self.drops += 1;
-            return EnqueueResult::Dropped;
+            if self.ecn.is_enabled() && pkt.ecn == EcnCodepoint::Ect {
+                pkt.ecn = EcnCodepoint::Ce;
+                marked = true;
+            } else {
+                self.drops += 1;
+                return EnqueueResult::Dropped;
+            }
         }
+        // The L4S step profile additionally marks on projected sojourn time,
+        // well below the drop-probability regime.
+        if let Some(threshold_s) = self.ecn.step_threshold_s() {
+            if pkt.ecn == EcnCodepoint::Ect
+                && (self.inner.len_bytes() + pkt.size_bytes as u64) as f64
+                    / self.depart_rate_bytes_per_sec
+                    >= threshold_s
+            {
+                pkt.ecn = EcnCodepoint::Ce;
+                marked = true;
+            }
+        }
+        // The mark is only counted if the physical buffer accepts the packet:
+        // a tail-dropped packet is a drop, never a mark (marked XOR dropped).
         match self.inner.enqueue(pkt, now) {
-            EnqueueResult::Accepted => EnqueueResult::Accepted,
+            EnqueueResult::Accepted => {
+                if marked {
+                    self.marks += 1;
+                }
+                EnqueueResult::Accepted
+            }
             EnqueueResult::Dropped => {
                 self.drops += 1;
                 EnqueueResult::Dropped
@@ -273,6 +410,14 @@ impl QueueDiscipline for PieQueue {
         self.depart_rate_bytes_per_sec = (rate_bps / 8.0).max(1.0);
     }
 
+    fn set_ecn_marking(&mut self, marking: EcnMarking) {
+        self.ecn = marking;
+    }
+
+    fn marks(&self) -> u64 {
+        self.marks
+    }
+
     fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64 {
         self.inner.bytes_for_flow(flow)
     }
@@ -289,6 +434,9 @@ pub struct RedQueue {
     avg_bytes: f64,
     rng: StdRng,
     drops: u64,
+    drain_rate_bps: f64,
+    ecn: EcnMarking,
+    marks: u64,
 }
 
 impl RedQueue {
@@ -304,14 +452,19 @@ impl RedQueue {
             avg_bytes: 0.0,
             rng: StdRng::seed_from_u64(seed ^ 0x6a09e667f3bcc908),
             drops: 0,
+            drain_rate_bps: 0.0,
+            ecn: EcnMarking::None,
+            marks: 0,
         }
     }
 }
 
 impl QueueDiscipline for RedQueue {
-    fn enqueue(&mut self, pkt: Packet, now: Time) -> EnqueueResult {
+    fn enqueue(&mut self, mut pkt: Packet, now: Time) -> EnqueueResult {
         self.avg_bytes =
             (1.0 - self.weight) * self.avg_bytes + self.weight * self.inner.len_bytes() as f64;
+        // The early-detection decision (and its RNG draw) is computed exactly
+        // as without ECN; marking only changes its consequence for ECT packets.
         let drop = if self.avg_bytes >= self.max_thresh_bytes {
             true
         } else if self.avg_bytes > self.min_thresh_bytes {
@@ -321,12 +474,36 @@ impl QueueDiscipline for RedQueue {
         } else {
             false
         };
+        let mut marked = false;
         if drop {
-            self.drops += 1;
-            return EnqueueResult::Dropped;
+            if self.ecn.is_enabled() && pkt.ecn == EcnCodepoint::Ect {
+                pkt.ecn = EcnCodepoint::Ce;
+                marked = true;
+            } else {
+                self.drops += 1;
+                return EnqueueResult::Dropped;
+            }
         }
+        if let Some(threshold_s) = self.ecn.step_threshold_s() {
+            if pkt.ecn == EcnCodepoint::Ect
+                && self.drain_rate_bps > 0.0
+                && ((self.inner.len_bytes() + pkt.size_bytes as u64) * 8) as f64
+                    / self.drain_rate_bps
+                    >= threshold_s
+            {
+                pkt.ecn = EcnCodepoint::Ce;
+                marked = true;
+            }
+        }
+        // Count the mark only once the physical buffer accepts the packet: a
+        // tail-dropped packet is a drop, never a mark (marked XOR dropped).
         match self.inner.enqueue(pkt, now) {
-            EnqueueResult::Accepted => EnqueueResult::Accepted,
+            EnqueueResult::Accepted => {
+                if marked {
+                    self.marks += 1;
+                }
+                EnqueueResult::Accepted
+            }
             EnqueueResult::Dropped => {
                 self.drops += 1;
                 EnqueueResult::Dropped
@@ -360,6 +537,18 @@ impl QueueDiscipline for RedQueue {
         self.max_thresh_bytes = self.inner.capacity_bytes() as f64 * 0.75;
     }
 
+    fn set_drain_rate_bps(&mut self, rate_bps: f64) {
+        self.drain_rate_bps = rate_bps.max(0.0);
+    }
+
+    fn set_ecn_marking(&mut self, marking: EcnMarking) {
+        self.ecn = marking;
+    }
+
+    fn marks(&self) -> u64 {
+        self.marks
+    }
+
     fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64 {
         self.inner.bytes_for_flow(flow)
     }
@@ -377,6 +566,8 @@ pub struct CoDelQueue {
     drop_next: Time,
     drop_count: u64,
     drops: u64,
+    ecn: EcnMarking,
+    marks: u64,
 }
 
 impl CoDelQueue {
@@ -396,7 +587,17 @@ impl CoDelQueue {
             drop_next: Time::ZERO,
             drop_count: 0,
             drops: 0,
+            ecn: EcnMarking::None,
+            marks: 0,
         }
+    }
+
+    /// Whether the control law's next "drop" should instead CE-mark `pkt`
+    /// and deliver it (RFC 8289 §3: with ECN, mark rather than drop).  An
+    /// already-CE packet (step-marked moments ago) is delivered as-is — the
+    /// congestion signal it carries is the whole point of marking it.
+    fn mark_instead(&self, pkt: &Packet) -> bool {
+        self.ecn.is_enabled() && pkt.ecn != EcnCodepoint::NotEct
     }
 
     fn control_law(&self, t: Time) -> Time {
@@ -436,7 +637,17 @@ impl QueueDiscipline for CoDelQueue {
 
     fn dequeue(&mut self, now: Time) -> Option<Packet> {
         loop {
-            let pkt = self.inner.dequeue(now)?;
+            let mut pkt = self.inner.dequeue(now)?;
+            // The L4S step profile marks on the *measured* sojourn time,
+            // independently of (and typically far below) the drop law.
+            if let Some(threshold_s) = self.ecn.step_threshold_s() {
+                if pkt.ecn == EcnCodepoint::Ect
+                    && pkt.queueing_delay(now).as_secs_f64() >= threshold_s
+                {
+                    pkt.ecn = EcnCodepoint::Ce;
+                    self.marks += 1;
+                }
+            }
             let ok_to_drop = self.should_drop(&pkt, now);
             if self.dropping {
                 if !ok_to_drop {
@@ -444,15 +655,22 @@ impl QueueDiscipline for CoDelQueue {
                     return Some(pkt);
                 }
                 if now >= self.drop_next {
-                    self.drops += 1;
                     self.drop_count += 1;
                     self.drop_next = self.control_law(self.drop_next);
+                    if self.mark_instead(&pkt) {
+                        // Same control-law state advance; mark and deliver.
+                        if pkt.ecn == EcnCodepoint::Ect {
+                            pkt.ecn = EcnCodepoint::Ce;
+                            self.marks += 1;
+                        }
+                        return Some(pkt);
+                    }
+                    self.drops += 1;
                     continue; // drop this packet, try the next
                 }
                 return Some(pkt);
             } else if ok_to_drop {
-                // Enter dropping state, drop this packet.
-                self.drops += 1;
+                // Enter dropping state; drop (or, with ECN, mark) this packet.
                 self.dropping = true;
                 self.drop_count = if self.drop_count > 2 {
                     self.drop_count - 2
@@ -460,6 +678,14 @@ impl QueueDiscipline for CoDelQueue {
                     1
                 };
                 self.drop_next = self.control_law(now);
+                if self.mark_instead(&pkt) {
+                    if pkt.ecn == EcnCodepoint::Ect {
+                        pkt.ecn = EcnCodepoint::Ce;
+                        self.marks += 1;
+                    }
+                    return Some(pkt);
+                }
+                self.drops += 1;
                 continue;
             } else {
                 return Some(pkt);
@@ -487,6 +713,14 @@ impl QueueDiscipline for CoDelQueue {
         self.inner.set_capacity_bytes(bytes);
     }
 
+    fn set_ecn_marking(&mut self, marking: EcnMarking) {
+        self.ecn = marking;
+    }
+
+    fn marks(&self) -> u64 {
+        self.marks
+    }
+
     fn bytes_for_flow(&self, flow: crate::packet::FlowId) -> u64 {
         self.inner.bytes_for_flow(flow)
     }
@@ -499,6 +733,12 @@ mod tests {
 
     fn pkt(flow: usize, seq: u64, size: u32, t_ms: u64) -> Packet {
         Packet::new(flow, seq, size, Time::from_millis(t_ms), false)
+    }
+
+    fn ect(flow: usize, seq: u64, size: u32, t_ms: u64) -> Packet {
+        let mut p = pkt(flow, seq, size, t_ms);
+        p.ecn = EcnCodepoint::Ect;
+        p
     }
 
     #[test]
@@ -641,7 +881,222 @@ mod tests {
         assert_eq!(q.drops(), 0);
     }
 
+    #[test]
+    fn droptail_step_marking_flips_only_ect_packets() {
+        // 12 Mbit/s drain: a 1500 B packet takes 1 ms to serialize, so with a
+        // 1 ms step threshold the second queued packet projects over it.
+        let mut q = DropTailQueue::new(1_000_000);
+        q.set_drain_rate_bps(12e6);
+        q.set_ecn_marking(EcnMarking::Step { threshold_s: 0.001 });
+        assert_eq!(
+            q.enqueue(ect(0, 0, 1500, 0), Time::ZERO),
+            EnqueueResult::Accepted
+        );
+        assert_eq!(
+            q.enqueue(ect(0, 1, 1500, 0), Time::ZERO),
+            EnqueueResult::Accepted
+        );
+        assert_eq!(
+            q.enqueue(pkt(0, 2, 1500, 0), Time::ZERO),
+            EnqueueResult::Accepted
+        );
+        // First packet projected exactly at 1 ms sojourn → marked; the
+        // non-ECT packet behind it stays untouched however deep the queue is.
+        assert_eq!(q.marks(), 2);
+        assert_eq!(q.dequeue(Time::ZERO).unwrap().ecn, EcnCodepoint::Ce);
+        assert_eq!(q.dequeue(Time::ZERO).unwrap().ecn, EcnCodepoint::Ce);
+        assert_eq!(q.dequeue(Time::ZERO).unwrap().ecn, EcnCodepoint::NotEct);
+        assert_eq!(q.drops(), 0);
+    }
+
+    #[test]
+    fn droptail_classic_marking_kicks_in_at_half_capacity() {
+        let mut q = DropTailQueue::new(6000);
+        q.set_ecn_marking(EcnMarking::Classic);
+        assert_eq!(
+            q.enqueue(ect(0, 0, 1500, 0), Time::ZERO),
+            EnqueueResult::Accepted
+        );
+        assert_eq!(q.marks(), 0, "below half capacity: no mark");
+        assert_eq!(
+            q.enqueue(ect(0, 1, 1500, 0), Time::ZERO),
+            EnqueueResult::Accepted
+        );
+        assert_eq!(q.marks(), 1, "at half capacity: marked");
+    }
+
+    #[test]
+    fn pie_marks_instead_of_dropping_ect() {
+        // The same sustained overload (2 in, 1 out per millisecond), run
+        // plain and with classic ECN + all-ECT traffic.  Plain PIE sheds the
+        // excess by dropping; with marking and a buffer big enough to hold
+        // the run, the *same* probabilistic decisions become CE marks and no
+        // packet is lost.  (The two runs are not packet-for-packet identical
+        // — keeping marked packets changes the queue PIE measures — so the
+        // invariant is drop-freedom, not a drop↔mark bijection.)
+        let rate = 12e6;
+        let run = |ecn: bool| {
+            let mut q = PieQueue::new(100_000_000, rate, Time::from_millis(15), 1);
+            if ecn {
+                q.set_ecn_marking(EcnMarking::Classic);
+            }
+            let mut now = Time::ZERO;
+            for i in 0..20_000u64 {
+                for j in 0..2 {
+                    let p = if ecn {
+                        ect(0, i * 2 + j, 1500, 0)
+                    } else {
+                        pkt(0, i * 2 + j, 1500, 0)
+                    };
+                    let _ = q.enqueue(p, now);
+                }
+                let _ = q.dequeue(now);
+                now += Time::from_millis(1);
+            }
+            (q.drops(), q.marks())
+        };
+        let (plain_drops, plain_marks) = run(false);
+        let (ecn_drops, ecn_marks) = run(true);
+        assert_eq!(plain_marks, 0);
+        assert!(plain_drops > 100, "plain PIE drops under overload");
+        assert_eq!(ecn_drops, 0, "classic ECN never drops ECT traffic");
+        assert!(ecn_marks > 100, "the shed load reappears as marks");
+    }
+
+    #[test]
+    fn codel_marks_and_delivers_under_persistent_delay() {
+        let mut q = CoDelQueue::new(10_000_000);
+        q.set_ecn_marking(EcnMarking::Classic);
+        for i in 0..2000u64 {
+            q.enqueue(ect(0, i, 1500, 0), Time::ZERO);
+        }
+        let mut delivered = 0u64;
+        let mut marked = 0u64;
+        let mut now = Time::from_millis(1);
+        while let Some(p) = q.dequeue(now) {
+            delivered += 1;
+            if p.ecn == EcnCodepoint::Ce {
+                marked += 1;
+            }
+            now += Time::from_millis(1);
+        }
+        assert_eq!(q.drops(), 0, "with ECN the control law marks, not drops");
+        assert!(marked > 0, "persistent sojourn must mark");
+        assert_eq!(q.marks(), marked);
+        assert_eq!(delivered, 2000, "every packet was delivered");
+    }
+
+    #[test]
+    fn codel_step_profile_marks_on_measured_sojourn() {
+        let mut q = CoDelQueue::new(10_000_000);
+        q.set_ecn_marking(EcnMarking::Step { threshold_s: 0.001 });
+        q.enqueue(ect(0, 0, 1500, 0), Time::ZERO);
+        q.enqueue(ect(0, 1, 1500, 0), Time::ZERO);
+        // Dequeued within the threshold: unmarked.
+        assert_eq!(
+            q.dequeue(Time::from_micros(500)).unwrap().ecn,
+            EcnCodepoint::Ect
+        );
+        // Dequeued past 1 ms of sojourn: step-marked.
+        assert_eq!(
+            q.dequeue(Time::from_millis(2)).unwrap().ecn,
+            EcnCodepoint::Ce
+        );
+        assert_eq!(q.marks(), 1);
+    }
+
     proptest! {
+        #[test]
+        fn prop_marked_xor_dropped(sizes in proptest::collection::vec(500u32..1500, 1..200),
+                                   kind in 0u8..4) {
+            // Every offered packet meets exactly one fate: dropped, delivered
+            // marked, or delivered unmarked — never more than one, across all
+            // four disciplines with marking enabled.
+            let mut q: Box<dyn QueueDiscipline> = match kind {
+                0 => Box::new(DropTailQueue::new(20_000)),
+                1 => Box::new(PieQueue::new(20_000, 12e6, Time::from_millis(5), 11)),
+                2 => Box::new(RedQueue::new(20_000, 13)),
+                _ => Box::new(CoDelQueue::new(20_000)),
+            };
+            q.set_drain_rate_bps(12e6);
+            q.set_ecn_marking(EcnMarking::Step { threshold_s: 0.002 });
+            let mut offered = 0u64;
+            let mut accepted_bytes = 0u64;
+            let mut dropped_at_enqueue = 0u64;
+            for (i, &s) in sizes.iter().enumerate() {
+                offered += 1;
+                match q.enqueue(ect(0, i as u64, s, (i / 4) as u64), Time::from_millis((i / 4) as u64)) {
+                    EnqueueResult::Accepted => accepted_bytes += s as u64,
+                    EnqueueResult::Dropped => dropped_at_enqueue += 1,
+                }
+            }
+            let mut delivered = 0u64;
+            let mut delivered_bytes = 0u64;
+            let mut delivered_marked = 0u64;
+            let now = Time::from_millis(400);
+            while let Some(p) = q.dequeue(now) {
+                delivered += 1;
+                delivered_bytes += p.size_bytes as u64;
+                prop_assert_ne!(p.ecn, EcnCodepoint::NotEct, "codepoint must survive the queue");
+                if p.ecn == EcnCodepoint::Ce {
+                    delivered_marked += 1;
+                }
+            }
+            // Marked XOR dropped: the fates partition the offered packets —
+            // every packet is either delivered (possibly CE-marked) or
+            // dropped, never both, and marks only ever land on delivered
+            // packets.
+            prop_assert_eq!(delivered + q.drops(), offered, "delivered + dropped == offered");
+            prop_assert_eq!(delivered_marked, q.marks(),
+                            "every mark the discipline counted was delivered exactly once");
+            let dropped_at_dequeue = q.drops() - dropped_at_enqueue;
+            // Byte conservation with marking enabled: accepted bytes either
+            // came out or were dropped at dequeue (CoDel's control law), and
+            // the residue is bounded by those packets' size range.
+            prop_assert_eq!(q.len_bytes(), 0, "queue fully drained");
+            prop_assert!(delivered_bytes <= accepted_bytes);
+            prop_assert!(accepted_bytes - delivered_bytes >= dropped_at_dequeue * 500);
+            prop_assert!(accepted_bytes - delivered_bytes <= dropped_at_dequeue * 1500);
+        }
+
+        #[test]
+        fn prop_marking_is_deterministic_across_threads(sizes in proptest::collection::vec(500u32..1500, 1..150),
+                                                        seed in 0u64..1000) {
+            // The same marking workload must produce identical (drops, marks,
+            // delivered-CE sequence) whether run serially or on worker
+            // threads: all randomness is owned by the seeded queue RNG.
+            let run = {
+                let sizes = sizes.clone();
+                move || {
+                    let mut q = RedQueue::new(30_000, seed);
+                    q.set_drain_rate_bps(12e6);
+                    q.set_ecn_marking(EcnMarking::Classic);
+                    let mut fates = Vec::new();
+                    for (i, &s) in sizes.iter().enumerate() {
+                        let r = q.enqueue(ect(0, i as u64, s, 0), Time::ZERO);
+                        if r == EnqueueResult::Accepted && q.len_bytes() > 20_000 {
+                            let _ = q.dequeue(Time::ZERO);
+                        }
+                        fates.push(r == EnqueueResult::Accepted);
+                    }
+                    let mut ce = Vec::new();
+                    while let Some(p) = q.dequeue(Time::ZERO) {
+                        ce.push(p.ecn == EcnCodepoint::Ce);
+                    }
+                    (q.drops(), q.marks(), fates, ce)
+                }
+            };
+            let serial = run();
+            let handles: Vec<_> = (0..2).map(|_| {
+                let r = run.clone();
+                std::thread::spawn(r)
+            }).collect();
+            for h in handles {
+                let threaded = h.join().unwrap();
+                prop_assert_eq!(&threaded, &serial, "thread run diverged from serial run");
+            }
+        }
+
         #[test]
         fn prop_droptail_byte_count_consistent(ops in proptest::collection::vec((0u8..2, 100u32..2000), 1..300)) {
             let mut q = DropTailQueue::new(20_000);

@@ -308,6 +308,12 @@ pub struct Recorder {
     pub hop_queue_bytes: Vec<TimeSeries>,
     /// Packets dropped at each hop (queue, AQM, policer or loss model).
     pub hop_dropped_packets: Vec<u64>,
+    /// Cumulative CE marks applied by each hop's queue (ECN runs only;
+    /// stays all-zero — and out of the snapshot — when nothing marks).
+    pub hop_marked_packets: Vec<u64>,
+    /// CE marks applied by each hop's queue during each sampling interval —
+    /// the mark-rate signal an ECN-reacting sender ultimately observes.
+    pub hop_mark_series: Vec<TimeSeries>,
     /// Cross-traffic arrival rate at the bottleneck (Mbit/s) per interval
     /// — the ground-truth `z(t)`.
     pub cross_rate_mbps: TimeSeries,
@@ -344,6 +350,8 @@ impl Recorder {
             queue_bytes: TimeSeries::default(),
             hop_queue_bytes: vec![TimeSeries::default(); num_hops],
             hop_dropped_packets: vec![0; num_hops],
+            hop_marked_packets: vec![0; num_hops],
+            hop_mark_series: vec![TimeSeries::default(); num_hops],
             cross_rate_mbps: TimeSeries::default(),
             elastic_fraction: TimeSeries::default(),
             flows: Vec::new(),
@@ -532,6 +540,19 @@ impl Recorder {
         }
     }
 
+    /// Record each hop's cumulative CE-mark counter (read off its queue) at
+    /// the close of a sampling interval; the per-hop series stores the
+    /// interval's delta.  Called by the engine alongside [`Recorder::sample`].
+    pub fn sample_marks(&mut self, now: Time, cumulative: &[u64]) {
+        debug_assert_eq!(cumulative.len(), self.hop_marked_packets.len());
+        let t = now.as_secs_f64();
+        for (hop, &cum) in cumulative.iter().enumerate() {
+            let delta = cum.saturating_sub(self.hop_marked_packets[hop]);
+            self.hop_mark_series[hop].push(t, delta as f64);
+            self.hop_marked_packets[hop] = cum;
+        }
+    }
+
     /// Serialize every public time series and per-flow summary.  This is the
     /// record the determinism tests compare byte-for-byte: two runs with the
     /// same `SimConfig` seed must produce identical snapshots.
@@ -572,6 +593,19 @@ impl Recorder {
             entries.push((
                 "hop_dropped_packets".to_string(),
                 self.hop_dropped_packets.to_value(),
+            ));
+        }
+        // Mark entries appear only when something actually marked: an
+        // ECN-off run never does, so its snapshot — and every fingerprint
+        // pinned before ECN existed — is byte-identical.
+        if self.hop_marked_packets.iter().any(|&m| m > 0) {
+            entries.push((
+                "hop_marked_packets".to_string(),
+                self.hop_marked_packets.to_value(),
+            ));
+            entries.push((
+                "hop_mark_series".to_string(),
+                self.hop_mark_series.to_value(),
             ));
         }
         serde::Value::Map(entries)
@@ -824,6 +858,24 @@ mod tests {
         let s = r.fct_summary();
         assert_eq!(s.all.count, 2);
         assert!((s.all.p50_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mark_series_stores_interval_deltas_and_gates_the_snapshot() {
+        let mut r = Recorder::new(RecorderConfig::default(), 2);
+        // No marks: the snapshot must not mention marks at all.
+        r.sample_marks(Time::from_millis(100), &[0, 0]);
+        let plain = serde_json::to_string(&r.snapshot()).unwrap();
+        assert!(!plain.contains("hop_marked_packets"));
+        // Cumulative counters 5 and 2, then 9 and 2: deltas 5,2 then 4,0.
+        r.sample_marks(Time::from_millis(200), &[5, 2]);
+        r.sample_marks(Time::from_millis(300), &[9, 2]);
+        assert_eq!(r.hop_marked_packets, vec![9, 2]);
+        assert_eq!(r.hop_mark_series[0].v, vec![0.0, 5.0, 4.0]);
+        assert_eq!(r.hop_mark_series[1].v, vec![0.0, 2.0, 0.0]);
+        let marked = serde_json::to_string(&r.snapshot()).unwrap();
+        assert!(marked.contains("hop_marked_packets"));
+        assert!(marked.contains("hop_mark_series"));
     }
 
     #[test]

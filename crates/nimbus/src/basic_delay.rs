@@ -121,8 +121,14 @@ impl CongestionControl for BasicDelay {
         self.rate_bps = (self.rate_bps * 0.9).max(self.cfg.min_rate_bps);
     }
 
-    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
-        self.rate_bps = self.cfg.min_rate_bps;
+    fn on_congestion_event(&mut self, event: &CongestionEvent) {
+        match event {
+            CongestionEvent::Rto { .. } => {
+                self.rate_bps = self.cfg.min_rate_bps;
+            }
+            // Pure delay controller: the RTT term is its congestion signal.
+            CongestionEvent::EcnCe { .. } => {}
+        }
     }
 
     fn on_report(&mut self, report: &Report) {
@@ -181,6 +187,8 @@ mod tests {
             rtt_s,
             min_rtt_s: 0.05,
             window_acks: 30,
+            marked_packets: 0,
+            marked_bytes: 0,
         }
     }
 

@@ -170,12 +170,18 @@ impl CongestionControl for Bbr {
         // BBR v1 largely ignores individual losses (no multiplicative decrease).
     }
 
-    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
-        // Conservative: restart the bandwidth estimate.
-        self.full_bw = 0.0;
-        self.full_bw_count = 0;
-        self.state = State::Startup;
-        self.pacing_gain = STARTUP_GAIN;
+    fn on_congestion_event(&mut self, event: &CongestionEvent) {
+        match event {
+            CongestionEvent::Rto { .. } => {
+                // Conservative: restart the bandwidth estimate.
+                self.full_bw = 0.0;
+                self.full_bw_count = 0;
+                self.state = State::Startup;
+                self.pacing_gain = STARTUP_GAIN;
+            }
+            // BBR v1 famously ignores ECN; it paces to the model.
+            CongestionEvent::EcnCe { .. } => {}
+        }
     }
 
     fn on_report(&mut self, report: &Report) {
@@ -235,6 +241,8 @@ mod tests {
             rtt_s: 0.05,
             min_rtt_s: 0.05,
             window_acks: 20,
+            marked_packets: 0,
+            marked_bytes: 0,
         }
     }
 

@@ -90,10 +90,17 @@ impl CongestionControl for Compound {
         self.dwnd = (total * (1.0 - ETA) - self.cwnd).max(0.0);
     }
 
-    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
-        self.ssthresh = ((self.cwnd + self.dwnd) / 2.0).max(2.0);
-        self.cwnd = 2.0;
-        self.dwnd = 0.0;
+    fn on_congestion_event(&mut self, event: &CongestionEvent) {
+        match event {
+            CongestionEvent::Rto { .. } => {
+                self.ssthresh = ((self.cwnd + self.dwnd) / 2.0).max(2.0);
+                self.cwnd = 2.0;
+                self.dwnd = 0.0;
+            }
+            // The delay window drains on its own when queues build; the loss
+            // window reacts to losses, not marks.
+            CongestionEvent::EcnCe { .. } => {}
+        }
     }
 
     fn cwnd_packets(&self) -> f64 {

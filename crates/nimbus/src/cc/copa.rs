@@ -230,10 +230,17 @@ impl CongestionControl for Copa {
         self.velocity = 1.0;
     }
 
-    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
-        self.cwnd = 2.0;
-        self.velocity = 1.0;
-        self.in_slow_start = true;
+    fn on_congestion_event(&mut self, event: &CongestionEvent) {
+        match event {
+            CongestionEvent::Rto { .. } => {
+                self.cwnd = 2.0;
+                self.velocity = 1.0;
+                self.in_slow_start = true;
+            }
+            // Copa targets a delay budget; CE marks reflect queue state its
+            // own target-rate law already tracks.
+            CongestionEvent::EcnCe { .. } => {}
+        }
     }
 
     fn cwnd_packets(&self) -> f64 {

@@ -27,6 +27,9 @@ pub struct Cubic {
     /// Estimate of what Reno's window would be (TCP-friendly region).
     w_est: f64,
     initial_cwnd: f64,
+    /// ACKed packets still to count before another classic-ECN reaction is
+    /// allowed (RFC 3168: at most one multiplicative decrease per window).
+    ce_acks_to_reopen: f64,
 }
 
 impl Cubic {
@@ -40,6 +43,7 @@ impl Cubic {
             k: 0.0,
             w_est: 0.0,
             initial_cwnd: 10.0,
+            ce_acks_to_reopen: 0.0,
         }
     }
 
@@ -73,6 +77,7 @@ impl Default for Cubic {
 impl CongestionControl for Cubic {
     fn on_packet_acked(&mut self, ack: &AckEvent) {
         let acked = ack.newly_acked_packets as f64;
+        self.ce_acks_to_reopen = (self.ce_acks_to_reopen - acked).max(0.0);
         if self.in_slow_start() {
             self.cwnd += acked;
             if self.cwnd > self.ssthresh {
@@ -110,11 +115,26 @@ impl CongestionControl for Cubic {
         self.epoch_start = None;
     }
 
-    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
-        self.w_max = self.cwnd;
-        self.ssthresh = (self.cwnd * BETA).max(2.0);
-        self.cwnd = self.initial_cwnd.min(self.ssthresh).max(1.0);
-        self.epoch_start = None;
+    fn on_congestion_event(&mut self, event: &CongestionEvent) {
+        match event {
+            CongestionEvent::Rto { .. } => {
+                self.w_max = self.cwnd;
+                self.ssthresh = (self.cwnd * BETA).max(2.0);
+                self.cwnd = self.initial_cwnd.min(self.ssthresh).max(1.0);
+                self.epoch_start = None;
+            }
+            CongestionEvent::EcnCe { .. } => {
+                // Classic ECN: the fast-retransmit decrease (β, new epoch),
+                // at most once per window of ACKs.
+                if self.ce_acks_to_reopen <= 0.0 {
+                    self.w_max = self.cwnd;
+                    self.ssthresh = (self.cwnd * BETA).max(2.0);
+                    self.cwnd = self.ssthresh;
+                    self.epoch_start = None;
+                    self.ce_acks_to_reopen = self.cwnd;
+                }
+            }
+        }
     }
 
     fn cwnd_packets(&self) -> f64 {
@@ -232,6 +252,26 @@ mod tests {
         cc.ssthresh = 40.0;
         cc.on_congestion_event(&CongestionEvent::Rto { now: Time::ZERO });
         assert!(cc.cwnd_packets() <= 10.0);
+    }
+
+    #[test]
+    fn ce_cuts_by_beta_at_most_once_per_window() {
+        let mut cc = Cubic::new();
+        cc.cwnd = 100.0;
+        cc.ssthresh = 50.0;
+        let ce = CongestionEvent::EcnCe {
+            now: Time::ZERO,
+            marked_bytes: 1500,
+        };
+        for _ in 0..50 {
+            cc.on_congestion_event(&ce);
+        }
+        assert!((cc.cwnd_packets() - 70.0).abs() < 1e-9, "one beta cut");
+        for _ in 0..70 {
+            cc.on_packet_acked(&ack_at(100, 50));
+        }
+        cc.on_congestion_event(&ce);
+        assert!(cc.cwnd_packets() < 55.0, "gate reopens after a window");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`bbr`]      | BBR             | baseline                                              |
 //! | [`vivace`]   | PCC-Vivace      | baseline; rate-based (non-ACK-clocked) elastic flow   |
 //! | [`compound`] | Compound TCP    | baseline                                              |
+//! | [`dctcp`]    | DCTCP           | ECN-reacting CCA for the L4S/Prague scenario family   |
 //! | [`constant`] | CBR / unlimited | inelastic cross traffic                                |
 //! | [`BasicDelay`](crate::BasicDelay) | BasicDelay | the paper's Eq. 4 delay controller (used by Nimbus) |
 //!
@@ -28,6 +29,7 @@ pub mod compound;
 pub mod constant;
 pub mod copa;
 pub mod cubic;
+pub mod dctcp;
 pub mod reno;
 pub mod vegas;
 pub mod vivace;
@@ -66,11 +68,13 @@ pub struct LossEvent {
     pub in_flight_packets: u64,
 }
 
-/// A non-ACK congestion signal from the host.
+/// A non-ACK congestion signal from the host: a retransmission timeout, or
+/// an ECN congestion-experienced mark echoed back by the receiver.
 ///
-/// Today the only variant is the retransmission timeout; an ECN/CE-mark
-/// variant slots in here when the ROADMAP's Prague work lands, without
-/// touching the trait again.
+/// The enum stays `#[non_exhaustive]` so further signals (e.g. packet
+/// timestamping) can slot in without touching the trait; controllers must
+/// therefore match specific variants, never treat "any congestion event" as
+/// a timeout.
 #[derive(Debug, Clone, Copy)]
 #[non_exhaustive]
 pub enum CongestionEvent {
@@ -78,6 +82,18 @@ pub enum CongestionEvent {
     Rto {
         /// Time the timeout fired.
         now: Time,
+    },
+    /// The receiver echoed a CE (congestion experienced) mark: an AQM on the
+    /// path marked a packet instead of dropping it.  Delivered once per
+    /// CE-carrying ACK.  Loss-based schemes treat this as a classic-ECN
+    /// congestion signal (at most one multiplicative decrease per window);
+    /// DCTCP feeds it into its mark-fraction EWMA; delay- and rate-based
+    /// schemes may ignore it.
+    EcnCe {
+        /// Time the CE echo reached the sender.
+        now: Time,
+        /// Bytes of the data segment that carried the mark.
+        marked_bytes: u64,
     },
 }
 
@@ -138,7 +154,7 @@ pub trait CongestionControl: Send {
     /// Losses were detected by duplicate ACKs (fast retransmit).
     fn on_packets_lost(&mut self, loss: &LossEvent);
 
-    /// A non-ACK congestion signal (today: the retransmission timeout).
+    /// A non-ACK congestion signal: a retransmission timeout or a CE mark.
     fn on_congestion_event(&mut self, event: &CongestionEvent);
 
     /// A periodic (10 ms) CCP-style measurement report.
@@ -185,6 +201,8 @@ pub enum CcKind {
     Vivace,
     /// Compound TCP.
     Compound,
+    /// DCTCP: ECN mark-fraction EWMA with proportional cwnd cuts.
+    Dctcp,
     /// Constant-bit-rate (paced, unlimited window) at the given rate.
     ConstantRate(f64),
     /// No congestion control at all: send whenever the application has data.
@@ -204,6 +222,7 @@ impl CcKind {
             CcKind::Bbr => Box::new(bbr::Bbr::new(path.mss)),
             CcKind::Vivace => Box::new(vivace::Vivace::new(path.mss)),
             CcKind::Compound => Box::new(compound::Compound::new()),
+            CcKind::Dctcp => Box::new(dctcp::Dctcp::new()),
             CcKind::ConstantRate(bps) => Box::new(constant::ConstantRate::new(bps)),
             CcKind::Unlimited => Box::new(constant::Unlimited::new()),
         }
@@ -218,6 +237,8 @@ impl CcKind {
             }
             // BBR: "Elastic*" (only when CWND-limited); Vivace: "Inelastic*".
             CcKind::Bbr => true,
+            // Window-based and ACK-clocked; without marks it grows like Reno.
+            CcKind::Dctcp => true,
             CcKind::Vivace => false,
             CcKind::ConstantRate(_) | CcKind::Unlimited => false,
         }
@@ -233,6 +254,7 @@ impl CcKind {
             CcKind::Bbr => "bbr",
             CcKind::Vivace => "pcc-vivace",
             CcKind::Compound => "compound",
+            CcKind::Dctcp => "dctcp",
             CcKind::ConstantRate(_) => "cbr",
             CcKind::Unlimited => "unlimited",
         }
@@ -261,7 +283,7 @@ impl std::str::FromStr for CcKind {
 
     /// Parse a bare-CCA spec string: `cubic`, `newreno` (alias `reno`),
     /// `vegas`, `copa`, `bbr`, `vivace` (alias `pcc-vivace`), `compound`,
-    /// `unlimited`, or `constant(<rate>)` (alias `cbr(<rate>)`).
+    /// `dctcp`, `unlimited`, or `constant(<rate>)` (alias `cbr(<rate>)`).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
         let lower = s.to_ascii_lowercase();
@@ -273,6 +295,7 @@ impl std::str::FromStr for CcKind {
             "bbr" => return Ok(CcKind::Bbr),
             "vivace" | "pcc-vivace" => return Ok(CcKind::Vivace),
             "compound" => return Ok(CcKind::Compound),
+            "dctcp" => return Ok(CcKind::Dctcp),
             "unlimited" => return Ok(CcKind::Unlimited),
             _ => {}
         }
@@ -287,7 +310,8 @@ impl std::str::FromStr for CcKind {
         }
         Err(format!(
             "unknown congestion-control scheme `{s}` (expected cubic, newreno, vegas, copa, \
-             bbr, vivace, compound, unlimited, or constant(<rate>) such as constant(24M))"
+             bbr, vivace, compound, dctcp, unlimited, or constant(<rate>) such as \
+             constant(24M))"
         ))
     }
 }
@@ -306,6 +330,7 @@ mod tests {
             CcKind::Bbr,
             CcKind::Vivace,
             CcKind::Compound,
+            CcKind::Dctcp,
             CcKind::ConstantRate(10e6),
             CcKind::Unlimited,
         ] {
@@ -329,6 +354,7 @@ mod tests {
             CcKind::Bbr,
             CcKind::Vivace,
             CcKind::Compound,
+            CcKind::Dctcp,
             CcKind::ConstantRate(2.5e6),
             CcKind::Unlimited,
         ] {
@@ -352,6 +378,7 @@ mod tests {
         assert!(CcKind::Copa.expected_elastic());
         assert!(CcKind::Vegas.expected_elastic());
         assert!(!CcKind::Vivace.expected_elastic());
+        assert!(CcKind::Dctcp.expected_elastic());
         assert!(!CcKind::ConstantRate(1e6).expected_elastic());
     }
 }

@@ -14,6 +14,9 @@ pub struct NewReno {
     cwnd: f64,
     ssthresh: f64,
     initial_cwnd: f64,
+    /// ACKed packets still to count before another classic-ECN reaction is
+    /// allowed (RFC 3168: at most one multiplicative decrease per window).
+    ce_acks_to_reopen: f64,
 }
 
 impl NewReno {
@@ -23,6 +26,7 @@ impl NewReno {
             cwnd: 10.0,
             ssthresh: f64::INFINITY,
             initial_cwnd: 10.0,
+            ce_acks_to_reopen: 0.0,
         }
     }
 
@@ -46,6 +50,7 @@ impl Default for NewReno {
 impl CongestionControl for NewReno {
     fn on_packet_acked(&mut self, ack: &AckEvent) {
         let acked = ack.newly_acked_packets as f64;
+        self.ce_acks_to_reopen = (self.ce_acks_to_reopen - acked).max(0.0);
         if self.in_slow_start() {
             self.cwnd += acked;
             if self.cwnd > self.ssthresh {
@@ -62,9 +67,23 @@ impl CongestionControl for NewReno {
         self.cwnd = self.ssthresh;
     }
 
-    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
-        self.ssthresh = (self.cwnd / 2.0).max(2.0);
-        self.cwnd = self.initial_cwnd.min(self.ssthresh).max(1.0);
+    fn on_congestion_event(&mut self, event: &CongestionEvent) {
+        match event {
+            CongestionEvent::Rto { .. } => {
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                self.cwnd = self.initial_cwnd.min(self.ssthresh).max(1.0);
+            }
+            CongestionEvent::EcnCe { .. } => {
+                // Classic ECN (RFC 3168): halve like a fast retransmit, but
+                // at most once per window of ACKs however many CE echoes the
+                // window carried.
+                if self.ce_acks_to_reopen <= 0.0 {
+                    self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                    self.cwnd = self.ssthresh;
+                    self.ce_acks_to_reopen = self.cwnd;
+                }
+            }
+        }
     }
 
     fn cwnd_packets(&self) -> f64 {
@@ -150,6 +169,28 @@ mod tests {
             cc.on_congestion_event(&CongestionEvent::Rto { now: Time::ZERO });
         }
         assert!(cc.cwnd_packets() >= 1.0);
+    }
+
+    #[test]
+    fn ce_halves_at_most_once_per_window() {
+        let mut cc = NewReno::new();
+        cc.cwnd = 64.0;
+        cc.ssthresh = 32.0;
+        let ce = CongestionEvent::EcnCe {
+            now: Time::ZERO,
+            marked_bytes: 1500,
+        };
+        // A storm of CE echoes within one window halves exactly once.
+        for _ in 0..50 {
+            cc.on_congestion_event(&ce);
+        }
+        assert!((cc.cwnd_packets() - 32.0).abs() < 1e-9, "one halving");
+        // After a full window of ACKs the gate reopens.
+        for _ in 0..32 {
+            cc.on_packet_acked(&ack(1, 32.0));
+        }
+        cc.on_congestion_event(&ce);
+        assert!(cc.cwnd_packets() < 20.0, "second halving after a window");
     }
 
     #[test]

@@ -121,9 +121,16 @@ impl CongestionControl for Vegas {
         self.cwnd = self.ssthresh;
     }
 
-    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
-        self.ssthresh = (self.cwnd / 2.0).max(2.0);
-        self.cwnd = 2.0;
+    fn on_congestion_event(&mut self, event: &CongestionEvent) {
+        match event {
+            CongestionEvent::Rto { .. } => {
+                self.ssthresh = (self.cwnd / 2.0).max(2.0);
+                self.cwnd = 2.0;
+            }
+            // Vegas reads congestion from queueing delay; a CE mark implies
+            // standing queue the diff term already sees, so no extra cut.
+            CongestionEvent::EcnCe { .. } => {}
+        }
     }
 
     fn cwnd_packets(&self) -> f64 {

@@ -172,9 +172,16 @@ impl CongestionControl for Vivace {
         self.mi_lost_packets += 1;
     }
 
-    fn on_congestion_event(&mut self, _event: &CongestionEvent) {
-        self.rate_bps = (self.rate_bps * 0.5).max(0.1e6);
-        self.in_starting_phase = false;
+    fn on_congestion_event(&mut self, event: &CongestionEvent) {
+        match event {
+            CongestionEvent::Rto { .. } => {
+                self.rate_bps = (self.rate_bps * 0.5).max(0.1e6);
+                self.in_starting_phase = false;
+            }
+            // Vivace's utility already penalises loss and delay; marks carry
+            // no extra gradient information here.
+            CongestionEvent::EcnCe { .. } => {}
+        }
     }
 
     fn on_report(&mut self, report: &Report) {

@@ -44,6 +44,11 @@ pub struct Report {
     pub min_rtt_s: f64,
     /// Number of ACKs in the measurement window.
     pub window_acks: usize,
+    /// ACKs carrying a CE echo since the previous report (0 on non-ECN
+    /// flows, so mark-aware consumers stay inert there).
+    pub marked_packets: u64,
+    /// Bytes of the CE-marked data segments behind those echoes.
+    pub marked_bytes: u64,
 }
 
 /// Builds [`Report`]s from per-ACK records.
@@ -54,6 +59,8 @@ pub struct ReportAggregator {
     measurement_window: Time,
     acked_since_report: u64,
     lost_since_report: u64,
+    marked_packets_since_report: u64,
+    marked_bytes_since_report: u64,
     latest_rtt: Time,
     min_rtt: Option<Time>,
 }
@@ -67,6 +74,8 @@ impl ReportAggregator {
             measurement_window,
             acked_since_report: 0,
             lost_since_report: 0,
+            marked_packets_since_report: 0,
+            marked_bytes_since_report: 0,
             latest_rtt: Time::ZERO,
             min_rtt: None,
         }
@@ -115,6 +124,12 @@ impl ReportAggregator {
         self.lost_since_report += packets;
     }
 
+    /// Record one CE echo (an ACK whose triggering segment arrived marked).
+    pub fn on_mark(&mut self, bytes: u64) {
+        self.marked_packets_since_report += 1;
+        self.marked_bytes_since_report += bytes;
+    }
+
     /// Compute the send and receive rates (bits/s) over ACKs whose arrival
     /// falls within the measurement window ending at `now`, following Eq. 2:
     /// the same set of packets is used for both rates.
@@ -159,9 +174,13 @@ impl ReportAggregator {
             rtt_s: self.latest_rtt.as_secs_f64(),
             min_rtt_s: self.min_rtt.map(|m| m.as_secs_f64()).unwrap_or(0.0),
             window_acks: n,
+            marked_packets: self.marked_packets_since_report,
+            marked_bytes: self.marked_bytes_since_report,
         };
         self.acked_since_report = 0;
         self.lost_since_report = 0;
+        self.marked_packets_since_report = 0;
+        self.marked_bytes_since_report = 0;
         rep
     }
 }

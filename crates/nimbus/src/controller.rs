@@ -42,6 +42,8 @@ pub enum TcpScheme {
     Cubic,
     /// TCP NewReno.
     NewReno,
+    /// DCTCP: scalable ECN reaction for L4S-style marking queues.
+    Dctcp,
 }
 
 /// Which algorithm fills the delay-controlling role.
@@ -92,6 +94,11 @@ pub struct NimbusConfig {
     pub multiflow: MultiflowConfig,
     /// Seed for the controller's randomized decisions.
     pub seed: u64,
+    /// Cross-validate the elasticity verdict against the ECN mark rate: a
+    /// persistent mark fraction plus a non-trivial ẑ flips the controller to
+    /// competitive mode without waiting for a full FFT window.  Inert on
+    /// paths that never mark (the EWMA stays exactly zero).
+    pub ecn_mark_validation: bool,
 }
 
 impl NimbusConfig {
@@ -110,6 +117,7 @@ impl NimbusConfig {
             basic_delay: BasicDelayConfig::paper_defaults(mu_bps),
             multiflow: MultiflowConfig::default(),
             seed: 1,
+            ecn_mark_validation: true,
         }
     }
 
@@ -140,6 +148,13 @@ impl NimbusConfig {
     /// Change the random seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enable or disable ECN mark-rate cross-validation (on by default; a
+    /// no-op on paths that never mark).
+    pub fn with_ecn_mark_validation(mut self, on: bool) -> Self {
+        self.ecn_mark_validation = on;
         self
     }
 
@@ -243,6 +258,12 @@ pub struct NimbusController {
     last_verdict: Option<DetectorVerdict>,
     /// EWMA-smoothed rate used while this flow is a watcher.
     watcher_rate_bps: Option<f64>,
+    /// Sliding window of `(t_s, marked, acked)` packet counts from recent
+    /// measurement reports, trimmed to the FFT duration.  Stays empty until
+    /// the first CE mark arrives, keeping non-ECN runs bit-identical.
+    mark_window: VecDeque<(f64, u64, u64)>,
+    /// Consecutive informative reports where the mark fraction and ẑ agreed.
+    mark_streak: u64,
     /// Telemetry observer, if the host installed one.
     publisher: Option<Box<dyn Publisher>>,
 }
@@ -257,6 +278,7 @@ impl NimbusController {
         let competitive: Box<dyn CongestionControl> = match cfg.tcp_scheme {
             TcpScheme::Cubic => CcKind::Cubic.build(&path),
             TcpScheme::NewReno => CcKind::NewReno.build(&path),
+            TcpScheme::Dctcp => CcKind::Dctcp.build(&path),
         };
         let delay: DelayCtl = match cfg.delay_scheme {
             DelayScheme::BasicDelay => DelayCtl::Basic(BasicDelay::new(cfg.basic_delay)),
@@ -296,6 +318,8 @@ impl NimbusController {
             last_elastic_s: f64::NEG_INFINITY,
             last_verdict: None,
             watcher_rate_bps: None,
+            mark_window: VecDeque::new(),
+            mark_streak: 0,
             publisher: None,
         };
         controller.mode_log.push((0.0, Mode::Delay));
@@ -317,6 +341,18 @@ impl NimbusController {
     /// The current pulser/watcher role.
     pub fn role(&self) -> Role {
         self.multiflow.role()
+    }
+
+    /// The fraction of ACKed packets that carried a CE echo over the last
+    /// FFT window (exactly 0.0 on a path that has never marked).
+    pub fn mark_fraction(&self) -> f64 {
+        let marked: u64 = self.mark_window.iter().map(|&(_, m, _)| m).sum();
+        let acked: u64 = self.mark_window.iter().map(|&(_, _, a)| a).sum();
+        if acked == 0 {
+            0.0
+        } else {
+            marked as f64 / acked.max(marked) as f64
+        }
     }
 
     /// Every mode switch as `(time_s, new_mode)`.
@@ -499,6 +535,85 @@ impl CongestionControl for NimbusController {
         // 2. Let both inner controllers see the report.
         self.competitive.on_report(report);
         self.delay.as_cc_mut().on_report(report);
+
+        // 2b. ECN mark-rate cross-validation.  A queue that keeps marking
+        // while we sit in delay mode is a queue somebody else keeps full —
+        // and the ẑ estimate says who.  When both signals agree (persistent
+        // mark fraction AND ẑ a non-trivial share of µ) the controller can
+        // call the cross traffic elastic in a few hundred milliseconds
+        // instead of waiting out a full FFT window.  The fraction is counted
+        // over a sliding window of ACKed packets (the way DCTCP computes α)
+        // rather than EWMA-smoothed per report: a starved flow's reports are
+        // mostly empty, and folding those in as "zero marks" would erase a
+        // perfectly persistent mark signal exactly when it matters most.
+        // The whole block is provably inert without ECN: `marked_packets` is
+        // 0 on every report, the window stays empty, and no state changes.
+        if self.cfg.ecn_mark_validation
+            && (report.marked_packets > 0 || !self.mark_window.is_empty())
+        {
+            let acked_pkts = report.acked_bytes / self.cfg.mss.max(1) as u64;
+            if report.marked_packets > 0 || acked_pkts > 0 {
+                self.mark_window
+                    .push_back((report.now_s, report.marked_packets, acked_pkts));
+            }
+            let horizon = report.now_s - self.cfg.elasticity.fft_duration_s;
+            while let Some(&(t, _, _)) = self.mark_window.front() {
+                if t < horizon {
+                    self.mark_window.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let marked: u64 = self.mark_window.iter().map(|&(_, m, _)| m).sum();
+            let acked: u64 = self.mark_window.iter().map(|&(_, _, a)| a).sum();
+            let span_s = match (self.mark_window.front(), self.mark_window.back()) {
+                (Some(&(t0, _, _)), Some(&(t1, _, _))) => t1 - t0,
+                _ => 0.0,
+            };
+            let frac = if acked == 0 {
+                0.0
+            } else {
+                marked as f64 / acked.max(marked) as f64
+            };
+            let mu_now = self.estimator.mu_bps();
+            let z_now = self
+                .estimator
+                .z_series_conditioned(self.cfg.elasticity.fft_duration_s);
+            let z_mean = if z_now.is_empty() {
+                0.0
+            } else {
+                z_now.iter().sum::<f64>() / z_now.len() as f64
+            };
+            let z_agrees = mu_now > 0.0 && z_mean > 0.05 * mu_now;
+            // Don't trust ẑ before the first FFT window has filled: the
+            // slow-start transient inflates both ẑ and the mark rate, and a
+            // solo flow on a shallow marking queue would misread its own
+            // startup as an elastic competitor.
+            let warmed = report.now_s >= self.cfg.elasticity.fft_duration_s;
+            // A couple of marked packets per window is already abnormal for
+            // a delay-mode flow that targets a sub-threshold queue, so the
+            // fraction bar is low (2%); the false-positive guards are the
+            // ẑ agreement, the warm-up, the minimum evidence (≥ 8 ACKed
+            // packets spanning ≥ 250 ms), and the persistence streak — a
+            // transient ẑ crossing on a solo flow must not flip the mode,
+            // so both signals have to hold across 25 informative reports
+            // (~250 ms at the CCP cadence, a few seconds when starved).
+            if warmed
+                && self.mode == Mode::Delay
+                && acked >= 8
+                && span_s >= 0.25
+                && frac > 0.02
+                && z_agrees
+            {
+                self.mark_streak += 1;
+                if self.mark_streak >= 25 {
+                    self.last_elastic_s = report.now_s;
+                    self.switch_mode(Mode::Competitive);
+                }
+            } else {
+                self.mark_streak = 0;
+            }
+        }
 
         // 3. Record the rate history (for the 5-seconds-ago reset).
         let now_t = Time::from_secs_f64(report.now_s);
@@ -709,6 +824,8 @@ mod tests {
             rtt_s,
             min_rtt_s: 0.05,
             window_acks: 40,
+            marked_packets: 0,
+            marked_bytes: 0,
         }
     }
 
@@ -722,6 +839,51 @@ mod tests {
             in_flight_packets: 50,
             mss: 1500,
         }
+    }
+
+    #[test]
+    fn mark_rate_cross_validation_flips_competitive_before_one_window() {
+        let mut ctl = NimbusController::new(NimbusConfig::default_for_link(96e6));
+        // S = 40, R = 60 on a 96 Mbit/s link: Eq. 1 says z = 24 Mbit/s of
+        // cross traffic, well above the 5% agreement bar; every report also
+        // carries CE marks on most of its ACKed packets.  The validator only
+        // trusts ẑ once the first FFT window has filled (t ≥ 5 s), so start
+        // the marked reports there: the flip must then come in a few hundred
+        // milliseconds, not after another full window.
+        let mut t = 5.0;
+        while t < 6.0 {
+            t += 0.01;
+            ctl.on_packet_acked(&ack(t, 50.0));
+            let mut r = report(t, 40e6, 60e6, 0.05);
+            r.marked_packets = 5;
+            r.marked_bytes = 7_500;
+            ctl.on_report(&r);
+            if ctl.mode() == Mode::Competitive {
+                break;
+            }
+        }
+        assert_eq!(ctl.mode(), Mode::Competitive);
+        // The FFT window is 5 s; the cross-validated flip must beat a fresh
+        // window's worth of post-arrival data by a wide margin.
+        assert!(t < 6.0, "flipped at {t}s, faster than the FFT window");
+        assert!(ctl.mark_fraction() > 0.05);
+    }
+
+    #[test]
+    fn marks_without_cross_traffic_do_not_flip_the_mode() {
+        let mut ctl = NimbusController::new(NimbusConfig::default_for_link(96e6));
+        // S == R == µ: no cross traffic, so ẑ stays near zero and the marks
+        // (our own pulse brushing a shallow threshold) must not flip us.
+        let mut t = 5.0;
+        while t < 6.0 {
+            t += 0.01;
+            ctl.on_packet_acked(&ack(t, 50.0));
+            let mut r = report(t, 96e6, 96e6, 0.05);
+            r.marked_packets = 5;
+            r.marked_bytes = 7_500;
+            ctl.on_report(&r);
+        }
+        assert_eq!(ctl.mode(), Mode::Delay);
     }
 
     #[test]

@@ -848,6 +848,8 @@ mod tests {
             rtt_s: 0.05,
             min_rtt_s: 0.05,
             window_acks: 50,
+            marked_packets: 0,
+            marked_bytes: 0,
         }
     }
 

@@ -8,10 +8,12 @@
 //! at the worst possible moments.  The simulator never does any of that, so
 //! this harness generates the abuse synthetically:
 //!
-//! * every µ strategy × ẑ-filter combination (3 × 3 = 9 combos);
+//! * every µ strategy × ẑ-filter combination (3 × 3 = 9 combos), plus the
+//!   bare DCTCP controller (the CCA most exposed to CE abuse);
 //! * ≥ 256 randomized callback sequences per combo, mixing reordered and
 //!   timestamp-compressed ACKs, zero-byte ACKs, zero/near-zero RTTs,
-//!   zero-rate and extreme-rate reports, loss storms and RTO events;
+//!   zero-rate and extreme-rate reports, loss storms and RTO events, CE-echo
+//!   storms, CE on zero-byte ACKs, and CE back-to-back with RTOs;
 //! * after **every** callback the controller must report a finite, positive
 //!   cwnd and a finite, positive pacing rate (when one is given);
 //! * after every sequence the mode log must respect the §4.1 asymmetric
@@ -61,6 +63,8 @@ enum Event {
     Ack(AckEvent),
     Loss(LossEvent),
     Rto(Time),
+    /// A receiver-echoed CE mark (`CongestionEvent::EcnCe`).
+    EcnCe(Time, u64),
     Report(Report),
 }
 
@@ -89,6 +93,8 @@ fn push_coherent_reports(
             rtt_s: 0.05,
             min_rtt_s: 0.05,
             window_acks: 40,
+            marked_packets: 0,
+            marked_bytes: 0,
         }));
     }
 }
@@ -121,7 +127,7 @@ fn generate_sequence(rng: &mut StdRng, pulse_freq_hz: f64) -> Vec<Event> {
             8 => rng.gen::<f64>() * 0.1,
             _ => rng.gen::<f64>() * 3.0,
         };
-        let kind = rng.gen_range(0u32..10);
+        let kind = rng.gen_range(0u32..12);
         match kind {
             // ACKs (the most frequent callback in any host).
             0..=3 => {
@@ -144,6 +150,11 @@ fn generate_sequence(rng: &mut StdRng, pulse_freq_hz: f64) -> Vec<Event> {
                     in_flight_packets: rng.gen_range(0u64..10_000),
                     mss: 1500,
                 }));
+                // CE on a zero-byte ACK: a pure window update whose echo
+                // still carries the mark bit.
+                if newly_acked_packets == 0 && rng.gen_bool(0.5) {
+                    events.push(Event::EcnCe(Time::from_secs_f64(now_s), 0));
+                }
             }
             4 => {
                 events.push(Event::Loss(LossEvent {
@@ -155,6 +166,23 @@ fn generate_sequence(rng: &mut StdRng, pulse_freq_hz: f64) -> Vec<Event> {
             }
             5 => {
                 events.push(Event::Rto(Time::from_secs_f64(now_s)));
+                // CE interleaved with the timeout: marks that were in
+                // flight when the RTO fired arrive right after it.
+                if rng.gen_bool(0.5) {
+                    events.push(Event::EcnCe(Time::from_secs_f64(now_s), 1500));
+                }
+            }
+            6 => {
+                // CE storm: a whole flight's worth of marked ACK echoes
+                // compressed into one burst, with degenerate byte counts.
+                for _ in 0..rng.gen_range(1usize..200) {
+                    let marked_bytes = match rng.gen_range(0u32..4) {
+                        0 => 0,
+                        1 => rng.gen_range(0u64..10),
+                        _ => 1500,
+                    };
+                    events.push(Event::EcnCe(Time::from_secs_f64(now_s), marked_bytes));
+                }
             }
             // Reports: the estimator/detector path.
             _ => {
@@ -183,6 +211,14 @@ fn generate_sequence(rng: &mut StdRng, pulse_freq_hz: f64) -> Vec<Event> {
                     rtt_s,
                     min_rtt_s: rtt_s.min(0.05),
                     window_acks: rng.gen_range(0usize..200),
+                    // Sometimes-marked reports drive the mark-rate
+                    // cross-validation path under the same chaos.
+                    marked_packets: if rng.gen_bool(0.3) {
+                        rng.gen_range(0u64..50)
+                    } else {
+                        0
+                    },
+                    marked_bytes: rng.gen_range(0u64..75_000),
                 }));
             }
         }
@@ -197,7 +233,7 @@ fn generate_sequence(rng: &mut StdRng, pulse_freq_hz: f64) -> Vec<Event> {
 }
 
 /// The invariant checked after every single callback.
-fn assert_sane(ctl: &NimbusController, now: Time, combo: &str, seq: usize, step: usize) {
+fn assert_sane(ctl: &dyn CongestionControl, now: Time, combo: &str, seq: usize, step: usize) {
     let cwnd = ctl.cwnd_packets();
     assert!(
         cwnd.is_finite() && cwnd > 0.0,
@@ -262,6 +298,10 @@ fn fuzz_combo(mu_label: &str, mu: &MuEstimatorConfig, z_label: &str, zf: &ZFilte
                     last_now = last_now.max(now);
                     ctl.on_congestion_event(&CongestionEvent::Rto { now });
                 }
+                Event::EcnCe(now, marked_bytes) => {
+                    last_now = last_now.max(now);
+                    ctl.on_congestion_event(&CongestionEvent::EcnCe { now, marked_bytes });
+                }
                 Event::Report(report) => {
                     last_now = last_now.max(Time::from_secs_f64(report.now_s));
                     ctl.on_report(&report);
@@ -314,4 +354,44 @@ fn fuzz_callbacks_probing_mu() {
     // The warmup phase must actually drive mode switches somewhere in this
     // strategy's combos, or the hysteresis assertion above checked nothing.
     assert!(switched > 0, "mu={label}: no sequence ever switched mode");
+}
+
+#[test]
+fn fuzz_callbacks_dctcp() {
+    use nimbus_core::cc::dctcp::Dctcp;
+    for seq in 0..SEQUENCES_PER_COMBO {
+        let mut rng = StdRng::seed_from_u64((seq as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut cc = Dctcp::new();
+        let mut last_now = Time::ZERO;
+        for (step, event) in generate_sequence(&mut rng, 5.0).into_iter().enumerate() {
+            match event {
+                Event::Ack(ack) => {
+                    last_now = last_now.max(ack.now);
+                    cc.on_packet_acked(&ack);
+                }
+                Event::Loss(loss) => {
+                    last_now = last_now.max(loss.now);
+                    cc.on_packets_lost(&loss);
+                }
+                Event::Rto(now) => {
+                    last_now = last_now.max(now);
+                    cc.on_congestion_event(&CongestionEvent::Rto { now });
+                }
+                Event::EcnCe(now, marked_bytes) => {
+                    last_now = last_now.max(now);
+                    cc.on_congestion_event(&CongestionEvent::EcnCe { now, marked_bytes });
+                }
+                Event::Report(report) => {
+                    last_now = last_now.max(Time::from_secs_f64(report.now_s));
+                    cc.on_report(&report);
+                }
+            }
+            assert_sane(&cc, last_now, "dctcp", seq, step);
+            let alpha = cc.alpha();
+            assert!(
+                (0.0..=1.0).contains(&alpha),
+                "[dctcp seq {seq} step {step}] alpha {alpha} left [0, 1]"
+            );
+        }
+    }
 }

@@ -116,6 +116,7 @@ pub struct Sender {
     packets_retransmitted: u64,
     timeouts: u64,
     fast_retransmits: u64,
+    ce_echoes: u64,
 }
 
 impl Sender {
@@ -144,6 +145,7 @@ impl Sender {
             packets_retransmitted: 0,
             timeouts: 0,
             fast_retransmits: 0,
+            ce_echoes: 0,
         }
         .with_initial_rto(initial_rto)
     }
@@ -191,6 +193,11 @@ impl Sender {
     /// Number of fast retransmits triggered by triple duplicate ACKs.
     pub fn fast_retransmits(&self) -> u64 {
         self.fast_retransmits
+    }
+
+    /// Number of ACKs received carrying a CE echo (0 on non-ECN paths).
+    pub fn ce_echoes(&self) -> u64 {
+        self.ce_echoes
     }
 
     /// Scoreboard positions (SACK entries and hole candidates) examined by
@@ -384,6 +391,17 @@ impl FlowEndpoint for Sender {
             ack.triggering_bytes as u64,
             ack.rtt_sample,
         );
+        // The receiver echoes CE marks on the very next ACK; surface each
+        // echo to the controller before the ACK's own bookkeeping so a
+        // once-per-window reaction gate sees the pre-ACK window.
+        if ack.ce {
+            self.ce_echoes += 1;
+            self.reports.on_mark(ack.triggering_bytes as u64);
+            self.cc.on_congestion_event(&CongestionEvent::EcnCe {
+                now,
+                marked_bytes: ack.triggering_bytes as u64,
+            });
+        }
         if let Some(min_rtt) = self.rtt.global_min_rtt() {
             // S/R are measured over one RTT of packets (§3.4).  The *base*
             // (minimum) RTT is used, not the smoothed RTT: under bufferbloat
@@ -858,6 +876,7 @@ mod tests {
             is_duplicate: false,
             newly_delivered_bytes: 1500,
             total_delivered_bytes: cum * 1500,
+            ce: false,
         };
         s.on_ack(&mk_ack(1, 0, 51));
         s.on_ack(&mk_ack(2, 1, 52));
@@ -876,6 +895,42 @@ mod tests {
         }
         assert_eq!(s.packets_retransmitted(), 1);
         assert_eq!(s.timeouts(), 0);
+    }
+
+    #[test]
+    fn ce_echo_reaches_the_controller_and_counts() {
+        let mut s = Sender::new(
+            SenderConfig::labelled("ce"),
+            CcKind::NewReno.build(&PathInfo::new(1500)),
+            Box::new(BackloggedSource),
+        );
+        s.on_start(Time::ZERO);
+        for _ in 0..10 {
+            let _ = s.poll_send(Time::from_millis(1));
+        }
+        let mk_ack = |cum: u64, t_ms: u64, ce: bool| AckInfo {
+            now: Time::from_millis(t_ms),
+            cum_ack: cum,
+            triggering_seq: cum.saturating_sub(1),
+            triggering_bytes: 1500,
+            data_sent_at: Time::from_millis(1),
+            rtt_sample: Time::from_millis(50),
+            is_duplicate: false,
+            newly_delivered_bytes: 1500,
+            total_delivered_bytes: cum * 1500,
+            ce,
+        };
+        let before = s.congestion_control().cwnd_packets();
+        s.on_ack(&mk_ack(1, 51, false));
+        assert_eq!(s.ce_echoes(), 0);
+        assert!(s.congestion_control().cwnd_packets() >= before);
+        // A CE echo must reach the controller (NewReno halves) and count.
+        s.on_ack(&mk_ack(2, 52, true));
+        assert_eq!(s.ce_echoes(), 1);
+        assert!(
+            s.congestion_control().cwnd_packets() < before,
+            "CE should shrink the window"
+        );
     }
 
     #[test]

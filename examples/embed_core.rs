@@ -180,6 +180,8 @@ fn main() {
             rtt_s,
             min_rtt_s,
             window_acks: (acked_bytes / MSS as u64) as usize,
+            marked_packets: 0,
+            marked_bytes: 0,
         });
     }
 

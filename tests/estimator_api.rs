@@ -18,7 +18,7 @@
 use nimbus_repro::experiments::testkit::{
     estimator_cells, parallel_map, Cell, CrossTraffic, Invariants,
 };
-use nimbus_repro::experiments::{LinkScheduleSpec, PathSpec, SchemeSpec};
+use nimbus_repro::experiments::{EcnSpec, LinkScheduleSpec, PathSpec, SchemeSpec};
 use nimbus_repro::nimbus::{LearnedMuConfig, ProbingConfig, ZFilterConfig};
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -56,6 +56,7 @@ fn preservation_cells() -> Vec<Cell> {
         seed,
         duration_s,
         steady_start_s: if duration_s > 25.0 { 10.0 } else { 6.0 },
+        ecn: EcnSpec::Off,
         invariants: Invariants::default(),
     };
     let mut cells = vec![
@@ -112,6 +113,7 @@ fn preservation_cells() -> Vec<Cell> {
         seed: 42,
         duration_s: 25.0,
         steady_start_s: 8.0,
+        ecn: EcnSpec::Off,
         invariants: Invariants::default(),
     });
     cells

@@ -66,6 +66,7 @@ fn sack_scan_cost_is_linear_in_acks_plus_holes() {
             is_duplicate: true,
             newly_delivered_bytes: 0,
             total_delivered_bytes: 0,
+            ce: false,
         });
     }
 

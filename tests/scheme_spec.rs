@@ -10,7 +10,7 @@
 //! 3. **Rejection**: malformed spec strings fail with actionable messages.
 
 use nimbus_repro::experiments::testkit::{parallel_map, Cell, CrossTraffic, Invariants};
-use nimbus_repro::experiments::{LinkScheduleSpec, PathSpec, SchemeSpec};
+use nimbus_repro::experiments::{EcnSpec, LinkScheduleSpec, PathSpec, SchemeSpec};
 use nimbus_repro::nimbus::{DelayScheme, TcpScheme};
 use nimbus_repro::transport::CcKind;
 use proptest::prelude::*;
@@ -104,6 +104,7 @@ fn preservation_cells() -> (Vec<Cell>, HashMap<String, u64>) {
             seed: 17,
             duration_s: 20.0,
             steady_start_s: 6.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants::default(),
         });
         pinned.insert(name.to_string(), fingerprint);
@@ -119,6 +120,7 @@ fn preservation_cells() -> (Vec<Cell>, HashMap<String, u64>) {
             seed: 18,
             duration_s: 25.0,
             steady_start_s: 8.0,
+            ecn: EcnSpec::Off,
             invariants: Invariants::default(),
         });
         pinned.insert(name.to_string(), fingerprint);

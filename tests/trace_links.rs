@@ -14,7 +14,7 @@
 //! prove that).
 
 use nimbus_repro::experiments::testkit::{parallel_map, Cell, CrossTraffic, Invariants};
-use nimbus_repro::experiments::{LinkScheduleSpec, PathSpec, SchemeSpec};
+use nimbus_repro::experiments::{EcnSpec, LinkScheduleSpec, PathSpec, SchemeSpec};
 
 fn cell(scheme: SchemeSpec, schedule: LinkScheduleSpec, duration_s: f64) -> Cell {
     Cell {
@@ -26,6 +26,7 @@ fn cell(scheme: SchemeSpec, schedule: LinkScheduleSpec, duration_s: f64) -> Cell
         seed: 1,
         duration_s,
         steady_start_s: duration_s * 0.25,
+        ecn: EcnSpec::Off,
         invariants: Invariants::default(),
     }
 }
